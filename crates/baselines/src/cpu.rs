@@ -1,0 +1,191 @@
+use gramer_graph::{CsrGraph, VertexId};
+use gramer_memsim::{CpuCacheConfig, CpuCacheModel};
+use gramer_mining::{AccessObserver, DfsEnumerator, EcmApp, MiningResult};
+
+/// Parameters of the baseline CPU (defaults model the 14-core Intel
+/// E5-2680 v4 of §II-B / §VI-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCostParams {
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Physical cores.
+    pub cores: usize,
+    /// Fraction of linear multi-core scaling actually achieved by the
+    /// mining frameworks (synchronisation, skew).
+    pub parallel_efficiency: f64,
+}
+
+impl Default for CpuCostParams {
+    fn default() -> Self {
+        CpuCostParams {
+            clock_hz: 2.4e9,
+            cores: 14,
+            parallel_efficiency: 0.6,
+        }
+    }
+}
+
+impl CpuCostParams {
+    /// Effective cycles per second across all cores.
+    pub fn effective_hz(&self) -> f64 {
+        self.clock_hz * self.cores as f64 * self.parallel_efficiency
+    }
+}
+
+/// Byte size of a vertex record in the CPU engines' address space.
+const VERTEX_BYTES: u64 = 16;
+/// Byte size of an adjacency entry.
+const EDGE_BYTES: u64 = 8;
+
+/// Measured profile of one mining workload on the modeled CPU: real
+/// enumeration, with every memory access classified through a three-level
+/// cache model. The stall split (vertex vs edge) is the Fig. 3 quantity;
+/// the per-size frontier counts feed the RStream disk model.
+#[derive(Debug)]
+pub struct CpuProfile {
+    /// The mining result (counts identical to any other engine).
+    pub result: MiningResult,
+    /// Extension steps (candidates examined plus bookkeeping).
+    pub work_items: u64,
+    /// Total memory accesses issued.
+    pub accesses: u64,
+    /// Stall cycles attributable to random vertex accesses.
+    pub vertex_stall_cycles: u64,
+    /// Stall cycles attributable to random edge accesses.
+    pub edge_stall_cycles: u64,
+    /// Cache level counts `[L1, L2, L3, DRAM]`.
+    pub level_counts: [u64; 4],
+}
+
+impl CpuProfile {
+    /// Total stall cycles from random accesses.
+    pub fn stall_cycles(&self) -> u64 {
+        self.vertex_stall_cycles + self.edge_stall_cycles
+    }
+
+    /// The Fig. 3 breakdown: fractions of modeled execution attributable
+    /// to vertex-access stalls, edge-access stalls and everything else,
+    /// given `compute_cycles` of random-access-irrelevant execution.
+    pub fn stall_breakdown(&self, compute_cycles: f64) -> (f64, f64, f64) {
+        let v = self.vertex_stall_cycles as f64;
+        let e = self.edge_stall_cycles as f64;
+        let total = v + e + compute_cycles;
+        (v / total, e / total, compute_cycles / total)
+    }
+}
+
+struct CpuObserver {
+    cache: CpuCacheModel,
+    vertex_region_end: u64,
+    vertex_stall: u64,
+    edge_stall: u64,
+    accesses: u64,
+}
+
+impl CpuObserver {
+    fn charge(&mut self, addr: u64, is_vertex: bool) {
+        self.accesses += 1;
+        let level = self.cache.access(addr);
+        let stall = self.cache.stall_cycles(level);
+        if is_vertex {
+            self.vertex_stall += stall;
+        } else {
+            self.edge_stall += stall;
+        }
+    }
+}
+
+impl AccessObserver for CpuObserver {
+    fn vertex_access(&mut self, v: VertexId, _size: usize) {
+        self.charge(v as u64 * VERTEX_BYTES, true);
+    }
+
+    fn edge_access(&mut self, slot: usize, _size: usize) {
+        self.charge(self.vertex_region_end + slot as u64 * EDGE_BYTES, false);
+    }
+}
+
+/// Mines `app` on `graph` with the reference DFS engine while classifying
+/// every memory access through the CPU cache model.
+///
+/// This is the substrate for the Fig. 3 stall study and both baseline
+/// time models. See the crate-level example.
+pub fn profile_on_cpu<A: EcmApp>(graph: &CsrGraph, app: &A) -> CpuProfile {
+    profile_on_cpu_with(graph, app, CpuCacheConfig::default())
+}
+
+/// [`profile_on_cpu`] with an explicit cache geometry.
+pub fn profile_on_cpu_with<A: EcmApp>(
+    graph: &CsrGraph,
+    app: &A,
+    cache: CpuCacheConfig,
+) -> CpuProfile {
+    let mut obs = CpuObserver {
+        cache: CpuCacheModel::new(cache),
+        vertex_region_end: graph.num_vertices() as u64 * VERTEX_BYTES,
+        vertex_stall: 0,
+        edge_stall: 0,
+        accesses: 0,
+    };
+    let result = DfsEnumerator::new(graph).run_with_observer(app, &mut obs);
+    CpuProfile {
+        work_items: result.candidates_examined,
+        accesses: obs.accesses,
+        vertex_stall_cycles: obs.vertex_stall,
+        edge_stall_cycles: obs.edge_stall,
+        level_counts: obs.cache.level_counts(),
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gramer_mining::apps::{CliqueFinding, MotifCounting};
+
+    #[test]
+    fn profile_counts_match_reference() {
+        let g = gramer_graph::generate::barabasi_albert(150, 3, 4);
+        let app = CliqueFinding::new(3).unwrap();
+        let p = profile_on_cpu(&g, &app);
+        let reference = DfsEnumerator::new(&g).run(&app);
+        assert_eq!(p.result.total_at(3), reference.total_at(3));
+        assert!(p.accesses > 0);
+        assert_eq!(p.level_counts.iter().sum::<u64>(), p.accesses);
+    }
+
+    #[test]
+    fn bigger_graphs_stall_more() {
+        // Mirrors Fig. 3: graphs that exceed the cache stall harder. Use a
+        // tiny cache to emulate the capacity cliff without huge graphs.
+        let small_cache = CpuCacheConfig {
+            l1_bytes: 1 << 10,
+            l2_bytes: 1 << 12,
+            l3_bytes: 1 << 14,
+            line_bytes: 64,
+            latency_cycles: [4, 12, 42, 200],
+        };
+        let app = MotifCounting::new(3).unwrap();
+        let small = gramer_graph::generate::barabasi_albert(100, 3, 1);
+        let large = gramer_graph::generate::barabasi_albert(2000, 3, 1);
+        let ps = profile_on_cpu_with(&small, &app, small_cache);
+        let pl = profile_on_cpu_with(&large, &app, small_cache);
+        let frac = |p: &CpuProfile| p.stall_cycles() as f64 / p.accesses as f64;
+        assert!(frac(&pl) > frac(&ps), "{} <= {}", frac(&pl), frac(&ps));
+    }
+
+    #[test]
+    fn stall_breakdown_sums_to_one() {
+        let g = gramer_graph::generate::barabasi_albert(200, 3, 2);
+        let p = profile_on_cpu(&g, &MotifCounting::new(3).unwrap());
+        let (v, e, o) = p.stall_breakdown(p.work_items as f64 * 10.0);
+        assert!((v + e + o - 1.0).abs() < 1e-9);
+        assert!(v > 0.0 && e > 0.0 && o > 0.0);
+    }
+
+    #[test]
+    fn effective_hz_scales() {
+        let p = CpuCostParams::default();
+        assert!(p.effective_hz() > p.clock_hz);
+    }
+}

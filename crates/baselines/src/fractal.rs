@@ -1,0 +1,82 @@
+use crate::cpu::{CpuCostParams, CpuProfile};
+
+/// Time model for Fractal, the DFS-based CPU graph mining system the
+/// paper benchmarks (single-machine version, §VI-A).
+///
+/// Modeled execution time is
+///
+/// ```text
+/// startup + (work_items · op_cycles + stall_cycles) / effective_hz
+/// ```
+///
+/// * `startup_seconds` — Spark/JVM task partitioning and worker
+///   registration; the paper excludes the *expensive* Spark setup but the
+///   residual initialisation and multi-thread management still "dominate
+///   the overall performance" on small graphs (§VI-B).
+/// * `op_cycles_per_item` — JVM-side cost of one extension candidate
+///   (object allocation, canonicality check, virtual dispatch).
+///
+/// Constants are calibrated once against Table III's shape: GRAMER beats
+/// Fractal by 12.9–24.9× on small graphs (startup-dominated), 4.3–14.2×
+/// on medium, 1.8–7.5× on large (memory-bound on both sides).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FractalModel {
+    /// CPU parameters.
+    pub cpu: CpuCostParams,
+    /// Fixed initialisation overhead in seconds.
+    pub startup_seconds: f64,
+    /// Compute cycles per extension candidate.
+    pub op_cycles_per_item: f64,
+}
+
+impl Default for FractalModel {
+    fn default() -> Self {
+        FractalModel {
+            cpu: CpuCostParams::default(),
+            startup_seconds: 0.14,
+            op_cycles_per_item: 260.0,
+        }
+    }
+}
+
+impl FractalModel {
+    /// Modeled wall-clock seconds for the profiled workload.
+    pub fn estimate_seconds(&self, profile: &CpuProfile) -> f64 {
+        let compute = profile.work_items as f64 * self.op_cycles_per_item;
+        let cycles = compute + profile.stall_cycles() as f64;
+        self.startup_seconds + cycles / self.cpu.effective_hz()
+    }
+
+    /// The compute-cycle term alone (used by the Fig. 3 breakdown as the
+    /// "Others" denominator component).
+    pub fn compute_cycles(&self, profile: &CpuProfile) -> f64 {
+        profile.work_items as f64 * self.op_cycles_per_item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::profile_on_cpu;
+    use gramer_graph::generate;
+    use gramer_mining::apps::CliqueFinding;
+
+    #[test]
+    fn startup_dominates_small_graphs() {
+        let g = generate::barabasi_albert(60, 2, 1);
+        let p = profile_on_cpu(&g, &CliqueFinding::new(3).unwrap());
+        let m = FractalModel::default();
+        let t = m.estimate_seconds(&p);
+        assert!(t > m.startup_seconds);
+        assert!(t < m.startup_seconds * 1.5, "tiny graph should be startup-bound");
+    }
+
+    #[test]
+    fn work_scales_time() {
+        let app = CliqueFinding::new(4).unwrap();
+        let small = profile_on_cpu(&generate::barabasi_albert(200, 3, 2), &app);
+        let large = profile_on_cpu(&generate::barabasi_albert(2000, 3, 2), &app);
+        let m = FractalModel::default();
+        assert!(m.estimate_seconds(&large) > m.estimate_seconds(&small));
+    }
+}

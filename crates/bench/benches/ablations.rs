@@ -1,0 +1,103 @@
+//! Algorithmic ablations measured in host time:
+//!
+//! * canonical-extension deduplication (GRAMER's comparisons-only
+//!   automorphism filter) vs a hash-set of normalised vertex sets;
+//! * the fast single-pass ON1 vs the generic BFS-based ON_k at k = 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gramer_graph::{generate, on1, CsrGraph, VertexId};
+use gramer_mining::{apps::MotifCounting, DfsEnumerator, Explorer, NullObserver, Step};
+use std::collections::HashSet;
+
+/// Enumerates connected ≤k-subgraphs by extending with *every* neighbor
+/// and deduplicating through a hash set — the strawman the canonicality
+/// check replaces.
+fn hashset_dedup_count(g: &CsrGraph, k: usize) -> u64 {
+    let mut seen: HashSet<Vec<VertexId>> = HashSet::new();
+    let mut stack: Vec<Vec<VertexId>> = g.vertices().map(|v| vec![v]).collect();
+    let mut count = 0;
+    while let Some(emb) = stack.pop() {
+        if emb.len() >= 2 {
+            count += 1;
+        }
+        if emb.len() == k {
+            continue;
+        }
+        for &v in &emb {
+            for &w in g.neighbors(v) {
+                if emb.contains(&w) {
+                    continue;
+                }
+                let mut next = emb.clone();
+                next.push(w);
+                let mut key = next.clone();
+                key.sort_unstable();
+                if seen.insert(key) {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    count
+}
+
+/// The canonical-extension equivalent via the step-wise explorer.
+fn canonical_count(g: &CsrGraph, k: usize) -> u64 {
+    let mut obs = NullObserver;
+    let mut count = 0;
+    for root in g.vertices() {
+        let mut ex = Explorer::new(g, root);
+        loop {
+            match ex.step(&mut obs) {
+                Step::Candidate => {
+                    count += 1;
+                    if ex.embedding().len() < k {
+                        ex.descend();
+                    } else {
+                        ex.retract();
+                    }
+                }
+                Step::Done => break,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn dedup_ablation(c: &mut Criterion) {
+    let g = generate::chung_lu(800, 2400, 2.6, 13);
+    let mut group = c.benchmark_group("ablation_dedup");
+    group.sample_size(10);
+    group.bench_function("canonical_extension", |b| {
+        b.iter(|| canonical_count(&g, 3))
+    });
+    group.bench_function("hashset_dedup", |b| b.iter(|| hashset_dedup_count(&g, 3)));
+    group.finish();
+
+    // Both must agree on the number of embeddings.
+    assert_eq!(canonical_count(&g, 3), hashset_dedup_count(&g, 3));
+}
+
+fn on1_ablation(c: &mut Criterion) {
+    let g = generate::chung_lu(30_000, 120_000, 2.4, 17);
+    let mut group = c.benchmark_group("ablation_on1");
+    group.bench_function("on1_single_pass", |b| b.iter(|| on1::on1_scores(&g)));
+    group.bench_function("on1_generic_bfs", |b| b.iter(|| on1::on_k_scores(&g, 1)));
+    group.finish();
+}
+
+fn mining_reference(c: &mut Criterion) {
+    // Reference point for the two ablations above: a real mining pass.
+    let g = generate::chung_lu(800, 2400, 2.6, 13);
+    let mut group = c.benchmark_group("ablation_reference");
+    group.sample_size(10);
+    group.bench_function("dfs_3mc", |b| {
+        let app = MotifCounting::new(3).expect("valid");
+        b.iter(|| DfsEnumerator::new(&g).run(&app).embeddings)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dedup_ablation, on1_ablation, mining_reference);
+criterion_main!(benches);

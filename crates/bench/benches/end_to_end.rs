@@ -1,0 +1,34 @@
+//! Host-side cost of full simulated runs (preprocess + cycle simulation),
+//! i.e. how fast the simulator itself is.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gramer::{preprocess, GramerConfig, Simulator};
+use gramer_graph::datasets::Dataset;
+use gramer_mining::apps::{CliqueFinding, MotifCounting};
+
+fn end_to_end(c: &mut Criterion) {
+    let g = Dataset::Citeseer.generate_scaled(2);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("simulate", "3-CF"), |b| {
+        let cfg = GramerConfig::default();
+        let pre = preprocess(&g, &cfg);
+        let app = CliqueFinding::new(3).expect("valid");
+        b.iter(|| Simulator::new(&pre, cfg.clone()).run(&app).cycles)
+    });
+    group.bench_function(BenchmarkId::new("simulate", "3-MC"), |b| {
+        let cfg = GramerConfig::default();
+        let pre = preprocess(&g, &cfg);
+        let app = MotifCounting::new(3).expect("valid");
+        b.iter(|| Simulator::new(&pre, cfg.clone()).run(&app).cycles)
+    });
+    group.bench_function("preprocess", |b| {
+        let cfg = GramerConfig::default();
+        b.iter(|| preprocess(&g, &cfg).vertex_pin)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Host-side throughput of the enumeration engines: DFS vs BFS, and the
+//! clique filter's subtree pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gramer_graph::generate;
+use gramer_mining::apps::{CliqueFinding, MotifCounting};
+use gramer_mining::{BfsEnumerator, DfsEnumerator};
+
+fn enumeration(c: &mut Criterion) {
+    let g = generate::chung_lu(2000, 6000, 2.5, 7);
+    let mut group = c.benchmark_group("enumeration");
+
+    group.bench_function(BenchmarkId::new("dfs", "3-MC"), |b| {
+        let app = MotifCounting::new(3).expect("valid");
+        b.iter(|| DfsEnumerator::new(&g).run(&app).embeddings)
+    });
+    group.bench_function(BenchmarkId::new("bfs", "3-MC"), |b| {
+        let app = MotifCounting::new(3).expect("valid");
+        b.iter(|| BfsEnumerator::new(&g).run(&app).0.embeddings)
+    });
+    group.bench_function(BenchmarkId::new("dfs", "4-CF"), |b| {
+        let app = CliqueFinding::new(4).expect("valid");
+        b.iter(|| DfsEnumerator::new(&g).run(&app).embeddings)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, enumeration);
+criterion_main!(benches);

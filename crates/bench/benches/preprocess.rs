@@ -1,0 +1,30 @@
+//! Host-side cost of GRAMER's preprocessing: the ON_k heuristics and the
+//! graph reordering (the Fig. 8(b) / Fig. 11(b) components).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gramer_graph::{generate, on1, reorder};
+
+fn preprocess(c: &mut Criterion) {
+    let g = generate::chung_lu(20_000, 80_000, 2.4, 11);
+    let mut group = c.benchmark_group("preprocess");
+
+    group.bench_function(BenchmarkId::new("on_k", "0-hop"), |b| {
+        b.iter(|| on1::on0_scores(&g))
+    });
+    group.bench_function(BenchmarkId::new("on_k", "1-hop-fast"), |b| {
+        b.iter(|| on1::on1_scores(&g))
+    });
+    group.bench_function(BenchmarkId::new("on_k", "1-hop-bfs"), |b| {
+        b.iter(|| on1::on_k_scores(&g, 1))
+    });
+    group.bench_function(BenchmarkId::new("on_k", "2-hop"), |b| {
+        b.iter(|| on1::on_k_scores(&g, 2))
+    });
+    group.bench_function("reorder_by_on1", |b| {
+        b.iter(|| reorder::reorder_by_on1(&g).graph.num_edges())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, preprocess);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Ablations of GRAMER design choices called out in DESIGN.md, measured
+//! in simulated cycles / state bytes rather than host time:
+//!
+//! 1. vertex/edge memory isolation (the paper's §IV-A design point) vs a
+//!    shared-port configuration;
+//! 2. adaptive round-robin dispatch vs static pre-assignment (§V-C);
+//! 3. compacted vs full ancestor records (Fig. 10's storage saving);
+//! 4. the locality-preserved policy vs plain LRU in the low-priority
+//!    memory at constrained capacity.
+
+use gramer::pipeline::{clock_rate_mhz, AncestorMode};
+use gramer::{GramerConfig, MemoryBudget, MemoryMode};
+use gramer_bench::{analog, run_gramer, rule, AppVariant};
+use gramer_graph::datasets::Dataset;
+use gramer_memsim::LatencyConfig;
+
+fn main() {
+    let d = Dataset::P2p;
+    let g = analog(d);
+    let variant = AppVariant::Cf(4);
+
+    println!("Ablations on {} ({})\n", d.name(), variant.name(d));
+
+    // 1. Bank isolation: the paper splits vertex and edge traffic into
+    // separate banks. Emulate a shared single-port bank by halving the
+    // ports (both kinds squeezed through one port per partition).
+    println!("1. vertex/edge bank isolation (dual ports) vs shared single port");
+    rule(66);
+    let isolated = run_gramer(&g, &app_of(variant, d), GramerConfig::default());
+    let shared = run_gramer(
+        &g,
+        &app_of(variant, d),
+        GramerConfig {
+            latency: LatencyConfig {
+                ports_per_bank: 1,
+                ..LatencyConfig::default()
+            },
+            ..GramerConfig::default()
+        },
+    );
+    println!(
+        "isolated: {:>10} cycles | shared-port: {:>10} cycles | isolation gain {:.2}x\n",
+        isolated.cycles,
+        shared.cycles,
+        shared.cycles as f64 / isolated.cycles as f64
+    );
+
+    // 2. Dispatch policy.
+    println!("2. adaptive round-robin dispatch vs static pre-assignment");
+    rule(66);
+    let adaptive = isolated.cycles;
+    let static_d = run_gramer(
+        &g,
+        &app_of(variant, d),
+        GramerConfig {
+            static_dispatch: true,
+            ..GramerConfig::default()
+        },
+    );
+    println!(
+        "adaptive: {:>10} cycles | static: {:>10} cycles | gain {:.2}x\n",
+        adaptive,
+        static_d.cycles,
+        static_d.cycles as f64 / adaptive as f64
+    );
+
+    // 3. Ancestor compaction: state bytes per PU and the clock impact.
+    println!("3. ancestor-record compaction (Fig. 10)");
+    rule(66);
+    let cfg = GramerConfig::default();
+    let full_bytes = cfg.slots_per_pu * cfg.ancestor_depth * 5 * 6; // all vertices
+    let compact_bytes = cfg.slots_per_pu * cfg.ancestor_depth * 6; // one pair
+    println!(
+        "buffer bytes/PU: full {} -> compact {} ({:.1}x smaller); clock {:.0} -> {:.0} MHz\n",
+        full_bytes,
+        compact_bytes,
+        full_bytes as f64 / compact_bytes as f64,
+        clock_rate_mhz(&cfg, AncestorMode::Buffered, false),
+        clock_rate_mhz(&cfg, AncestorMode::BufferedCompacted, false)
+    );
+
+    // 4. Next-line prefetching on the edge memory (§III's Prefetcher).
+    println!("4. next-line edge prefetch (10% on-chip)");
+    rule(66);
+    let constrained = |prefetch: bool| {
+        run_gramer(
+            &g,
+            &app_of(variant, d),
+            GramerConfig {
+                budget: MemoryBudget::Fraction(0.10),
+                next_line_prefetch: prefetch,
+                ..GramerConfig::default()
+            },
+        )
+    };
+    let with_pf = constrained(true);
+    let without_pf = constrained(false);
+    println!(
+        "prefetch on: {:>10} cycles (hit {:.2}%) | off: {:>10} cycles (hit {:.2}%) | gain {:.2}x\n",
+        with_pf.cycles,
+        100.0 * with_pf.hit_ratio(),
+        without_pf.cycles,
+        100.0 * without_pf.hit_ratio(),
+        without_pf.cycles as f64 / with_pf.cycles as f64
+    );
+
+    // 5. Replacement policy at constrained capacity.
+    println!("5. locality-preserved replacement vs LRU (10% on-chip)");
+    rule(66);
+    let lamh = run_gramer(
+        &g,
+        &app_of(variant, d),
+        GramerConfig {
+            budget: MemoryBudget::Fraction(0.10),
+            memory_mode: MemoryMode::Lamh,
+            ..GramerConfig::default()
+        },
+    );
+    let static_lru = run_gramer(
+        &g,
+        &app_of(variant, d),
+        GramerConfig {
+            budget: MemoryBudget::Fraction(0.10),
+            memory_mode: MemoryMode::StaticLru,
+            ..GramerConfig::default()
+        },
+    );
+    println!(
+        "LAMH: {:>10} cycles (hit {:.2}%) | Static+LRU: {:>10} cycles (hit {:.2}%) | gain {:.2}x",
+        lamh.cycles,
+        100.0 * lamh.hit_ratio(),
+        static_lru.cycles,
+        100.0 * static_lru.hit_ratio(),
+        static_lru.cycles as f64 / lamh.cycles as f64
+    );
+}
+
+fn app_of(variant: AppVariant, _d: Dataset) -> impl gramer_mining::EcmApp {
+    match variant {
+        AppVariant::Cf(k) => gramer_mining::apps::CliqueFinding::new(k).expect("valid k"),
+        _ => unreachable!("ablation uses CF"),
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 11: (a) energy consumption and (b) total time including
+//! preprocessing, both normalised to GRAMER.
+//!
+//! Energy methodology follows §VI-B: GRAMER uses modeled on-chip power ×
+//! time; CPU baselines use TDP × time; DRAM energy excluded on both
+//! sides. The paper reports 9.4–129.7× savings vs Fractal and
+//! 5.79–678.3× vs RStream, and preprocessing overheads up to 55% of
+//! execution on tiny graphs but < 3% on medium ones.
+
+use gramer::GramerConfig;
+use gramer_baselines::{FractalModel, RstreamModel, RstreamOutcome};
+use gramer_bench::{analog, run_gramer, rule, AppVariant};
+use gramer_graph::datasets::Dataset;
+use gramer_memsim::EnergyModel;
+
+fn main() {
+    let variant = AppVariant::Cf(5); // the paper's Fig. 11(b) uses 5-CF
+    let energy = EnergyModel::default();
+    let fractal = FractalModel::default();
+    let rstream = RstreamModel::default();
+
+    println!("Figure 11 — energy and total time, normalised to GRAMER (5-CF)");
+    println!("(paper: energy savings 9.4-129.7x vs Fractal, 5.79-678.3x vs RStream;");
+    println!(" preprocessing <=55% of exec on tiny graphs, <3% on medium)\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>14} {:>12}",
+        "Graph", "E(Fractal)x", "E(RStream)x", "T(Fractal)x", "T(RStream)x", "Preproc%"
+    );
+    rule(80);
+
+    for d in Dataset::ALL {
+        if matches!(d, Dataset::Astro | Dataset::Mico | Dataset::LiveJournal)
+            && gramer_bench::quick_mode()
+        {
+            continue;
+        }
+        let g = analog(d);
+        variant.with_app(d, |app| {
+            let report = run_gramer(&g, app, GramerConfig::default());
+            let profile = app.profile(&g);
+            let gramer_e = energy.accel_power_w * report.wall_seconds();
+            let fr_t = fractal.estimate_seconds(&profile);
+            let fr_e = energy.cpu_energy(fr_t);
+            let (rs_t, rs_e) = match rstream.estimate(&profile) {
+                RstreamOutcome::Seconds(s) => (Some(s), Some(energy.cpu_energy(s))),
+                _ => (None, None),
+            };
+            let total = report.total_seconds();
+            let norm = |x: Option<f64>, base: f64| match x {
+                Some(v) => format!("{:>11.2}x", v / base),
+                None => format!("{:>12}", "N/A"),
+            };
+            println!(
+                "{:<10} {} {} {} {} {:>11.2}%",
+                d.name(),
+                norm(Some(fr_e), gramer_e),
+                norm(rs_e, gramer_e),
+                norm(Some(fr_t), total),
+                norm(rs_t, total),
+                100.0 * report.preprocess_seconds / report.wall_seconds().max(1e-12)
+            );
+        });
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 12: effectiveness of the locality-aware memory hierarchy on
+//! P2P, with 10% of the graph data on-chip.
+//!
+//! Three configurations, as in the paper: a uniform 4-way LRU cache of
+//! the same total capacity, the hierarchy with an LRU low-priority memory
+//! ("Static + LRU"), and the full LAMH (locality-preserved replacement).
+//! The paper reports Static+LRU improving hit ratios by 13-37pp (vertex)
+//! / 8-25pp (edge) over uniform LRU, LAMH adding 1-6pp more, and
+//! speedups of 1.6-2.95x and a further 1.06-1.39x.
+
+use gramer::{GramerConfig, MemoryBudget, MemoryMode};
+use gramer_bench::{analog, run_gramer, rule, AppVariant, DynApp};
+use gramer_graph::datasets::Dataset;
+use gramer_graph::generate;
+use gramer_mining::apps::CliqueFinding;
+
+fn main() {
+    let d = Dataset::P2p;
+    let g = analog(d);
+    // The paper's Fig. 12 x-axis: 3/4/5-CF, 3/4-MC, FSM-2K, FSM-3K. 4-MC
+    // at full P2P scale exceeds a software simulation budget; we keep the
+    // remaining six variants.
+    let variants = [
+        AppVariant::Cf(3),
+        AppVariant::Cf(4),
+        AppVariant::Cf(5),
+        AppVariant::Mc(3),
+        AppVariant::Fsm,
+    ];
+
+    println!("Figure 12 — LAMH vs baselines on {} (10% of data on-chip)", d.name());
+    println!("(paper: Static+LRU > Uniform LRU by 13-37pp vertex hit; LAMH adds 1-6pp;");
+    println!(" performance 1.6-2.95x then a further 1.06-1.39x)\n");
+    println!(
+        "{:<10} {:<12} {:>9} {:>9} {:>12} {:>10}",
+        "App", "Hierarchy", "V-hit%", "E-hit%", "Cycles", "Speedup"
+    );
+    rule(68);
+
+    for variant in variants {
+        let mut uniform_cycles = None;
+        for (label, mode) in [
+            ("Uniform LRU", MemoryMode::UniformLru),
+            ("Static+LRU", MemoryMode::StaticLru),
+            ("LAMH", MemoryMode::Lamh),
+        ] {
+            let cfg = GramerConfig {
+                budget: MemoryBudget::Fraction(0.10),
+                memory_mode: mode,
+                ..GramerConfig::default()
+            };
+            variant.with_app(d, |app| {
+                let r = run_gramer(&g, app, cfg.clone());
+                let base = *uniform_cycles.get_or_insert(r.cycles);
+                println!(
+                    "{:<10} {:<12} {:>8.2}% {:>8.2}% {:>12} {:>9.2}x",
+                    variant.name(d),
+                    label,
+                    100.0 * r.mem.vertex.on_chip_ratio(),
+                    100.0 * r.mem.edge.on_chip_ratio(),
+                    r.cycles,
+                    base as f64 / r.cycles as f64
+                );
+            });
+        }
+        rule(68);
+    }
+
+    // At simulator scale the P2P analog's traffic is far less concentrated
+    // than the paper's full-size, deep-iteration runs (see Fig. 5 and
+    // EXPERIMENTS.md), which advantages the adaptive uniform cache. The
+    // heavy-skew regime below is where the extension-locality premise
+    // holds at this scale — and where the hierarchy's ordering emerges.
+    println!("\nSupplementary: heavy-skew regime (R-MAT a=0.65, gini≈0.84, 4-CF)");
+    println!(
+        "{:<12} {:>9} {:>9} {:>12} {:>10}",
+        "Hierarchy", "V-hit%", "E-hit%", "Cycles", "Speedup"
+    );
+    rule(56);
+    let heavy = generate::rmat(
+        11,
+        8000,
+        generate::RmatParams {
+            a: 0.65,
+            b: 0.15,
+            c: 0.15,
+            d: 0.05,
+        },
+        5,
+    );
+    let app = CliqueFinding::new(4).expect("valid");
+    let mut base = None;
+    for (label, mode) in [
+        ("Uniform LRU", MemoryMode::UniformLru),
+        ("Static+LRU", MemoryMode::StaticLru),
+        ("LAMH", MemoryMode::Lamh),
+    ] {
+        let cfg = GramerConfig {
+            budget: MemoryBudget::Fraction(0.10),
+            memory_mode: mode,
+            ..GramerConfig::default()
+        };
+        let r = (&app as &dyn DynApp).simulate(&gramer::preprocess(&heavy, &cfg), cfg);
+        let b = *base.get_or_insert(r.cycles);
+        println!(
+            "{:<12} {:>8.2}% {:>8.2}% {:>12} {:>9.2}x",
+            label,
+            100.0 * r.mem.vertex.on_chip_ratio(),
+            100.0 * r.mem.edge.on_chip_ratio(),
+            r.cycles,
+            b as f64 / r.cycles as f64
+        );
+    }
+}

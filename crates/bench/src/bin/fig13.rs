@@ -1,0 +1,77 @@
+//! Figure 13: (a) performance while sweeping the number of pipeline slots
+//! 1 → 16, and (b) the speedup from work stealing.
+//!
+//! The paper sees near-linear scaling up to 8 slots (except on tiny
+//! Citeseer), diminishing returns 8 → 16 from memory-partition pressure,
+//! and 1.32–1.90× from work stealing with Mico (the most skewed graph)
+//! benefiting most.
+
+use gramer::GramerConfig;
+use gramer_bench::{analog, run_gramer, rule, AppVariant};
+use gramer_graph::datasets::Dataset;
+
+fn main() {
+    let variant = AppVariant::Cf(5); // the paper sweeps 5-CF
+    let graphs: &[Dataset] = if gramer_bench::quick_mode() {
+        &[Dataset::Citeseer, Dataset::P2p, Dataset::Patents]
+    } else {
+        &[
+            Dataset::Citeseer,
+            Dataset::P2p,
+            Dataset::Astro,
+            Dataset::Mico,
+            Dataset::Patents,
+            Dataset::Youtube,
+            Dataset::LiveJournal,
+        ]
+    };
+
+    println!("Figure 13(a) — performance vs pipeline slots (normalised to 1 slot, 5-CF)");
+    println!("(paper: near-linear to 8 slots except Citeseer, flattening 8->16)\n");
+    print!("{:<10}", "Graph");
+    for slots in [1, 2, 4, 8, 16] {
+        print!("{:>9}", format!("{slots} slots"));
+    }
+    println!();
+    rule(55);
+
+    for &d in graphs {
+        let g = analog(d);
+        let mut base = None;
+        print!("{:<10}", d.name());
+        for slots in [1usize, 2, 4, 8, 16] {
+            let cfg = GramerConfig {
+                slots_per_pu: slots,
+                ..GramerConfig::default()
+            };
+            let cycles = variant.with_app(d, |app| run_gramer(&g, app, cfg).cycles);
+            let b = *base.get_or_insert(cycles);
+            print!("{:>8.2}x", b as f64 / cycles as f64);
+        }
+        println!();
+    }
+
+    println!("\nFigure 13(b) — work-stealing speedup (5-CF, 16 slots)");
+    println!("(paper: 1.32-1.90x, skewed Mico benefits most)\n");
+    println!("{:<10} {:>12} {:>12} {:>9}", "Graph", "w/o steal", "w/ steal", "Speedup");
+    rule(46);
+    for &d in graphs {
+        let g = analog(d);
+        let cycles = |stealing| {
+            let cfg = GramerConfig {
+                work_stealing: stealing,
+                ..GramerConfig::default()
+            };
+            variant.with_app(d, |app| run_gramer(&g, app, cfg).cycles)
+        };
+        let without = cycles(false);
+        let with = cycles(true);
+        println!(
+            "{:<10} {:>12} {:>12} {:>8.2}x",
+            d.name(),
+            without,
+            with,
+            without as f64 / with as f64
+        );
+    }
+}

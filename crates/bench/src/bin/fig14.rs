@@ -1,0 +1,85 @@
+//! Figure 14: sensitivity of GRAMER to (a) the priority threshold τ and
+//! (b) the replacement balancing factor λ, for 5-CF.
+//!
+//! The paper: τ = 5% already reaches 71.7–91.6% of the all-on-chip ideal
+//! (τ = 50%); λ barely matters (0.91–1.07× across 0.5–8), because data
+//! that is cold globally but briefly hot contributes little traffic.
+
+use gramer::{GramerConfig, MemoryBudget};
+use gramer_bench::{analog, run_gramer, rule, AppVariant};
+use gramer_graph::datasets::Dataset;
+
+fn main() {
+    let variant = AppVariant::Cf(5);
+    // τ sweep on the small/medium graphs (the paper excludes the large
+    // ones for BRAM-capacity reasons; we do the same).
+    let tau_graphs = [Dataset::Citeseer, Dataset::P2p, Dataset::Astro, Dataset::Mico];
+    let taus = [0.01, 0.02, 0.05, 0.10, 0.20, 0.50];
+
+    println!("Figure 14(a) — performance vs tau, normalised to tau=50% (5-CF)");
+    println!("(paper: tau=5% reaches 71.7-91.6% of the ideal)\n");
+    print!("{:<10}", "Graph");
+    for t in taus {
+        print!("{:>8}", format!("{:.0}%", 100.0 * t));
+    }
+    println!();
+    rule(58);
+
+    for d in tau_graphs {
+        let g = analog(d);
+        // Normalise to the ideal: everything on-chip.
+        let ideal = variant.with_app(d, |app| {
+            run_gramer(
+                &g,
+                app,
+                GramerConfig {
+                    tau: Some(0.5),
+                    ..GramerConfig::default()
+                },
+            )
+            .cycles
+        });
+        print!("{:<10}", d.name());
+        for t in taus {
+            let cfg = GramerConfig {
+                tau: Some(t),
+                ..GramerConfig::default()
+            };
+            let cycles = variant.with_app(d, |app| run_gramer(&g, app, cfg).cycles);
+            print!("{:>8.3}", ideal as f64 / cycles as f64);
+        }
+        println!();
+    }
+
+    println!("\nFigure 14(b) — performance vs lambda, normalised to lambda=1 (5-CF, 10% on-chip)");
+    println!("(paper: 0.91-1.07x across the whole range)\n");
+    let lambdas = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let lambda_graphs: &[Dataset] = if gramer_bench::quick_mode() {
+        &[Dataset::Citeseer, Dataset::P2p]
+    } else {
+        &tau_graphs
+    };
+    print!("{:<10}", "Graph");
+    for l in lambdas {
+        print!("{:>8}", format!("l={l}"));
+    }
+    println!();
+    rule(50);
+    for &d in lambda_graphs {
+        let g = analog(d);
+        let run = |lambda: f64| {
+            let cfg = GramerConfig {
+                budget: MemoryBudget::Fraction(0.10),
+                lambda,
+                ..GramerConfig::default()
+            };
+            variant.with_app(d, |app| run_gramer(&g, app, cfg).cycles)
+        };
+        let base = run(1.0);
+        print!("{:<10}", d.name());
+        for l in lambdas {
+            print!("{:>8.3}", base as f64 / run(l) as f64);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,64 @@
+//! Table II: resource utilisation and clock rate.
+//!
+//! RTL synthesis is unavailable, so this prints the analytic area and
+//! clock models of the `gramer` crate (substitution documented in
+//! DESIGN.md). The models are calibrated once against the CF column; the
+//! FSM/MC differences follow from their pattern-tracking state.
+
+use gramer::pipeline::{clock_rate_mhz, AncestorMode};
+use gramer::{area, GramerConfig, MemoryBudget};
+use gramer_bench::rule;
+
+fn main() {
+    let cfg = GramerConfig::default();
+    let items = match cfg.budget {
+        MemoryBudget::Items(n) => n,
+        MemoryBudget::Fraction(_) => unreachable!("default budget is absolute"),
+    };
+
+    println!("Table II — resource utilisation and clock rate (modeled XCU250)");
+    println!("(paper: LUT ~25.4-25.5%, Register ~13.1%, BRAM ~65.7%, 207-213 MHz)\n");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "", "CF", "FSM", "MC"
+    );
+    rule(46);
+
+    let cf = area::estimate(&cfg, items, false);
+    let mcfsm = area::estimate(&cfg, items, true);
+    let pct = |x: f64| format!("{:.2}%", 100.0 * x);
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "LUT",
+        pct(cf.lut),
+        pct(mcfsm.lut),
+        pct(mcfsm.lut)
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "Register",
+        pct(cf.register),
+        pct(mcfsm.register),
+        pct(mcfsm.register)
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "BRAM",
+        pct(cf.bram),
+        pct(mcfsm.bram),
+        pct(mcfsm.bram)
+    );
+    let clock = |patterns| {
+        format!(
+            "{:.0}MHz",
+            clock_rate_mhz(&cfg, AncestorMode::BufferedCompacted, patterns)
+        )
+    };
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "Clock Rate",
+        clock(false),
+        clock(true),
+        clock(true)
+    );
+}

@@ -1,0 +1,41 @@
+//! Table IV: clock rate with and without ancestor buffers and compaction.
+//!
+//! Produced by the calibrated critical-path model in `gramer::pipeline`
+//! (RTL synthesis substituted; see DESIGN.md). The structural claim —
+//! buffering beats flowing state, compaction beats wide buffer words —
+//! emerges from the model, not from per-row constants.
+
+use gramer::pipeline::{clock_rate_mhz, AncestorMode};
+use gramer::GramerConfig;
+use gramer_bench::rule;
+
+fn main() {
+    let cfg = GramerConfig::default();
+
+    println!("Table IV — clock rate of GRAMER pipeline variants (modeled)");
+    println!("(paper: w/o AB 78-80 MHz, w/ AB 96-97 MHz, w/ AB+Compaction 207-213 MHz)\n");
+    println!("{:<22} {:>8} {:>8} {:>8}", "", "CF", "FSM", "MC");
+    rule(50);
+
+    for (label, mode) in [
+        ("w/o AB", AncestorMode::Flowing),
+        ("w/ AB", AncestorMode::Buffered),
+        ("w/ AB + Compaction", AncestorMode::BufferedCompacted),
+    ] {
+        let cf = clock_rate_mhz(&cfg, mode, false);
+        let pat = clock_rate_mhz(&cfg, mode, true);
+        println!(
+            "{:<22} {:>5.0}MHz {:>5.0}MHz {:>5.0}MHz",
+            label, cf, pat, pat
+        );
+    }
+
+    let base = clock_rate_mhz(&cfg, AncestorMode::Flowing, false);
+    let ab = clock_rate_mhz(&cfg, AncestorMode::Buffered, false);
+    let comp = clock_rate_mhz(&cfg, AncestorMode::BufferedCompacted, false);
+    println!(
+        "\nAB improves the clock by {:.1}% (paper: 23.1%); compaction adds {:.1}% (paper: 115.6%)",
+        100.0 * (ab / base - 1.0),
+        100.0 * (comp / ab - 1.0)
+    );
+}

@@ -1,0 +1,250 @@
+//! Shared harness for regenerating every table and figure of the GRAMER
+//! paper's evaluation (§VI).
+//!
+//! Each binary in `src/bin/` reproduces one artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig3` | pipeline-stall breakdown on the CPU baseline |
+//! | `fig5` | extension locality per iteration (top-5% access shares) |
+//! | `fig8` | ON_k accuracy vs computation overhead |
+//! | `table2` | resource utilisation and clock rate |
+//! | `table3` | running time: GRAMER vs Fractal vs RStream |
+//! | `fig11` | energy and total time (incl. preprocessing) |
+//! | `fig12` | LAMH vs Uniform-LRU vs Static+LRU |
+//! | `table4` | clock rate w/o AB, w/ AB, w/ AB + compaction |
+//! | `fig13` | pipeline-slot sweep and work-stealing speedup |
+//! | `fig14` | τ and λ sensitivity |
+//! | `ablation` | design-choice ablations called out in DESIGN.md |
+//!
+//! The paper's datasets are generated as scaled power-law analogs (see
+//! `gramer_graph::datasets`); divisors below keep each simulated cell in
+//! the seconds range on a laptop while preserving the small/medium/large
+//! ordering. Set `GRAMER_QUICK=1` for a ~4× faster, coarser pass.
+
+use gramer::{preprocess, GramerConfig, Preprocessed, RunReport, Simulator};
+use gramer_graph::datasets::Dataset;
+use gramer_graph::CsrGraph;
+use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
+use gramer_mining::EcmApp;
+
+/// Whether the quick (coarser) mode is enabled via `GRAMER_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("GRAMER_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Scale divisor applied to each dataset so a software simulator can
+/// finish the combinatorial workloads (documented in DESIGN.md §1).
+pub fn divisor(d: Dataset) -> usize {
+    let base = match d {
+        Dataset::Citeseer => 1,
+        Dataset::P2p => 2,
+        Dataset::Astro => 16,
+        Dataset::Mico => 100,
+        Dataset::Patents => 1500,
+        Dataset::Youtube => 6000,
+        Dataset::LiveJournal => 6400,
+    };
+    if quick_mode() {
+        base * 4
+    } else {
+        base
+    }
+}
+
+/// Generates the scaled analog of `d`.
+pub fn analog(d: Dataset) -> CsrGraph {
+    d.generate_scaled(divisor(d))
+}
+
+/// FSM occurrence threshold for `d`, scaled like the graph (the paper
+/// uses 2K for small/medium graphs, 20K for Patents, 250K for YT/LJ).
+pub fn fsm_threshold(d: Dataset) -> u64 {
+    let full: u64 = match d {
+        Dataset::Patents => 20_000,
+        Dataset::Youtube | Dataset::LiveJournal => 250_000,
+        _ => 2_000,
+    };
+    (full / divisor(d) as u64).max(2)
+}
+
+/// The application variants of Table III, in presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppVariant {
+    /// k-clique finding.
+    Cf(usize),
+    /// k-motif counting.
+    Mc(usize),
+    /// FSM with the dataset-scaled threshold.
+    Fsm,
+}
+
+impl AppVariant {
+    /// All Table III variants.
+    pub const TABLE3: [AppVariant; 6] = [
+        AppVariant::Cf(3),
+        AppVariant::Cf(4),
+        AppVariant::Cf(5),
+        AppVariant::Mc(3),
+        AppVariant::Mc(4),
+        AppVariant::Fsm,
+    ];
+
+    /// Display name, with the FSM threshold resolved per dataset.
+    pub fn name(self, d: Dataset) -> String {
+        match self {
+            AppVariant::Cf(k) => format!("{k}-CF"),
+            AppVariant::Mc(k) => format!("{k}-MC"),
+            AppVariant::Fsm => format!("FSM-{}", fsm_threshold(d)),
+        }
+    }
+
+    /// Whether this variant tracks patterns (MC/FSM columns of Tables II
+    /// and IV).
+    pub fn tracks_patterns(self) -> bool {
+        !matches!(self, AppVariant::Cf(_))
+    }
+
+    /// Runs `f` with the concrete application instantiated for `d`.
+    pub fn with_app<R>(self, d: Dataset, f: impl FnOnce(&dyn DynApp) -> R) -> R {
+        match self {
+            AppVariant::Cf(k) => f(&CliqueFinding::new(k).expect("valid k")),
+            AppVariant::Mc(k) => f(&MotifCounting::new(k).expect("valid k")),
+            AppVariant::Fsm => f(&FrequentSubgraphMining::new(fsm_threshold(d))),
+        }
+    }
+}
+
+/// Object-safe adapter over [`EcmApp`] so harness code can be generic over
+/// variants at runtime.
+pub trait DynApp {
+    /// See [`EcmApp::name`].
+    fn name(&self) -> String;
+    /// See [`EcmApp::max_vertices`].
+    fn max_vertices(&self) -> usize;
+    /// Runs the GRAMER simulator on a preprocessed graph.
+    fn simulate(&self, pre: &Preprocessed, config: GramerConfig) -> RunReport;
+    /// Profiles the workload on the modeled CPU.
+    fn profile(&self, graph: &CsrGraph) -> gramer_baselines::CpuProfile;
+}
+
+impl<A: EcmApp> DynApp for A {
+    fn name(&self) -> String {
+        EcmApp::name(self)
+    }
+
+    fn max_vertices(&self) -> usize {
+        EcmApp::max_vertices(self)
+    }
+
+    fn simulate(&self, pre: &Preprocessed, config: GramerConfig) -> RunReport {
+        Simulator::new(pre, config).run(self)
+    }
+
+    fn profile(&self, graph: &CsrGraph) -> gramer_baselines::CpuProfile {
+        gramer_baselines::profile_on_cpu(graph, self)
+    }
+}
+
+/// Runs GRAMER end-to-end (preprocess + simulate) with `config`.
+pub fn run_gramer(graph: &CsrGraph, app: &dyn DynApp, config: GramerConfig) -> RunReport {
+    let pre = preprocess(graph, &config);
+    app.simulate(&pre, config)
+}
+
+/// Prints a separator line sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// A tiny CSV writer for machine-readable experiment exports (written
+/// under `results/`).
+#[derive(Debug)]
+pub struct CsvWriter {
+    path: std::path::PathBuf,
+    rows: Vec<String>,
+}
+
+impl CsvWriter {
+    /// Starts a CSV with the given header columns.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        CsvWriter {
+            path: std::path::Path::new("results").join(name),
+            rows: vec![header.join(",")],
+        }
+    }
+
+    /// Appends a row; fields containing commas or quotes are quoted.
+    pub fn row<I, S>(&mut self, fields: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let quoted: Vec<String> = fields
+            .into_iter()
+            .map(|f| {
+                let f = f.as_ref();
+                if f.contains(',') || f.contains('"') {
+                    format!("\"{}\"", f.replace('"', "\"\""))
+                } else {
+                    f.to_string()
+                }
+            })
+            .collect();
+        self.rows.push(quoted.join(","));
+    }
+
+    /// Writes the file, creating `results/` if needed. Failures are
+    /// reported on stderr but never abort the experiment.
+    pub fn finish(self) {
+        let write = || -> std::io::Result<()> {
+            if let Some(dir) = self.path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            std::fs::write(&self.path, self.rows.join("\n") + "\n")
+        };
+        match write() {
+            Ok(()) => println!("\n[csv] wrote {}", self.path.display()),
+            Err(e) => eprintln!("[csv] could not write {}: {e}", self.path.display()),
+        }
+    }
+}
+
+/// Formats seconds with sensible precision across the table's range.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.01 {
+        format!("{s:.4}")
+    } else if s < 1.0 {
+        format!("{s:.3}")
+    } else {
+        format!("{s:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisors_preserve_size_ordering() {
+        let small = analog(Dataset::Citeseer);
+        let medium = analog(Dataset::Astro);
+        assert!(small.num_vertices() > 0);
+        assert!(medium.num_vertices() > 0);
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(AppVariant::Cf(5).name(Dataset::P2p), "5-CF");
+        assert!(AppVariant::Fsm.name(Dataset::Citeseer).starts_with("FSM-"));
+        assert!(AppVariant::Mc(4).tracks_patterns());
+        assert!(!AppVariant::Cf(3).tracks_patterns());
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(0.0012), "0.0012");
+        assert_eq!(fmt_secs(0.123), "0.123");
+        assert_eq!(fmt_secs(12.345), "12.35");
+    }
+}

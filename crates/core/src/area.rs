@@ -1,0 +1,135 @@
+//! The resource-utilisation model behind Table II.
+//!
+//! Without the Xilinx toolchain, LUT/register/BRAM utilisation is
+//! estimated from the simulator configuration with per-structure cost
+//! constants calibrated once against Table II's CF column (25.39% LUT,
+//! 13.06% registers, 65.69% BRAM on the XCU250). FSM and MC then differ
+//! only through their pattern-tracking logic, reproducing the paper's
+//! observation that they "consume slightly more resources because they
+//! need to enumerate both patterns and embeddings".
+
+use crate::config::GramerConfig;
+
+/// Available resources of the XCU250 device on the Alveo U250 (§VI-A).
+pub mod device {
+    /// Lookup tables.
+    pub const LUTS: f64 = 1_680_000.0;
+    /// Flip-flop registers.
+    pub const REGISTERS: f64 = 3_370_000.0;
+    /// BRAM capacity in bytes (11.8 MB).
+    pub const BRAM_BYTES: f64 = 11.8 * 1024.0 * 1024.0;
+}
+
+/// Estimated resource utilisation (fractions of the device).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceEstimate {
+    /// LUT utilisation in `[0, 1]`.
+    pub lut: f64,
+    /// Register utilisation in `[0, 1]`.
+    pub register: f64,
+    /// BRAM utilisation in `[0, 1]`.
+    pub bram: f64,
+}
+
+/// Infrastructure LUTs (crossbar, prefetcher, arbitrator, DDR interface).
+const BASE_LUTS: f64 = 42_000.0;
+/// LUTs per PU (scheduler, extender, filter, process units).
+const LUTS_PER_PU: f64 = 47_800.0;
+/// Extra LUTs per PU for pattern tracking (MC/FSM).
+const PATTERN_LUTS_PER_PU: f64 = 300.0;
+/// Infrastructure registers.
+const BASE_REGISTERS: f64 = 56_000.0;
+/// Registers per PU.
+const REGISTERS_PER_PU: f64 = 48_000.0;
+/// Extra registers per PU for pattern tracking.
+const PATTERN_REGISTERS_PER_PU: f64 = 300.0;
+/// Bytes per on-chip data item (vertex record or adjacency slot).
+const BYTES_PER_ITEM: f64 = 8.0;
+/// Bytes per compacted ancestor-buffer entry.
+const ANCESTOR_ENTRY_BYTES: f64 = 6.0;
+
+/// Estimates resource utilisation for `config` mining a graph whose
+/// on-chip budget resolves to `onchip_items` data items.
+///
+/// # Example
+///
+/// ```
+/// use gramer::{area, GramerConfig, MemoryBudget};
+///
+/// let cfg = GramerConfig::default();
+/// let items = match cfg.budget { MemoryBudget::Items(n) => n, _ => unreachable!() };
+/// let est = area::estimate(&cfg, items, false);
+/// assert!(est.bram > 0.5 && est.bram < 0.8); // Table II: 65.69%
+/// ```
+pub fn estimate(config: &GramerConfig, onchip_items: usize, tracks_patterns: bool) -> ResourceEstimate {
+    let pus = config.num_pus as f64;
+    let pattern_l = if tracks_patterns { PATTERN_LUTS_PER_PU } else { 0.0 };
+    let pattern_r = if tracks_patterns {
+        PATTERN_REGISTERS_PER_PU
+    } else {
+        0.0
+    };
+
+    let luts = BASE_LUTS + pus * (LUTS_PER_PU + pattern_l);
+    let registers = BASE_REGISTERS + pus * (REGISTERS_PER_PU + pattern_r);
+
+    // On-chip data (high + low priority are both counted in the resolved
+    // budget) plus the ancestor/slot/stealing buffers of every PU.
+    let data_bytes = onchip_items as f64 * 2.0 * BYTES_PER_ITEM;
+    let buffer_bytes = pus
+        * config.slots_per_pu as f64
+        * (config.ancestor_depth as f64 * ANCESTOR_ENTRY_BYTES + 8.0);
+    let bram = (data_bytes + buffer_bytes) / device::BRAM_BYTES;
+
+    ResourceEstimate {
+        lut: luts / device::LUTS,
+        register: registers / device::REGISTERS,
+        bram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryBudget;
+
+    fn default_items() -> usize {
+        match GramerConfig::default().budget {
+            MemoryBudget::Items(n) => n,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn reproduces_table_ii_cf() {
+        let est = estimate(&GramerConfig::default(), default_items(), false);
+        assert!((est.lut - 0.2539).abs() < 0.02, "lut {}", est.lut);
+        assert!((est.register - 0.1306).abs() < 0.02, "reg {}", est.register);
+        assert!((est.bram - 0.6569).abs() < 0.03, "bram {}", est.bram);
+    }
+
+    #[test]
+    fn pattern_apps_use_slightly_more() {
+        let cfg = GramerConfig::default();
+        let cf = estimate(&cfg, default_items(), false);
+        let mc = estimate(&cfg, default_items(), true);
+        assert!(mc.lut > cf.lut);
+        assert!(mc.register > cf.register);
+        assert!((mc.lut - cf.lut) < 0.01);
+    }
+
+    #[test]
+    fn scales_with_pus_and_memory() {
+        let small = estimate(
+            &GramerConfig {
+                num_pus: 4,
+                ..GramerConfig::default()
+            },
+            100_000,
+            false,
+        );
+        let large = estimate(&GramerConfig::default(), default_items(), false);
+        assert!(small.lut < large.lut);
+        assert!(small.bram < large.bram);
+    }
+}

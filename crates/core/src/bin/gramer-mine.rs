@@ -1,0 +1,176 @@
+//! `gramer-mine` — run a graph mining workload through the GRAMER
+//! accelerator simulator from the command line.
+//!
+//! ```text
+//! gramer-mine <edge-list | --demo> --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>
+//!             [--pus N] [--slots N] [--tau F] [--budget-frac F]
+//!             [--lambda F] [--no-steal] [--counts]
+//! ```
+//!
+//! The edge list is SNAP-style (`u v` per line, `#` comments). `--demo`
+//! generates a power-law graph instead of reading a file.
+
+use gramer::{preprocess, GramerConfig, MemoryBudget, Simulator};
+use gramer_graph::{generate, io, CsrGraph};
+use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
+use gramer_mining::{EcmApp, MiningResult};
+use std::process::ExitCode;
+
+struct Options {
+    input: Option<String>,
+    demo: bool,
+    app: String,
+    config: GramerConfig,
+    show_counts: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gramer-mine <edge-list | --demo> --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>> \
+         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] [--counts]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        input: None,
+        demo: false,
+        app: "3-cf".to_string(),
+        config: GramerConfig::default(),
+        show_counts: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--demo" => opts.demo = true,
+            "--app" => opts.app = value("--app"),
+            "--pus" => opts.config.num_pus = parse_num(&value("--pus")),
+            "--slots" => opts.config.slots_per_pu = parse_num(&value("--slots")),
+            "--tau" => opts.config.tau = Some(parse_float(&value("--tau"))),
+            "--budget-frac" => {
+                opts.config.budget = MemoryBudget::Fraction(parse_float(&value("--budget-frac")))
+            }
+            "--lambda" => opts.config.lambda = parse_float(&value("--lambda")),
+            "--no-steal" => opts.config.work_stealing = false,
+            "--counts" => opts.show_counts = true,
+            "--help" | "-h" => usage(),
+            path if !path.starts_with('-') => opts.input = Some(path.to_string()),
+            other => {
+                eprintln!("unknown option: {other}");
+                usage()
+            }
+        }
+    }
+    if opts.input.is_none() && !opts.demo {
+        usage()
+    }
+    opts
+}
+
+fn parse_num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected an integer, got {s:?}");
+        usage()
+    })
+}
+
+fn parse_float(s: &str) -> f64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected a number, got {s:?}");
+        usage()
+    })
+}
+
+fn run_app(graph: &CsrGraph, opts: &Options) -> Result<(String, gramer::RunReport), String> {
+    let pre = preprocess(graph, &opts.config);
+    let run = |app: &dyn DynRun| app.run(&pre, opts.config.clone());
+    let spec = opts.app.to_ascii_lowercase();
+    let report = if let Some(t) = spec.strip_prefix("fsm:") {
+        let threshold: u64 = t.parse().map_err(|_| format!("bad FSM threshold {t:?}"))?;
+        run(&FrequentSubgraphMining::new(threshold))
+    } else {
+        let (k, kind) = spec
+            .split_once('-')
+            .ok_or_else(|| format!("bad app spec {spec:?}"))?;
+        let k: usize = k.parse().map_err(|_| format!("bad size in {spec:?}"))?;
+        match kind {
+            "cf" => run(&CliqueFinding::new(k)?),
+            "mc" => run(&MotifCounting::new(k)?),
+            other => return Err(format!("unknown application kind {other:?}")),
+        }
+    };
+    Ok((spec, report))
+}
+
+/// Object-safe run adapter (the simulator API is generic).
+trait DynRun {
+    fn run(&self, pre: &gramer::Preprocessed, cfg: GramerConfig) -> gramer::RunReport;
+}
+
+impl<A: EcmApp> DynRun for A {
+    fn run(&self, pre: &gramer::Preprocessed, cfg: GramerConfig) -> gramer::RunReport {
+        Simulator::new(pre, cfg).run(self)
+    }
+}
+
+fn print_counts(result: &MiningResult) {
+    for (size, pid, count) in result.counts.sorted() {
+        println!("  {size}-vertex {:?}: {count}", result.interner.pattern(pid));
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let graph = if opts.demo {
+        generate::chung_lu(10_000, 40_000, 2.4, 1)
+    } else {
+        let path = opts.input.as_deref().expect("validated by parse_args");
+        match io::read_edge_list_file(path) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("cannot load {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    eprintln!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    match run_app(&graph, &opts) {
+        Ok((_, report)) => {
+            println!("{}", report.summary());
+            println!(
+                "wall {:.6} s (exec {:.6} + transfer {:.6}), preprocess {:.6} s",
+                report.wall_seconds(),
+                report.seconds,
+                report.transfer_seconds,
+                report.preprocess_seconds
+            );
+            println!(
+                "hit ratios: vertex {:.2}%, edge {:.2}%; {} DRAM requests; {} steals",
+                100.0 * report.mem.vertex.on_chip_ratio(),
+                100.0 * report.mem.edge.on_chip_ratio(),
+                report.dram_requests,
+                report.steals
+            );
+            if opts.show_counts {
+                print_counts(&report.result);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

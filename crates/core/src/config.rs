@@ -1,0 +1,214 @@
+use gramer_memsim::{DramConfig, LatencyConfig};
+
+/// How much graph data the on-chip memory can hold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemoryBudget {
+    /// Absolute number of data items (vertices + adjacency slots) across
+    /// the high- and low-priority memories combined.
+    Items(usize),
+    /// Fraction of the graph's data items held on-chip (e.g. `0.1` for the
+    /// 10% setting of the Fig. 12 study).
+    Fraction(f64),
+}
+
+impl MemoryBudget {
+    /// Resolves the budget to an item count for a graph with `data_items`
+    /// total items (`|V| + adjacency slots`).
+    pub fn resolve(self, data_items: usize) -> usize {
+        match self {
+            MemoryBudget::Items(n) => n,
+            MemoryBudget::Fraction(f) => {
+                assert!((0.0..=1.0).contains(&f), "fraction out of range");
+                ((data_items as f64) * f).round() as usize
+            }
+        }
+    }
+}
+
+/// The on-chip memory organisation, selecting between GRAMER's hierarchy
+/// and the two Fig. 12 baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryMode {
+    /// The paper's locality-aware memory hierarchy: high-priority
+    /// scratchpad + low-priority cache under the locality-preserved
+    /// replacement policy (Eq. 2).
+    Lamh,
+    /// High-priority scratchpad + low-priority cache under classical LRU
+    /// ("Static + LRU" in Fig. 12).
+    StaticLru,
+    /// No scratchpad; a uniform LRU cache of the same total capacity
+    /// ("Uniform LRU" in Fig. 12).
+    UniformLru,
+}
+
+/// Configuration of the GRAMER accelerator.
+///
+/// [`GramerConfig::default`] reproduces the evaluated configuration of
+/// §VI-A: 8 PUs × 16 slots (128 concurrent embeddings), 16-deep ancestor
+/// buffers, 8 memory partitions, 200 MHz, λ = 1, τ chosen by
+/// `MIN(50%, |Memory| / (2·(|V|+|E|)))`.
+#[derive(Debug, Clone)]
+pub struct GramerConfig {
+    /// Number of processing units.
+    pub num_pus: usize,
+    /// Pipeline slots (concurrent embeddings) per PU.
+    pub slots_per_pu: usize,
+    /// Maximum extension depth supported by the ancestor buffers.
+    pub ancestor_depth: usize,
+    /// Accelerator clock in Hz (the paper conservatively runs at 200 MHz).
+    pub clock_hz: f64,
+    /// On-chip memory capacity.
+    pub budget: MemoryBudget,
+    /// Explicit τ override; `None` applies the paper's formula.
+    pub tau: Option<f64>,
+    /// Balancing factor λ of the locality-preserved policy.
+    pub lambda: f64,
+    /// Memory organisation (GRAMER or a Fig. 12 baseline).
+    pub memory_mode: MemoryMode,
+    /// Whether the per-PU work-stealing mechanism of §V-C is enabled.
+    pub work_stealing: bool,
+    /// Dispatch initial embeddings statically (pure round-robin
+    /// pre-assignment) instead of the default demand-driven streaming,
+    /// where the Arbitrator hands the next initial embedding to whichever
+    /// PU frees a slot. Static dispatch is kept as an ablation knob — it
+    /// systematically overloads the PU that receives the hottest roots.
+    pub static_dispatch: bool,
+    /// Number of banked memory partitions.
+    pub partitions: usize,
+    /// On-chip latencies.
+    pub latency: LatencyConfig,
+    /// Off-chip DRAM model.
+    pub dram: DramConfig,
+    /// Whether the edge memory performs next-line prefetching on misses
+    /// (an extension of §III's Prefetcher to adjacency walks). Off by
+    /// default: the `ablation` harness measures that at constrained
+    /// on-chip budgets the prefetch fills pollute the small low-priority
+    /// cache and cost extra DRAM bandwidth, slowing the mine — a negative
+    /// result documented in EXPERIMENTS.md.
+    pub next_line_prefetch: bool,
+    /// Fixed FPGA setup time in seconds. Table III's GRAMER numbers
+    /// "include the FPGA setup time and data transfer overheads"; this
+    /// floor dominates tiny graphs (real Citeseer runs ~10 ms).
+    pub setup_seconds: f64,
+    /// Host-to-card transfer bandwidth in bytes/second (PCIe Gen3 x16).
+    pub pcie_bandwidth: f64,
+}
+
+impl Default for GramerConfig {
+    fn default() -> Self {
+        GramerConfig {
+            num_pus: 8,
+            slots_per_pu: 16,
+            ancestor_depth: 16,
+            clock_hz: 200e6,
+            // ~0.5M items ≈ 7.75 MB of BRAM at 8 B per vertex record /
+            // adjacency slot counting both priority levels — the 65.7%
+            // BRAM utilisation of Table II.
+            budget: MemoryBudget::Items(500_000),
+            tau: None,
+            lambda: 1.0,
+            memory_mode: MemoryMode::Lamh,
+            work_stealing: true,
+            static_dispatch: false,
+            partitions: 8,
+            latency: LatencyConfig::default(),
+            dram: DramConfig::default(),
+            next_line_prefetch: false,
+            setup_seconds: 5e-3,
+            pcie_bandwidth: 12e9,
+        }
+    }
+}
+
+impl GramerConfig {
+    /// Validates invariants; called by [`crate::Simulator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero PUs/slots/partitions,
+    /// non-positive clock, λ < 0, τ outside `(0, 0.5]`).
+    pub fn validate(&self) {
+        assert!(self.num_pus > 0, "need at least one PU");
+        assert!(self.slots_per_pu > 0, "need at least one slot per PU");
+        assert!(self.ancestor_depth >= 2, "ancestor depth too small");
+        assert!(self.clock_hz > 0.0, "clock must be positive");
+        assert!(
+            self.lambda.is_finite() && self.lambda >= 0.0,
+            "lambda must be finite and non-negative"
+        );
+        assert!(self.partitions > 0, "need at least one memory partition");
+        if let Some(tau) = self.tau {
+            assert!(tau > 0.0 && tau <= 0.5, "tau must be in (0, 0.5]");
+        }
+    }
+
+    /// The paper's τ formula: `MIN(50%, |Memory| / (2·(|V|+|E|)))`,
+    /// honouring an explicit override.
+    ///
+    /// `data_items` is `|V|` plus the adjacency-slot count.
+    pub fn effective_tau(&self, data_items: usize) -> f64 {
+        if let Some(t) = self.tau {
+            return t;
+        }
+        let capacity = self.budget.resolve(data_items) as f64;
+        (capacity / (2.0 * data_items as f64)).min(0.5)
+    }
+
+    /// Total concurrent embeddings (`num_pus × slots_per_pu`; 128 in the
+    /// evaluated configuration).
+    pub fn total_slots(&self) -> usize {
+        self.num_pus * self.slots_per_pu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = GramerConfig::default();
+        c.validate();
+        assert_eq!(c.total_slots(), 128);
+        assert_eq!(c.partitions, 8);
+        assert!((c.clock_hz - 200e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn tau_formula_caps_at_half() {
+        let c = GramerConfig {
+            budget: MemoryBudget::Items(1_000_000),
+            ..GramerConfig::default()
+        };
+        // Tiny graph: everything fits, tau = 50%.
+        assert!((c.effective_tau(100) - 0.5).abs() < 1e-12);
+        // Huge graph: tau = capacity / (2 * items).
+        let tau = c.effective_tau(10_000_000);
+        assert!((tau - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_override_wins() {
+        let c = GramerConfig {
+            tau: Some(0.05),
+            ..GramerConfig::default()
+        };
+        assert_eq!(c.effective_tau(123), 0.05);
+    }
+
+    #[test]
+    fn budget_fraction_resolves() {
+        assert_eq!(MemoryBudget::Fraction(0.1).resolve(1000), 100);
+        assert_eq!(MemoryBudget::Items(42).resolve(1000), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau")]
+    fn bad_tau_rejected() {
+        let c = GramerConfig {
+            tau: Some(0.9),
+            ..GramerConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,137 @@
+//! The clock-rate model behind Table IV.
+//!
+//! We cannot synthesise RTL, so the maximum clock rate is *modeled* from
+//! the amount of pipeline state each design variant moves or muxes
+//! (substitution documented in `DESIGN.md`). The model has two delay
+//! terms:
+//!
+//! * a **flow** term for state that travels through the pipeline registers
+//!   with each embedding — without ancestor buffers (§V-B), the whole
+//!   ancestor record (all levels × all extending-vertex pairs) is carried
+//!   along, which is what cripples the clock;
+//! * a **mux** term for reading the ancestor buffer, growing with the
+//!   square root of the buffer's bit capacity (wide-word column mux).
+//!   Compaction (Fig. 10) shrinks each entry from a full per-vertex offset
+//!   vector to a single `(vertex, offset)` pair.
+//!
+//! The three constants below were calibrated once against the CF column of
+//! Table IV (80 / 97 / 213 MHz); the FSM/MC columns then follow from their
+//! extra pattern-tracking state, not from separate calibration.
+
+use crate::config::GramerConfig;
+
+/// Ancestor-state handling variant (rows of Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AncestorMode {
+    /// No ancestor buffers: ancestor state flows through every pipeline
+    /// stage ("w/o AB").
+    Flowing,
+    /// Ancestor buffers in the Scheduler, uncompacted entries ("w/ AB").
+    Buffered,
+    /// Ancestor buffers with the compaction of §V-B ("w/ AB +
+    /// Compaction").
+    BufferedCompacted,
+}
+
+/// Bits of a `(vertex ID, edge offset)` ancestor record (32 + 16-bit
+/// packed offset delta).
+const PAIR_BITS: f64 = 48.0;
+/// Vertices per embedding carried in the ancestor record (the evaluation
+/// mines ≤ 5-vertex patterns).
+const EMB_VERTICES: f64 = 5.0;
+/// Fixed logic delay, ns.
+const BASE_NS: f64 = 0.148;
+/// Delay per flowing bit, ns.
+const FLOW_NS_PER_BIT: f64 = 0.003217;
+/// Mux delay per sqrt(buffer bit), ns.
+const MUX_NS_PER_SQRT_BIT: f64 = 0.0409;
+/// Extra flowing bits for applications that track patterns alongside the
+/// embedding (MC and FSM enumerate patterns too, §VI-A).
+const PATTERN_FLOW_BITS: f64 = 100.0;
+/// Extra buffered bits for pattern-tracking applications.
+const PATTERN_BUFFER_BITS: f64 = 768.0;
+
+/// Critical-path delay in nanoseconds for `mode` under `config`.
+///
+/// `tracks_patterns` selects the MC/FSM column (slightly more state).
+pub fn critical_path_ns(config: &GramerConfig, mode: AncestorMode, tracks_patterns: bool) -> f64 {
+    let slots = config.slots_per_pu as f64;
+    let depth = config.ancestor_depth as f64;
+    let (mut flow_bits, mut buffer_bits) = match mode {
+        AncestorMode::Flowing => (depth * EMB_VERTICES * PAIR_BITS, 0.0),
+        AncestorMode::Buffered => {
+            (slots.log2().ceil(), slots * depth * EMB_VERTICES * PAIR_BITS)
+        }
+        AncestorMode::BufferedCompacted => (slots.log2().ceil(), slots * depth * PAIR_BITS),
+    };
+    if tracks_patterns {
+        flow_bits += PATTERN_FLOW_BITS * if mode == AncestorMode::Flowing { 1.0 } else { 0.0 };
+        if mode != AncestorMode::Flowing {
+            buffer_bits += PATTERN_BUFFER_BITS;
+        }
+    }
+    BASE_NS + FLOW_NS_PER_BIT * flow_bits + MUX_NS_PER_SQRT_BIT * buffer_bits.sqrt()
+}
+
+/// Maximum clock rate in MHz for `mode` (Table IV's cells).
+///
+/// # Example
+///
+/// ```
+/// use gramer::pipeline::{clock_rate_mhz, AncestorMode};
+/// use gramer::GramerConfig;
+///
+/// let cfg = GramerConfig::default();
+/// let slow = clock_rate_mhz(&cfg, AncestorMode::Flowing, false);
+/// let mid = clock_rate_mhz(&cfg, AncestorMode::Buffered, false);
+/// let fast = clock_rate_mhz(&cfg, AncestorMode::BufferedCompacted, false);
+/// assert!(slow < mid && mid < fast);
+/// ```
+pub fn clock_rate_mhz(config: &GramerConfig, mode: AncestorMode, tracks_patterns: bool) -> f64 {
+    1000.0 / critical_path_ns(config, mode, tracks_patterns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table_iv_cf_column() {
+        let cfg = GramerConfig::default();
+        let slow = clock_rate_mhz(&cfg, AncestorMode::Flowing, false);
+        let mid = clock_rate_mhz(&cfg, AncestorMode::Buffered, false);
+        let fast = clock_rate_mhz(&cfg, AncestorMode::BufferedCompacted, false);
+        // Paper: 80 / 97 / 213 MHz. Allow 10% model error.
+        assert!((slow - 80.0).abs() / 80.0 < 0.10, "slow = {slow}");
+        assert!((mid - 97.0).abs() / 97.0 < 0.10, "mid = {mid}");
+        assert!((fast - 213.0).abs() / 213.0 < 0.10, "fast = {fast}");
+    }
+
+    #[test]
+    fn pattern_tracking_costs_a_little() {
+        let cfg = GramerConfig::default();
+        for mode in [
+            AncestorMode::Flowing,
+            AncestorMode::Buffered,
+            AncestorMode::BufferedCompacted,
+        ] {
+            let cf = clock_rate_mhz(&cfg, mode, false);
+            let mc = clock_rate_mhz(&cfg, mode, true);
+            assert!(mc < cf, "{mode:?}: {mc} !< {cf}");
+            assert!(mc > cf * 0.9, "{mode:?} drop too large");
+        }
+    }
+
+    #[test]
+    fn bigger_buffers_slow_the_clock() {
+        let small = GramerConfig::default();
+        let big = GramerConfig {
+            slots_per_pu: 64,
+            ..GramerConfig::default()
+        };
+        assert!(
+            clock_rate_mhz(&big, AncestorMode::BufferedCompacted, false)
+                < clock_rate_mhz(&small, AncestorMode::BufferedCompacted, false)
+        );
+    }
+}

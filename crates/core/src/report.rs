@@ -1,0 +1,134 @@
+use gramer_memsim::{EnergyBreakdown, EnergyModel, MemStats};
+use gramer_mining::MiningResult;
+
+/// Everything a GRAMER simulation produces: the mining result plus the
+/// architectural measurements every figure of the evaluation consumes.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Application name (e.g. `"5-CF"`).
+    pub app: String,
+    /// Total cycles until the last PU drained.
+    pub cycles: u64,
+    /// Execution time at the configured clock (`cycles / clock_hz`) — the
+    /// Table III quantity.
+    pub seconds: f64,
+    /// Modeled preprocessing time (Fig. 11(b)'s "Preproc. Time").
+    pub preprocess_seconds: f64,
+    /// Modeled FPGA setup + host-to-card graph transfer time, which Table
+    /// III's GRAMER numbers include (§VI-B).
+    pub transfer_seconds: f64,
+    /// The mining result (bit-identical to the software reference).
+    pub result: MiningResult,
+    /// On-chip memory statistics (Fig. 12(a)'s hit ratios).
+    pub mem: MemStats,
+    /// Off-chip requests issued.
+    pub dram_requests: u64,
+    /// Successful work steals (§V-C).
+    pub steals: u64,
+    /// Total pipeline steps issued across all PUs.
+    pub steps: u64,
+    /// Steps issued per PU (load-balance diagnostics).
+    pub pu_steps: Vec<u64>,
+    /// Cycle at which each PU performed its last work.
+    pub pu_finish: Vec<u64>,
+}
+
+impl RunReport {
+    /// Ratio of the busiest PU's step count to the average — 1.0 is
+    /// perfectly balanced.
+    pub fn pu_imbalance(&self) -> f64 {
+        if self.pu_steps.is_empty() || self.steps == 0 {
+            return 1.0;
+        }
+        let max = *self.pu_steps.iter().max().unwrap() as f64;
+        let avg = self.steps as f64 / self.pu_steps.len() as f64;
+        max / avg
+    }
+}
+
+impl RunReport {
+    /// The Table III quantity: execution plus FPGA setup/transfer.
+    pub fn wall_seconds(&self) -> f64 {
+        self.seconds + self.transfer_seconds
+    }
+
+    /// Everything including CPU-side preprocessing (Fig. 11(b)'s total).
+    pub fn total_seconds(&self) -> f64 {
+        self.wall_seconds() + self.preprocess_seconds
+    }
+
+    /// Energy of this run under `model` (Fig. 11(a)).
+    pub fn energy(&self, model: &EnergyModel) -> EnergyBreakdown {
+        model.accelerator_energy(self.seconds, &self.mem, self.dram_requests)
+    }
+
+    /// Combined on-chip hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        self.mem.on_chip_ratio()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {:.6} s ({} cycles), hit {:.2}%, {} embeddings, {} steals",
+            self.app,
+            self.seconds,
+            self.cycles,
+            100.0 * self.hit_ratio(),
+            self.result.embeddings,
+            self.steals
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gramer_mining::{PatternCounts, PatternInterner};
+
+    fn dummy() -> RunReport {
+        RunReport {
+            app: "3-CF".into(),
+            cycles: 2_000_000,
+            seconds: 0.01,
+            preprocess_seconds: 0.002,
+            transfer_seconds: 0.005,
+            result: MiningResult {
+                counts: PatternCounts::new(),
+                interner: PatternInterner::new(),
+                embeddings: 42,
+                candidates_examined: 100,
+                accepted_by_size: vec![0, 0, 30, 12],
+                candidates_by_size: vec![0, 0, 45, 20],
+            },
+            mem: MemStats::default(),
+            dram_requests: 7,
+            steals: 3,
+            steps: 1000,
+            pu_steps: vec![300, 700],
+            pu_finish: vec![900, 2_000_000],
+        }
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        let r = dummy();
+        assert!((r.pu_imbalance() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_and_energy() {
+        let r = dummy();
+        assert!((r.wall_seconds() - 0.015).abs() < 1e-12);
+        assert!((r.total_seconds() - 0.017).abs() < 1e-12);
+        let e = r.energy(&EnergyModel::default());
+        assert!(e.on_chip_j > 0.0);
+    }
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let s = dummy().summary();
+        assert!(s.contains("3-CF"));
+        assert!(s.contains("42 embeddings"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Classic graph algorithms.
+//!
+//! These are not part of the accelerator itself; they provide independent
+//! cross-checks for the mining engines (triangle counts via adjacency
+//! intersection must equal 3-clique mining) and structural statistics
+//! (k-cores bound the largest clique; component structure sanity-checks
+//! the generators).
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Counts triangles by sorted-adjacency intersection — an independent
+/// oracle for 3-clique mining.
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::{algo, generate};
+///
+/// assert_eq!(algo::triangle_count(&generate::complete(5)), 10);
+/// assert_eq!(algo::triangle_count(&generate::cycle(6)), 0);
+/// ```
+pub fn triangle_count(graph: &CsrGraph) -> u64 {
+    let mut total = 0u64;
+    for u in graph.vertices() {
+        for &v in graph.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            // Intersect N(u) and N(v) above v.
+            let (mut a, mut b) = (graph.neighbors(u), graph.neighbors(v));
+            while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+                match x.cmp(&y) {
+                    std::cmp::Ordering::Less => a = &a[1..],
+                    std::cmp::Ordering::Greater => b = &b[1..],
+                    std::cmp::Ordering::Equal => {
+                        if x > v {
+                            total += 1;
+                        }
+                        a = &a[1..];
+                        b = &b[1..];
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Global clustering coefficient: `3 × triangles / wedges` (0 when the
+/// graph has no wedge).
+pub fn global_clustering(graph: &CsrGraph) -> f64 {
+    let wedges: u64 = graph
+        .vertices()
+        .map(|v| {
+            let d = graph.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(graph) as f64 / wedges as f64
+}
+
+/// Core numbers of all vertices (Matula–Beck peeling): `core[v]` is the
+/// largest `k` such that `v` belongs to a subgraph of minimum degree `k`.
+///
+/// A `k`-clique requires a `(k-1)`-core, so `max core + 1` upper-bounds
+/// the largest clique — a useful pruning/validation bound for CF.
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::{algo, generate};
+///
+/// let cores = algo::core_numbers(&generate::complete(4));
+/// assert!(cores.iter().all(|&c| c == 3));
+/// ```
+pub fn core_numbers(graph: &CsrGraph) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut degree: Vec<u32> = graph.vertices().map(|v| graph.degree(v) as u32).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort by degree.
+    let mut bins = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bins[d as usize] += 1;
+    }
+    let mut start = 0;
+    for bin in bins.iter_mut() {
+        let count = *bin;
+        *bin = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0 as VertexId; n];
+    for v in 0..n {
+        let d = degree[v] as usize;
+        pos[v] = bins[d];
+        order[pos[v]] = v as VertexId;
+        bins[d] += 1;
+    }
+    // Restore bin starts.
+    for d in (1..bins.len()).rev() {
+        bins[d] = bins[d - 1];
+    }
+    bins[0] = 0;
+
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = order[i];
+        for &u in graph.neighbors(v) {
+            let u = u as usize;
+            if degree[u] > degree[v as usize] {
+                // Move u to the front of its bin and shrink its degree.
+                let du = degree[u] as usize;
+                let pu = pos[u];
+                let pw = bins[du];
+                let w = order[pw];
+                if u as VertexId != w {
+                    order.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w as usize] = pu;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+        core[v as usize] = degree[v as usize];
+    }
+    core
+}
+
+/// Upper bound on the largest clique: `max core number + 1`.
+pub fn max_clique_upper_bound(graph: &CsrGraph) -> usize {
+    core_numbers(graph).iter().copied().max().unwrap_or(0) as usize + 1
+}
+
+/// Connected components: returns `(component_id per vertex, count)`.
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::{algo, generate, GraphBuilder};
+///
+/// let (_, count) = algo::connected_components(&generate::cycle(5));
+/// assert_eq!(count, 1);
+/// ```
+pub fn connected_components(graph: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = graph.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for v in graph.vertices() {
+        if comp[v as usize] != u32::MAX {
+            continue;
+        }
+        let id = count as u32;
+        count += 1;
+        comp[v as usize] = id;
+        stack.push(v);
+        while let Some(u) = stack.pop() {
+            for &w in graph.neighbors(u) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = id;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    (comp, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn triangles_of_named_graphs() {
+        assert_eq!(triangle_count(&generate::complete(6)), 20);
+        assert_eq!(triangle_count(&generate::star(10)), 0);
+        assert_eq!(triangle_count(&generate::path(8)), 0);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert!((global_clustering(&generate::complete(5)) - 1.0).abs() < 1e-12);
+        assert_eq!(global_clustering(&generate::star(6)), 0.0);
+    }
+
+    #[test]
+    fn core_numbers_of_named_graphs() {
+        assert!(core_numbers(&generate::cycle(7)).iter().all(|&c| c == 2));
+        let star = core_numbers(&generate::star(5));
+        assert_eq!(star[0], 1);
+        assert!(star[1..].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn core_peeling_handles_skew() {
+        // K5 with a pendant path: clique vertices core 4, path tail 1.
+        let mut b = crate::GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(4, 5);
+        b.add_edge(5, 6);
+        let g = b.build().unwrap();
+        let core = core_numbers(&g);
+        assert_eq!(&core[..5], &[4, 4, 4, 4, 4]);
+        assert_eq!(core[5], 1);
+        assert_eq!(core[6], 1);
+        assert_eq!(max_clique_upper_bound(&g), 5);
+    }
+
+    #[test]
+    fn components_counted() {
+        let mut b = crate::GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        b.ensure_vertex(4);
+        let g = b.build().unwrap();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[2], comp[4]);
+    }
+
+    #[test]
+    fn ba_graphs_are_connected() {
+        let g = generate::barabasi_albert(300, 2, 5);
+        assert_eq!(connected_components(&g).1, 1);
+    }
+}

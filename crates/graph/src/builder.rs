@@ -1,0 +1,230 @@
+use crate::csr::{CsrGraph, Label, VertexId};
+use crate::error::GraphError;
+
+/// Incremental builder for [`CsrGraph`].
+///
+/// Accepts edges in any order, ignores self-loops, de-duplicates parallel
+/// edges, and infers the vertex count from the largest ID seen (isolated
+/// trailing vertices can be forced with [`GraphBuilder::ensure_vertex`]).
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), gramer_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, ignored
+/// b.add_edge(1, 1); // self-loop, ignored
+/// b.ensure_vertex(3); // isolated vertex
+/// let g = b.build()?;
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    max_vertex: Option<VertexId>,
+    labels: Option<Vec<Label>>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `edges` undirected edges.
+    pub fn with_capacity(edges: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(edges),
+            max_vertex: None,
+            labels: None,
+        }
+    }
+
+    /// Adds an undirected edge `{u, v}`. Self-loops are silently dropped;
+    /// duplicates are removed at [`build`](Self::build) time.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.touch(u);
+        self.touch(v);
+        if u != v {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            self.edges.push((a, b));
+        }
+        self
+    }
+
+    /// Adds every edge from an iterator of endpoint pairs.
+    pub fn add_edges<I>(&mut self, edges: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Guarantees that vertex `v` exists in the built graph even if no edge
+    /// references it.
+    pub fn ensure_vertex(&mut self, v: VertexId) -> &mut Self {
+        self.touch(v);
+        self
+    }
+
+    /// Supplies vertex labels; `labels[v]` is the label of vertex `v`.
+    ///
+    /// The slice length is validated at [`build`](Self::build) time.
+    pub fn labels(&mut self, labels: Vec<Label>) -> &mut Self {
+        self.labels = Some(labels);
+        self
+    }
+
+    /// Number of (possibly duplicate) edges recorded so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn touch(&mut self, v: VertexId) {
+        self.max_vertex = Some(self.max_vertex.map_or(v, |m| m.max(v)));
+    }
+
+    /// Finalizes the builder into a [`CsrGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] if no vertex was ever referenced, and
+    /// [`GraphError::LabelCount`] if labels were supplied but their count
+    /// does not match the vertex count.
+    pub fn build(&self) -> Result<CsrGraph, GraphError> {
+        let max = self.max_vertex.ok_or(GraphError::Empty)?;
+        let n = max as usize + 1;
+
+        let mut degree = vec![0usize; n];
+        let mut sorted = self.edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &(u, v) in &sorted {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+
+        let mut adjacency = vec![0 as VertexId; *offsets.last().unwrap()];
+        let mut cursor = offsets[..n].to_vec();
+        for &(u, v) in &sorted {
+            adjacency[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            adjacency[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+
+        let labels = match &self.labels {
+            Some(l) if l.len() != n => {
+                return Err(GraphError::LabelCount {
+                    labels: l.len(),
+                    vertices: n,
+                })
+            }
+            Some(l) => l.clone(),
+            None => vec![0; n],
+        };
+
+        Ok(CsrGraph::from_parts(offsets, adjacency, labels))
+    }
+}
+
+impl FromIterator<(VertexId, VertexId)> for GraphBuilder {
+    fn from_iter<I: IntoIterator<Item = (VertexId, VertexId)>>(iter: I) -> Self {
+        let mut b = GraphBuilder::new();
+        b.add_edges(iter);
+        b
+    }
+}
+
+impl Extend<(VertexId, VertexId)> for GraphBuilder {
+    fn extend<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
+        self.add_edges(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_errors() {
+        assert!(matches!(
+            GraphBuilder::new().build(),
+            Err(GraphError::Empty)
+        ));
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_preserved() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertex(5);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.degree(5), 0);
+        assert_eq!(g.neighbors(5), &[] as &[u32]);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(1, 2);
+        b.labels(vec![7, 8, 9]);
+        let g = b.build().unwrap();
+        assert_eq!(g.label(0), 7);
+        assert_eq!(g.label(2), 9);
+        assert!(g.is_labeled());
+    }
+
+    #[test]
+    fn label_count_mismatch_errors() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.labels(vec![1]);
+        assert!(matches!(b.build(), Err(GraphError::LabelCount { .. })));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let g: GraphBuilder = [(0, 1), (1, 2)].into_iter().collect();
+        let g = g.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let mut b = GraphBuilder::new();
+        for (u, v) in [(0, 3), (0, 1), (0, 2)] {
+            b.add_edge(u, v);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,390 @@
+use std::fmt;
+
+/// Identifier of a vertex.
+///
+/// After the GRAMER preprocessing step ([`crate::reorder`]), a vertex's ID
+/// *is* its `Rank(ON1)` — the property §IV-C of the paper relies on so the
+/// replacement policy can read ranks straight from IDs at runtime.
+pub type VertexId = u32;
+
+/// A vertex label (attribute). `0` is the conventional "unlabeled" value.
+pub type Label = u16;
+
+/// A reference to one directed half of an undirected edge, as stored in the
+/// CSR adjacency array.
+///
+/// `slot` is the absolute index into the adjacency array; GRAMER's ancestor
+/// buffers store these offsets (§V-B, Fig. 10) so an extension can resume
+/// exactly where it left off after a traceback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeRef {
+    /// Source vertex of this adjacency entry.
+    pub src: VertexId,
+    /// Destination vertex of this adjacency entry.
+    pub dst: VertexId,
+    /// Absolute offset of the entry in the adjacency array.
+    pub slot: usize,
+}
+
+/// An undirected graph in compressed sparse row (CSR) form.
+///
+/// Adjacency lists are sorted ascending, contain no self-loops and no
+/// duplicate edges; each undirected edge appears once in each endpoint's
+/// list. Construct one with [`crate::GraphBuilder`] or the generators in
+/// [`crate::generate`].
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), gramer_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(0, 2);
+/// let g = b.build()?;
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.degree(0), 2);
+/// assert!(g.has_edge(2, 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    adjacency: Vec<VertexId>,
+    labels: Vec<Label>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// Intended for internal use by [`crate::GraphBuilder`] and
+    /// [`crate::reorder`]; `offsets` must have length `n + 1`, start at `0`,
+    /// be non-decreasing and end at `adjacency.len()`, and every adjacency
+    /// run must be sorted, self-loop-free and duplicate-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the invariants above are violated.
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        adjacency: Vec<VertexId>,
+        labels: Vec<Label>,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().unwrap(), adjacency.len());
+        debug_assert_eq!(labels.len(), offsets.len() - 1);
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        #[cfg(debug_assertions)]
+        for v in 0..offsets.len() - 1 {
+            let run = &adjacency[offsets[v]..offsets[v + 1]];
+            debug_assert!(run.windows(2).all(|w| w[0] < w[1]), "unsorted or dup");
+            debug_assert!(run.iter().all(|&u| u as usize != v), "self loop");
+        }
+        CsrGraph {
+            offsets,
+            adjacency,
+            labels,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// Length of the adjacency array (twice the undirected edge count).
+    #[inline]
+    pub fn adjacency_len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Offset of the first adjacency entry of `v` — `O(v)` in the paper's
+    /// ancestor-buffer notation (Fig. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn first_edge_offset(&self, v: VertexId) -> usize {
+        self.offsets[v as usize]
+    }
+
+    /// Neighbors of `v` as a sorted slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Iterates over the neighbors of `v` together with their adjacency
+    /// slots, the unit GRAMER's extender walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn edges_of(&self, v: VertexId) -> NeighborIter<'_> {
+        let base = self.offsets[v as usize];
+        NeighborIter {
+            src: v,
+            base,
+            run: self.neighbors(v).iter().enumerate(),
+        }
+    }
+
+    /// The adjacency entry stored at absolute `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.adjacency_len()`.
+    #[inline]
+    pub fn adjacency_at(&self, slot: usize) -> VertexId {
+        self.adjacency[slot]
+    }
+
+    /// The source vertex owning adjacency `slot` (binary search over the
+    /// offset array).
+    ///
+    /// GRAMER's memory subsystem uses this to derive an edge's priority
+    /// rank: after reordering, `ON1(edge) = ON1(v_src)` is simply the
+    /// source vertex's ID (§IV-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.adjacency_len()`.
+    pub fn source_of_slot(&self, slot: usize) -> VertexId {
+        assert!(slot < self.adjacency.len(), "slot out of bounds");
+        // partition_point returns the first vertex whose range starts
+        // beyond `slot`; its predecessor owns the slot.
+        let idx = self.offsets.partition_point(|&o| o <= slot);
+        // Skip back over zero-degree vertices sharing the same offset.
+        (idx - 1) as VertexId
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search on the
+    /// shorter of the two adjacency runs).
+    ///
+    /// This is the *connectivity check* of the extend-check access model
+    /// (§II-B); the accelerator charges it as a random edge access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of bounds.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Label of vertex `v` (`0` when the graph is unlabeled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// Whether any vertex carries a non-zero label.
+    pub fn is_labeled(&self) -> bool {
+        self.labels.iter().any(|&l| l != 0)
+    }
+
+    /// All vertex labels, indexed by vertex ID.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Maximum degree over all vertices (`0` for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all vertex IDs.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Approximate resident size of the CSR arrays in bytes, used by the
+    /// memory subsystem to size on-chip partitions against `|V| + |E|`.
+    pub fn footprint_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.adjacency.len() * std::mem::size_of::<VertexId>()
+            + self.labels.len() * std::mem::size_of::<Label>()
+    }
+}
+
+impl fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("vertices", &self.num_vertices())
+            .field("edges", &self.num_edges())
+            .field("labeled", &self.is_labeled())
+            .finish()
+    }
+}
+
+/// Iterator over the adjacency entries of one vertex, yielding [`EdgeRef`]s.
+///
+/// Produced by [`CsrGraph::edges_of`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    src: VertexId,
+    base: usize,
+    run: std::iter::Enumerate<std::slice::Iter<'a, VertexId>>,
+}
+
+impl Iterator for NeighborIter<'_> {
+    type Item = EdgeRef;
+
+    fn next(&mut self) -> Option<EdgeRef> {
+        let (i, &dst) = self.run.next()?;
+        Some(EdgeRef {
+            src: self.src,
+            dst,
+            slot: self.base + i,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.run.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> crate::CsrGraph {
+        let mut b = GraphBuilder::new();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.adjacency_len(), 8);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn has_edge_both_directions_and_absent() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn edges_of_exposes_slots() {
+        let g = triangle_plus_tail();
+        let refs: Vec<_> = g.edges_of(2).collect();
+        assert_eq!(refs.len(), 3);
+        let base = g.first_edge_offset(2);
+        for (i, e) in refs.iter().enumerate() {
+            assert_eq!(e.src, 2);
+            assert_eq!(e.slot, base + i);
+            assert_eq!(g.adjacency_at(e.slot), e.dst);
+        }
+    }
+
+    #[test]
+    fn source_of_slot_inverts_offsets() {
+        let g = triangle_plus_tail();
+        for v in g.vertices() {
+            let base = g.first_edge_offset(v);
+            for i in 0..g.degree(v) {
+                assert_eq!(g.source_of_slot(base + i), v);
+            }
+        }
+    }
+
+    #[test]
+    fn source_of_slot_skips_isolated_vertices() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 2); // vertex 1 isolated
+        let g = b.build().unwrap();
+        assert_eq!(g.source_of_slot(0), 0);
+        assert_eq!(g.source_of_slot(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot out of bounds")]
+    fn source_of_slot_bounds() {
+        let g = triangle_plus_tail();
+        let _ = g.source_of_slot(g.adjacency_len());
+    }
+
+    #[test]
+    fn unlabeled_by_default() {
+        let g = triangle_plus_tail();
+        assert!(!g.is_labeled());
+        assert_eq!(g.label(1), 0);
+    }
+
+    #[test]
+    fn footprint_nonzero() {
+        let g = triangle_plus_tail();
+        assert!(g.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = triangle_plus_tail();
+        let s = format!("{g:?}");
+        assert!(s.contains("CsrGraph"));
+    }
+}

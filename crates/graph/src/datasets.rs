@@ -1,0 +1,241 @@
+//! Named analogs of the seven evaluation graphs.
+//!
+//! The paper evaluates on Citeseer, P2P, Astro, Mico, Patents, YT and LJ
+//! (Table in §II-B and §VI-A). Those SNAP downloads are unavailable here,
+//! so each dataset is substituted by a Barabási–Albert analog whose vertex
+//! count and average degree match the original (power-law skew is the
+//! property GRAMER exploits, and BA reproduces it). A `scale` divisor
+//! shrinks the graphs so a software simulator can finish the combinatorial
+//! workloads; the *relative* sizes (small / medium / large) are preserved.
+//!
+//! Real SNAP edge lists can be loaded with [`crate::io::read_edge_list`]
+//! and used everywhere a generated analog is.
+
+use crate::csr::CsrGraph;
+use crate::generate;
+use std::fmt;
+
+/// One of the seven evaluation graphs of the paper.
+///
+/// The set is fixed by the paper's evaluation, so the enum is exhaustive
+/// and downstream code may match on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dataset {
+    /// Citeseer — 3,312 vertices, 4,732 edges (small).
+    Citeseer,
+    /// P2P (Gnutella) — 8,114 vertices, 26,013 edges (small).
+    P2p,
+    /// Astro (Astro-Ph collaboration) — 18,772 vertices, ~0.2M edges (medium).
+    Astro,
+    /// Mico (co-authorship, labeled) — 0.1M vertices, 1.1M edges (medium).
+    Mico,
+    /// Patents (NBER citations) — 2.7M vertices, 14.0M edges (large).
+    Patents,
+    /// YT (YouTube) — 4.58M vertices, 43.96M edges (large).
+    Youtube,
+    /// LJ (LiveJournal) — 4.85M vertices, 69.0M edges (large).
+    LiveJournal,
+}
+
+/// Size class of a dataset, mirroring the paper's small/medium/large split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SizeClass {
+    /// Citeseer, P2P.
+    Small,
+    /// Astro, Mico.
+    Medium,
+    /// Patents, YT, LJ.
+    Large,
+}
+
+impl Dataset {
+    /// All seven datasets, in the paper's presentation order.
+    pub const ALL: [Dataset; 7] = [
+        Dataset::Citeseer,
+        Dataset::P2p,
+        Dataset::Astro,
+        Dataset::Mico,
+        Dataset::Patents,
+        Dataset::Youtube,
+        Dataset::LiveJournal,
+    ];
+
+    /// The four graphs used by the trace-based studies (Figs. 3 and 5
+    /// exclude the largest graphs as too expensive to trace offline).
+    pub const TRACEABLE: [Dataset; 4] = [
+        Dataset::Citeseer,
+        Dataset::P2p,
+        Dataset::Astro,
+        Dataset::Mico,
+    ];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Citeseer => "Citeseer",
+            Dataset::P2p => "P2P",
+            Dataset::Astro => "Astro",
+            Dataset::Mico => "Mico",
+            Dataset::Patents => "Patents",
+            Dataset::Youtube => "YT",
+            Dataset::LiveJournal => "LJ",
+        }
+    }
+
+    /// Vertex count of the real dataset.
+    pub fn full_vertices(self) -> usize {
+        match self {
+            Dataset::Citeseer => 3_312,
+            Dataset::P2p => 8_114,
+            Dataset::Astro => 18_772,
+            Dataset::Mico => 100_000,
+            Dataset::Patents => 2_700_000,
+            Dataset::Youtube => 4_580_000,
+            Dataset::LiveJournal => 4_850_000,
+        }
+    }
+
+    /// Undirected edge count of the real dataset.
+    pub fn full_edges(self) -> usize {
+        match self {
+            Dataset::Citeseer => 4_732,
+            Dataset::P2p => 26_013,
+            Dataset::Astro => 200_000,
+            Dataset::Mico => 1_100_000,
+            Dataset::Patents => 14_000_000,
+            Dataset::Youtube => 43_960_000,
+            Dataset::LiveJournal => 69_000_000,
+        }
+    }
+
+    /// Size class (small / medium / large) as discussed in §VI-A.
+    pub fn size_class(self) -> SizeClass {
+        match self {
+            Dataset::Citeseer | Dataset::P2p => SizeClass::Small,
+            Dataset::Astro | Dataset::Mico => SizeClass::Medium,
+            Dataset::Patents | Dataset::Youtube | Dataset::LiveJournal => SizeClass::Large,
+        }
+    }
+
+    /// Whether the dataset carries vertex labels (only Mico, which the FSM
+    /// literature uses as its labeled benchmark).
+    pub fn is_labeled(self) -> bool {
+        matches!(self, Dataset::Mico)
+    }
+
+    /// Generates the synthetic analog at full size.
+    ///
+    /// Equivalent to [`generate_scaled`](Self::generate_scaled) with a
+    /// divisor of 1. Only the small graphs are practical to mine at full
+    /// size in a software simulator.
+    pub fn generate(self) -> CsrGraph {
+        self.generate_scaled(1)
+    }
+
+    /// Degree exponent γ of the power-law analog. Collaboration and
+    /// social graphs (Astro, Mico, YT, LJ) have heavy tails (γ ≈ 2.2–2.3);
+    /// citation and peer-to-peer topologies are milder.
+    pub fn degree_exponent(self) -> f64 {
+        match self {
+            Dataset::Citeseer => 2.8,
+            Dataset::P2p => 2.7,
+            Dataset::Astro => 2.3,
+            Dataset::Mico => 2.3,
+            Dataset::Patents => 2.6,
+            Dataset::Youtube => 2.2,
+            Dataset::LiveJournal => 2.3,
+        }
+    }
+
+    /// Generates the synthetic analog with vertex count divided by
+    /// `divisor`, preserving the average degree and the power-law shape
+    /// (Chung–Lu with the dataset's [`degree_exponent`](Self::degree_exponent)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0` or the scaled graph would have fewer than
+    /// 16 vertices.
+    pub fn generate_scaled(self, divisor: usize) -> CsrGraph {
+        assert!(divisor > 0, "scale divisor must be positive");
+        let n = self.full_vertices() / divisor;
+        assert!(n >= 16, "scaled dataset too small to be meaningful");
+        let m = self.full_edges() / divisor;
+        let seed = 0xC0FFEE ^ (self as u64);
+        let g = generate::chung_lu(n, m.min(n * (n - 1) / 2), self.degree_exponent(), seed);
+        if self.is_labeled() {
+            // Mico carries sparse vertex labels; 5 classes is in line with
+            // the FSM literature's use of the dataset.
+            generate::with_random_labels(&g, 5, seed)
+        } else {
+            g
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_listed_in_order() {
+        assert_eq!(Dataset::ALL.len(), 7);
+        assert_eq!(Dataset::ALL[0], Dataset::Citeseer);
+        assert_eq!(Dataset::ALL[6], Dataset::LiveJournal);
+    }
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(Dataset::Citeseer.size_class(), SizeClass::Small);
+        assert_eq!(Dataset::Mico.size_class(), SizeClass::Medium);
+        assert_eq!(Dataset::LiveJournal.size_class(), SizeClass::Large);
+    }
+
+    #[test]
+    fn citeseer_full_size_analog() {
+        let g = Dataset::Citeseer.generate();
+        assert_eq!(g.num_vertices(), 3_312);
+        // Average degree close to the real dataset's 2.86.
+        let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(avg > 1.5 && avg < 4.5, "avg degree {avg}");
+    }
+
+    #[test]
+    fn scaled_preserves_average_degree() {
+        let full = Dataset::P2p.generate();
+        let scaled = Dataset::P2p.generate_scaled(4);
+        let d_full = 2.0 * full.num_edges() as f64 / full.num_vertices() as f64;
+        let d_scaled = 2.0 * scaled.num_edges() as f64 / scaled.num_vertices() as f64;
+        assert!((d_full - d_scaled).abs() < 1.5);
+    }
+
+    #[test]
+    fn mico_is_labeled() {
+        let g = Dataset::Mico.generate_scaled(50);
+        assert!(g.is_labeled());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Dataset::Astro.generate_scaled(10);
+        let b = Dataset::Astro.generate_scaled(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn overscaled_panics() {
+        let _ = Dataset::Citeseer.generate_scaled(1000);
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(Dataset::Youtube.to_string(), "YT");
+        assert_eq!(Dataset::LiveJournal.to_string(), "LJ");
+    }
+}

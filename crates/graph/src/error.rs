@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or parsing graphs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The builder contained no vertices at all.
+    Empty,
+    /// A vertex ID exceeded the supported maximum (`u32::MAX - 1`).
+    VertexIdOverflow(u64),
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+    /// An I/O error while reading or writing an edge list.
+    Io(std::io::Error),
+    /// The number of labels supplied did not match the number of vertices.
+    LabelCount {
+        /// Number of labels supplied.
+        labels: usize,
+        /// Number of vertices in the graph.
+        vertices: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no vertices"),
+            GraphError::VertexIdOverflow(id) => {
+                write!(f, "vertex id {id} exceeds the supported maximum")
+            }
+            GraphError::Parse { line, content } => {
+                write!(f, "cannot parse edge-list line {line}: {content:?}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::LabelCount { labels, vertices } => write!(
+                f,
+                "label count {labels} does not match vertex count {vertices}"
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}

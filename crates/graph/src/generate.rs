@@ -1,0 +1,543 @@
+//! Synthetic graph generators.
+//!
+//! The GRAMER evaluation runs on seven real-world SNAP graphs whose common
+//! hallmark is a power-law degree distribution — the very property the
+//! extension-locality observation (§II-D) rests on. These generators
+//! reproduce that skew so every experiment in the paper can be regenerated
+//! without the proprietary downloads; see [`crate::datasets`] for the named
+//! analogs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Label, VertexId};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the R-MAT recursive matrix generator.
+///
+/// The defaults (`a=0.57, b=0.19, c=0.19, d=0.05`) are the Graph500
+/// constants, producing a strongly skewed degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Probability of recursing into the top-right quadrant.
+    pub b: f64,
+    /// Probability of recursing into the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of recursing into the bottom-right quadrant.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+}
+
+/// Generates an undirected R-MAT graph with `2^scale` vertices and
+/// (approximately, after de-duplication) `edges` undirected edges.
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::generate::{rmat, RmatParams};
+///
+/// let g = rmat(8, 1024, RmatParams::default(), 42);
+/// assert_eq!(g.num_vertices(), 256);
+/// assert!(g.num_edges() > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `scale >= 31` (vertex IDs would overflow) or the quadrant
+/// probabilities do not sum to ~1.
+pub fn rmat(scale: u32, edges: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    assert!(scale < 31, "rmat scale too large");
+    let sum = params.a + params.b + params.c + params.d;
+    assert!((sum - 1.0).abs() < 1e-6, "rmat probabilities must sum to 1");
+
+    let n: u64 = 1 << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(edges);
+    b.ensure_vertex((n - 1) as VertexId);
+
+    for _ in 0..edges {
+        let (mut x0, mut x1) = (0u64, n);
+        let (mut y0, mut y1) = (0u64, n);
+        while x1 - x0 > 1 {
+            let r: f64 = rng.gen();
+            let (dx, dy) = if r < params.a {
+                (0, 0)
+            } else if r < params.a + params.b {
+                (0, 1)
+            } else if r < params.a + params.b + params.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            let mx = (x0 + x1) / 2;
+            let my = (y0 + y1) / 2;
+            if dx == 0 {
+                x1 = mx;
+            } else {
+                x0 = mx;
+            }
+            if dy == 0 {
+                y1 = my;
+            } else {
+                y0 = my;
+            }
+        }
+        b.add_edge(x0 as VertexId, y0 as VertexId);
+    }
+    b.build().expect("rmat produced at least one vertex")
+}
+
+/// Generates an undirected Barabási–Albert preferential-attachment graph
+/// with `n` vertices, each new vertex attaching `m` edges.
+///
+/// Produces the power-law degree distribution real-world graphs exhibit
+/// (§II-D of the paper).
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::generate::barabasi_albert;
+///
+/// let g = barabasi_albert(100, 3, 7);
+/// assert_eq!(g.num_vertices(), 100);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m > 0, "attachment count must be positive");
+    assert!(n > m, "need more vertices than attachment edges");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n * m);
+    // Repeated endpoints: sampling an index uniformly from this list is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique over the first m+1 vertices.
+    for u in 0..=(m as VertexId) {
+        for v in (u + 1)..=(m as VertexId) {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    for v in (m + 1)..n {
+        let v = v as VertexId;
+        // A Vec keeps insertion deterministic (HashSet iteration order would
+        // leak into `endpoints` and break reproducibility); m is small.
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let idx = rng.gen_range(0..endpoints.len());
+            let candidate = endpoints[idx];
+            if candidate != v && !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        for u in chosen {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    b.build().expect("barabasi_albert produced vertices")
+}
+
+/// Generates a Chung–Lu power-law graph with `n` vertices, approximately
+/// `m` undirected edges, and degree exponent `gamma`.
+///
+/// Endpoints are sampled with probability proportional to
+/// `w_i = (i + i0)^(-1/(gamma-1))`, the expected-degree sequence of a
+/// power law. Lower `gamma` (→ 2) means heavier hubs; real-world graphs
+/// sit around 2.1–2.9, which is the regime the extension-locality
+/// observation (§II-D) depends on. This is the generator behind the
+/// [`crate::datasets`] analogs.
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::{generate, stats};
+///
+/// let heavy = generate::chung_lu(2000, 6000, 2.2, 1);
+/// let mild = generate::chung_lu(2000, 6000, 3.5, 1);
+/// let sh = stats::degree_stats(&heavy);
+/// let sm = stats::degree_stats(&mild);
+/// assert!(sh.top5_edge_share > sm.top5_edge_share);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `gamma <= 2.0`, or `m` exceeds the possible edges.
+pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(gamma > 2.0, "gamma must exceed 2 for a finite mean degree");
+    assert!(m <= n * (n - 1) / 2, "too many edges requested");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let exponent = -1.0 / (gamma - 1.0);
+    // i0 softens the head so the top hub doesn't absorb everything.
+    let i0 = 1.0;
+    let mut cumulative: Vec<f64> = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += (i as f64 + i0).powf(exponent);
+        cumulative.push(total);
+    }
+
+    let sample = |rng: &mut StdRng| -> VertexId {
+        let r: f64 = rng.gen::<f64>() * total;
+        cumulative.partition_point(|&c| c < r).min(n - 1) as VertexId
+    };
+
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut b = GraphBuilder::with_capacity(m);
+    b.ensure_vertex((n - 1) as VertexId);
+    // Cap the rejection loop: duplicate-heavy heads can starve progress on
+    // dense requests.
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(50).max(1000);
+    while seen.len() < m && attempts < max_attempts {
+        attempts += 1;
+        let u = sample(&mut rng);
+        let v = sample(&mut rng);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("chung_lu produced vertices")
+}
+
+/// Generates an Erdős–Rényi `G(n, m)` graph with exactly `m` distinct
+/// undirected edges (uniform degree distribution — the *anti*-power-law
+/// control used in locality ablations).
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::generate::erdos_renyi;
+///
+/// let g = erdos_renyi(50, 100, 3);
+/// assert_eq!(g.num_vertices(), 50);
+/// assert_eq!(g.num_edges(), 100);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `m` exceeds the number of possible edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "need at least two vertices");
+    let possible = n * (n - 1) / 2;
+    assert!(m <= possible, "too many edges requested");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = Uniform::from(0..n as VertexId);
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut b = GraphBuilder::with_capacity(m);
+    b.ensure_vertex((n - 1) as VertexId);
+    while seen.len() < m {
+        let u = dist.sample(&mut rng);
+        let v = dist.sample(&mut rng);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("erdos_renyi produced vertices")
+}
+
+/// The complete graph `K_n`.
+///
+/// Useful for correctness tests: `K_n` contains exactly `C(n, k)`
+/// `k`-cliques.
+///
+/// # Panics
+///
+/// Panics if `n < 1`.
+pub fn complete(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n * (n - 1) / 2);
+    b.ensure_vertex((n - 1) as VertexId);
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            b.add_edge(u, v);
+        }
+    }
+    b.build().expect("complete graph nonempty")
+}
+
+/// The cycle graph `C_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3);
+    let mut b = GraphBuilder::with_capacity(n);
+    for v in 0..n as VertexId {
+        b.add_edge(v, ((v as usize + 1) % n) as VertexId);
+    }
+    b.build().expect("cycle nonempty")
+}
+
+/// The path graph `P_n` (`n` vertices, `n-1` edges).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn path(n: usize) -> CsrGraph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::with_capacity(n - 1);
+    for v in 0..(n - 1) as VertexId {
+        b.add_edge(v, v + 1);
+    }
+    b.build().expect("path nonempty")
+}
+
+/// The complete bipartite graph `K_{a,b}` (part A = vertices `0..a`,
+/// part B = `a..a+b`).
+///
+/// Closed forms make it a good mining oracle: no odd cycles (hence no
+/// triangles), `a·C(b,2) + b·C(a,2)` wedges, `C(a,2)·C(b,2)` four-cycles.
+///
+/// # Panics
+///
+/// Panics if either part is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    assert!(a >= 1 && b >= 1, "both parts must be nonempty");
+    let mut builder = GraphBuilder::with_capacity(a * b);
+    for u in 0..a as VertexId {
+        for v in 0..b as VertexId {
+            builder.add_edge(u, a as VertexId + v);
+        }
+    }
+    builder.build().expect("bipartite graph nonempty")
+}
+
+/// The `rows × cols` grid graph (4-neighborhood lattice) — the
+/// maximally-regular, locality-free control for cache studies.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero or the grid has fewer than 2
+/// vertices.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2, "grid too small");
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut b = GraphBuilder::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build().expect("grid nonempty")
+}
+
+/// The star graph `S_n` (one hub connected to `n` leaves).
+///
+/// The most extreme skew possible — every random access hits the hub.
+///
+/// # Panics
+///
+/// Panics if `n < 1`.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n);
+    for v in 1..=n as VertexId {
+        b.add_edge(0, v);
+    }
+    b.build().expect("star nonempty")
+}
+
+/// Returns a copy of `graph` with vertex labels drawn uniformly from
+/// `1..=alphabet`, as needed by FSM (Mico-style labeled mining).
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::generate::{complete, with_random_labels};
+///
+/// let g = with_random_labels(&complete(4), 3, 11);
+/// assert!(g.is_labeled());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `alphabet == 0`.
+pub fn with_random_labels(graph: &CsrGraph, alphabet: Label, seed: u64) -> CsrGraph {
+    assert!(alphabet > 0, "label alphabet must be nonempty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labels: Vec<Label> = (0..graph.num_vertices())
+        .map(|_| rng.gen_range(1..=alphabet))
+        .collect();
+    relabel(graph, labels)
+}
+
+/// Returns a copy of `graph` carrying the supplied labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != graph.num_vertices()`.
+pub fn relabel(graph: &CsrGraph, labels: Vec<Label>) -> CsrGraph {
+    assert_eq!(labels.len(), graph.num_vertices());
+    let mut b = GraphBuilder::with_capacity(graph.num_edges());
+    b.ensure_vertex((graph.num_vertices() - 1) as VertexId);
+    for v in graph.vertices() {
+        for &u in graph.neighbors(v) {
+            if v < u {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.labels(labels);
+    b.build().expect("relabel preserves vertices")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(6, 300, RmatParams::default(), 1);
+        assert_eq!(g.num_vertices(), 64);
+        assert!(g.num_edges() > 100);
+        assert!(g.num_edges() <= 300);
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = rmat(5, 100, RmatParams::default(), 9);
+        let b = rmat(5, 100, RmatParams::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ba_degrees() {
+        let g = barabasi_albert(200, 2, 5);
+        assert_eq!(g.num_vertices(), 200);
+        // Every non-seed vertex attaches at least m edges.
+        for v in 3..200u32 {
+            assert!(g.degree(v) >= 2);
+        }
+        // Power-law skew: max degree well above the mean.
+        let mean = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(g.max_degree() as f64 > 2.0 * mean);
+    }
+
+    #[test]
+    fn chung_lu_shape() {
+        let g = chung_lu(1000, 3000, 2.3, 7);
+        assert_eq!(g.num_vertices(), 1000);
+        // Rejection cap may fall slightly short of m on dense heads.
+        assert!(g.num_edges() > 2500);
+        let s = crate::stats::degree_stats(&g);
+        assert!(s.top5_edge_share > 0.3, "not skewed: {}", s.top5_edge_share);
+    }
+
+    #[test]
+    fn chung_lu_deterministic() {
+        assert_eq!(chung_lu(200, 500, 2.5, 3), chung_lu(200, 500, 2.5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn chung_lu_rejects_gamma_two() {
+        let _ = chung_lu(10, 10, 2.0, 1);
+    }
+
+    #[test]
+    fn er_exact_edges() {
+        let g = erdos_renyi(30, 45, 2);
+        assert_eq!(g.num_edges(), 45);
+    }
+
+    #[test]
+    fn complete_structure() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 10);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn path_and_star() {
+        assert_eq!(path(5).num_edges(), 4);
+        let s = star(7);
+        assert_eq!(s.degree(0), 7);
+        assert_eq!(s.num_edges(), 7);
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        for u in 0..3u32 {
+            assert_eq!(g.degree(u), 4);
+            for v in 0..3u32 {
+                assert!(!g.has_edge(u, v) || u == v);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn labels_assigned_in_range() {
+        let g = with_random_labels(&complete(10), 4, 3);
+        for v in g.vertices() {
+            assert!((1..=4).contains(&g.label(v)));
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = complete(4);
+        let l = relabel(&g, vec![1, 2, 3, 4]);
+        assert_eq!(l.num_edges(), g.num_edges());
+        assert!(l.has_edge(0, 3));
+    }
+}

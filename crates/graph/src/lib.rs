@@ -1,0 +1,63 @@
+//! Graph substrate for the GRAMER reproduction.
+//!
+//! This crate provides everything the accelerator simulator and the mining
+//! engine need from the *input graph* side of the paper:
+//!
+//! * [`CsrGraph`] — an undirected graph in compressed sparse row form with
+//!   optional vertex labels, the storage format the paper assumes (§VI-A,
+//!   "all graphs are considered undirected and stored in the CSR").
+//! * [`GraphBuilder`] — incremental construction from edge lists with
+//!   de-duplication and self-loop removal.
+//! * [`generate`] — synthetic power-law generators (R-MAT, Barabási–Albert,
+//!   Erdős–Rényi) used to stand in for the SNAP datasets of the evaluation.
+//! * [`datasets`] — named analogs of the seven evaluation graphs (Citeseer,
+//!   P2P, Astro, Mico, Patents, YT, LJ) with a scale knob.
+//! * [`on1`] — the occurrence-number heuristic of §IV-B (Eq. 1): exact
+//!   `ON_k` and the cost-efficient 1-hop variant used for priority
+//!   classification.
+//! * [`reorder`] — the graph reordering of §IV-C that makes
+//!   `Rank(ON1(v)) == v` so the replacement policy can read ranks straight
+//!   from vertex IDs at runtime.
+//! * [`io`] — SNAP-style edge-list parsing and writing, so real datasets can
+//!   be dropped in for the synthetic analogs.
+//!
+//! # Example
+//!
+//! ```
+//! use gramer_graph::{GraphBuilder, on1, reorder};
+//!
+//! # fn main() -> Result<(), gramer_graph::GraphError> {
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(2, 0);
+//! b.add_edge(2, 3);
+//! let g = b.build()?;
+//!
+//! let scores = on1::on1_scores(&g);
+//! let reordered = reorder::reorder_by_on1(&g);
+//! assert_eq!(reordered.graph.num_vertices(), g.num_vertices());
+//! // After reordering, vertex 0 has the highest ON1 score.
+//! assert_eq!(reorder::rank_of(&reordered, scores.top_vertex()), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod csr;
+mod error;
+
+pub mod algo;
+pub mod datasets;
+pub mod generate;
+pub mod io;
+pub mod on1;
+pub mod reorder;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, EdgeRef, Label, NeighborIter, VertexId};
+pub use error::GraphError;

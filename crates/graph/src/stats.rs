@@ -1,0 +1,189 @@
+//! Degree-distribution statistics.
+//!
+//! The extension-locality argument (§II-D) is premised on power-law degree
+//! skew; these helpers quantify that skew so tests and benches can assert
+//! that generated analogs actually exhibit it.
+
+use crate::csr::CsrGraph;
+
+/// Summary of a graph's degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Gini coefficient of the degree distribution (0 = perfectly uniform,
+    /// →1 = extremely skewed).
+    pub gini: f64,
+    /// Fraction of adjacency entries owned by the top 5% of vertices by
+    /// degree — the static counterpart of the paper's Fig. 5 measurement.
+    pub top5_edge_share: f64,
+}
+
+/// Computes [`DegreeStats`] for `graph`.
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::{generate, stats};
+///
+/// let skewed = stats::degree_stats(&generate::barabasi_albert(500, 2, 1));
+/// let uniform = stats::degree_stats(&generate::cycle(500));
+/// assert!(skewed.gini > uniform.gini);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the graph has no vertices.
+pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
+    let n = graph.num_vertices();
+    assert!(n > 0, "empty graph");
+    let mut degrees: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+    degrees.sort_unstable();
+
+    let total: usize = degrees.iter().sum();
+    let mean = total as f64 / n as f64;
+
+    // Gini via the sorted-rank formula.
+    let gini = if total == 0 {
+        0.0
+    } else {
+        let weighted: f64 = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * d as f64)
+            .sum();
+        weighted / (n as f64 * total as f64)
+    };
+
+    let top5 = ((n as f64 * 0.05).round() as usize).max(1).min(n);
+    let top5_sum: usize = degrees.iter().rev().take(top5).sum();
+    let top5_edge_share = if total == 0 {
+        0.0
+    } else {
+        top5_sum as f64 / total as f64
+    };
+
+    DegreeStats {
+        min: *degrees.first().unwrap(),
+        max: *degrees.last().unwrap(),
+        mean,
+        gini,
+        top5_edge_share,
+    }
+}
+
+/// Histogram of degrees: `histogram[d]` = number of vertices with degree
+/// `d`.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for v in graph.vertices() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Hill estimator of the power-law tail exponent γ, using the top `k`
+/// degrees.
+///
+/// For a degree distribution `P(d) ∝ d^(-γ)` the estimator converges to
+/// γ as the sample grows; it validates that the dataset analogs actually
+/// carry the heavy tails the extension-locality observation needs.
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::{generate, stats};
+///
+/// let g = generate::chung_lu(20_000, 60_000, 2.3, 1);
+/// let gamma = stats::hill_tail_exponent(&g, 400);
+/// assert!(gamma > 1.6 && gamma < 3.2, "estimated {gamma}");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k < 2` or the graph has fewer than `k + 1` vertices of
+/// non-zero degree.
+pub fn hill_tail_exponent(graph: &CsrGraph, k: usize) -> f64 {
+    assert!(k >= 2, "need at least two tail samples");
+    let mut degrees: Vec<usize> = graph
+        .vertices()
+        .map(|v| graph.degree(v))
+        .filter(|&d| d > 0)
+        .collect();
+    assert!(degrees.len() > k, "graph too small for tail size {k}");
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+    let threshold = degrees[k] as f64;
+    let mean_log: f64 = degrees[..k]
+        .iter()
+        .map(|&d| (d as f64 / threshold).ln())
+        .sum::<f64>()
+        / k as f64;
+    // Hill's alpha estimates the tail index; the degree exponent is
+    // gamma = 1 + 1/alpha^-1 ... i.e. gamma = 1 + 1/mean_log.
+    1.0 + 1.0 / mean_log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn uniform_graph_has_zero_gini() {
+        let s = degree_stats(&generate::cycle(50));
+        assert!(s.gini.abs() < 1e-9);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+    }
+
+    #[test]
+    fn star_is_maximally_skewed() {
+        // For a star the hub owns half the degree mass, so the Gini
+        // coefficient approaches 0.5 and the top-5% share exceeds it.
+        let s = degree_stats(&generate::star(100));
+        assert!(s.gini > 0.45);
+        assert!(s.top5_edge_share > 0.5);
+    }
+
+    #[test]
+    fn ba_more_skewed_than_er() {
+        let ba = degree_stats(&generate::barabasi_albert(400, 3, 1));
+        let er = degree_stats(&generate::erdos_renyi(400, 1200, 1));
+        assert!(ba.gini > er.gini);
+        assert!(ba.top5_edge_share > er.top5_edge_share);
+    }
+
+    #[test]
+    fn histogram_sums_to_vertex_count() {
+        let g = generate::barabasi_albert(200, 3, 2);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 200);
+        assert_eq!(h.len(), g.max_degree() + 1);
+    }
+
+    #[test]
+    fn hill_ranks_tail_heaviness() {
+        let heavy = generate::chung_lu(8000, 24000, 2.2, 3);
+        let mild = generate::chung_lu(8000, 24000, 3.0, 3);
+        let gh = hill_tail_exponent(&heavy, 200);
+        let gm = hill_tail_exponent(&mild, 200);
+        assert!(gh < gm, "heavy {gh} should have smaller exponent than mild {gm}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tail samples")]
+    fn hill_requires_samples() {
+        let _ = hill_tail_exponent(&generate::cycle(10), 1);
+    }
+
+    #[test]
+    fn mean_matches_handshake() {
+        let g = generate::complete(10);
+        let s = degree_stats(&g);
+        assert!((s.mean - 9.0).abs() < 1e-12);
+    }
+}

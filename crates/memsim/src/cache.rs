@@ -1,0 +1,215 @@
+use crate::policy::{LineMeta, PolicyKind, ReplacePolicy};
+
+/// A set-associative cache over abstract item IDs.
+///
+/// Items are grouped into blocks of `2^block_bits` consecutive IDs (the
+/// "cache line"); a block's tag maps to set `tag % sets`. This is the
+/// low-priority memory of §IV-C, and doubles as the building block of the
+/// CPU cache model (with byte addresses as items).
+///
+/// # Example
+///
+/// ```
+/// use gramer_memsim::SetAssociativeCache;
+/// use gramer_memsim::policy::PolicyKind;
+///
+/// let mut c = SetAssociativeCache::new(4, 2, 0, PolicyKind::Lru);
+/// assert!(!c.access(42, 0)); // cold miss
+/// assert!(c.access(42, 0));  // hit
+/// assert_eq!(c.capacity_items(), 8);
+/// ```
+#[derive(Debug)]
+pub struct SetAssociativeCache {
+    sets: Vec<Vec<LineMeta>>,
+    ways: usize,
+    block_bits: u32,
+    clock: u64,
+    policy: Box<dyn ReplacePolicy + Send>,
+    evictions: u64,
+}
+
+impl SetAssociativeCache {
+    /// Creates a cache with `sets` sets of `ways` ways, a block of
+    /// `2^block_bits` items, and the given replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0` or `ways == 0`.
+    pub fn new(sets: usize, ways: usize, block_bits: u32, policy: PolicyKind) -> Self {
+        assert!(sets > 0, "cache needs at least one set");
+        assert!(ways > 0, "cache needs at least one way");
+        SetAssociativeCache {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            block_bits,
+            clock: 0,
+            policy: policy.build(),
+            evictions: 0,
+        }
+    }
+
+    /// Sizes a cache to hold (at least) `items` items with the given
+    /// associativity and block size, rounding the set count up to 1.
+    pub fn with_capacity_items(
+        items: usize,
+        ways: usize,
+        block_bits: u32,
+        policy: PolicyKind,
+    ) -> Self {
+        let blocks = (items >> block_bits).max(1);
+        let sets = (blocks / ways).max(1);
+        SetAssociativeCache::new(sets, ways, block_bits, policy)
+    }
+
+    /// Total item capacity (`sets × ways × block`).
+    pub fn capacity_items(&self) -> usize {
+        self.sets.len() * self.ways << self.block_bits
+    }
+
+    /// Number of evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Name of the active replacement policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Set selection: standard modulo indexing, as in the 4-way
+    /// set-associative BRAM cache of §VI-A. Callers that interleave items
+    /// over multiple banks must pass bank-local (densified) item IDs, or
+    /// the stride aliases whole ID classes onto one set (see
+    /// [`crate::MemorySubsystem`]).
+    #[inline]
+    fn set_index(&self, tag: u64) -> usize {
+        (tag % self.sets.len() as u64) as usize
+    }
+
+    /// Accesses `item` (whose priority rank is `rank`); returns `true` on
+    /// hit. On miss the containing block is filled, evicting a victim when
+    /// the set is full.
+    pub fn access(&mut self, item: u64, rank: u32) -> bool {
+        self.clock += 1;
+        let tag = item >> self.block_bits;
+        let set_idx = self.set_index(tag);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.touch(self.clock);
+            return true;
+        }
+
+        let fill = LineMeta::filled(tag, self.clock, rank);
+        if set.len() < self.ways {
+            set.push(fill);
+        } else {
+            let victim = self.policy.victim(set, self.clock);
+            debug_assert!(victim < set.len());
+            set[victim] = fill;
+            self.evictions += 1;
+        }
+        false
+    }
+
+    /// Whether `item`'s block is currently resident (no state change).
+    pub fn contains(&self, item: u64) -> bool {
+        let tag = item >> self.block_bits;
+        let set = &self.sets[self.set_index(tag)];
+        set.iter().any(|l| l.tag == tag)
+    }
+
+    /// Number of resident lines (for occupancy assertions).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Clears all contents and counters, keeping the configuration.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.clock = 0;
+        self.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssociativeCache::new(2, 2, 0, PolicyKind::Lru);
+        assert!(!c.access(5, 0));
+        assert!(c.access(5, 0));
+        assert!(c.contains(5));
+    }
+
+    #[test]
+    fn block_grouping_gives_spatial_hits() {
+        let mut c = SetAssociativeCache::new(2, 2, 2, PolicyKind::Lru);
+        assert!(!c.access(8, 0)); // fills block {8,9,10,11}
+        assert!(c.access(9, 0));
+        assert!(c.access(11, 0));
+        assert!(!c.access(12, 0));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 1 set, 2 ways, block 1 item.
+        let mut c = SetAssociativeCache::new(1, 2, 0, PolicyKind::Lru);
+        c.access(1, 0);
+        c.access(2, 0);
+        c.access(1, 0); // 2 is now LRU
+        c.access(3, 0); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = SetAssociativeCache::new(4, 2, 0, PolicyKind::Fifo);
+        for i in 0..1000u64 {
+            c.access(i, 0);
+            assert!(c.resident_lines() <= 8);
+        }
+    }
+
+    #[test]
+    fn with_capacity_items_rounds_sanely() {
+        let c = SetAssociativeCache::with_capacity_items(100, 4, 0, PolicyKind::Lru);
+        assert!(c.capacity_items() >= 96 && c.capacity_items() <= 128);
+        let tiny = SetAssociativeCache::with_capacity_items(1, 4, 0, PolicyKind::Lru);
+        assert!(tiny.capacity_items() >= 1);
+    }
+
+    #[test]
+    fn locality_policy_keeps_hot_ranks() {
+        // 1 set, 2 ways. Fill with a hot-rank and a cold-rank item, then
+        // stream cold items: the hot (rank 0) line should survive.
+        let mut c = SetAssociativeCache::new(
+            1,
+            2,
+            0,
+            PolicyKind::LocalityPreserved { lambda: 0.0 },
+        );
+        c.access(0, 0); // hot
+        c.access(100, 900); // cold
+        for i in 101..120u64 {
+            c.access(i, 900 + i as u32);
+        }
+        assert!(c.contains(0), "hot line was evicted by cold stream");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = SetAssociativeCache::new(2, 2, 0, PolicyKind::Lru);
+        c.access(1, 0);
+        c.reset();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(1, 0));
+    }
+}

@@ -1,0 +1,123 @@
+use crate::stats::MemStats;
+
+/// Energy model for the accelerator and the CPU baselines.
+///
+/// The paper's methodology (§VI-B): GRAMER's energy is the measured on-chip
+/// FPGA power at a 100% toggle rate times execution time; the CPU baselines
+/// use Thermal Design Power at full capacity. DRAM energy is excluded on
+/// both sides ("to make an apples-to-apples comparison"). We additionally
+/// expose a per-access dynamic breakdown for finer-grained reports.
+///
+/// The default constants back-solve the paper's own numbers: the reported
+/// speedups (1.11×–129.95×) and energy savings (5.79×–678.34×) are
+/// mutually consistent with a ~23 W accelerator against a 120 W TDP CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Accelerator on-chip power in watts (Alveo U250 logic+BRAM at 100%
+    /// toggle rate).
+    pub accel_power_w: f64,
+    /// Baseline CPU TDP in watts (Intel E5-2680 v4).
+    pub cpu_tdp_w: f64,
+    /// Dynamic energy per scratchpad access, joules.
+    pub scratchpad_j: f64,
+    /// Dynamic energy per cache hit, joules.
+    pub cache_hit_j: f64,
+    /// Dynamic energy per cache fill (miss), joules.
+    pub cache_fill_j: f64,
+    /// Energy per DRAM access, joules (reported separately, excluded from
+    /// the Fig. 11 comparison).
+    pub dram_access_j: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            accel_power_w: 23.0,
+            cpu_tdp_w: 120.0,
+            scratchpad_j: 10e-12,
+            cache_hit_j: 25e-12,
+            cache_fill_j: 50e-12,
+            dram_access_j: 15e-9,
+        }
+    }
+}
+
+/// Energy totals produced by [`EnergyModel::accelerator_energy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Power-integral on-chip energy (the Fig. 11(a) quantity), joules.
+    pub on_chip_j: f64,
+    /// Per-access dynamic energy of the on-chip memories, joules.
+    pub memory_dynamic_j: f64,
+    /// Off-chip DRAM energy (excluded from the paper's comparison), joules.
+    pub dram_j: f64,
+}
+
+impl EnergyModel {
+    /// Energy of an accelerator run of `seconds` with the given memory
+    /// activity.
+    pub fn accelerator_energy(&self, seconds: f64, stats: &MemStats, dram_requests: u64) -> EnergyBreakdown {
+        let hp = (stats.vertex.high_priority_hits + stats.edge.high_priority_hits) as f64;
+        let ch = (stats.vertex.cache_hits + stats.edge.cache_hits) as f64;
+        let miss = stats.total_misses() as f64;
+        EnergyBreakdown {
+            on_chip_j: self.accel_power_w * seconds,
+            memory_dynamic_j: hp * self.scratchpad_j
+                + ch * self.cache_hit_j
+                + miss * self.cache_fill_j,
+            dram_j: dram_requests as f64 * self.dram_access_j,
+        }
+    }
+
+    /// Energy of a CPU baseline run of `seconds` (TDP × time, as in §VI-B).
+    pub fn cpu_energy(&self, seconds: f64) -> f64 {
+        self.cpu_tdp_w * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::KindStats;
+
+    #[test]
+    fn cpu_energy_is_tdp_times_time() {
+        let m = EnergyModel::default();
+        assert!((m.cpu_energy(2.0) - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accelerator_energy_scales_with_time() {
+        let m = EnergyModel::default();
+        let stats = MemStats::default();
+        let e1 = m.accelerator_energy(1.0, &stats, 0);
+        let e2 = m.accelerator_energy(2.0, &stats, 0);
+        assert!((e2.on_chip_j - 2.0 * e1.on_chip_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_energy_counts_accesses() {
+        let m = EnergyModel::default();
+        let stats = MemStats {
+            vertex: KindStats {
+                high_priority_hits: 100,
+                cache_hits: 10,
+                misses: 1,
+            },
+            edge: KindStats::default(),
+        };
+        let e = m.accelerator_energy(0.0, &stats, 5);
+        let expected = 100.0 * m.scratchpad_j + 10.0 * m.cache_hit_j + m.cache_fill_j;
+        assert!((e.memory_dynamic_j - expected).abs() < 1e-18);
+        assert!((e.dram_j - 5.0 * m.dram_access_j).abs() < 1e-18);
+    }
+
+    #[test]
+    fn paper_consistency_energy_ratio() {
+        // speedup × (TDP / accel power) should land inside the paper's
+        // reported energy-saving band for the corresponding speedup band.
+        let m = EnergyModel::default();
+        let ratio = m.cpu_tdp_w / m.accel_power_w;
+        assert!(1.11 * ratio > 5.0 && 129.95 * ratio < 700.0);
+    }
+}

@@ -1,0 +1,92 @@
+/// The high-priority memory of §IV-B: a scratchpad that permanently pins
+/// the data classified as valuable by the ON1 heuristic. No eviction ever
+/// happens; membership is fixed at construction (graph data is read-only
+/// in mining, so no consistency protocol is needed either).
+///
+/// # Example
+///
+/// ```
+/// use gramer_memsim::Scratchpad;
+///
+/// let sp = Scratchpad::from_mask(vec![true, false, true]);
+/// assert!(sp.contains(0));
+/// assert!(!sp.contains(1));
+/// assert!(!sp.contains(99)); // out of range: never pinned
+/// assert_eq!(sp.pinned_items(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scratchpad {
+    mask: Vec<bool>,
+    pinned: usize,
+}
+
+impl Scratchpad {
+    /// Builds a scratchpad from a membership mask indexed by item ID.
+    pub fn from_mask(mask: Vec<bool>) -> Self {
+        let pinned = mask.iter().filter(|&&b| b).count();
+        Scratchpad { mask, pinned }
+    }
+
+    /// Builds a scratchpad pinning the contiguous ID range `0..count`.
+    ///
+    /// After GRAMER's reordering (ID == rank) the high-priority set is
+    /// exactly such a prefix, which is how the hardware checks priority
+    /// with a single comparator.
+    pub fn from_prefix(count: usize, universe: usize) -> Self {
+        let mut mask = vec![false; universe];
+        for slot in mask.iter_mut().take(count) {
+            *slot = true;
+        }
+        Scratchpad::from_mask(mask)
+    }
+
+    /// An empty scratchpad (used by the Uniform-LRU baseline of Fig. 12).
+    pub fn empty() -> Self {
+        Scratchpad {
+            mask: Vec::new(),
+            pinned: 0,
+        }
+    }
+
+    /// Whether `item` is permanently resident.
+    #[inline]
+    pub fn contains(&self, item: u64) -> bool {
+        self.mask.get(item as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of pinned items (the scratchpad's required capacity).
+    pub fn pinned_items(&self) -> usize {
+        self.pinned
+    }
+
+    /// Whether nothing is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.pinned == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_pins_low_ids() {
+        let sp = Scratchpad::from_prefix(3, 10);
+        assert!(sp.contains(0) && sp.contains(2));
+        assert!(!sp.contains(3));
+        assert_eq!(sp.pinned_items(), 3);
+    }
+
+    #[test]
+    fn empty_contains_nothing() {
+        let sp = Scratchpad::empty();
+        assert!(sp.is_empty());
+        assert!(!sp.contains(0));
+    }
+
+    #[test]
+    fn out_of_range_is_false() {
+        let sp = Scratchpad::from_prefix(2, 2);
+        assert!(!sp.contains(5));
+    }
+}

@@ -1,0 +1,144 @@
+use crate::hybrid::AccessOutcome;
+use std::ops::AddAssign;
+
+/// Hit/miss counters for one data kind (vertex or edge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Requests served by the high-priority scratchpad.
+    pub high_priority_hits: u64,
+    /// Requests served by the low-priority cache.
+    pub cache_hits: u64,
+    /// Requests that went off-chip.
+    pub misses: u64,
+}
+
+impl KindStats {
+    /// Records one access outcome.
+    pub fn record(&mut self, outcome: AccessOutcome) {
+        match outcome {
+            AccessOutcome::HighPriorityHit => self.high_priority_hits += 1,
+            AccessOutcome::CacheHit => self.cache_hits += 1,
+            AccessOutcome::Miss => self.misses += 1,
+        }
+    }
+
+    /// Total requests observed.
+    pub fn total(&self) -> u64 {
+        self.high_priority_hits + self.cache_hits + self.misses
+    }
+
+    /// Fraction of requests served on-chip — the "memory hit ratio" of
+    /// Fig. 12(a). Returns 1.0 when no request was observed.
+    pub fn on_chip_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            (self.high_priority_hits + self.cache_hits) as f64 / total as f64
+        }
+    }
+}
+
+impl AddAssign for KindStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.high_priority_hits += rhs.high_priority_hits;
+        self.cache_hits += rhs.cache_hits;
+        self.misses += rhs.misses;
+    }
+}
+
+/// Combined statistics for a whole [`crate::MemorySubsystem`]: vertex and
+/// edge banks are kept separate, as isolation is one of the paper's design
+/// points (§IV-A).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Counters for the vertex memory banks.
+    pub vertex: KindStats,
+    /// Counters for the edge memory banks.
+    pub edge: KindStats,
+}
+
+impl MemStats {
+    /// Total requests across both kinds.
+    pub fn total(&self) -> u64 {
+        self.vertex.total() + self.edge.total()
+    }
+
+    /// Total off-chip misses across both kinds.
+    pub fn total_misses(&self) -> u64 {
+        self.vertex.misses + self.edge.misses
+    }
+
+    /// Combined on-chip hit ratio.
+    pub fn on_chip_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            (total - self.total_misses()) as f64 / total as f64
+        }
+    }
+}
+
+impl AddAssign for MemStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.vertex += rhs.vertex;
+        self.edge += rhs.edge;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_ratio() {
+        let mut s = KindStats::default();
+        s.record(AccessOutcome::HighPriorityHit);
+        s.record(AccessOutcome::CacheHit);
+        s.record(AccessOutcome::Miss);
+        s.record(AccessOutcome::Miss);
+        assert_eq!(s.total(), 4);
+        assert!((s.on_chip_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_is_one() {
+        assert_eq!(KindStats::default().on_chip_ratio(), 1.0);
+        assert_eq!(MemStats::default().on_chip_ratio(), 1.0);
+    }
+
+    #[test]
+    fn add_assign_combines() {
+        let mut a = KindStats {
+            high_priority_hits: 1,
+            cache_hits: 2,
+            misses: 3,
+        };
+        a += KindStats {
+            high_priority_hits: 10,
+            cache_hits: 20,
+            misses: 30,
+        };
+        assert_eq!(a.total(), 66);
+    }
+
+    #[test]
+    fn memstats_combines_kinds() {
+        let m = MemStats {
+            vertex: KindStats {
+                high_priority_hits: 3,
+                cache_hits: 0,
+                misses: 1,
+            },
+            edge: KindStats {
+                high_priority_hits: 0,
+                cache_hits: 2,
+                misses: 2,
+            },
+        };
+        assert_eq!(m.total(), 8);
+        assert_eq!(m.total_misses(), 3);
+        assert!((m.on_chip_ratio() - 5.0 / 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,496 @@
+use crate::dram::{DramConfig, DramModel};
+use crate::hybrid::{AccessOutcome, HybridConfig, HybridMemory};
+use crate::stats::MemStats;
+
+/// Kind of graph data a memory request targets.
+///
+/// GRAMER isolates the two in separate banks "to avoid the potential
+/// access conflicts and data thrashing between them" (§IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataKind {
+    /// Vertex data (IDs are vertex IDs).
+    Vertex,
+    /// Edge data (IDs are adjacency-array slots).
+    Edge,
+}
+
+/// Service latencies of the on-chip structures, in accelerator cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// High-priority scratchpad hit.
+    pub scratchpad_cycles: u64,
+    /// Low-priority cache hit.
+    pub cache_cycles: u64,
+    /// Per-request occupancy of a partition port (crossbar + FIFO issue).
+    pub port_occupancy_cycles: u64,
+    /// Ports per (partition, kind) bank. Xilinx BRAMs are dual-ported, so
+    /// the default is 2.
+    pub ports_per_bank: usize,
+    /// Depth of each bank's request FIFO (Fig. 7's "Request Buffer").
+    /// When the FIFO is full, new requests stall until the oldest
+    /// outstanding one completes. `0` disables the bound.
+    pub request_fifo_depth: usize,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            scratchpad_cycles: 1,
+            cache_cycles: 2,
+            port_occupancy_cycles: 1,
+            ports_per_bank: 2,
+            request_fifo_depth: 8,
+        }
+    }
+}
+
+/// Configuration of a [`MemorySubsystem`].
+#[derive(Debug, Clone)]
+pub struct SubsystemConfig {
+    /// Number of banked partitions (the paper uses 8).
+    pub partitions: usize,
+    /// Template for each partition's vertex memory. The pinned mask is
+    /// global (membership is checked by global ID); the per-partition
+    /// cache receives `sets` sets each.
+    pub vertex: HybridConfig,
+    /// Template for each partition's edge memory.
+    pub edge: HybridConfig,
+    /// Partition-routing granularity for vertex items: partition =
+    /// `(id >> bits) % partitions`. Usually `0`.
+    pub vertex_route_bits: u32,
+    /// Partition-routing granularity for edge items. Should match the
+    /// edge cache's block size so a cache block never straddles
+    /// partitions.
+    pub edge_route_bits: u32,
+    /// Whether edge misses also prefetch the next block (the Prefetcher
+    /// of §III performs next-line prefetches; adjacency runs are walked
+    /// sequentially, so the next block is very likely needed). Prefetch
+    /// fills are free of port time but count as DRAM requests.
+    pub next_line_prefetch: bool,
+    /// On-chip latencies.
+    pub latency: LatencyConfig,
+    /// Off-chip DRAM model.
+    pub dram: DramConfig,
+}
+
+/// Result of a timed memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Cycle at which the requested datum is available.
+    pub finish: u64,
+    /// Where the request was served.
+    pub outcome: AccessOutcome,
+}
+
+/// The banked on-chip memory of Fig. 7 plus the off-chip DRAM behind it.
+///
+/// Requests are routed to partition `id % partitions`; each partition has
+/// an isolated vertex memory and edge memory and a single request port, so
+/// concurrent requests to the same partition serialize — the contention
+/// that caps pipeline scaling in Fig. 13(a).
+///
+/// # Example
+///
+/// ```
+/// use gramer_memsim::{
+///     DataKind, DramConfig, HybridConfig, LatencyConfig, MemorySubsystem, SubsystemConfig,
+/// };
+/// use gramer_memsim::policy::PolicyKind;
+///
+/// let hybrid = HybridConfig { pinned: vec![true; 4], sets: 2, ways: 2, block_bits: 0,
+///                             policy: PolicyKind::default() };
+/// let cfg = SubsystemConfig {
+///     partitions: 2,
+///     vertex: hybrid.clone(),
+///     edge: hybrid,
+///     vertex_route_bits: 0,
+///     edge_route_bits: 0,
+///     next_line_prefetch: false,
+///     latency: LatencyConfig::default(),
+///     dram: DramConfig::default(),
+/// };
+/// let mut mem = MemorySubsystem::new(cfg);
+/// let c = mem.access(DataKind::Vertex, 0, 0, 0);
+/// assert!(c.outcome.is_on_chip());
+/// ```
+#[derive(Debug)]
+pub struct MemorySubsystem {
+    vertex_banks: Vec<HybridMemory>,
+    edge_banks: Vec<HybridMemory>,
+    /// Request ports per (partition, kind): the vertex/edge isolation of
+    /// §IV-A means the two never contend with each other, and each BRAM
+    /// bank exposes `ports_per_bank` ports. Laid out as
+    /// `partition * ports_per_bank + port`.
+    vertex_port_free: Vec<u64>,
+    edge_port_free: Vec<u64>,
+    ports_per_bank: usize,
+    vertex_route_bits: u32,
+    edge_route_bits: u32,
+    next_line_prefetch: bool,
+    prefetches: u64,
+    /// Completion times of in-flight requests per (partition, kind) FIFO;
+    /// bounded by `request_fifo_depth`.
+    vertex_fifo: Vec<std::collections::VecDeque<u64>>,
+    edge_fifo: Vec<std::collections::VecDeque<u64>>,
+    dram: DramModel,
+    latency: LatencyConfig,
+}
+
+impl MemorySubsystem {
+    /// Builds the subsystem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.partitions == 0` or a hybrid config is degenerate.
+    pub fn new(config: SubsystemConfig) -> Self {
+        assert!(config.partitions > 0, "need at least one partition");
+        let vertex_banks = (0..config.partitions)
+            .map(|_| HybridMemory::new(DataKind::Vertex, config.vertex.clone()))
+            .collect();
+        let edge_banks = (0..config.partitions)
+            .map(|_| HybridMemory::new(DataKind::Edge, config.edge.clone()))
+            .collect();
+        MemorySubsystem {
+            vertex_banks,
+            edge_banks,
+            vertex_port_free: vec![0; config.partitions * config.latency.ports_per_bank.max(1)],
+            edge_port_free: vec![0; config.partitions * config.latency.ports_per_bank.max(1)],
+            ports_per_bank: config.latency.ports_per_bank.max(1),
+            vertex_route_bits: config.vertex_route_bits,
+            edge_route_bits: config.edge_route_bits,
+            next_line_prefetch: config.next_line_prefetch,
+            prefetches: 0,
+            vertex_fifo: vec![Default::default(); config.partitions],
+            edge_fifo: vec![Default::default(); config.partitions],
+            dram: DramModel::new(config.dram),
+            latency: config.latency,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.vertex_banks.len()
+    }
+
+    /// Performs a timed access to `item` of `kind` (priority rank `rank`)
+    /// issued at cycle `now`.
+    pub fn access(&mut self, kind: DataKind, item: u64, rank: u32, now: u64) -> Completion {
+        let partitions = self.vertex_banks.len() as u64;
+        let route_bits = match kind {
+            DataKind::Vertex => self.vertex_route_bits,
+            DataKind::Edge => self.edge_route_bits,
+        };
+        let p = ((item >> route_bits) % partitions) as usize;
+
+        // Request-FIFO admission (Fig. 7): a full buffer stalls the
+        // request until its oldest outstanding entry drains.
+        let mut admit = now;
+        let depth = self.latency.request_fifo_depth;
+        if depth > 0 {
+            let fifo = match kind {
+                DataKind::Vertex => &mut self.vertex_fifo[p],
+                DataKind::Edge => &mut self.edge_fifo[p],
+            };
+            while let Some(&front) = fifo.front() {
+                if front <= admit {
+                    fifo.pop_front();
+                } else if fifo.len() >= depth {
+                    admit = front;
+                    fifo.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let ports = match kind {
+            DataKind::Vertex => &mut self.vertex_port_free,
+            DataKind::Edge => &mut self.edge_port_free,
+        };
+        // Earliest-free port of the bank.
+        let base = p * self.ports_per_bank;
+        let port = (base..base + self.ports_per_bank)
+            .min_by_key(|&i| ports[i])
+            .expect("bank has at least one port");
+        let start = admit.max(ports[port]);
+        ports[port] = start + self.latency.port_occupancy_cycles;
+
+        let bank = match kind {
+            DataKind::Vertex => &mut self.vertex_banks[p],
+            DataKind::Edge => &mut self.edge_banks[p],
+        };
+        // Densify the item ID for the bank's cache: the routing unit
+        // (block) index is divided by the partition count so modulo set
+        // indexing inside the bank stays uniform.
+        let unit = item >> route_bits;
+        let offset = item & ((1u64 << route_bits) - 1);
+        let local_item = ((unit / partitions) << route_bits) | offset;
+        let outcome = bank.access_routed(item, local_item, rank);
+        let finish = match outcome {
+            AccessOutcome::HighPriorityHit => start + self.latency.scratchpad_cycles,
+            AccessOutcome::CacheHit => start + self.latency.cache_cycles,
+            AccessOutcome::Miss => self.dram.service(start),
+        };
+
+        // Record the in-flight request in the FIFO.
+        if self.latency.request_fifo_depth > 0 {
+            let fifo = match kind {
+                DataKind::Vertex => &mut self.vertex_fifo[p],
+                DataKind::Edge => &mut self.edge_fifo[p],
+            };
+            fifo.push_back(finish);
+        }
+
+        // Next-line prefetch: on an edge miss, pull the following block
+        // too (adjacency runs are walked sequentially). The prefetched
+        // block may live in a different partition; it costs a DRAM
+        // request but no port time on the demand path.
+        if self.next_line_prefetch
+            && kind == DataKind::Edge
+            && outcome == AccessOutcome::Miss
+        {
+            let next_unit = unit + 1;
+            let next_item = next_unit << route_bits;
+            let np = (next_unit % partitions) as usize;
+            let next_local = ((next_unit / partitions) << route_bits) | offset;
+            let next_rank = rank.saturating_add(1);
+            if self.edge_banks[np].prefetch(next_item, next_local, next_rank) {
+                self.prefetches += 1;
+                self.dram.service(start);
+            }
+        }
+        Completion { finish, outcome }
+    }
+
+    /// Number of next-line prefetch fills performed.
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+
+    /// Untimed access (statistics only) — used by hit-ratio studies such
+    /// as Fig. 12(a) where queueing is irrelevant.
+    pub fn access_untimed(&mut self, kind: DataKind, item: u64, rank: u32) -> AccessOutcome {
+        self.access(kind, item, rank, 0).outcome
+    }
+
+    /// Aggregated statistics over all partitions.
+    pub fn stats(&self) -> MemStats {
+        let mut stats = MemStats::default();
+        for b in &self.vertex_banks {
+            stats.vertex += *b.stats();
+        }
+        for b in &self.edge_banks {
+            stats.edge += *b.stats();
+        }
+        stats
+    }
+
+    /// Total DRAM requests issued.
+    pub fn dram_requests(&self) -> u64 {
+        self.dram.requests()
+    }
+
+    /// Clears all dynamic state (cache contents, ports, DRAM queues,
+    /// statistics). Scratchpad membership is retained.
+    pub fn reset(&mut self) {
+        for b in self.vertex_banks.iter_mut().chain(self.edge_banks.iter_mut()) {
+            b.reset();
+        }
+        self.vertex_port_free.fill(0);
+        self.edge_port_free.fill(0);
+        for f in self.vertex_fifo.iter_mut().chain(self.edge_fifo.iter_mut()) {
+            f.clear();
+        }
+        self.prefetches = 0;
+        self.dram.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    fn subsystem(partitions: usize) -> MemorySubsystem {
+        let hybrid = HybridConfig {
+            pinned: vec![true, true, false, false, false, false, false, false],
+            sets: 2,
+            ways: 2,
+            block_bits: 0,
+            policy: PolicyKind::Lru,
+        };
+        MemorySubsystem::new(SubsystemConfig {
+            partitions,
+            vertex: hybrid.clone(),
+            edge: hybrid,
+            vertex_route_bits: 0,
+            edge_route_bits: 0,
+            next_line_prefetch: false,
+            latency: LatencyConfig::default(),
+            dram: DramConfig {
+                channels: 1,
+                latency_cycles: 40,
+                occupancy_cycles: 4,
+            },
+        })
+    }
+
+    #[test]
+    fn pinned_hits_have_scratchpad_latency() {
+        let mut mem = subsystem(2);
+        let c = mem.access(DataKind::Vertex, 0, 0, 5);
+        assert_eq!(c.outcome, AccessOutcome::HighPriorityHit);
+        assert_eq!(c.finish, 6);
+    }
+
+    #[test]
+    fn same_partition_serializes_beyond_dual_ports() {
+        // Pin everything so latency differences don't mask port queueing.
+        let hybrid = HybridConfig {
+            pinned: vec![true; 8],
+            sets: 2,
+            ways: 2,
+            block_bits: 0,
+            policy: PolicyKind::Lru,
+        };
+        let mut mem = MemorySubsystem::new(SubsystemConfig {
+            partitions: 2,
+            vertex: hybrid.clone(),
+            edge: hybrid,
+            vertex_route_bits: 0,
+            edge_route_bits: 0,
+            next_line_prefetch: false,
+            latency: LatencyConfig::default(),
+            dram: DramConfig::default(),
+        });
+        // Items 0, 2, 4 all map to partition 0; its bank has 2 ports, so
+        // the first two proceed in parallel and the third queues.
+        let a = mem.access(DataKind::Vertex, 0, 0, 0);
+        let b = mem.access(DataKind::Vertex, 2, 2, 0);
+        let c = mem.access(DataKind::Vertex, 4, 4, 0);
+        assert_eq!(a.finish, b.finish, "dual ports should serve two at once");
+        assert!(c.finish > b.finish, "port contention not modeled");
+    }
+
+    #[test]
+    fn different_partitions_parallel() {
+        let mut mem = subsystem(2);
+        let a = mem.access(DataKind::Vertex, 0, 0, 0);
+        let b = mem.access(DataKind::Vertex, 1, 1, 0);
+        assert_eq!(a.finish, 1);
+        assert_eq!(b.finish, 1);
+    }
+
+    #[test]
+    fn vertex_and_edge_banks_are_isolated() {
+        let mut mem = subsystem(1);
+        // Same item id on different kinds must not thrash each other.
+        mem.access(DataKind::Vertex, 4, 4, 0);
+        mem.access(DataKind::Edge, 4, 4, 0);
+        let s = mem.stats();
+        assert_eq!(s.vertex.misses, 1);
+        assert_eq!(s.edge.misses, 1);
+        // Second round: both hit in their own banks.
+        assert!(mem.access(DataKind::Vertex, 4, 4, 10).outcome.is_on_chip());
+        assert!(mem.access(DataKind::Edge, 4, 4, 10).outcome.is_on_chip());
+    }
+
+    #[test]
+    fn misses_go_to_dram() {
+        let mut mem = subsystem(1);
+        let c = mem.access(DataKind::Edge, 7, 7, 0);
+        assert_eq!(c.outcome, AccessOutcome::Miss);
+        assert!(c.finish >= 40);
+        assert_eq!(mem.dram_requests(), 1);
+    }
+
+    #[test]
+    fn full_request_fifo_stalls_new_requests() {
+        let hybrid = HybridConfig {
+            pinned: Vec::new(),
+            sets: 4,
+            ways: 4,
+            block_bits: 0,
+            policy: PolicyKind::Lru,
+        };
+        let mk = |depth: usize| {
+            MemorySubsystem::new(SubsystemConfig {
+                partitions: 1,
+                vertex: hybrid.clone(),
+                edge: hybrid.clone(),
+                vertex_route_bits: 0,
+                edge_route_bits: 0,
+                next_line_prefetch: false,
+                latency: LatencyConfig {
+                    request_fifo_depth: depth,
+                    ..LatencyConfig::default()
+                },
+                dram: DramConfig {
+                    channels: 8,
+                    latency_cycles: 100,
+                    occupancy_cycles: 1,
+                },
+            })
+        };
+        // Two cold misses issued back-to-back at t=0.
+        let mut bounded = mk(1);
+        let a = bounded.access(DataKind::Vertex, 0, 0, 0);
+        let b = bounded.access(DataKind::Vertex, 1, 1, 0);
+        // Depth-1 FIFO: the second must wait for the first to complete.
+        assert!(b.finish >= a.finish + 100, "{} vs {}", b.finish, a.finish);
+
+        let mut unbounded = mk(0);
+        let a = unbounded.access(DataKind::Vertex, 0, 0, 0);
+        let b = unbounded.access(DataKind::Vertex, 1, 1, 0);
+        assert!(b.finish < a.finish + 100);
+    }
+
+    #[test]
+    fn next_line_prefetch_serves_sequential_walks() {
+        let mk = |prefetch: bool| {
+            let hybrid = HybridConfig {
+                pinned: Vec::new(),
+                sets: 16,
+                ways: 4,
+                block_bits: 2,
+                policy: PolicyKind::Lru,
+            };
+            MemorySubsystem::new(SubsystemConfig {
+                partitions: 2,
+                vertex: hybrid.clone(),
+                edge: hybrid,
+                vertex_route_bits: 0,
+                edge_route_bits: 2,
+                next_line_prefetch: prefetch,
+                latency: LatencyConfig::default(),
+                dram: DramConfig::default(),
+            })
+        };
+        let walk = |mem: &mut MemorySubsystem| {
+            let mut now = 0;
+            for slot in 0..64u64 {
+                now = mem.access(DataKind::Edge, slot, 0, now).finish;
+            }
+            now
+        };
+        let mut plain = mk(false);
+        let mut pf = mk(true);
+        let t_plain = walk(&mut plain);
+        let t_pf = walk(&mut pf);
+        assert!(pf.prefetches() > 0);
+        assert!(
+            pf.stats().edge.misses < plain.stats().edge.misses,
+            "prefetch did not reduce demand misses"
+        );
+        assert!(t_pf < t_plain, "prefetch did not speed up the walk");
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut mem = subsystem(2);
+        mem.access(DataKind::Vertex, 3, 3, 0);
+        mem.reset();
+        assert_eq!(mem.stats().total(), 0);
+        assert_eq!(mem.dram_requests(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Access-frequency tracing.
+//!
+//! The paper's motivating studies rank every vertex and edge by how many
+//! memory requests it receives (footnote 1, §II-D) and then measure how
+//! much of the traffic the top 5% absorbs (Fig. 5) and how well the ON_k
+//! heuristics predict that top set (Fig. 8). This module is that offline
+//! analysis.
+
+/// Per-item access counters for one data kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessCounter {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl AccessCounter {
+    /// Creates a counter over `items` item IDs.
+    pub fn new(items: usize) -> Self {
+        AccessCounter {
+            counts: vec![0; items],
+            total: 0,
+        }
+    }
+
+    /// Records one access to `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `item` is out of range.
+    #[inline]
+    pub fn record(&mut self, item: usize) {
+        self.counts[item] += 1;
+        self.total += 1;
+    }
+
+    /// Total accesses recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw per-item counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of tracked items.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the counter tracks no items.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Merges another counter over the same item universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn merge(&mut self, other: &AccessCounter) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Items sorted by descending access count (ties by ascending ID) —
+    /// the "ideal" ranking the heuristics are judged against.
+    pub fn ranking(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.counts.len()).collect();
+        order.sort_by(|&a, &b| self.counts[b].cmp(&self.counts[a]).then(a.cmp(&b)));
+        order
+    }
+
+    /// Membership mask of the top `frac` items by access count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `0.0..=1.0`.
+    pub fn top_fraction_mask(&self, frac: f64) -> Vec<bool> {
+        assert!((0.0..=1.0).contains(&frac), "fraction out of range");
+        let keep = ((self.counts.len() as f64 * frac).round() as usize).min(self.counts.len());
+        let mut mask = vec![false; self.counts.len()];
+        for &i in self.ranking().iter().take(keep) {
+            mask[i] = true;
+        }
+        mask
+    }
+
+    /// Fraction of all recorded accesses that hit the top `frac` items by
+    /// count — the y-axis of Fig. 5.
+    pub fn top_share(&self, frac: f64) -> f64 {
+        self.share_of_mask(&self.top_fraction_mask(frac))
+    }
+
+    /// Fraction of all recorded accesses that hit items in `mask` (e.g.
+    /// the set predicted by an ON_k heuristic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length differs from the universe.
+    pub fn share_of_mask(&self, mask: &[bool]) -> f64 {
+        assert_eq!(mask.len(), self.counts.len());
+        if self.total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self
+            .counts
+            .iter()
+            .zip(mask)
+            .filter_map(|(&c, &m)| m.then_some(c))
+            .sum();
+        covered as f64 / self.total as f64
+    }
+}
+
+/// Paired vertex/edge counters for one mining iteration (the per-iteration
+/// series of Fig. 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationTrace {
+    /// Vertex access counter.
+    pub vertex: AccessCounter,
+    /// Edge (adjacency-slot) access counter.
+    pub edge: AccessCounter,
+}
+
+impl IterationTrace {
+    /// Creates counters over `vertices` vertex IDs and `edge_slots`
+    /// adjacency slots.
+    pub fn new(vertices: usize, edge_slots: usize) -> Self {
+        IterationTrace {
+            vertex: AccessCounter::new(vertices),
+            edge: AccessCounter::new(edge_slots),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_share_concentrated() {
+        let mut c = AccessCounter::new(100);
+        for _ in 0..95 {
+            c.record(7);
+        }
+        for i in 0..5 {
+            c.record(i);
+        }
+        // top 5% = 5 items; item 7 alone holds 95% of traffic.
+        assert!(c.top_share(0.05) > 0.95);
+    }
+
+    #[test]
+    fn uniform_traffic_top_share_is_proportional() {
+        let mut c = AccessCounter::new(100);
+        for i in 0..100 {
+            c.record(i);
+        }
+        assert!((c.top_share(0.05) - 0.05).abs() < 1e-12);
+        assert!((c.top_share(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn share_of_external_mask() {
+        let mut c = AccessCounter::new(4);
+        c.record(0);
+        c.record(0);
+        c.record(1);
+        c.record(2);
+        let mask = vec![true, false, true, false];
+        assert!((c.share_of_mask(&mask) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = AccessCounter::new(3);
+        a.record(0);
+        let mut b = AccessCounter::new(3);
+        b.record(0);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.counts(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn ranking_deterministic_on_ties() {
+        let mut c = AccessCounter::new(3);
+        c.record(1);
+        c.record(2);
+        assert_eq!(c.ranking(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_total_share_zero() {
+        let c = AccessCounter::new(5);
+        assert_eq!(c.top_share(0.2), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+use crate::pattern::{Pattern, PatternId, PatternInterner};
+use std::collections::HashMap;
+
+/// Occurrence counts per `(embedding size, pattern)` — the output set `O`
+/// of Algorithm 1 after reduction.
+#[derive(Debug, Default)]
+pub struct PatternCounts {
+    counts: HashMap<(u8, PatternId), u64>,
+}
+
+impl PatternCounts {
+    /// Creates an empty count table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` occurrences of `pattern` at `size` vertices.
+    pub fn add(&mut self, size: usize, pattern: PatternId, delta: u64) {
+        *self.counts.entry((size as u8, pattern)).or_insert(0) += delta;
+    }
+
+    /// Occurrences of `pattern` at `size`.
+    pub fn get(&self, size: usize, pattern: PatternId) -> u64 {
+        self.counts.get(&(size as u8, pattern)).copied().unwrap_or(0)
+    }
+
+    /// Total embeddings recorded at `size`.
+    pub fn total_at(&self, size: usize) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((s, _), _)| *s == size as u8)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Number of distinct `(size, pattern)` entries.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over `((size, pattern), count)` entries (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, PatternId, u64)> + '_ {
+        self.counts
+            .iter()
+            .map(|(&(s, p), &c)| (s as usize, p, c))
+    }
+
+    /// Entries sorted by size then pattern ID (deterministic reporting).
+    pub fn sorted(&self) -> Vec<(usize, PatternId, u64)> {
+        let mut v: Vec<_> = self.iter().collect();
+        v.sort_by_key(|&(s, p, _)| (s, p));
+        v
+    }
+}
+
+/// The result of a mining run: counts plus the interner that decodes
+/// pattern IDs, plus aggregate statistics.
+#[derive(Debug)]
+pub struct MiningResult {
+    /// Occurrence counts per (size, pattern).
+    pub counts: PatternCounts,
+    /// Pattern interner shared by all counts.
+    pub interner: PatternInterner,
+    /// Total embeddings accepted by the application (all sizes ≥ 2).
+    pub embeddings: u64,
+    /// Extension candidates examined, including rejected ones — the raw
+    /// workload volume driving memory traffic.
+    pub candidates_examined: u64,
+    /// Accepted embeddings indexed by size (`accepted_by_size[k]` = number
+    /// of `k`-vertex embeddings that passed the filter). This is exactly
+    /// the frontier a BFS system like RStream must materialise per
+    /// iteration, so the baseline disk model is derived from it.
+    pub accepted_by_size: Vec<u64>,
+    /// Extension candidates examined, indexed by the size the candidate
+    /// embedding would have. A relational BFS engine (RStream) produces
+    /// one join-output tuple per candidate before filtering, so this is
+    /// the write volume of its intermediate tables.
+    pub candidates_by_size: Vec<u64>,
+}
+
+impl MiningResult {
+    /// Sums counts at `size` over patterns satisfying `pred`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gramer_graph::generate;
+    /// use gramer_mining::{apps::MotifCounting, DfsEnumerator};
+    ///
+    /// let g = generate::cycle(5);
+    /// let r = DfsEnumerator::new(&g).run(&MotifCounting::new(3).unwrap());
+    /// // C5 has 5 wedges, no triangles.
+    /// assert_eq!(r.count_where(3, |p| !p.is_clique()), 5);
+    /// assert_eq!(r.count_where(3, |p| p.is_clique()), 0);
+    /// ```
+    pub fn count_where<F: Fn(&Pattern) -> bool>(&self, size: usize, pred: F) -> u64 {
+        self.counts
+            .iter()
+            .filter(|&(s, p, _)| s == size && pred(self.interner.pattern(p)))
+            .map(|(_, _, c)| c)
+            .sum()
+    }
+
+    /// Total embeddings recorded at `size`.
+    pub fn total_at(&self, size: usize) -> u64 {
+        self.counts.total_at(size)
+    }
+
+    /// Distinct patterns observed at `size`.
+    pub fn distinct_patterns_at(&self, size: usize) -> usize {
+        self.counts
+            .iter()
+            .filter(|&(s, _, c)| s == size && c > 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = PatternCounts::new();
+        c.add(3, PatternId(0), 2);
+        c.add(3, PatternId(0), 3);
+        c.add(4, PatternId(0), 1);
+        assert_eq!(c.get(3, PatternId(0)), 5);
+        assert_eq!(c.get(4, PatternId(0)), 1);
+        assert_eq!(c.get(5, PatternId(0)), 0);
+        assert_eq!(c.total_at(3), 5);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut c = PatternCounts::new();
+        c.add(4, PatternId(1), 1);
+        c.add(3, PatternId(2), 1);
+        c.add(3, PatternId(0), 1);
+        let s = c.sorted();
+        assert_eq!(
+            s,
+            vec![
+                (3, PatternId(0), 1),
+                (3, PatternId(2), 1),
+                (4, PatternId(1), 1)
+            ]
+        );
+    }
+}

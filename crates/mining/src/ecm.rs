@@ -1,0 +1,85 @@
+use crate::counts::PatternCounts;
+use crate::embedding::Embedding;
+use crate::pattern::PatternInterner;
+use gramer_graph::CsrGraph;
+
+/// An application expressed in the embedding-centric model of Algorithm 1.
+///
+/// The three primitives mirror Table I:
+///
+/// | primitive | role |
+/// |---|---|
+/// | [`aggregate_filter`](EcmApp::aggregate_filter) | prunes embeddings whose *pattern* is no longer viable before extension (FSM's frequency test) |
+/// | [`filter`](EcmApp::filter) | per-embedding admission (CF's `IsClique`) |
+/// | [`process`](EcmApp::process) | emits output for an accepted embedding (`(P(e), 1)` etc.) |
+///
+/// Embeddings failing `filter` are dropped *and not extended* (Algorithm 1
+/// keeps only filtered embeddings in the next frontier), which is what
+/// makes CF prune non-clique subtrees.
+pub trait EcmApp {
+    /// Human-readable name (e.g. `"4-CF"`).
+    fn name(&self) -> String;
+
+    /// Maximum number of vertices in an embedding (the paper's `ITER + 1`).
+    fn max_vertices(&self) -> usize;
+
+    /// Table I's `Aggregate_filter`: whether embeddings with `pattern`'s
+    /// current occurrence statistics should continue extending. Only the
+    /// level-synchronous [`crate::BfsEnumerator`] can evaluate this with
+    /// exact per-level counts; the DFS engines treat it as always-true and
+    /// apply thresholds at the end (Fractal-style).
+    fn aggregate_filter(&self, _pattern_count: u64) -> bool {
+        true
+    }
+
+    /// Table I's `Filter`: whether `emb` is admitted (and extended).
+    fn filter(&self, _graph: &CsrGraph, _emb: &Embedding) -> bool {
+        true
+    }
+
+    /// Table I's `Process`: record output for an accepted embedding.
+    fn process(
+        &self,
+        graph: &CsrGraph,
+        emb: &Embedding,
+        interner: &mut PatternInterner,
+        counts: &mut PatternCounts,
+    );
+
+    /// Whether this application needs per-level pattern aggregation (FSM).
+    fn uses_aggregation(&self) -> bool {
+        false
+    }
+}
+
+impl<A: EcmApp + ?Sized> EcmApp for &A {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn max_vertices(&self) -> usize {
+        (**self).max_vertices()
+    }
+
+    fn aggregate_filter(&self, pattern_count: u64) -> bool {
+        (**self).aggregate_filter(pattern_count)
+    }
+
+    fn filter(&self, graph: &CsrGraph, emb: &Embedding) -> bool {
+        (**self).filter(graph, emb)
+    }
+
+    fn process(
+        &self,
+        graph: &CsrGraph,
+        emb: &Embedding,
+        interner: &mut PatternInterner,
+        counts: &mut PatternCounts,
+    ) {
+        (**self).process(graph, emb, interner, counts)
+    }
+
+    fn uses_aggregation(&self) -> bool {
+        (**self).uses_aggregation()
+    }
+}

@@ -1,0 +1,266 @@
+use gramer_graph::VertexId;
+use std::fmt;
+
+/// Maximum number of vertices in an embedding.
+///
+/// GRAMER's ancestor buffers support an extension depth of 16 (§VI-A); the
+/// evaluation never exceeds 5-vertex patterns, and canonical pattern
+/// hashing packs adjacency into one byte per vertex, so 8 is comfortable.
+pub const MAX_EMBEDDING: usize = 8;
+
+/// A connected, vertex-induced embedding under construction.
+///
+/// Vertices are stored **in order of addition** — the order the
+/// canonicality check (§III, "Filter") and the ancestor-buffer compaction
+/// (§V-B) are defined over. Alongside each vertex the embedding keeps its
+/// adjacency bitmask over the embedding's own indices, so pattern
+/// extraction and clique tests need no further graph accesses.
+///
+/// # Example
+///
+/// ```
+/// use gramer_mining::Embedding;
+///
+/// let mut e = Embedding::single(4);
+/// e.push(7, 0b01); // vertex 7, adjacent to index 0 (vertex 4)
+/// assert_eq!(e.vertices(), &[4, 7]);
+/// assert!(e.is_clique());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Embedding {
+    verts: [VertexId; MAX_EMBEDDING],
+    adj: [u8; MAX_EMBEDDING],
+    len: u8,
+}
+
+impl Embedding {
+    /// The initial single-vertex embedding the prefetcher streams in.
+    pub fn single(v: VertexId) -> Self {
+        let mut e = Embedding {
+            verts: [0; MAX_EMBEDDING],
+            adj: [0; MAX_EMBEDDING],
+            len: 1,
+        };
+        e.verts[0] = v;
+        e
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the embedding is empty (only possible transiently).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The vertices in order of addition.
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.verts[..self.len as usize]
+    }
+
+    /// The vertex at addition-order index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn vertex(&self, i: usize) -> VertexId {
+        assert!(i < self.len());
+        self.verts[i]
+    }
+
+    /// Adjacency bitmask of the vertex at index `i` over embedding indices
+    /// (bit `j` set ⇔ `vertex(i)` and `vertex(j)` are connected in the
+    /// input graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn adjacency_row(&self, i: usize) -> u8 {
+        assert!(i < self.len());
+        self.adj[i]
+    }
+
+    /// Whether vertex `v` is already part of the embedding.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices().contains(&v)
+    }
+
+    /// Appends vertex `v` whose connectivity to the existing vertices is
+    /// `adj_row` (bit `j` ⇔ adjacent to `vertex(j)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedding is full or `adj_row` has bits at or above
+    /// the current length.
+    pub fn push(&mut self, v: VertexId, adj_row: u8) {
+        let n = self.len as usize;
+        assert!(n < MAX_EMBEDDING, "embedding full");
+        assert!(
+            adj_row & !((1u8 << n) - 1) == 0,
+            "adjacency row references future vertices"
+        );
+        self.verts[n] = v;
+        self.adj[n] = adj_row;
+        for (j, row) in self.adj.iter_mut().enumerate().take(n) {
+            if adj_row & (1 << j) != 0 {
+                *row |= 1 << n;
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes the most recently added vertex (the traceback of §V-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedding is empty.
+    pub fn pop(&mut self) {
+        assert!(self.len > 0, "pop on empty embedding");
+        let n = self.len as usize - 1;
+        let mask = !(1u8 << n);
+        for row in self.adj.iter_mut().take(n) {
+            *row &= mask;
+        }
+        self.verts[n] = 0;
+        self.adj[n] = 0;
+        self.len -= 1;
+    }
+
+    /// Number of edges between embedding vertices.
+    pub fn edge_count(&self) -> usize {
+        let n = self.len as usize;
+        self.adj[..n]
+            .iter()
+            .map(|r| r.count_ones() as usize)
+            .sum::<usize>()
+            / 2
+    }
+
+    /// Whether the embedding induces a complete subgraph — Table I's
+    /// `IsClique` filter.
+    pub fn is_clique(&self) -> bool {
+        let n = self.len as usize;
+        self.adj[..n]
+            .iter()
+            .all(|r| r.count_ones() as usize == n - 1)
+    }
+
+    /// Whether the induced subgraph is connected (true by construction for
+    /// embeddings grown through [`crate::Explorer`]; exposed for tests).
+    pub fn is_connected(&self) -> bool {
+        let n = self.len as usize;
+        if n == 0 {
+            return false;
+        }
+        let mut seen = 1u8;
+        let mut frontier = 1u8;
+        while frontier != 0 {
+            let mut next = 0u8;
+            for i in 0..n {
+                if frontier & (1 << i) != 0 {
+                    next |= self.adj[i];
+                }
+            }
+            frontier = next & !seen;
+            seen |= next;
+        }
+        seen.count_ones() as usize >= n
+    }
+}
+
+impl fmt::Debug for Embedding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Embedding{:?}", self.vertices())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Embedding {
+        let mut e = Embedding::single(10);
+        e.push(20, 0b001);
+        e.push(30, 0b011);
+        e
+    }
+
+    #[test]
+    fn push_updates_both_rows() {
+        let e = triangle();
+        assert_eq!(e.adjacency_row(0), 0b110);
+        assert_eq!(e.adjacency_row(1), 0b101);
+        assert_eq!(e.adjacency_row(2), 0b011);
+        assert_eq!(e.edge_count(), 3);
+        assert!(e.is_clique());
+    }
+
+    #[test]
+    fn pop_restores_previous_state() {
+        let mut e = triangle();
+        let before = e;
+        e.push(40, 0b100);
+        e.pop();
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn wedge_is_not_clique_but_connected() {
+        let mut e = Embedding::single(1);
+        e.push(2, 0b01);
+        e.push(3, 0b010); // adjacent only to vertex index 1
+        assert!(!e.is_clique());
+        assert!(e.is_connected());
+        assert_eq!(e.edge_count(), 2);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut e = Embedding::single(1);
+        e.push(2, 0b01);
+        // Manually build a disconnected embedding (explorer never would).
+        let mut d = Embedding::single(1);
+        d.push(2, 0b00);
+        assert!(e.is_connected());
+        assert!(!d.is_connected());
+    }
+
+    #[test]
+    fn contains_and_accessors() {
+        let e = triangle();
+        assert!(e.contains(20));
+        assert!(!e.contains(99));
+        assert_eq!(e.vertex(1), 20);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn overfull_panics() {
+        let mut e = Embedding::single(0);
+        for i in 1..MAX_EMBEDDING as u32 {
+            e.push(i, 1);
+        }
+        e.push(99, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn bad_adj_row_panics() {
+        let mut e = Embedding::single(0);
+        e.push(1, 0b10);
+    }
+
+    #[test]
+    fn debug_shows_vertices() {
+        assert_eq!(format!("{:?}", triangle()), "Embedding[10, 20, 30]");
+    }
+}

@@ -1,0 +1,86 @@
+use gramer_graph::VertexId;
+
+/// Receives the memory accesses the extension process performs.
+///
+/// The paper's key characterisation (§II-B) is that graph mining issues
+/// random accesses on *both* vertex and edge data; everything downstream —
+/// the Fig. 3 stall study, the Fig. 5 locality traces, and the
+/// accelerator's cycle accounting — consumes exactly this event stream.
+///
+/// `size` is the number of vertices in the embedding being extended when
+/// the access occurred, i.e. the access belongs to iteration `size` in the
+/// paper's per-iteration figures.
+pub trait AccessObserver {
+    /// A random access to vertex `v`'s data (CSR row / label read).
+    fn vertex_access(&mut self, v: VertexId, size: usize);
+
+    /// A random access to the adjacency slot `slot` (edge data read,
+    /// either a neighbor-list walk or a connectivity check probe).
+    fn edge_access(&mut self, slot: usize, size: usize);
+}
+
+/// An observer that ignores everything (zero-overhead mining).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl AccessObserver for NullObserver {
+    #[inline]
+    fn vertex_access(&mut self, _v: VertexId, _size: usize) {}
+
+    #[inline]
+    fn edge_access(&mut self, _slot: usize, _size: usize) {}
+}
+
+/// An observer that counts accesses, optionally split by iteration.
+#[derive(Debug, Clone, Default)]
+pub struct CountingObserver {
+    /// Total vertex accesses.
+    pub vertex_accesses: u64,
+    /// Total edge accesses.
+    pub edge_accesses: u64,
+}
+
+impl AccessObserver for CountingObserver {
+    fn vertex_access(&mut self, _v: VertexId, _size: usize) {
+        self.vertex_accesses += 1;
+    }
+
+    fn edge_access(&mut self, _slot: usize, _size: usize) {
+        self.edge_accesses += 1;
+    }
+}
+
+impl<T: AccessObserver + ?Sized> AccessObserver for &mut T {
+    fn vertex_access(&mut self, v: VertexId, size: usize) {
+        (**self).vertex_access(v, size);
+    }
+
+    fn edge_access(&mut self, slot: usize, size: usize) {
+        (**self).edge_access(slot, size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_observer_counts() {
+        let mut c = CountingObserver::default();
+        c.vertex_access(3, 1);
+        c.edge_access(5, 1);
+        c.edge_access(6, 2);
+        assert_eq!(c.vertex_accesses, 1);
+        assert_eq!(c.edge_accesses, 2);
+    }
+
+    #[test]
+    fn mut_ref_forwarding() {
+        let mut c = CountingObserver::default();
+        {
+            let mut r = &mut c;
+            r.vertex_access(0, 1);
+        }
+        assert_eq!(c.vertex_accesses, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Clique hunter: sweep clique sizes on a dataset analog and compare the
+//! accelerator against the modeled CPU baselines — a miniature of the
+//! paper's Table III workflow.
+//!
+//! ```sh
+//! cargo run --release --example clique_hunter
+//! ```
+
+use gramer_suite::gramer::{preprocess, GramerConfig, Simulator};
+use gramer_suite::gramer_baselines::{profile_on_cpu, FractalModel, RstreamModel};
+use gramer_suite::gramer_graph::datasets::Dataset;
+use gramer_suite::gramer_mining::apps::CliqueFinding;
+
+fn main() {
+    let graph = Dataset::P2p.generate_scaled(2);
+    println!(
+        "graph: {} analog, {} vertices, {} edges\n",
+        Dataset::P2p,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "k", "cliques", "GRAMER(s)", "Fractal(s)", "RStream", "Fr/Gr", "RS/Gr"
+    );
+
+    let config = GramerConfig::default();
+    let pre = preprocess(&graph, &config);
+    let fractal = FractalModel::default();
+    let rstream = RstreamModel::default();
+
+    for k in 3..=5 {
+        let app = CliqueFinding::new(k).expect("valid k");
+        let report = Simulator::new(&pre, config.clone()).run(&app);
+        let profile = profile_on_cpu(&graph, &app);
+        let fr = fractal.estimate_seconds(&profile);
+        let rs = rstream.estimate(&profile);
+        let rs_ratio = rs
+            .seconds()
+            .map(|s| format!("{:7.1}x", s / report.seconds))
+            .unwrap_or_else(|| "     n/a".into());
+        println!(
+            "{:<6} {:>12} {:>12.5} {:>12.4} {:>12} {:>7.1}x {}",
+            format!("{k}-CF"),
+            report.result.total_at(k),
+            report.seconds,
+            fr,
+            rs.to_string(),
+            fr / report.seconds,
+            rs_ratio
+        );
+    }
+}

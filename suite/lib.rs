@@ -1,0 +1,13 @@
+//! Umbrella crate for the GRAMER reproduction workspace.
+//!
+//! This crate re-exports the workspace members so the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/` can use a
+//! single dependency. Library users should depend on the individual crates
+//! ([`gramer`], [`gramer_graph`], [`gramer_mining`], [`gramer_memsim`],
+//! [`gramer_baselines`]) directly.
+
+pub use gramer;
+pub use gramer_baselines;
+pub use gramer_graph;
+pub use gramer_memsim;
+pub use gramer_mining;

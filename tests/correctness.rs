@@ -1,0 +1,224 @@
+//! Cross-crate correctness: the accelerator simulator, the software DFS
+//! and BFS engines, and a brute-force oracle must all agree on mining
+//! results, under every configuration knob.
+
+use gramer_suite::gramer::{preprocess, GramerConfig, MemoryBudget, MemoryMode, Simulator};
+use gramer_suite::gramer_graph::{datasets::Dataset, generate};
+use gramer_suite::gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
+use gramer_suite::gramer_mining::brute::{brute_force_counts, total_connected};
+use gramer_suite::gramer_mining::{BfsEnumerator, DfsEnumerator, EcmApp};
+
+fn simulate<A: EcmApp>(graph: &gramer_suite::gramer_graph::CsrGraph, app: &A, cfg: GramerConfig) -> gramer_suite::gramer::RunReport {
+    let pre = preprocess(graph, &cfg);
+    Simulator::new(&pre, cfg).run(app)
+}
+
+#[test]
+fn accelerator_matches_brute_force_oracle() {
+    // Small random graphs, every engine, per-pattern equality.
+    for seed in 0..3 {
+        let g = generate::erdos_renyi(16, 30, seed);
+        let app = MotifCounting::new(4).expect("valid");
+        let oracle = brute_force_counts(&g, 4);
+        let report = simulate(&g, &app, GramerConfig::default());
+        for size in 3..=4 {
+            assert_eq!(
+                report.result.total_at(size),
+                total_connected(&oracle, size),
+                "seed {seed} size {size}"
+            );
+        }
+        for (size, pid, count) in report.result.counts.sorted() {
+            let p = report.result.interner.pattern(pid);
+            // The simulator mines the reordered graph; for the unlabeled
+            // case patterns are relabel-invariant so the oracle counts
+            // must match per canonical pattern.
+            assert_eq!(
+                oracle.get(&(size, *p)).copied().unwrap_or(0),
+                count,
+                "seed {seed} size {size} {p:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_engines_agree_on_dataset_analogs() {
+    let g = Dataset::Citeseer.generate_scaled(4);
+    let app = CliqueFinding::new(4).expect("valid");
+
+    let dfs = DfsEnumerator::new(&g).run(&app);
+    let (bfs, _) = BfsEnumerator::new(&g).run(&app);
+    let accel = simulate(&g, &app, GramerConfig::default());
+
+    assert_eq!(dfs.total_at(4), bfs.total_at(4));
+    assert_eq!(dfs.total_at(4), accel.result.total_at(4));
+    assert_eq!(dfs.embeddings, accel.result.embeddings);
+    assert_eq!(dfs.candidates_examined, accel.result.candidates_examined);
+    assert_eq!(dfs.accepted_by_size, accel.result.accepted_by_size);
+}
+
+#[test]
+fn results_invariant_under_every_config_knob() {
+    let g = generate::chung_lu(400, 1200, 2.4, 3);
+    let app = MotifCounting::new(3).expect("valid");
+    let baseline = simulate(&g, &app, GramerConfig::default()).result.total_at(3);
+
+    let variants = [
+        GramerConfig {
+            slots_per_pu: 1,
+            ..GramerConfig::default()
+        },
+        GramerConfig {
+            num_pus: 3,
+            ..GramerConfig::default()
+        },
+        GramerConfig {
+            work_stealing: false,
+            ..GramerConfig::default()
+        },
+        GramerConfig {
+            static_dispatch: true,
+            ..GramerConfig::default()
+        },
+        GramerConfig {
+            partitions: 2,
+            ..GramerConfig::default()
+        },
+        GramerConfig {
+            memory_mode: MemoryMode::UniformLru,
+            budget: MemoryBudget::Fraction(0.05),
+            ..GramerConfig::default()
+        },
+        GramerConfig {
+            memory_mode: MemoryMode::StaticLru,
+            tau: Some(0.02),
+            ..GramerConfig::default()
+        },
+        GramerConfig {
+            lambda: 8.0,
+            budget: MemoryBudget::Fraction(0.1),
+            ..GramerConfig::default()
+        },
+    ];
+    for (i, cfg) in variants.into_iter().enumerate() {
+        assert_eq!(
+            simulate(&g, &app, cfg).result.total_at(3),
+            baseline,
+            "config variant {i} changed mining results"
+        );
+    }
+}
+
+#[test]
+fn fsm_frequent_patterns_agree_between_accelerator_and_reference() {
+    let g = generate::with_random_labels(&generate::chung_lu(300, 900, 2.5, 5), 3, 5);
+    let app = FrequentSubgraphMining::new(20);
+
+    let reference = DfsEnumerator::new(&g).run(&app);
+    let accel = simulate(&g, &app, GramerConfig::default());
+
+    let ref_patterns = app.frequent_patterns(&reference);
+    let accel_patterns = app.frequent_patterns(&accel.result);
+    assert_eq!(ref_patterns.len(), accel_patterns.len());
+    // Same multiset of (pattern, count); labels survive the reordering.
+    let mut a: Vec<_> = ref_patterns.iter().map(|(p, c)| (**p, *c)).collect();
+    let mut b: Vec<_> = accel_patterns.iter().map(|(p, c)| (**p, *c)).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn triangle_oracle_agrees_with_mining_and_accelerator() {
+    use gramer_suite::gramer_graph::algo;
+    for seed in 0..4 {
+        let g = generate::chung_lu(500, 1500, 2.4, seed);
+        let oracle = algo::triangle_count(&g);
+        let app = CliqueFinding::new(3).expect("valid");
+        let software = DfsEnumerator::new(&g).run(&app).total_at(3);
+        let accel = simulate(&g, &app, GramerConfig::default())
+            .result
+            .total_at(3);
+        assert_eq!(oracle, software, "seed {seed}");
+        assert_eq!(oracle, accel, "seed {seed}");
+    }
+}
+
+#[test]
+fn core_numbers_bound_mined_cliques() {
+    use gramer_suite::gramer_graph::algo;
+    let g = generate::chung_lu(400, 1600, 2.3, 7);
+    let bound = algo::max_clique_upper_bound(&g);
+    // Find the largest k with a non-zero k-clique count (k <= 5 tested).
+    let mut largest = 0;
+    for k in 3..=5.min(bound) {
+        let r = DfsEnumerator::new(&g).run(&CliqueFinding::new(k).expect("valid"));
+        if r.total_at(k) > 0 {
+            largest = k;
+        }
+    }
+    assert!(largest <= bound, "mined K{largest} beyond core bound {bound}");
+}
+
+#[test]
+fn motif_census_patterns_are_all_connected_patterns() {
+    use gramer_suite::gramer_mining::Pattern;
+    let g = generate::chung_lu(300, 1200, 2.3, 9);
+    let r = DfsEnumerator::new(&g).run(&MotifCounting::new(4).expect("valid"));
+    let catalog = Pattern::all_connected(4);
+    for (size, pid, count) in r.counts.sorted() {
+        if size != 4 || count == 0 {
+            continue;
+        }
+        let p = r.interner.pattern(pid);
+        assert!(catalog.contains(p), "census produced unknown pattern {p:?}");
+    }
+    assert!(r.distinct_patterns_at(4) <= catalog.len());
+}
+
+#[test]
+fn closed_form_counts_on_named_graphs() {
+    // K7: C(7,k) k-cliques; every motif is a clique.
+    let k7 = generate::complete(7);
+    let r = simulate(&k7, &CliqueFinding::new(5).expect("valid"), GramerConfig::default());
+    assert_eq!(r.result.total_at(5), 21);
+
+    // C9: exactly n wedges at size 3, n paths at size 4, no cliques.
+    let c9 = generate::cycle(9);
+    let r = simulate(&c9, &MotifCounting::new(4).expect("valid"), GramerConfig::default());
+    assert_eq!(r.result.total_at(3), 9);
+    assert_eq!(r.result.total_at(4), 9);
+    assert_eq!(r.result.count_where(3, |p| p.is_clique()), 0);
+
+    // Star S10: C(10,2) wedges, C(10,3) 4-vertex stars.
+    let s = generate::star(10);
+    let r = simulate(&s, &MotifCounting::new(4).expect("valid"), GramerConfig::default());
+    assert_eq!(r.result.total_at(3), 45);
+    assert_eq!(r.result.total_at(4), 120);
+    assert_eq!(r.result.distinct_patterns_at(4), 1);
+
+    // K_{3,4}: 3·C(4,2) + 4·C(3,2) = 30 wedges, no triangles,
+    // C(3,2)·C(4,2) = 18 induced four-cycles among the 4-motifs.
+    let kb = generate::complete_bipartite(3, 4);
+    let r = simulate(&kb, &MotifCounting::new(4).expect("valid"), GramerConfig::default());
+    assert_eq!(r.result.total_at(3), 30);
+    assert_eq!(r.result.count_where(3, |p| p.is_clique()), 0);
+    let four_cycles = r.result.count_where(4, |p| {
+        p.edge_count() == 4 && (0..4).all(|i| (0..4).filter(|&j| j != i && p.has_edge(i, j)).count() == 2)
+    });
+    assert_eq!(four_cycles, 18);
+
+    // 4×4 grid: 24 edges, wedges = sum of C(deg,2), no triangles.
+    let gr = generate::grid(4, 4);
+    let r = simulate(&gr, &MotifCounting::new(3).expect("valid"), GramerConfig::default());
+    let wedges: u64 = gr
+        .vertices()
+        .map(|v| {
+            let d = gr.degree(v) as u64;
+            d * (d - 1) / 2
+        })
+        .sum();
+    assert_eq!(r.result.total_at(3), wedges);
+    assert_eq!(r.result.count_where(3, |p| p.is_clique()), 0);
+}

@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over the core invariants listed in
+//! DESIGN.md §4.
+
+use gramer_suite::gramer_graph::{generate, io, on1, reorder, GraphBuilder, VertexId};
+use gramer_suite::gramer_memsim::policy::PolicyKind;
+use gramer_suite::gramer_memsim::SetAssociativeCache;
+use gramer_suite::gramer_mining::apps::MotifCounting;
+use gramer_suite::gramer_mining::{DfsEnumerator, Explorer, NullObserver, Step};
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish edge list over up to `n` vertices.
+fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 1..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_roundtrips_through_edge_list(es in edges(24, 60)) {
+        let mut b = GraphBuilder::new();
+        b.add_edges(es.iter().copied());
+        if let Ok(g) = b.build() {
+            let mut buf = Vec::new();
+            io::write_edge_list(&g, &mut buf).expect("write");
+            if g.num_edges() > 0 {
+                let g2 = io::read_edge_list(buf.as_slice()).expect("read");
+                prop_assert_eq!(g.num_edges(), g2.num_edges());
+                for v in g2.vertices() {
+                    for &u in g2.neighbors(v) {
+                        prop_assert!(g.has_edge(v, u));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reordering_is_a_degree_preserving_permutation(es in edges(30, 80)) {
+        let mut b = GraphBuilder::new();
+        b.add_edges(es.iter().copied());
+        if let Ok(g) = b.build() {
+            let r = reorder::reorder_by_on1(&g);
+            prop_assert_eq!(g.num_vertices(), r.graph.num_vertices());
+            prop_assert_eq!(g.num_edges(), r.graph.num_edges());
+            let mut seen = vec![false; g.num_vertices()];
+            for v in g.vertices() {
+                let nv = r.to_new(v);
+                prop_assert!(!seen[nv as usize]);
+                seen[nv as usize] = true;
+                prop_assert_eq!(g.degree(v), r.graph.degree(nv));
+                prop_assert_eq!(r.to_old(nv), v);
+            }
+        }
+    }
+
+    #[test]
+    fn mining_counts_invariant_under_relabeling(es in edges(20, 50), seed in 0u64..1000) {
+        let mut b = GraphBuilder::new();
+        b.add_edges(es.iter().copied());
+        if let Ok(g) = b.build() {
+            let app = MotifCounting::new(4).expect("valid");
+            let before = DfsEnumerator::new(&g).run(&app);
+            // Random permutation derived from the seed.
+            let n = g.num_vertices();
+            let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+            let mut state = seed.wrapping_add(1);
+            for i in (1..n).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                perm.swap(i, (state % (i as u64 + 1)) as usize);
+            }
+            let relabeled = reorder::apply_permutation(&g, &perm).graph;
+            let after = DfsEnumerator::new(&relabeled).run(&app);
+            prop_assert_eq!(before.total_at(3), after.total_at(3));
+            prop_assert_eq!(before.total_at(4), after.total_at(4));
+            prop_assert_eq!(
+                before.count_where(3, |p| p.is_clique()),
+                after.count_where(3, |p| p.is_clique())
+            );
+        }
+    }
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        items in prop::collection::vec(0u64..500, 1..400),
+        ways in 1usize..5,
+        sets in 1usize..9,
+    ) {
+        let mut cache = SetAssociativeCache::new(sets, ways, 0, PolicyKind::default());
+        for &item in &items {
+            cache.access(item, item as u32);
+            prop_assert!(cache.resident_lines() <= sets * ways);
+        }
+    }
+
+    #[test]
+    fn locality_policy_with_huge_lambda_equals_lru(
+        items in prop::collection::vec(0u64..64, 1..300),
+    ) {
+        let mut lru = SetAssociativeCache::new(2, 4, 0, PolicyKind::Lru);
+        let mut loc = SetAssociativeCache::new(
+            2,
+            4,
+            0,
+            PolicyKind::LocalityPreserved { lambda: 1e15 },
+        );
+        for &item in &items {
+            let a = lru.access(item, item as u32);
+            let b = loc.access(item, item as u32);
+            prop_assert_eq!(a, b, "diverged on item {}", item);
+        }
+    }
+
+    #[test]
+    fn on1_ranks_are_a_permutation(es in edges(40, 100)) {
+        let mut b = GraphBuilder::new();
+        b.add_edges(es.iter().copied());
+        if let Ok(g) = b.build() {
+            let ranks = on1::on1_scores(&g).ranks();
+            let mut seen = vec![false; ranks.len()];
+            for &r in &ranks {
+                prop_assert!(!seen[r as usize]);
+                seen[r as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn explorer_split_conserves_embeddings(es in edges(18, 40), cut in 1usize..30) {
+        let mut b = GraphBuilder::new();
+        b.add_edges(es.iter().copied());
+        if let Ok(g) = b.build() {
+            let count_all = |graph: &gramer_suite::gramer_graph::CsrGraph| {
+                let app = MotifCounting::new(4).expect("valid");
+                DfsEnumerator::new(graph).run(&app).embeddings
+            };
+            let expected = count_all(&g);
+
+            // Run with a split injected after `cut` steps on every root.
+            let mut total = 0u64;
+            let mut obs = NullObserver;
+            for root in g.vertices() {
+                let mut pool = vec![Explorer::new(&g, root)];
+                let mut steps = 0usize;
+                while let Some(mut ex) = pool.pop() {
+                    loop {
+                        match ex.step(&mut obs) {
+                            Step::Candidate => {
+                                total += 1;
+                                if ex.embedding().len() < 4 {
+                                    ex.descend();
+                                } else {
+                                    ex.retract();
+                                }
+                            }
+                            Step::Done => break,
+                            _ => {}
+                        }
+                        steps += 1;
+                        if steps % cut == 0 {
+                            if let Some(thief) = ex.split() {
+                                pool.push(thief);
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(total, expected);
+        }
+    }
+}
+
+#[test]
+fn generators_are_power_law_where_promised() {
+    use gramer_suite::gramer_graph::stats::degree_stats;
+    let cl = degree_stats(&generate::chung_lu(3000, 9000, 2.2, 1));
+    let er = degree_stats(&generate::erdos_renyi(3000, 9000, 1));
+    assert!(cl.gini > er.gini + 0.2);
+}

@@ -5,139 +5,166 @@
 //!    shared-port configuration;
 //! 2. adaptive round-robin dispatch vs static pre-assignment (§V-C);
 //! 3. compacted vs full ancestor records (Fig. 10's storage saving);
-//! 4. the locality-preserved policy vs plain LRU in the low-priority
+//! 4. next-line edge prefetching at constrained capacity;
+//! 5. the locality-preserved policy vs plain LRU in the low-priority
 //!    memory at constrained capacity.
 
 use gramer::pipeline::{clock_rate_mhz, AncestorMode};
 use gramer::{GramerConfig, MemoryBudget, MemoryMode};
-use gramer_bench::{analog, run_gramer, rule, AppVariant};
+use gramer_bench::{
+    run_gramer, rule, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
+};
 use gramer_graph::datasets::Dataset;
 use gramer_memsim::LatencyConfig;
+use gramer_mining::apps::CliqueFinding;
+
+fn constrained(budget: bool) -> GramerConfig {
+    if budget {
+        GramerConfig {
+            budget: MemoryBudget::Fraction(0.10),
+            ..GramerConfig::default()
+        }
+    } else {
+        GramerConfig::default()
+    }
+}
 
 fn main() {
+    let args = SweepArgs::parse();
     let d = Dataset::P2p;
-    let g = analog(d);
     let variant = AppVariant::Cf(4);
+    let cache = AnalogCache::new();
 
-    println!("Ablations on {} ({})\n", d.name(), variant.name(d));
-
-    // 1. Bank isolation: the paper splits vertex and edge traffic into
-    // separate banks. Emulate a shared single-port bank by halving the
-    // ports (both kinds squeezed through one port per partition).
-    println!("1. vertex/edge bank isolation (dual ports) vs shared single port");
-    rule(66);
-    let isolated = run_gramer(&g, &app_of(variant, d), GramerConfig::default());
-    let shared = run_gramer(
-        &g,
-        &app_of(variant, d),
-        GramerConfig {
+    // Every simulated study is one point; the "default" run doubles as
+    // the baseline of studies 1 and 2.
+    let configs: [(&str, fn() -> GramerConfig); 7] = [
+        ("default", || constrained(false)),
+        ("shared-port", || GramerConfig {
             latency: LatencyConfig {
                 ports_per_bank: 1,
                 ..LatencyConfig::default()
             },
             ..GramerConfig::default()
-        },
-    );
-    println!(
-        "isolated: {:>10} cycles | shared-port: {:>10} cycles | isolation gain {:.2}x\n",
-        isolated.cycles,
-        shared.cycles,
-        shared.cycles as f64 / isolated.cycles as f64
-    );
-
-    // 2. Dispatch policy.
-    println!("2. adaptive round-robin dispatch vs static pre-assignment");
-    rule(66);
-    let adaptive = isolated.cycles;
-    let static_d = run_gramer(
-        &g,
-        &app_of(variant, d),
-        GramerConfig {
+        }),
+        ("static-dispatch", || GramerConfig {
             static_dispatch: true,
             ..GramerConfig::default()
-        },
-    );
-    println!(
-        "adaptive: {:>10} cycles | static: {:>10} cycles | gain {:.2}x\n",
-        adaptive,
-        static_d.cycles,
-        static_d.cycles as f64 / adaptive as f64
-    );
+        }),
+        ("prefetch-on", || GramerConfig {
+            next_line_prefetch: true,
+            ..constrained(true)
+        }),
+        ("prefetch-off", || GramerConfig {
+            next_line_prefetch: false,
+            ..constrained(true)
+        }),
+        ("lamh", || GramerConfig {
+            memory_mode: MemoryMode::Lamh,
+            ..constrained(true)
+        }),
+        ("static-lru", || GramerConfig {
+            memory_mode: MemoryMode::StaticLru,
+            ..constrained(true)
+        }),
+    ];
 
-    // 3. Ancestor compaction: state bytes per PU and the clock impact.
+    let mut sweep = Sweep::new("ablation");
+    for (label, cfg) in configs {
+        let cache = &cache;
+        sweep.point(d.name(), &variant.name(d), label, move || {
+            let app = match variant {
+                AppVariant::Cf(k) => CliqueFinding::new(k).expect("valid k"),
+                _ => unreachable!("ablation uses CF"),
+            };
+            PointOutput::from_report(run_gramer(cache.get(d), &app, cfg()))
+        });
+    }
+    sweep.point(d.name(), &variant.name(d), "compaction", || {
+        let cfg = GramerConfig::default();
+        // Ancestor-record footprint: all vertices of a max embedding vs
+        // the compacted (index, vertex) pair (Fig. 10).
+        let full_bytes = cfg.slots_per_pu * cfg.ancestor_depth * 5 * 6;
+        let compact_bytes = cfg.slots_per_pu * cfg.ancestor_depth * 6;
+        PointOutput::new()
+            .metric("full_bytes_per_pu", full_bytes)
+            .metric("compact_bytes_per_pu", compact_bytes)
+            .metric("buffered_mhz", clock_rate_mhz(&cfg, AncestorMode::Buffered, false))
+            .metric(
+                "compacted_mhz",
+                clock_rate_mhz(&cfg, AncestorMode::BufferedCompacted, false),
+            )
+    });
+    let result = sweep.execute(&args);
+
+    println!("Ablations on {} ({})\n", d.name(), variant.name(d));
+    let record = |config: &str| result.find(d.name(), &variant.name(d), config);
+    let cycles = |config: &str| record(config).and_then(PointRecord::cycles);
+
+    println!("1. vertex/edge bank isolation (dual ports) vs shared single port");
+    rule(66);
+    if let (Some(isolated), Some(shared)) = (cycles("default"), cycles("shared-port")) {
+        println!(
+            "isolated: {:>10} cycles | shared-port: {:>10} cycles | isolation gain {:.2}x\n",
+            isolated,
+            shared,
+            shared as f64 / isolated as f64
+        );
+    }
+
+    println!("2. adaptive round-robin dispatch vs static pre-assignment");
+    rule(66);
+    if let (Some(adaptive), Some(static_d)) = (cycles("default"), cycles("static-dispatch")) {
+        println!(
+            "adaptive: {:>10} cycles | static: {:>10} cycles | gain {:.2}x\n",
+            adaptive,
+            static_d,
+            static_d as f64 / adaptive as f64
+        );
+    }
+
     println!("3. ancestor-record compaction (Fig. 10)");
     rule(66);
-    let cfg = GramerConfig::default();
-    let full_bytes = cfg.slots_per_pu * cfg.ancestor_depth * 5 * 6; // all vertices
-    let compact_bytes = cfg.slots_per_pu * cfg.ancestor_depth * 6; // one pair
-    println!(
-        "buffer bytes/PU: full {} -> compact {} ({:.1}x smaller); clock {:.0} -> {:.0} MHz\n",
-        full_bytes,
-        compact_bytes,
-        full_bytes as f64 / compact_bytes as f64,
-        clock_rate_mhz(&cfg, AncestorMode::Buffered, false),
-        clock_rate_mhz(&cfg, AncestorMode::BufferedCompacted, false)
-    );
+    if let Some(r) = record("compaction") {
+        let f = |key: &str| r.metric_f64(key).unwrap_or(0.0);
+        println!(
+            "buffer bytes/PU: full {} -> compact {} ({:.1}x smaller); clock {:.0} -> {:.0} MHz\n",
+            f("full_bytes_per_pu"),
+            f("compact_bytes_per_pu"),
+            f("full_bytes_per_pu") / f("compact_bytes_per_pu"),
+            f("buffered_mhz"),
+            f("compacted_mhz")
+        );
+    }
 
-    // 4. Next-line prefetching on the edge memory (§III's Prefetcher).
     println!("4. next-line edge prefetch (10% on-chip)");
     rule(66);
-    let constrained = |prefetch: bool| {
-        run_gramer(
-            &g,
-            &app_of(variant, d),
-            GramerConfig {
-                budget: MemoryBudget::Fraction(0.10),
-                next_line_prefetch: prefetch,
-                ..GramerConfig::default()
-            },
-        )
-    };
-    let with_pf = constrained(true);
-    let without_pf = constrained(false);
-    println!(
-        "prefetch on: {:>10} cycles (hit {:.2}%) | off: {:>10} cycles (hit {:.2}%) | gain {:.2}x\n",
-        with_pf.cycles,
-        100.0 * with_pf.hit_ratio(),
-        without_pf.cycles,
-        100.0 * without_pf.hit_ratio(),
-        without_pf.cycles as f64 / with_pf.cycles as f64
-    );
+    if let (Some(with_pf), Some(without_pf)) = (
+        record("prefetch-on").and_then(PointRecord::report),
+        record("prefetch-off").and_then(PointRecord::report),
+    ) {
+        println!(
+            "prefetch on: {:>10} cycles (hit {:.2}%) | off: {:>10} cycles (hit {:.2}%) | gain {:.2}x\n",
+            with_pf.cycles,
+            100.0 * with_pf.hit_ratio(),
+            without_pf.cycles,
+            100.0 * without_pf.hit_ratio(),
+            without_pf.cycles as f64 / with_pf.cycles as f64
+        );
+    }
 
-    // 5. Replacement policy at constrained capacity.
     println!("5. locality-preserved replacement vs LRU (10% on-chip)");
     rule(66);
-    let lamh = run_gramer(
-        &g,
-        &app_of(variant, d),
-        GramerConfig {
-            budget: MemoryBudget::Fraction(0.10),
-            memory_mode: MemoryMode::Lamh,
-            ..GramerConfig::default()
-        },
-    );
-    let static_lru = run_gramer(
-        &g,
-        &app_of(variant, d),
-        GramerConfig {
-            budget: MemoryBudget::Fraction(0.10),
-            memory_mode: MemoryMode::StaticLru,
-            ..GramerConfig::default()
-        },
-    );
-    println!(
-        "LAMH: {:>10} cycles (hit {:.2}%) | Static+LRU: {:>10} cycles (hit {:.2}%) | gain {:.2}x",
-        lamh.cycles,
-        100.0 * lamh.hit_ratio(),
-        static_lru.cycles,
-        100.0 * static_lru.hit_ratio(),
-        static_lru.cycles as f64 / lamh.cycles as f64
-    );
-}
-
-fn app_of(variant: AppVariant, _d: Dataset) -> impl gramer_mining::EcmApp {
-    match variant {
-        AppVariant::Cf(k) => gramer_mining::apps::CliqueFinding::new(k).expect("valid k"),
-        _ => unreachable!("ablation uses CF"),
+    if let (Some(lamh), Some(static_lru)) = (
+        record("lamh").and_then(PointRecord::report),
+        record("static-lru").and_then(PointRecord::report),
+    ) {
+        println!(
+            "LAMH: {:>10} cycles (hit {:.2}%) | Static+LRU: {:>10} cycles (hit {:.2}%) | gain {:.2}x",
+            lamh.cycles,
+            100.0 * lamh.hit_ratio(),
+            static_lru.cycles,
+            100.0 * static_lru.hit_ratio(),
+            static_lru.cycles as f64 / lamh.cycles as f64
+        );
     }
 }

@@ -9,14 +9,31 @@
 //! speedups of 1.6-2.95x and a further 1.06-1.39x.
 
 use gramer::{GramerConfig, MemoryBudget, MemoryMode};
-use gramer_bench::{analog, run_gramer, rule, AppVariant, DynApp};
+use gramer_bench::{
+    run_gramer, rule, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
+};
 use gramer_graph::datasets::Dataset;
-use gramer_graph::generate;
+use gramer_graph::{generate, CsrGraph};
 use gramer_mining::apps::CliqueFinding;
+use std::sync::OnceLock;
+
+const MODES: [(&str, MemoryMode); 3] = [
+    ("Uniform LRU", MemoryMode::UniformLru),
+    ("Static+LRU", MemoryMode::StaticLru),
+    ("LAMH", MemoryMode::Lamh),
+];
+
+fn config(mode: MemoryMode) -> GramerConfig {
+    GramerConfig {
+        budget: MemoryBudget::Fraction(0.10),
+        memory_mode: mode,
+        ..GramerConfig::default()
+    }
+}
 
 fn main() {
+    let args = SweepArgs::parse();
     let d = Dataset::P2p;
-    let g = analog(d);
     // The paper's Fig. 12 x-axis: 3/4/5-CF, 3/4-MC, FSM-2K, FSM-3K. 4-MC
     // at full P2P scale exceeds a software simulation budget; we keep the
     // remaining six variants.
@@ -28,6 +45,48 @@ fn main() {
         AppVariant::Fsm,
     ];
 
+    let cache = AnalogCache::new();
+    let heavy: OnceLock<CsrGraph> = OnceLock::new();
+    let heavy_graph = || {
+        heavy.get_or_init(|| {
+            // Heavy-skew regime where the extension-locality premise holds
+            // at simulator scale (gini ≈ 0.84).
+            generate::rmat(
+                11,
+                8000,
+                generate::RmatParams {
+                    a: 0.65,
+                    b: 0.15,
+                    c: 0.15,
+                    d: 0.05,
+                },
+                5,
+            )
+        })
+    };
+
+    let mut sweep = Sweep::new("fig12");
+    for variant in variants {
+        for (label, mode) in MODES {
+            let cache = &cache;
+            sweep.point(d.name(), &variant.name(d), label, move || {
+                let report = variant
+                    .with_app(d, |app| run_gramer(cache.get(d), app, config(mode)));
+                PointOutput::from_report(report)
+            });
+        }
+    }
+    for (label, mode) in MODES {
+        let heavy_graph = &heavy_graph;
+        sweep.point("rmat-skew", "4-CF", label, move || {
+            let app = CliqueFinding::new(4).expect("valid");
+            let cfg = config(mode);
+            let pre = gramer::preprocess(heavy_graph(), &cfg);
+            PointOutput::from_report(gramer::Simulator::new(&pre, cfg).run(&app))
+        });
+    }
+    let result = sweep.execute(&args);
+
     println!("Figure 12 — LAMH vs baselines on {} (10% of data on-chip)", d.name());
     println!("(paper: Static+LRU > Uniform LRU by 13-37pp vertex hit; LAMH adds 1-6pp;");
     println!(" performance 1.6-2.95x then a further 1.06-1.39x)\n");
@@ -36,79 +95,46 @@ fn main() {
         "App", "Hierarchy", "V-hit%", "E-hit%", "Cycles", "Speedup"
     );
     rule(68);
-
     for variant in variants {
-        let mut uniform_cycles = None;
-        for (label, mode) in [
-            ("Uniform LRU", MemoryMode::UniformLru),
-            ("Static+LRU", MemoryMode::StaticLru),
-            ("LAMH", MemoryMode::Lamh),
-        ] {
-            let cfg = GramerConfig {
-                budget: MemoryBudget::Fraction(0.10),
-                memory_mode: mode,
-                ..GramerConfig::default()
-            };
-            variant.with_app(d, |app| {
-                let r = run_gramer(&g, app, cfg.clone());
-                let base = *uniform_cycles.get_or_insert(r.cycles);
-                println!(
-                    "{:<10} {:<12} {:>8.2}% {:>8.2}% {:>12} {:>9.2}x",
-                    variant.name(d),
-                    label,
-                    100.0 * r.mem.vertex.on_chip_ratio(),
-                    100.0 * r.mem.edge.on_chip_ratio(),
-                    r.cycles,
-                    base as f64 / r.cycles as f64
-                );
-            });
-        }
-        rule(68);
+        print_modes(&result, d.name(), &variant.name(d), true);
     }
 
-    // At simulator scale the P2P analog's traffic is far less concentrated
-    // than the paper's full-size, deep-iteration runs (see Fig. 5 and
-    // EXPERIMENTS.md), which advantages the adaptive uniform cache. The
-    // heavy-skew regime below is where the extension-locality premise
-    // holds at this scale — and where the hierarchy's ordering emerges.
     println!("\nSupplementary: heavy-skew regime (R-MAT a=0.65, gini≈0.84, 4-CF)");
     println!(
-        "{:<12} {:>9} {:>9} {:>12} {:>10}",
-        "Hierarchy", "V-hit%", "E-hit%", "Cycles", "Speedup"
+        "{:<10} {:<12} {:>9} {:>9} {:>12} {:>10}",
+        "App", "Hierarchy", "V-hit%", "E-hit%", "Cycles", "Speedup"
     );
-    rule(56);
-    let heavy = generate::rmat(
-        11,
-        8000,
-        generate::RmatParams {
-            a: 0.65,
-            b: 0.15,
-            c: 0.15,
-            d: 0.05,
-        },
-        5,
-    );
-    let app = CliqueFinding::new(4).expect("valid");
-    let mut base = None;
-    for (label, mode) in [
-        ("Uniform LRU", MemoryMode::UniformLru),
-        ("Static+LRU", MemoryMode::StaticLru),
-        ("LAMH", MemoryMode::Lamh),
-    ] {
-        let cfg = GramerConfig {
-            budget: MemoryBudget::Fraction(0.10),
-            memory_mode: mode,
-            ..GramerConfig::default()
+    rule(68);
+    print_modes(&result, "rmat-skew", "4-CF", false);
+}
+
+/// Prints one row per memory mode, with speedups against the uniform-LRU
+/// baseline of the same `(dataset, app)` pair.
+fn print_modes(result: &gramer_bench::SweepResult, dataset: &str, app: &str, separator: bool) {
+    let baseline = result
+        .find(dataset, app, MODES[0].0)
+        .and_then(PointRecord::cycles);
+    let mut printed = false;
+    for (label, _) in MODES {
+        let Some(r) = result.find(dataset, app, label).and_then(PointRecord::report) else {
+            continue;
         };
-        let r = (&app as &dyn DynApp).simulate(&gramer::preprocess(&heavy, &cfg), cfg);
-        let b = *base.get_or_insert(r.cycles);
+        printed = true;
+        let speedup = baseline.map_or_else(
+            || format!("{:>10}", "-"),
+            |b| format!("{:>9.2}x", b as f64 / r.cycles as f64),
+        );
         println!(
-            "{:<12} {:>8.2}% {:>8.2}% {:>12} {:>9.2}x",
+            "{:<10} {:<12} {:>8.2}% {:>8.2}% {:>12} {}",
+            app,
             label,
             100.0 * r.mem.vertex.on_chip_ratio(),
             100.0 * r.mem.edge.on_chip_ratio(),
             r.cycles,
-            b as f64 / r.cycles as f64
+            speedup
         );
+    }
+    if separator && printed {
+        rule(68);
     }
 }

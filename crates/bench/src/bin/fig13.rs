@@ -7,46 +7,74 @@
 //! benefiting most.
 
 use gramer::GramerConfig;
-use gramer_bench::{analog, run_gramer, rule, AppVariant};
+use gramer_bench::{
+    run_gramer, rule, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
+};
 use gramer_graph::datasets::Dataset;
 
-fn main() {
-    let variant = AppVariant::Cf(5); // the paper sweeps 5-CF
-    let graphs: &[Dataset] = if gramer_bench::quick_mode() {
+const SLOTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn graphs() -> &'static [Dataset] {
+    if gramer_bench::quick_mode() {
         &[Dataset::Citeseer, Dataset::P2p, Dataset::Patents]
     } else {
-        &[
-            Dataset::Citeseer,
-            Dataset::P2p,
-            Dataset::Astro,
-            Dataset::Mico,
-            Dataset::Patents,
-            Dataset::Youtube,
-            Dataset::LiveJournal,
-        ]
-    };
+        &Dataset::ALL
+    }
+}
+
+fn main() {
+    let args = SweepArgs::parse();
+    let variant = AppVariant::Cf(5); // the paper sweeps 5-CF
+    let cache = AnalogCache::new();
+
+    let mut sweep = Sweep::new("fig13");
+    for &d in graphs() {
+        for slots in SLOTS {
+            let cache = &cache;
+            sweep.point(d.name(), &variant.name(d), &format!("slots-{slots}"), move || {
+                let cfg = GramerConfig {
+                    slots_per_pu: slots,
+                    ..GramerConfig::default()
+                };
+                let r = variant.with_app(d, |app| run_gramer(cache.get(d), app, cfg));
+                PointOutput::from_report(r)
+            });
+        }
+        for (label, stealing) in [("steal-off", false), ("steal-on", true)] {
+            let cache = &cache;
+            sweep.point(d.name(), &variant.name(d), label, move || {
+                let cfg = GramerConfig {
+                    work_stealing: stealing,
+                    ..GramerConfig::default()
+                };
+                let r = variant.with_app(d, |app| run_gramer(cache.get(d), app, cfg));
+                PointOutput::from_report(r)
+            });
+        }
+    }
+    let result = sweep.execute(&args);
 
     println!("Figure 13(a) — performance vs pipeline slots (normalised to 1 slot, 5-CF)");
     println!("(paper: near-linear to 8 slots except Citeseer, flattening 8->16)\n");
     print!("{:<10}", "Graph");
-    for slots in [1, 2, 4, 8, 16] {
+    for slots in SLOTS {
         print!("{:>9}", format!("{slots} slots"));
     }
     println!();
     rule(55);
-
-    for &d in graphs {
-        let g = analog(d);
-        let mut base = None;
+    for &d in graphs() {
+        let cycles = |config: &str| {
+            result
+                .find(d.name(), &variant.name(d), config)
+                .and_then(PointRecord::cycles)
+        };
+        let Some(base) = cycles("slots-1") else { continue };
         print!("{:<10}", d.name());
-        for slots in [1usize, 2, 4, 8, 16] {
-            let cfg = GramerConfig {
-                slots_per_pu: slots,
-                ..GramerConfig::default()
-            };
-            let cycles = variant.with_app(d, |app| run_gramer(&g, app, cfg).cycles);
-            let b = *base.get_or_insert(cycles);
-            print!("{:>8.2}x", b as f64 / cycles as f64);
+        for slots in SLOTS {
+            match cycles(&format!("slots-{slots}")) {
+                Some(c) => print!("{:>8.2}x", base as f64 / c as f64),
+                None => print!("{:>9}", "-"),
+            }
         }
         println!();
     }
@@ -55,17 +83,15 @@ fn main() {
     println!("(paper: 1.32-1.90x, skewed Mico benefits most)\n");
     println!("{:<10} {:>12} {:>12} {:>9}", "Graph", "w/o steal", "w/ steal", "Speedup");
     rule(46);
-    for &d in graphs {
-        let g = analog(d);
-        let cycles = |stealing| {
-            let cfg = GramerConfig {
-                work_stealing: stealing,
-                ..GramerConfig::default()
-            };
-            variant.with_app(d, |app| run_gramer(&g, app, cfg).cycles)
+    for &d in graphs() {
+        let cycles = |config: &str| {
+            result
+                .find(d.name(), &variant.name(d), config)
+                .and_then(PointRecord::cycles)
         };
-        let without = cycles(false);
-        let with = cycles(true);
+        let (Some(without), Some(with)) = (cycles("steal-off"), cycles("steal-on")) else {
+            continue;
+        };
         println!(
             "{:<10} {:>12} {:>12} {:>8.2}x",
             d.name(),

@@ -12,8 +12,11 @@
 //! (Patents) as graphs outgrow the caches.
 
 use gramer_baselines::profile_on_cpu_with;
-use gramer_bench::{analog, divisor, fsm_threshold, rule};
+use gramer_bench::{
+    divisor, fsm_threshold, rule, AnalogCache, AppVariant, PointOutput, Sweep, SweepArgs,
+};
 use gramer_graph::datasets::Dataset;
+use gramer_graph::CsrGraph;
 use gramer_memsim::CpuCacheConfig;
 use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
 use gramer_mining::EcmApp;
@@ -32,7 +35,27 @@ fn scaled_cache(d: Dataset) -> CpuCacheConfig {
     }
 }
 
+fn datasets() -> impl Iterator<Item = Dataset> {
+    Dataset::TRACEABLE.iter().copied().chain([Dataset::Patents])
+}
+
+const VARIANTS: [AppVariant; 3] = [AppVariant::Cf(4), AppVariant::Fsm, AppVariant::Mc(3)];
+
 fn main() {
+    let args = SweepArgs::parse();
+    let cache = AnalogCache::new();
+
+    let mut sweep = Sweep::new("fig3");
+    for d in datasets() {
+        for variant in VARIANTS {
+            let cache = &cache;
+            sweep.point(d.name(), &variant.name(d), "scaled-cache", move || {
+                profile_point(cache.get(d), d, variant)
+            });
+        }
+    }
+    let result = sweep.execute(&args);
+
     println!("Figure 3 — performance breakdown on the modeled CPU (%)");
     println!("(paper: stalls grow from ~30% on cache-resident Citeseer to 67.9% on Patents)\n");
     println!(
@@ -40,37 +63,49 @@ fn main() {
         "Graph", "App", "Vertex%", "Edge%", "Others%", "Stall%"
     );
     rule(64);
-
-    for d in Dataset::TRACEABLE.iter().copied().chain([Dataset::Patents]) {
-        let g = analog(d);
-        let cache = scaled_cache(d);
-        run(&g, d, &CliqueFinding::new(4).expect("valid k"), cache);
-        run(&g, d, &FrequentSubgraphMining::new(fsm_threshold(d)), cache);
-        run(&g, d, &MotifCounting::new(3).expect("valid k"), cache);
-        rule(64);
+    for d in datasets() {
+        let mut printed = false;
+        for variant in VARIANTS {
+            let Some(r) = result.find(d.name(), &variant.name(d), "scaled-cache") else {
+                continue;
+            };
+            printed = true;
+            let pct = |key: &str| 100.0 * r.metric_f64(key).unwrap_or(0.0);
+            println!(
+                "{:<10} {:<10} {:>7.1}% {:>11.1}% {:>9.1}% {:>7.1}%",
+                d.name(),
+                variant.name(d),
+                pct("vertex_stall"),
+                pct("edge_stall"),
+                pct("others"),
+                pct("stall")
+            );
+        }
+        if printed {
+            rule(64);
+        }
     }
     println!(
         "\nanalog scale divisors (cache hierarchy scaled alike): {:?}",
-        Dataset::TRACEABLE
-            .iter()
-            .copied()
-            .chain([Dataset::Patents])
-            .map(|d| (d.name(), divisor(d)))
-            .collect::<Vec<_>>()
+        datasets().map(|d| (d.name(), divisor(d))).collect::<Vec<_>>()
     );
 }
 
-fn run<A: EcmApp>(g: &gramer_graph::CsrGraph, d: Dataset, app: &A, cache: CpuCacheConfig) {
-    let profile = profile_on_cpu_with(g, app, cache);
-    let compute = profile.work_items as f64 * COMPUTE_CYCLES_PER_ITEM;
-    let (v, e, o) = profile.stall_breakdown(compute);
-    println!(
-        "{:<10} {:<10} {:>7.1}% {:>11.1}% {:>9.1}% {:>7.1}%",
-        d.name(),
-        EcmApp::name(app),
-        100.0 * v,
-        100.0 * e,
-        100.0 * o,
-        100.0 * (v + e)
-    );
+fn profile_point(g: &CsrGraph, d: Dataset, variant: AppVariant) -> PointOutput {
+    fn go<A: EcmApp>(g: &CsrGraph, d: Dataset, app: &A) -> PointOutput {
+        let profile = profile_on_cpu_with(g, app, scaled_cache(d));
+        let compute = profile.work_items as f64 * COMPUTE_CYCLES_PER_ITEM;
+        let (v, e, o) = profile.stall_breakdown(compute);
+        PointOutput::new()
+            .metric("vertex_stall", v)
+            .metric("edge_stall", e)
+            .metric("others", o)
+            .metric("stall", v + e)
+            .metric("work_items", profile.work_items)
+    }
+    match variant {
+        AppVariant::Cf(k) => go(g, d, &CliqueFinding::new(k).expect("valid k")),
+        AppVariant::Mc(k) => go(g, d, &MotifCounting::new(k).expect("valid k")),
+        AppVariant::Fsm => go(g, d, &FrequentSubgraphMining::new(fsm_threshold(d))),
+    }
 }

@@ -6,7 +6,8 @@
 //! and reaches 94.57% (Mico) by iteration 4; edges start at 5% (each edge
 //! touched once for 2-vertex embeddings) and climb to ~88%.
 
-use gramer_bench::{analog, quick_mode, rule};
+use gramer::json::JsonValue;
+use gramer_bench::{quick_mode, rule, AnalogCache, PointOutput, Sweep, SweepArgs};
 use gramer_graph::datasets::Dataset;
 use gramer_graph::VertexId;
 use gramer_memsim::trace::IterationTrace;
@@ -39,11 +40,46 @@ impl AccessObserver for PerIteration {
     }
 }
 
+/// Per-dataset iteration cap: the paper excludes iterations beyond 4 and
+/// the largest graphs as too expensive to trace; we do the same (and cap
+/// Astro/Mico at 3 in quick mode).
+fn iteration_cap(d: Dataset) -> usize {
+    if quick_mode() && !matches!(d, Dataset::Citeseer | Dataset::P2p) {
+        3
+    } else {
+        4
+    }
+}
+
 fn main() {
-    // The paper excludes iterations beyond 4 and the largest graphs as too
-    // expensive to trace; we do the same (and cap Astro/Mico at 3 in
-    // quick mode).
-    let max_size = 4;
+    let args = SweepArgs::parse();
+    let cache = AnalogCache::new();
+
+    let mut sweep = Sweep::new("fig5");
+    for d in Dataset::TRACEABLE {
+        let cache = &cache;
+        sweep.point(d.name(), "MC", "trace", move || {
+            let g = cache.get(d);
+            let cap = iteration_cap(d);
+            let mut obs = PerIteration::new(cap, g.num_vertices(), g.adjacency_len());
+            let app = MotifCounting::new(cap).expect("valid size");
+            DfsEnumerator::new(g).run_with_observer(&app, &mut obs);
+            let iters = JsonValue::array((1..cap).filter_map(|iter| {
+                let t = &obs.traces[iter];
+                if t.vertex.total() == 0 {
+                    return None;
+                }
+                Some(JsonValue::object([
+                    ("iter", JsonValue::from(iter)),
+                    ("vertex_top5", JsonValue::from(t.vertex.top_share(0.05))),
+                    ("edge_top5", JsonValue::from(t.edge.top_share(0.05))),
+                ]))
+            }));
+            PointOutput::new().metric("iterations", iters)
+        });
+    }
+    let result = sweep.execute(&args);
+
     println!("Figure 5 — share of accesses to the top-5% data per MC iteration");
     println!("(paper: vertices 29.9% -> 94.6%, edges 5% -> 87.8% as iterations deepen)\n");
     println!(
@@ -51,29 +87,22 @@ fn main() {
         "Graph", "iter", "top5% vertices", "top5% edges"
     );
     rule(52);
-
     for d in Dataset::TRACEABLE {
-        let g = analog(d);
-        let cap = if quick_mode() && !matches!(d, Dataset::Citeseer | Dataset::P2p) {
-            3
-        } else {
-            max_size
+        let Some(r) = result.find(d.name(), "MC", "trace") else {
+            continue;
         };
-        let mut obs = PerIteration::new(cap, g.num_vertices(), g.adjacency_len());
-        let app = MotifCounting::new(cap).expect("valid size");
-        DfsEnumerator::new(&g).run_with_observer(&app, &mut obs);
-
-        for iter in 1..cap {
-            let t = &obs.traces[iter];
-            if t.vertex.total() == 0 {
-                continue;
-            }
+        let iters = r
+            .metric("iterations")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[]);
+        for row in iters {
+            let f = |key: &str| row.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
             println!(
                 "{:<10} {:>5} {:>15.2}% {:>15.2}%",
                 d.name(),
-                iter,
-                100.0 * t.vertex.top_share(0.05),
-                100.0 * t.edge.top_share(0.05)
+                f("iter") as usize,
+                100.0 * f("vertex_top5"),
+                100.0 * f("edge_top5")
             );
         }
         rule(52);

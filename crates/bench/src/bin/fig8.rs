@@ -7,13 +7,16 @@
 //! the paper reports k = 3 blowing up by up to 8500× while k = 1 stays
 //! cheap.
 
-use gramer_bench::{analog, rule};
+use gramer_bench::{analog, rule, PointOutput, Sweep, SweepArgs};
 use gramer_graph::datasets::Dataset;
 use gramer_graph::{on1, VertexId};
 use gramer_memsim::trace::AccessCounter;
 use gramer_mining::apps::MotifCounting;
 use gramer_mining::{AccessObserver, DfsEnumerator};
+use std::sync::OnceLock;
 use std::time::Instant;
+
+const MAX_SIZE: usize = 4;
 
 struct VertexTracePerIter {
     counters: Vec<AccessCounter>,
@@ -27,62 +30,99 @@ impl AccessObserver for VertexTracePerIter {
     fn edge_access(&mut self, _slot: usize, _size: usize) {}
 }
 
-fn main() {
-    let d = Dataset::P2p;
-    let g = analog(d);
-    let max_size = 4;
+/// The ideal per-iteration top-5% masks plus the mining wall time, traced
+/// once and shared by every k-hop point.
+struct Trace {
+    ideal: Vec<Vec<bool>>,
+    mine_secs: f64,
+}
 
-    println!("Figure 8 — ON_k heuristic on {} (MC)", d.name());
-    println!("(paper: 1-hop ON is >80% accurate at negligible cost; 3-hop costs up to 8500x)\n");
-
-    // Trace the ideal per-iteration hot sets.
+fn trace(g: &gramer_graph::CsrGraph) -> Trace {
     let mut obs = VertexTracePerIter {
-        counters: (0..=max_size)
+        counters: (0..=MAX_SIZE)
             .map(|_| AccessCounter::new(g.num_vertices()))
             .collect(),
     };
     let mine_start = Instant::now();
-    DfsEnumerator::new(&g)
-        .run_with_observer(&MotifCounting::new(max_size).expect("valid"), &mut obs);
-    let mine_secs = mine_start.elapsed().as_secs_f64();
+    DfsEnumerator::new(g)
+        .run_with_observer(&MotifCounting::new(MAX_SIZE).expect("valid"), &mut obs);
+    Trace {
+        ideal: (1..MAX_SIZE)
+            .map(|iter| obs.counters[iter].top_fraction_mask(0.05))
+            .collect(),
+        mine_secs: mine_start.elapsed().as_secs_f64(),
+    }
+}
 
-    // (a) accuracy per hop count and iteration.
+fn main() {
+    let args = SweepArgs::parse();
+    let d = Dataset::P2p;
+    let g = analog(d);
+    let shared: OnceLock<Trace> = OnceLock::new();
+
+    let mut sweep = Sweep::new("fig8");
+    for k in 0..=3usize {
+        let (g, shared) = (&g, &shared);
+        sweep.point(d.name(), "MC", &format!("{k}-hop"), move || {
+            let t = shared.get_or_init(|| trace(g));
+            let t0 = Instant::now();
+            let scores = on1::on_k_scores(g, k);
+            let secs = t0.elapsed().as_secs_f64();
+            let predicted = scores.top_fraction(0.05);
+            let mut out = PointOutput::new()
+                .metric("k", k)
+                .metric("on_seconds", secs)
+                .metric("mine_seconds", t.mine_secs)
+                .metric("normalised", secs / t.mine_secs.max(1e-12));
+            for (i, ideal) in t.ideal.iter().enumerate() {
+                out = out.metric(
+                    &format!("accuracy_iter{}", i + 1),
+                    on1::top_set_accuracy(&predicted, ideal),
+                );
+            }
+            out
+        });
+    }
+    let result = sweep.execute(&args);
+
+    println!("Figure 8 — ON_k heuristic on {} (MC)", d.name());
+    println!("(paper: 1-hop ON is >80% accurate at negligible cost; 3-hop costs up to 8500x)\n");
+
     println!("(a) accuracy of the predicted top-5% set");
     print!("{:<10}", "k-hop");
-    for iter in 1..max_size {
+    for iter in 1..MAX_SIZE {
         print!("{:>12}", format!("iter {iter}"));
     }
     println!();
-    rule(10 + 12 * (max_size - 1));
-    let mut overheads = Vec::new();
-    for k in 0..=3 {
-        let t0 = Instant::now();
-        let scores = on1::on_k_scores(&g, k);
-        overheads.push(t0.elapsed().as_secs_f64());
-        let predicted = scores.top_fraction(0.05);
+    rule(10 + 12 * (MAX_SIZE - 1));
+    let record = |k: usize| result.find(d.name(), "MC", &format!("{k}-hop"));
+    for k in 0..=3usize {
+        let Some(r) = record(k) else { continue };
         print!("{:<10}", format!("{k}-hop ON"));
-        for iter in 1..max_size {
-            let ideal = obs.counters[iter].top_fraction_mask(0.05);
-            let acc = on1::top_set_accuracy(&predicted, &ideal);
+        for iter in 1..MAX_SIZE {
+            let acc = r.metric_f64(&format!("accuracy_iter{iter}")).unwrap_or(0.0);
             print!("{:>11.1}%", 100.0 * acc);
         }
         println!();
     }
 
-    // (b) overheads normalised to total mining time.
+    let mine_secs = record(0)
+        .and_then(|r| r.metric_f64("mine_seconds"))
+        .unwrap_or(0.0);
     println!("\n(b) ON-computation overhead, normalised to mining time ({mine_secs:.3} s)");
     println!("{:<10} {:>12} {:>14}", "k-hop", "seconds", "normalised");
     rule(38);
-    for (k, secs) in overheads.iter().enumerate() {
+    for k in 0..=3usize {
+        let Some(r) = record(k) else { continue };
         println!(
             "{:<10} {:>12.6} {:>13.4}x",
             format!("{k}-hop"),
-            secs,
-            secs / mine_secs
+            r.metric_f64("on_seconds").unwrap_or(0.0),
+            r.metric_f64("normalised").unwrap_or(0.0)
         );
     }
-    println!(
-        "\n1-hop vs 3-hop cost ratio: {:.0}x",
-        overheads[3] / overheads[1].max(1e-9)
-    );
+    let secs = |k: usize| record(k).and_then(|r| r.metric_f64("on_seconds"));
+    if let (Some(h1), Some(h3)) = (secs(1), secs(3)) {
+        println!("\n1-hop vs 3-hop cost ratio: {:.0}x", h3 / h1.max(1e-9));
+    }
 }

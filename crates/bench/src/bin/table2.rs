@@ -7,58 +7,60 @@
 
 use gramer::pipeline::{clock_rate_mhz, AncestorMode};
 use gramer::{area, GramerConfig, MemoryBudget};
-use gramer_bench::rule;
+use gramer_bench::{rule, PointOutput, Sweep, SweepArgs};
+
+const APPS: [(&str, bool); 3] = [("CF", false), ("FSM", true), ("MC", true)];
 
 fn main() {
-    let cfg = GramerConfig::default();
-    let items = match cfg.budget {
-        MemoryBudget::Items(n) => n,
-        MemoryBudget::Fraction(_) => unreachable!("default budget is absolute"),
-    };
+    let args = SweepArgs::parse();
+
+    let mut sweep = Sweep::new("table2");
+    for (app, patterns) in APPS {
+        sweep.point("XCU250", app, "analytic", move || {
+            let cfg = GramerConfig::default();
+            let items = match cfg.budget {
+                MemoryBudget::Items(n) => n,
+                MemoryBudget::Fraction(_) => unreachable!("default budget is absolute"),
+            };
+            let a = area::estimate(&cfg, items, patterns);
+            PointOutput::new()
+                .metric("lut", a.lut)
+                .metric("register", a.register)
+                .metric("bram", a.bram)
+                .metric(
+                    "clock_mhz",
+                    clock_rate_mhz(&cfg, AncestorMode::BufferedCompacted, patterns),
+                )
+        });
+    }
+    let result = sweep.execute(&args);
 
     println!("Table II — resource utilisation and clock rate (modeled XCU250)");
     println!("(paper: LUT ~25.4-25.5%, Register ~13.1%, BRAM ~65.7%, 207-213 MHz)\n");
-    println!(
-        "{:<12} {:>10} {:>10} {:>10}",
-        "", "CF", "FSM", "MC"
-    );
+    println!("{:<12} {:>10} {:>10} {:>10}", "", "CF", "FSM", "MC");
     rule(46);
 
-    let cf = area::estimate(&cfg, items, false);
-    let mcfsm = area::estimate(&cfg, items, true);
-    let pct = |x: f64| format!("{:.2}%", 100.0 * x);
-    println!(
-        "{:<12} {:>10} {:>10} {:>10}",
-        "LUT",
-        pct(cf.lut),
-        pct(mcfsm.lut),
-        pct(mcfsm.lut)
-    );
-    println!(
-        "{:<12} {:>10} {:>10} {:>10}",
-        "Register",
-        pct(cf.register),
-        pct(mcfsm.register),
-        pct(mcfsm.register)
-    );
-    println!(
-        "{:<12} {:>10} {:>10} {:>10}",
-        "BRAM",
-        pct(cf.bram),
-        pct(mcfsm.bram),
-        pct(mcfsm.bram)
-    );
-    let clock = |patterns| {
-        format!(
-            "{:.0}MHz",
-            clock_rate_mhz(&cfg, AncestorMode::BufferedCompacted, patterns)
-        )
+    let cell = |app: &str, key: &str| {
+        result
+            .find("XCU250", app, "analytic")
+            .and_then(|r| r.metric_f64(key))
     };
-    println!(
-        "{:<12} {:>10} {:>10} {:>10}",
-        "Clock Rate",
-        clock(false),
-        clock(true),
-        clock(true)
-    );
+    for (label, key) in [("LUT", "lut"), ("Register", "register"), ("BRAM", "bram")] {
+        print!("{label:<12}");
+        for (app, _) in APPS {
+            match cell(app, key) {
+                Some(x) => print!(" {:>10}", format!("{:.2}%", 100.0 * x)),
+                None => print!(" {:>10}", "-"),
+            }
+        }
+        println!();
+    }
+    print!("{:<12}", "Clock Rate");
+    for (app, _) in APPS {
+        match cell(app, "clock_mhz") {
+            Some(mhz) => print!(" {:>10}", format!("{mhz:.0}MHz")),
+            None => print!(" {:>10}", "-"),
+        }
+    }
+    println!();
 }

@@ -14,33 +14,16 @@
 
 use gramer::GramerConfig;
 use gramer_baselines::{FractalModel, RstreamModel, RstreamOutcome};
-use gramer_bench::{analog, divisor, fmt_secs, run_gramer, rule, AppVariant, CsvWriter};
+use gramer_bench::{
+    divisor, fmt_secs, run_gramer, rule, AnalogCache, AppVariant, PointOutput, Sweep, SweepArgs,
+};
 use gramer_graph::datasets::Dataset;
 
 fn main() {
-    let mut csv = CsvWriter::new(
-        "table3.csv",
-        &[
-            "app",
-            "graph",
-            "gramer_seconds",
-            "fractal_seconds",
-            "rstream",
-            "fractal_over_gramer",
-            "rstream_over_gramer",
-        ],
-    );
-    println!("Table III — running time (seconds), scaled analogs");
-    println!("(paper ratios: Fractal/GRAMER 1.8-24.9x, RStream/GRAMER 1.11-129.95x)\n");
-    println!(
-        "{:<10} {:<10} {:>10} {:>10} {:>10} {:>8} {:>9}",
-        "App", "Graph", "GRAMER", "Fractal", "RStream", "Fr/Gr", "RS/Gr"
-    );
-    rule(74);
+    let args = SweepArgs::parse();
+    let cache = AnalogCache::new();
 
-    let fractal = FractalModel::default();
-    let rstream = RstreamModel::default();
-
+    let mut sweep = Sweep::new("table3");
     for variant in AppVariant::TABLE3 {
         for d in Dataset::ALL {
             // The paper itself omits the heaviest cells ('-'); we skip the
@@ -48,41 +31,67 @@ fn main() {
             if skip(variant, d) {
                 continue;
             }
-            let g = analog(d);
-            variant.with_app(d, |app| {
-                let report = run_gramer(&g, app, GramerConfig::default());
-                let profile = app.profile(&g);
-                let fr = fractal.estimate_seconds(&profile);
-                let rs = rstream.estimate(&profile);
-                let wall = report.wall_seconds();
-                let rs_ratio = match rs {
-                    RstreamOutcome::Seconds(s) => format!("{:>8.2}x", s / wall),
-                    _ => format!("{:>9}", rs.to_string()),
-                };
-                println!(
-                    "{:<10} {:<10} {:>10} {:>10} {:>10} {:>7.2}x {}",
-                    variant.name(d),
-                    d.name(),
-                    fmt_secs(wall),
-                    fmt_secs(fr),
-                    rs.to_string(),
-                    fr / wall,
-                    rs_ratio
-                );
-                csv.row([
-                    variant.name(d),
-                    d.name().to_string(),
-                    format!("{wall:.6}"),
-                    format!("{fr:.6}"),
-                    rs.to_string(),
-                    format!("{:.3}", fr / wall),
-                    rs.seconds()
-                        .map(|s| format!("{:.3}", s / wall))
-                        .unwrap_or_else(|| rs.to_string()),
-                ]);
+            let cache = &cache;
+            sweep.point(d.name(), &variant.name(d), "vs-baselines", move || {
+                let g = cache.get(d);
+                variant.with_app(d, |app| {
+                    let report = run_gramer(g, app, GramerConfig::default());
+                    let profile = app.profile(g);
+                    let fr = FractalModel::default().estimate_seconds(&profile);
+                    let rs = RstreamModel::default().estimate(&profile);
+                    let wall = report.wall_seconds();
+                    let mut out = PointOutput::new()
+                        .metric("gramer_seconds", wall)
+                        .metric("fractal_seconds", fr)
+                        .metric("fractal_over_gramer", fr / wall)
+                        .metric("rstream", rs.to_string());
+                    if let RstreamOutcome::Seconds(s) = rs {
+                        out = out.metric("rstream_over_gramer", s / wall);
+                    }
+                    PointOutput { report: Some(report), ..out }
+                })
             });
         }
-        rule(74);
+    }
+    let result = sweep.execute(&args);
+
+    println!("Table III — running time (seconds), scaled analogs");
+    println!("(paper ratios: Fractal/GRAMER 1.8-24.9x, RStream/GRAMER 1.11-129.95x)\n");
+    println!(
+        "{:<10} {:<10} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "App", "Graph", "GRAMER", "Fractal", "RStream", "Fr/Gr", "RS/Gr"
+    );
+    rule(74);
+    for variant in AppVariant::TABLE3 {
+        let mut printed = false;
+        for d in Dataset::ALL {
+            let Some(r) = result.find(d.name(), &variant.name(d), "vs-baselines") else {
+                continue;
+            };
+            printed = true;
+            let f = |key: &str| r.metric_f64(key).unwrap_or(0.0);
+            let rs_text = r
+                .metric("rstream")
+                .and_then(gramer::json::JsonValue::as_str)
+                .unwrap_or("-");
+            let rs_ratio = match r.metric_f64("rstream_over_gramer") {
+                Some(x) => format!("{x:>8.2}x"),
+                None => format!("{rs_text:>9}"),
+            };
+            println!(
+                "{:<10} {:<10} {:>10} {:>10} {:>10} {:>7.2}x {}",
+                variant.name(d),
+                d.name(),
+                fmt_secs(f("gramer_seconds")),
+                fmt_secs(f("fractal_seconds")),
+                rs_text,
+                f("fractal_over_gramer"),
+                rs_ratio
+            );
+        }
+        if printed {
+            rule(74);
+        }
     }
 
     println!(
@@ -92,7 +101,6 @@ fn main() {
             .map(|&d| (d.name(), divisor(d)))
             .collect::<Vec<_>>()
     );
-    csv.finish();
 }
 
 /// Cells whose scaled analogs still exceed a software-simulation budget.

@@ -1,7 +1,12 @@
 //! Shared harness for regenerating every table and figure of the GRAMER
 //! paper's evaluation (§VI).
 //!
-//! Each binary in `src/bin/` reproduces one artifact:
+//! Each binary in `src/bin/` reproduces one artifact by declaring its
+//! grid of `(dataset, app, config)` points as a [`Sweep`] and handing it
+//! to the parallel sweep runner (see [`sweep`]). Every binary therefore
+//! understands the same CLI — `--jobs N`, `--json PATH`, `--filter
+//! SUBSTR`, `--list` — and writes a structured JSON artifact to
+//! `results/BENCH_<name>.json` alongside its stdout table.
 //!
 //! | binary | artifact |
 //! |---|---|
@@ -21,12 +26,40 @@
 //! `gramer_graph::datasets`); divisors below keep each simulated cell in
 //! the seconds range on a laptop while preserving the small/medium/large
 //! ordering. Set `GRAMER_QUICK=1` for a ~4× faster, coarser pass.
+//!
+//! # Example
+//!
+//! A minimal two-point sweep (bins declare real simulation points the
+//! same way and call [`Sweep::execute`] instead of [`Sweep::run`]):
+//!
+//! ```
+//! use gramer_bench::{PointOutput, Sweep};
+//!
+//! let mut sweep = Sweep::new("demo");
+//! for k in [3usize, 4] {
+//!     sweep.point("toy", &format!("{k}-CF"), "default", move || {
+//!         PointOutput::new().metric("k", k)
+//!     });
+//! }
+//! // Two worker threads; results still come back in declaration order.
+//! let result = sweep.run(2, None);
+//! assert_eq!(result.records.len(), 2);
+//! assert_eq!(result.records[0].metric_f64("k"), Some(3.0));
+//! ```
+
+#![warn(missing_docs)]
 
 use gramer::{preprocess, GramerConfig, Preprocessed, RunReport, Simulator};
 use gramer_graph::datasets::Dataset;
 use gramer_graph::CsrGraph;
 use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
 use gramer_mining::EcmApp;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+pub mod sweep;
+
+pub use sweep::{PointOutput, PointRecord, Sweep, SweepResult};
 
 /// Whether the quick (coarser) mode is enabled via `GRAMER_QUICK=1`.
 pub fn quick_mode() -> bool {
@@ -55,6 +88,42 @@ pub fn divisor(d: Dataset) -> usize {
 /// Generates the scaled analog of `d`.
 pub fn analog(d: Dataset) -> CsrGraph {
     d.generate_scaled(divisor(d))
+}
+
+/// Lazily generated, shared dataset analogs.
+///
+/// Sweep points run on worker threads; routing graph generation through
+/// this cache means each dataset analog is built exactly once (on the
+/// first thread that needs it) and then shared by reference, instead of
+/// every point regenerating its graph.
+#[derive(Debug)]
+pub struct AnalogCache {
+    slots: [(Dataset, OnceLock<CsrGraph>); Dataset::ALL.len()],
+}
+
+impl AnalogCache {
+    /// An empty cache covering every dataset.
+    pub fn new() -> Self {
+        AnalogCache {
+            slots: Dataset::ALL.map(|d| (d, OnceLock::new())),
+        }
+    }
+
+    /// The scaled analog of `d`, generated on first use.
+    pub fn get(&self, d: Dataset) -> &CsrGraph {
+        let (_, slot) = self
+            .slots
+            .iter()
+            .find(|(slot_d, _)| *slot_d == d)
+            .expect("every dataset has a slot");
+        slot.get_or_init(|| analog(d))
+    }
+}
+
+impl Default for AnalogCache {
+    fn default() -> Self {
+        AnalogCache::new()
+    }
 }
 
 /// FSM occurrence threshold for `d`, scaled like the graph (the paper
@@ -117,7 +186,7 @@ impl AppVariant {
 
 /// Object-safe adapter over [`EcmApp`] so harness code can be generic over
 /// variants at runtime.
-pub trait DynApp {
+pub trait DynApp: Sync {
     /// See [`EcmApp::name`].
     fn name(&self) -> String;
     /// See [`EcmApp::max_vertices`].
@@ -128,7 +197,7 @@ pub trait DynApp {
     fn profile(&self, graph: &CsrGraph) -> gramer_baselines::CpuProfile;
 }
 
-impl<A: EcmApp> DynApp for A {
+impl<A: EcmApp + Sync> DynApp for A {
     fn name(&self) -> String {
         EcmApp::name(self)
     }
@@ -152,62 +221,110 @@ pub fn run_gramer(graph: &CsrGraph, app: &dyn DynApp, config: GramerConfig) -> R
     app.simulate(&pre, config)
 }
 
+/// Command-line options shared by every experiment binary.
+///
+/// ```text
+/// --jobs N         worker threads (default: available parallelism)
+/// --json PATH      JSON artifact path (default: results/BENCH_<name>.json)
+/// --filter SUBSTR  only run points whose dataset/app/config id contains SUBSTR
+/// --list           print the point ids this binary would run, then exit
+/// --help           print usage, then exit
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Worker-thread count for the sweep runner.
+    pub jobs: usize,
+    /// JSON artifact path override (`None` → `results/BENCH_<name>.json`).
+    pub json: Option<PathBuf>,
+    /// Substring filter over `dataset/app/config` point ids.
+    pub filter: Option<String>,
+    /// Print the point ids and exit instead of running.
+    pub list: bool,
+}
+
+/// Usage text shared by every experiment binary.
+pub const SWEEP_USAGE: &str = "\
+Options:
+  --jobs N         worker threads (default: available parallelism)
+  --json PATH      JSON artifact path (default: results/BENCH_<name>.json)
+  --filter SUBSTR  only run points whose dataset/app/config id contains SUBSTR
+  --list           print the point ids this binary would run, then exit
+  --help           print this help, then exit
+
+Environment:
+  GRAMER_QUICK=1   coarser, ~4x faster pass";
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            jobs: default_jobs(),
+            json: None,
+            filter: None,
+            list: false,
+        }
+    }
+}
+
+impl SweepArgs {
+    /// Parses `std::env::args()`, printing usage and exiting on `--help`
+    /// or on a malformed command line.
+    pub fn parse() -> SweepArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{SWEEP_USAGE}");
+            std::process::exit(0);
+        }
+        match SweepArgs::try_parse(&args) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{SWEEP_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list (`--opt value` and `--opt=value` forms).
+    pub fn try_parse<S: AsRef<str>>(args: &[S]) -> Result<SweepArgs, String> {
+        let mut parsed = SweepArgs::default();
+        let mut it = args.iter().map(AsRef::as_ref);
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f, Some(v.to_string())),
+                None => (arg, None),
+            };
+            let value = |it: &mut dyn Iterator<Item = &str>| -> Result<String, String> {
+                inline
+                    .clone()
+                    .or_else(|| it.next().map(str::to_string))
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match flag {
+                "--jobs" => {
+                    let v = value(&mut it)?;
+                    parsed.jobs = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--jobs expects a positive integer, got {v:?}"))?;
+                }
+                "--json" => parsed.json = Some(PathBuf::from(value(&mut it)?)),
+                "--filter" => parsed.filter = Some(value(&mut it)?),
+                "--list" => parsed.list = true,
+                other => return Err(format!("unknown option {other:?}")),
+            }
+        }
+        Ok(parsed)
+    }
+}
+
+/// Default worker-thread count: the host's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Prints a separator line sized to `width`.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
-}
-
-/// A tiny CSV writer for machine-readable experiment exports (written
-/// under `results/`).
-#[derive(Debug)]
-pub struct CsvWriter {
-    path: std::path::PathBuf,
-    rows: Vec<String>,
-}
-
-impl CsvWriter {
-    /// Starts a CSV with the given header columns.
-    pub fn new(name: &str, header: &[&str]) -> Self {
-        CsvWriter {
-            path: std::path::Path::new("results").join(name),
-            rows: vec![header.join(",")],
-        }
-    }
-
-    /// Appends a row; fields containing commas or quotes are quoted.
-    pub fn row<I, S>(&mut self, fields: I)
-    where
-        I: IntoIterator<Item = S>,
-        S: AsRef<str>,
-    {
-        let quoted: Vec<String> = fields
-            .into_iter()
-            .map(|f| {
-                let f = f.as_ref();
-                if f.contains(',') || f.contains('"') {
-                    format!("\"{}\"", f.replace('"', "\"\""))
-                } else {
-                    f.to_string()
-                }
-            })
-            .collect();
-        self.rows.push(quoted.join(","));
-    }
-
-    /// Writes the file, creating `results/` if needed. Failures are
-    /// reported on stderr but never abort the experiment.
-    pub fn finish(self) {
-        let write = || -> std::io::Result<()> {
-            if let Some(dir) = self.path.parent() {
-                std::fs::create_dir_all(dir)?;
-            }
-            std::fs::write(&self.path, self.rows.join("\n") + "\n")
-        };
-        match write() {
-            Ok(()) => println!("\n[csv] wrote {}", self.path.display()),
-            Err(e) => eprintln!("[csv] could not write {}: {e}", self.path.display()),
-        }
-    }
 }
 
 /// Formats seconds with sensible precision across the table's range.
@@ -246,5 +363,34 @@ mod tests {
         assert_eq!(fmt_secs(0.0012), "0.0012");
         assert_eq!(fmt_secs(0.123), "0.123");
         assert_eq!(fmt_secs(12.345), "12.35");
+    }
+
+    #[test]
+    fn sweep_args_parse_both_forms() {
+        let a = SweepArgs::try_parse(&["--jobs", "4", "--filter=P2p", "--list"]).unwrap();
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.filter.as_deref(), Some("P2p"));
+        assert!(a.list);
+        assert_eq!(a.json, None);
+
+        let b = SweepArgs::try_parse(&["--jobs=2", "--json", "out.json"]).unwrap();
+        assert_eq!(b.jobs, 2);
+        assert_eq!(b.json, Some(PathBuf::from("out.json")));
+    }
+
+    #[test]
+    fn sweep_args_reject_bad_input() {
+        assert!(SweepArgs::try_parse(&["--jobs"]).is_err());
+        assert!(SweepArgs::try_parse(&["--jobs", "0"]).is_err());
+        assert!(SweepArgs::try_parse(&["--jobs", "many"]).is_err());
+        assert!(SweepArgs::try_parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn analog_cache_returns_same_graph() {
+        let cache = AnalogCache::new();
+        let a = cache.get(Dataset::Citeseer) as *const CsrGraph;
+        let b = cache.get(Dataset::Citeseer) as *const CsrGraph;
+        assert_eq!(a, b, "second lookup must hit the cached graph");
     }
 }

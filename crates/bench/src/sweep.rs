@@ -1,0 +1,525 @@
+//! The experiment-sweep runner: executes independent simulation points in
+//! parallel and serializes the whole sweep to a stable JSON artifact.
+//!
+//! Every `fig*`/`table*` binary declares its grid of
+//! `(dataset, app, config)` points as a [`Sweep`], then calls
+//! [`Sweep::execute`]. The runner:
+//!
+//! 1. applies the `--filter` substring to the `dataset/app/config` ids;
+//! 2. executes the remaining points on a work-queue thread pool
+//!    (`--jobs N`, std threads + channels, no external dependencies) —
+//!    host-side parallelism only, so simulated results are unaffected;
+//! 3. re-assembles results in **declaration order** regardless of
+//!    completion order, making the JSON point data byte-identical across
+//!    `--jobs` settings;
+//! 4. logs per-point progress to stderr (stdout stays clean for tables);
+//! 5. writes `results/BENCH_<name>.json` (override with `--json PATH`):
+//!    deterministic point data + a merged summary, with volatile
+//!    host-side timing and peak-RSS metadata quarantined under `"host"`.
+//!
+//! The schema is hand-rolled on [`gramer::json::JsonValue`] and versioned
+//! via `schema_version`; see `EXPERIMENTS.md` for the layout.
+
+use crate::SweepArgs;
+use gramer::json::JsonValue;
+use gramer::{ReportSummary, RunReport};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// What one sweep point produces: an optional full simulator report plus
+/// named scalar/structured metrics for the bin's table and the JSON file.
+#[derive(Debug, Default)]
+pub struct PointOutput {
+    /// Full simulator report, when the point ran the GRAMER simulator.
+    pub report: Option<RunReport>,
+    /// Named metrics in insertion order (serialized as a JSON object).
+    pub metrics: Vec<(String, JsonValue)>,
+}
+
+impl PointOutput {
+    /// An empty output, to be filled with [`PointOutput::metric`] calls.
+    pub fn new() -> Self {
+        PointOutput::default()
+    }
+
+    /// Wraps a simulator report (its JSON lands under the point's
+    /// `"report"` key).
+    pub fn from_report(report: RunReport) -> Self {
+        PointOutput {
+            report: Some(report),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a named metric (builder style).
+    pub fn metric(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.metrics.push((key.to_string(), value.into()));
+        self
+    }
+}
+
+/// One declared `(dataset, app, config)` grid point and its work closure.
+pub struct SweepPoint<'a> {
+    dataset: String,
+    app: String,
+    config: String,
+    run: Box<dyn Fn() -> PointOutput + Send + Sync + 'a>,
+}
+
+impl SweepPoint<'_> {
+    /// The point's id: `dataset/app/config` (the `--filter` target).
+    pub fn id(&self) -> String {
+        format!("{}/{}/{}", self.dataset, self.app, self.config)
+    }
+}
+
+/// A completed point, back in declaration order.
+#[derive(Debug)]
+pub struct PointRecord {
+    /// Dataset label of the point.
+    pub dataset: String,
+    /// Application label of the point.
+    pub app: String,
+    /// Configuration label of the point.
+    pub config: String,
+    /// What the point produced.
+    pub output: PointOutput,
+    /// Host wall-clock seconds this point took (volatile; excluded from
+    /// the deterministic JSON point data).
+    pub wall_seconds: f64,
+}
+
+impl PointRecord {
+    /// The point's `dataset/app/config` id.
+    pub fn id(&self) -> String {
+        format!("{}/{}/{}", self.dataset, self.app, self.config)
+    }
+
+    /// Looks up a named metric.
+    pub fn metric(&self, key: &str) -> Option<&JsonValue> {
+        self.output
+            .metrics
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// A named metric as `f64`.
+    pub fn metric_f64(&self, key: &str) -> Option<f64> {
+        self.metric(key).and_then(JsonValue::as_f64)
+    }
+
+    /// Simulated cycles, when the point carries a report.
+    pub fn cycles(&self) -> Option<u64> {
+        self.output.report.as_ref().map(|r| r.cycles)
+    }
+
+    /// The point's simulator report, when present.
+    pub fn report(&self) -> Option<&RunReport> {
+        self.output.report.as_ref()
+    }
+}
+
+/// A declarative set of independent simulation points.
+pub struct Sweep<'a> {
+    name: String,
+    points: Vec<SweepPoint<'a>>,
+}
+
+impl<'a> Sweep<'a> {
+    /// An empty sweep named `name` (also names the JSON artifact:
+    /// `results/BENCH_<name>.json`).
+    pub fn new(name: &str) -> Self {
+        Sweep {
+            name: name.to_string(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Declares one point. `run` must be independent of every other
+    /// point: it may run on any worker thread, in any order.
+    pub fn point(
+        &mut self,
+        dataset: &str,
+        app: &str,
+        config: &str,
+        run: impl Fn() -> PointOutput + Send + Sync + 'a,
+    ) {
+        self.points.push(SweepPoint {
+            dataset: dataset.to_string(),
+            app: app.to_string(),
+            config: config.to_string(),
+            run: Box::new(run),
+        });
+    }
+
+    /// Number of declared points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points are declared.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Runs the sweep under `args`: honours `--list` (print ids and exit)
+    /// and `--filter`, executes with `--jobs` workers, and writes the
+    /// JSON artifact. This is the entry point the bins use.
+    pub fn execute(self, args: &SweepArgs) -> SweepResult {
+        if args.list {
+            for p in self.filtered(args.filter.as_deref()) {
+                println!("{}", p.id());
+            }
+            std::process::exit(0);
+        }
+        let json_path = args
+            .json
+            .clone()
+            .unwrap_or_else(|| Path::new("results").join(format!("BENCH_{}.json", self.name)));
+        let result = self.run(args.jobs, args.filter.as_deref());
+        match result.write_json(&json_path) {
+            Ok(()) => eprintln!("[{}] wrote {}", result.name, json_path.display()),
+            Err(e) => eprintln!("[{}] could not write {}: {e}", result.name, json_path.display()),
+        }
+        result
+    }
+
+    /// Pure execution (no JSON file, no process exit): runs the filtered
+    /// points on `jobs` workers and returns records in declaration order.
+    pub fn run(self, jobs: usize, filter: Option<&str>) -> SweepResult {
+        let name = self.name;
+        let points: Vec<SweepPoint<'a>> = {
+            let matches = |p: &SweepPoint<'_>| filter.is_none_or(|f| p.id().contains(f));
+            self.points.into_iter().filter(|p| matches(p)).collect()
+        };
+        let n = points.len();
+        let jobs = jobs.max(1).min(n.max(1));
+        let started = Instant::now();
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, PointOutput, f64)>();
+        let mut outputs: Vec<Option<(PointOutput, f64)>> = Vec::new();
+        outputs.resize_with(n, || None);
+
+        std::thread::scope(|scope| {
+            let points = &points;
+            let next = &next;
+            for _ in 0..jobs {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let output = (points[i].run)();
+                    // The receiver only disconnects if the collector
+                    // panicked; nothing useful to do with the result then.
+                    let _ = tx.send((i, output, t0.elapsed().as_secs_f64()));
+                });
+            }
+            drop(tx);
+
+            // Collect on this thread so progress lines never interleave.
+            let mut done = 0usize;
+            while let Ok((i, output, secs)) = rx.recv() {
+                done += 1;
+                eprintln!(
+                    "[{name}] {done}/{n} {} ({secs:.2}s, jobs={jobs})",
+                    points[i].id()
+                );
+                outputs[i] = Some((output, secs));
+            }
+        });
+
+        let records = points
+            .into_iter()
+            .zip(outputs)
+            .map(|(p, slot)| {
+                let (output, wall_seconds) =
+                    slot.expect("every queued point sends exactly one result");
+                PointRecord {
+                    dataset: p.dataset,
+                    app: p.app,
+                    config: p.config,
+                    output,
+                    wall_seconds,
+                }
+            })
+            .collect();
+
+        SweepResult {
+            name,
+            jobs,
+            records,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn filtered<'s>(&'s self, filter: Option<&'s str>) -> impl Iterator<Item = &'s SweepPoint<'a>> {
+        self.points
+            .iter()
+            .filter(move |p| filter.is_none_or(|f| p.id().contains(f)))
+    }
+}
+
+/// A completed sweep: records in declaration order plus run metadata.
+#[derive(Debug)]
+pub struct SweepResult {
+    /// Sweep name (names the JSON artifact).
+    pub name: String,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Completed points, in declaration order (never completion order).
+    pub records: Vec<PointRecord>,
+    /// Host wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+}
+
+impl SweepResult {
+    /// The record with the exact `(dataset, app, config)` labels.
+    pub fn find(&self, dataset: &str, app: &str, config: &str) -> Option<&PointRecord> {
+        self.records
+            .iter()
+            .find(|r| r.dataset == dataset && r.app == app && r.config == config)
+    }
+
+    /// Records for one dataset label, in declaration order.
+    pub fn for_dataset<'s>(&'s self, dataset: &'s str) -> impl Iterator<Item = &'s PointRecord> {
+        self.records.iter().filter(move |r| r.dataset == dataset)
+    }
+
+    /// The deterministic per-point JSON array — everything except
+    /// host-side timing. Byte-identical across `--jobs` settings.
+    pub fn points_json(&self) -> JsonValue {
+        JsonValue::array(self.records.iter().map(|r| {
+            JsonValue::object([
+                ("dataset", JsonValue::from(r.dataset.as_str())),
+                ("app", JsonValue::from(r.app.as_str())),
+                ("config", JsonValue::from(r.config.as_str())),
+                (
+                    "metrics",
+                    JsonValue::Object(
+                        r.output
+                            .metrics
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "report",
+                    r.output
+                        .report
+                        .as_ref()
+                        .map_or(JsonValue::Null, RunReport::to_json_value),
+                ),
+            ])
+        }))
+    }
+
+    /// Merged [`ReportSummary`] over every point that carries a report.
+    pub fn summary(&self) -> ReportSummary {
+        ReportSummary::merge(self.records.iter().filter_map(PointRecord::report))
+    }
+
+    /// The full JSON document (`schema_version` 1).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("schema_version", JsonValue::from(1u64)),
+            ("sweep", JsonValue::from(self.name.as_str())),
+            ("points", self.points_json()),
+            ("summary", self.summary().to_json_value()),
+            (
+                "host",
+                JsonValue::object([
+                    ("jobs", JsonValue::from(self.jobs)),
+                    ("wall_seconds", JsonValue::from(self.wall_seconds)),
+                    (
+                        "point_wall_seconds",
+                        JsonValue::array(
+                            self.records.iter().map(|r| JsonValue::from(r.wall_seconds)),
+                        ),
+                    ),
+                    (
+                        "peak_rss_kb",
+                        peak_rss_kb().map_or(JsonValue::Null, JsonValue::from),
+                    ),
+                    ("quick_mode", JsonValue::from(crate::quick_mode())),
+                ]),
+            ),
+        ])
+    }
+
+    /// Writes the pretty-printed document, creating parent directories.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json_value().to_string_pretty())
+    }
+}
+
+/// Peak resident-set size of this process in kB (`VmHWM`), when the
+/// platform exposes it.
+pub fn peak_rss_kb() -> Option<u64> {
+    if cfg!(target_os = "linux") {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        line.split_whitespace().nth(1)?.parse().ok()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn tiny_sweep<'a>(ran: &'a AtomicU64) -> Sweep<'a> {
+        let mut s = Sweep::new("test");
+        for (d, k) in [("g1", 3u64), ("g1", 4), ("g2", 3), ("g2", 4), ("g2", 5)] {
+            s.point(d, &format!("{k}-CF"), "default", move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                // Busy-ish work with input-dependent duration so that
+                // completion order differs from declaration order.
+                let mut acc = 0u64;
+                for i in 0..(k * 10_000) {
+                    acc = acc.wrapping_mul(31).wrapping_add(i);
+                }
+                PointOutput::new()
+                    .metric("k", k)
+                    .metric("acc", acc)
+                    .metric("id", format!("{d}/{k}"))
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn results_are_in_declaration_order() {
+        let ran = AtomicU64::new(0);
+        let r = tiny_sweep(&ran).run(4, None);
+        assert_eq!(ran.load(Ordering::Relaxed), 5);
+        let ids: Vec<String> = r.records.iter().map(PointRecord::id).collect();
+        assert_eq!(
+            ids,
+            [
+                "g1/3-CF/default",
+                "g1/4-CF/default",
+                "g2/3-CF/default",
+                "g2/4-CF/default",
+                "g2/5-CF/default"
+            ]
+        );
+    }
+
+    #[test]
+    fn point_data_identical_across_job_counts() {
+        let ran = AtomicU64::new(0);
+        let serial = tiny_sweep(&ran).run(1, None);
+        let parallel = tiny_sweep(&ran).run(4, None);
+        assert_eq!(serial.jobs, 1);
+        assert!(parallel.jobs > 1);
+        assert_eq!(
+            serial.points_json().to_string_pretty(),
+            parallel.points_json().to_string_pretty(),
+            "point data must be byte-identical regardless of --jobs"
+        );
+    }
+
+    #[test]
+    fn filter_selects_by_id_substring() {
+        let ran = AtomicU64::new(0);
+        let r = tiny_sweep(&ran).run(2, Some("g2"));
+        assert_eq!(r.records.len(), 3);
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "filtered points must not run");
+        let r2 = tiny_sweep(&ran).run(2, Some("5-CF"));
+        assert_eq!(r2.records.len(), 1);
+        assert_eq!(r2.records[0].dataset, "g2");
+    }
+
+    #[test]
+    fn golden_snapshot_of_tiny_sweep_points() {
+        let mut s = Sweep::new("golden");
+        s.point("k3", "3-CF", "default", || {
+            PointOutput::new().metric("cycles", 123u64).metric("ratio", 0.5)
+        });
+        let r = s.run(1, None);
+        // The exact serialized bytes are the schema contract; update this
+        // snapshot deliberately, never incidentally.
+        let expected = "\
+[
+  {
+    \"dataset\": \"k3\",
+    \"app\": \"3-CF\",
+    \"config\": \"default\",
+    \"metrics\": {
+      \"cycles\": 123,
+      \"ratio\": 0.5
+    },
+    \"report\": null
+  }
+]
+";
+        assert_eq!(r.points_json().to_string_pretty(), expected);
+    }
+
+    #[test]
+    fn full_document_has_versioned_schema() {
+        let mut s = Sweep::new("doc");
+        s.point("d", "a", "c", || PointOutput::new().metric("x", 1u64));
+        let r = s.run(1, None);
+        let doc = r.to_json_value();
+        assert_eq!(doc.get("schema_version").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(doc.get("sweep").and_then(JsonValue::as_str), Some("doc"));
+        assert!(doc.get("summary").is_some());
+        assert!(doc.get("host").and_then(|h| h.get("jobs")).is_some());
+        // Parse back through the hand-rolled parser.
+        let text = doc.to_string_pretty();
+        assert!(JsonValue::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn workers_run_points_concurrently() {
+        let mut s = Sweep::new("sleep");
+        for i in 0..4u64 {
+            s.point("d", &format!("p{i}"), "c", move || {
+                std::thread::sleep(std::time::Duration::from_millis(80));
+                PointOutput::new().metric("i", i)
+            });
+        }
+        let t0 = Instant::now();
+        s.run(4, None);
+        let elapsed = t0.elapsed();
+        // Four 80 ms points overlapped on four workers (sleeps overlap
+        // even on a single core): well under the 320 ms a serial run
+        // needs. The generous bound keeps this robust under load.
+        assert!(
+            elapsed < std::time::Duration::from_millis(240),
+            "4 points on 4 workers took {elapsed:?}, expected overlap"
+        );
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let r = Sweep::new("empty").run(4, None);
+        assert!(r.records.is_empty());
+        assert_eq!(r.summary().runs, 0);
+    }
+
+    #[test]
+    fn find_and_metric_accessors() {
+        let mut s = Sweep::new("acc");
+        s.point("d1", "app", "cfg", || PointOutput::new().metric("v", 2.5));
+        let r = s.run(1, None);
+        let p = r.find("d1", "app", "cfg").expect("present");
+        assert_eq!(p.metric_f64("v"), Some(2.5));
+        assert_eq!(p.metric_f64("missing"), None);
+        assert!(r.find("d1", "app", "other").is_none());
+    }
+}

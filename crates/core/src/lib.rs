@@ -50,9 +50,10 @@ mod report;
 mod sim;
 
 pub mod area;
+pub mod json;
 pub mod pipeline;
 
 pub use config::{GramerConfig, MemoryBudget, MemoryMode};
 pub use preprocess::{preprocess, Preprocessed};
-pub use report::RunReport;
+pub use report::{ReportSummary, RunReport};
 pub use sim::Simulator;

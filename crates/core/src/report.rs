@@ -1,4 +1,5 @@
-use gramer_memsim::{EnergyBreakdown, EnergyModel, MemStats};
+use crate::json::JsonValue;
+use gramer_memsim::{EnergyBreakdown, EnergyModel, KindStats, MemStats};
 use gramer_mining::MiningResult;
 
 /// Everything a GRAMER simulation produces: the mining result plus the
@@ -67,6 +68,60 @@ impl RunReport {
         self.mem.on_chip_ratio()
     }
 
+    /// Serializes every field of the report (plus the derived quantities
+    /// the figures consume) into a [`JsonValue`] with a stable key order.
+    ///
+    /// This is the per-point payload of the sweep-runner's
+    /// `results/BENCH_*.json` files; downstream tooling may rely on the
+    /// key set, so additions are fine but renames are a schema break.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("app", JsonValue::from(self.app.as_str())),
+            ("cycles", JsonValue::from(self.cycles)),
+            ("seconds", JsonValue::from(self.seconds)),
+            ("preprocess_seconds", JsonValue::from(self.preprocess_seconds)),
+            ("transfer_seconds", JsonValue::from(self.transfer_seconds)),
+            ("wall_seconds", JsonValue::from(self.wall_seconds())),
+            ("total_seconds", JsonValue::from(self.total_seconds())),
+            ("mem", mem_to_json(&self.mem)),
+            ("hit_ratio", JsonValue::from(self.hit_ratio())),
+            ("dram_requests", JsonValue::from(self.dram_requests)),
+            ("steals", JsonValue::from(self.steals)),
+            ("steps", JsonValue::from(self.steps)),
+            ("pu_imbalance", JsonValue::from(self.pu_imbalance())),
+            (
+                "pu_steps",
+                JsonValue::array(self.pu_steps.iter().map(|&s| JsonValue::from(s))),
+            ),
+            (
+                "pu_finish",
+                JsonValue::array(self.pu_finish.iter().map(|&c| JsonValue::from(c))),
+            ),
+            (
+                "result",
+                JsonValue::object([
+                    ("embeddings", JsonValue::from(self.result.embeddings)),
+                    (
+                        "candidates_examined",
+                        JsonValue::from(self.result.candidates_examined),
+                    ),
+                    (
+                        "accepted_by_size",
+                        JsonValue::array(
+                            self.result.accepted_by_size.iter().map(|&n| JsonValue::from(n)),
+                        ),
+                    ),
+                    (
+                        "candidates_by_size",
+                        JsonValue::array(
+                            self.result.candidates_by_size.iter().map(|&n| JsonValue::from(n)),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -78,6 +133,87 @@ impl RunReport {
             self.result.embeddings,
             self.steals
         )
+    }
+}
+
+fn kind_to_json(k: &KindStats) -> JsonValue {
+    JsonValue::object([
+        ("high_priority_hits", JsonValue::from(k.high_priority_hits)),
+        ("cache_hits", JsonValue::from(k.cache_hits)),
+        ("misses", JsonValue::from(k.misses)),
+        ("on_chip_ratio", JsonValue::from(k.on_chip_ratio())),
+    ])
+}
+
+fn mem_to_json(mem: &MemStats) -> JsonValue {
+    JsonValue::object([
+        ("vertex", kind_to_json(&mem.vertex)),
+        ("edge", kind_to_json(&mem.edge)),
+        ("on_chip_ratio", JsonValue::from(mem.on_chip_ratio())),
+    ])
+}
+
+/// Aggregate view over a set of [`RunReport`]s — the `summary` block of a
+/// sweep's JSON artifact.
+///
+/// Produced by [`ReportSummary::merge`]; all counters are sums, the
+/// memory statistics are combined with [`MemStats`] addition, and the hit
+/// ratio is recomputed over the merged counters (not averaged).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReportSummary {
+    /// Number of reports merged.
+    pub runs: usize,
+    /// Summed simulated cycles.
+    pub cycles: u64,
+    /// Summed execution seconds.
+    pub seconds: f64,
+    /// Summed end-to-end seconds (execution + transfer + preprocessing).
+    pub total_seconds: f64,
+    /// Combined memory statistics.
+    pub mem: MemStats,
+    /// Summed off-chip requests.
+    pub dram_requests: u64,
+    /// Summed successful work steals.
+    pub steals: u64,
+    /// Summed accepted embeddings.
+    pub embeddings: u64,
+}
+
+impl ReportSummary {
+    /// Merges any number of reports into one summary.
+    pub fn merge<'a, I: IntoIterator<Item = &'a RunReport>>(reports: I) -> ReportSummary {
+        let mut s = ReportSummary::default();
+        for r in reports {
+            s.runs += 1;
+            s.cycles += r.cycles;
+            s.seconds += r.seconds;
+            s.total_seconds += r.total_seconds();
+            s.mem += r.mem;
+            s.dram_requests += r.dram_requests;
+            s.steals += r.steals;
+            s.embeddings += r.result.embeddings;
+        }
+        s
+    }
+
+    /// Combined on-chip hit ratio over every merged access.
+    pub fn hit_ratio(&self) -> f64 {
+        self.mem.on_chip_ratio()
+    }
+
+    /// Serializes the summary with a stable key order.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("runs", JsonValue::from(self.runs)),
+            ("cycles", JsonValue::from(self.cycles)),
+            ("seconds", JsonValue::from(self.seconds)),
+            ("total_seconds", JsonValue::from(self.total_seconds)),
+            ("mem", mem_to_json(&self.mem)),
+            ("hit_ratio", JsonValue::from(self.hit_ratio())),
+            ("dram_requests", JsonValue::from(self.dram_requests)),
+            ("steals", JsonValue::from(self.steals)),
+            ("embeddings", JsonValue::from(self.embeddings)),
+        ])
     }
 }
 
@@ -130,5 +266,54 @@ mod tests {
         let s = dummy().summary();
         assert!(s.contains("3-CF"));
         assert!(s.contains("42 embeddings"));
+    }
+
+    #[test]
+    fn json_serialization_round_trips_key_fields() {
+        let r = dummy();
+        let v = r.to_json_value();
+        let back = JsonValue::parse(&v.to_string()).expect("valid JSON");
+        assert_eq!(back.get("app").and_then(JsonValue::as_str), Some("3-CF"));
+        assert_eq!(back.get("cycles").and_then(JsonValue::as_u64), Some(2_000_000));
+        assert_eq!(
+            back.get("result")
+                .and_then(|res| res.get("embeddings"))
+                .and_then(JsonValue::as_u64),
+            Some(42)
+        );
+        assert_eq!(
+            back.get("pu_steps").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        // Derived quantities are included for plotting without recompute.
+        let wall = back.get("wall_seconds").and_then(JsonValue::as_f64).unwrap();
+        assert!((wall - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_recomputes_ratio() {
+        let a = dummy();
+        let mut b = dummy();
+        b.cycles = 1_000_000;
+        b.mem.vertex.misses = 10;
+        let s = ReportSummary::merge([&a, &b]);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.cycles, 3_000_000);
+        assert_eq!(s.embeddings, 84);
+        assert_eq!(s.steals, 6);
+        assert!((s.seconds - 0.02).abs() < 1e-12);
+        // Only b has traffic: 10 misses, 0 hits -> combined ratio 0.
+        assert_eq!(s.mem.total(), 10);
+        assert_eq!(s.hit_ratio(), 0.0);
+        let v = s.to_json_value();
+        assert_eq!(v.get("runs").and_then(JsonValue::as_u64), Some(2));
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let s = ReportSummary::merge([]);
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.hit_ratio(), 1.0); // no accesses observed
     }
 }

@@ -207,7 +207,7 @@ impl ReplacePolicy for LocalityPreserved {
 }
 
 /// A set-local variant of LIRS (Jiang & Zhang, SIGMETRICS'02 — reference
-/// [19] of the paper): victims are ranked by **inter-reference recency**,
+/// \[19\] of the paper): victims are ranked by **inter-reference recency**,
 /// the distance between a line's last two references. Lines referenced
 /// only once since fill have infinite IRR and are evicted first (oldest
 /// first); among re-referenced lines the largest IRR loses.
@@ -244,7 +244,7 @@ impl ReplacePolicy for Lirs {
 }
 
 /// A 2Q-style segmented policy (Johnson & Shasha, VLDB'94 — reference
-/// [20] of the paper): lines not yet re-referenced live in a probationary
+/// \[20\] of the paper): lines not yet re-referenced live in a probationary
 /// segment and are evicted FIFO before any re-referenced (protected) line
 /// is considered; protected lines fall back to LRU order.
 #[derive(Debug, Clone, Copy, Default)]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+#
+#   ./scripts/tier1.sh
+#
+# Runs, in order:
+#   1. cargo build --release --workspace   (all crates + experiment bins)
+#   2. cargo test -q --workspace           (unit + integration + doc tests)
+#   3. cargo doc --no-deps --workspace     (rustdoc, warnings denied)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "== tier1: cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== tier1: cargo doc --no-deps --workspace (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "== tier1: all green"

@@ -1,0 +1,227 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so this crate keeps
+//! the `crates/bench/benches/*.rs` sources compiling and *runnable* with
+//! a plain timing loop: each benchmark is warmed up once, then iterated
+//! until ~`MEASURE_MS` of wall-clock accumulates (at least
+//! `sample_size` iterations), and the mean per-iteration time is printed.
+//! No statistics, plots, or HTML reports — run the real criterion on a
+//! networked machine if confidence intervals matter.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark.
+const MEASURE_MS: u64 = 300;
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+///
+/// Without inline assembly the strongest safe barrier is a volatile-ish
+/// read through `std::hint::black_box` (stable since 1.66).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier, e.g. `BenchmarkId::new("simulate", "3-CF")`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display into one label.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut label = function.into();
+        let _ = write!(label, "/{parameter}");
+        BenchmarkId { label }
+    }
+
+    /// A parameter-only identifier.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to the benchmark closure; drives the timing loop.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    min_iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records the mean.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up (not measured).
+        black_box(f());
+        let budget = Duration::from_millis(MEASURE_MS);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.min_iters || start.elapsed() < budget {
+            black_box(f());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on iterations per benchmark (criterion's semantics are
+    /// statistical samples; here it is a simple floor).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut f = f;
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            min_iters: self.sample_size,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        println!(
+            "bench {:<40} {:>14} ({} iters)",
+            format!("{}/{}", self.name, id.label),
+            format_ns(mean_ns),
+            b.iters
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond parity with criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 1,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: "bench".into(),
+            sample_size: 1,
+            _parent: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Mirrors `criterion_group!`: bundles benchmark functions into one
+/// callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3);
+        let mut runs = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        // warm-up + at least sample_size measured iterations
+        assert!(runs >= 4, "ran only {runs} times");
+    }
+
+    #[test]
+    fn id_formats() {
+        let id = BenchmarkId::new("f", 42);
+        assert_eq!(id.label, "f/42");
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(1.5e9), "1.500 s");
+        assert_eq!(format_ns(2.5e6), "2.500 ms");
+        assert_eq!(format_ns(500.0), "500 ns");
+    }
+}

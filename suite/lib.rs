@@ -5,6 +5,22 @@
 //! single dependency. Library users should depend on the individual crates
 //! ([`gramer`], [`gramer_graph`], [`gramer_mining`], [`gramer_memsim`],
 //! [`gramer_baselines`]) directly.
+//!
+//! # Example
+//!
+//! ```
+//! use gramer_suite::gramer::{preprocess, GramerConfig, Simulator};
+//! use gramer_suite::gramer_graph::generate;
+//! use gramer_suite::gramer_mining::apps::CliqueFinding;
+//!
+//! let graph = generate::barabasi_albert(100, 3, 7);
+//! let config = GramerConfig::default();
+//! let pre = preprocess(&graph, &config);
+//! let report = Simulator::new(&pre, config).run(&CliqueFinding::new(3).unwrap());
+//! assert!(report.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
 
 pub use gramer;
 pub use gramer_baselines;

@@ -1,174 +1,205 @@
-//! Property-based tests (proptest) over the core invariants listed in
+//! Randomized property tests over the core invariants listed in
 //! DESIGN.md §4.
+//!
+//! Historically these used `proptest`; the offline build environment
+//! cannot fetch it, so the same properties now run over seeded random
+//! inputs drawn from the workspace's deterministic `rand` shim. Every
+//! case is reproducible: a failure message includes the case seed.
 
 use gramer_suite::gramer_graph::{generate, io, on1, reorder, GraphBuilder, VertexId};
 use gramer_suite::gramer_memsim::policy::PolicyKind;
 use gramer_suite::gramer_memsim::SetAssociativeCache;
 use gramer_suite::gramer_mining::apps::MotifCounting;
 use gramer_suite::gramer_mining::{DfsEnumerator, Explorer, NullObserver, Step};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random connected-ish edge list over up to `n` vertices.
-fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..n, 0..n), 1..max_edges)
+/// Cases per property (proptest ran 64; these loops are cheap enough to
+/// keep that).
+const CASES: u64 = 64;
+
+/// A random edge list over up to `n` vertices with 1..max_edges entries.
+fn random_edges(rng: &mut StdRng, n: u32, max_edges: usize) -> Vec<(u32, u32)> {
+    let count = rng.gen_range(1..max_edges);
+    (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Builds a graph from a random edge list, or `None` when every edge was
+/// a self-loop (the builder rejects empty graphs).
+fn random_graph(rng: &mut StdRng, n: u32, max_edges: usize) -> Option<gramer_suite::gramer_graph::CsrGraph> {
+    let mut b = GraphBuilder::new();
+    b.add_edges(random_edges(rng, n, max_edges));
+    b.build().ok()
+}
 
-    #[test]
-    fn csr_roundtrips_through_edge_list(es in edges(24, 60)) {
-        let mut b = GraphBuilder::new();
-        b.add_edges(es.iter().copied());
-        if let Ok(g) = b.build() {
-            let mut buf = Vec::new();
-            io::write_edge_list(&g, &mut buf).expect("write");
-            if g.num_edges() > 0 {
-                let g2 = io::read_edge_list(buf.as_slice()).expect("read");
-                prop_assert_eq!(g.num_edges(), g2.num_edges());
-                for v in g2.vertices() {
-                    for &u in g2.neighbors(v) {
-                        prop_assert!(g.has_edge(v, u));
-                    }
-                }
+#[test]
+fn csr_roundtrips_through_edge_list() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(g) = random_graph(&mut rng, 24, 60) else {
+            continue;
+        };
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).expect("write");
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let g2 = io::read_edge_list(buf.as_slice()).expect("read");
+        assert_eq!(g.num_edges(), g2.num_edges(), "seed {seed}");
+        for v in g2.vertices() {
+            for &u in g2.neighbors(v) {
+                assert!(g.has_edge(v, u), "seed {seed}: phantom edge {v}-{u}");
             }
         }
     }
+}
 
-    #[test]
-    fn reordering_is_a_degree_preserving_permutation(es in edges(30, 80)) {
-        let mut b = GraphBuilder::new();
-        b.add_edges(es.iter().copied());
-        if let Ok(g) = b.build() {
-            let r = reorder::reorder_by_on1(&g);
-            prop_assert_eq!(g.num_vertices(), r.graph.num_vertices());
-            prop_assert_eq!(g.num_edges(), r.graph.num_edges());
-            let mut seen = vec![false; g.num_vertices()];
-            for v in g.vertices() {
-                let nv = r.to_new(v);
-                prop_assert!(!seen[nv as usize]);
-                seen[nv as usize] = true;
-                prop_assert_eq!(g.degree(v), r.graph.degree(nv));
-                prop_assert_eq!(r.to_old(nv), v);
-            }
+#[test]
+fn reordering_is_a_degree_preserving_permutation() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let Some(g) = random_graph(&mut rng, 30, 80) else {
+            continue;
+        };
+        let r = reorder::reorder_by_on1(&g);
+        assert_eq!(g.num_vertices(), r.graph.num_vertices(), "seed {seed}");
+        assert_eq!(g.num_edges(), r.graph.num_edges(), "seed {seed}");
+        let mut seen = vec![false; g.num_vertices()];
+        for v in g.vertices() {
+            let nv = r.to_new(v);
+            assert!(!seen[nv as usize], "seed {seed}: rank {nv} duplicated");
+            seen[nv as usize] = true;
+            assert_eq!(g.degree(v), r.graph.degree(nv), "seed {seed}");
+            assert_eq!(r.to_old(nv), v, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn mining_counts_invariant_under_relabeling(es in edges(20, 50), seed in 0u64..1000) {
-        let mut b = GraphBuilder::new();
-        b.add_edges(es.iter().copied());
-        if let Ok(g) = b.build() {
-            let app = MotifCounting::new(4).expect("valid");
-            let before = DfsEnumerator::new(&g).run(&app);
-            // Random permutation derived from the seed.
-            let n = g.num_vertices();
-            let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
-            let mut state = seed.wrapping_add(1);
-            for i in (1..n).rev() {
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                perm.swap(i, (state % (i as u64 + 1)) as usize);
-            }
-            let relabeled = reorder::apply_permutation(&g, &perm).graph;
-            let after = DfsEnumerator::new(&relabeled).run(&app);
-            prop_assert_eq!(before.total_at(3), after.total_at(3));
-            prop_assert_eq!(before.total_at(4), after.total_at(4));
-            prop_assert_eq!(
-                before.count_where(3, |p| p.is_clique()),
-                after.count_where(3, |p| p.is_clique())
+#[test]
+fn mining_counts_invariant_under_relabeling() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let Some(g) = random_graph(&mut rng, 20, 50) else {
+            continue;
+        };
+        let app = MotifCounting::new(4).expect("valid");
+        let before = DfsEnumerator::new(&g).run(&app);
+        // Fisher–Yates permutation derived from the case seed.
+        let n = g.num_vertices();
+        let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..i + 1);
+            perm.swap(i, j);
+        }
+        let relabeled = reorder::apply_permutation(&g, &perm).graph;
+        let after = DfsEnumerator::new(&relabeled).run(&app);
+        assert_eq!(before.total_at(3), after.total_at(3), "seed {seed}");
+        assert_eq!(before.total_at(4), after.total_at(4), "seed {seed}");
+        assert_eq!(
+            before.count_where(3, |p| p.is_clique()),
+            after.count_where(3, |p| p.is_clique()),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn cache_occupancy_never_exceeds_capacity() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + seed);
+        let ways = rng.gen_range(1usize..5);
+        let sets = rng.gen_range(1usize..9);
+        let len = rng.gen_range(1usize..400);
+        let mut cache = SetAssociativeCache::new(sets, ways, 0, PolicyKind::default());
+        for _ in 0..len {
+            let item = rng.gen_range(0u64..500);
+            cache.access(item, item as u32);
+            assert!(
+                cache.resident_lines() <= sets * ways,
+                "seed {seed}: occupancy exceeded {sets}x{ways}"
             );
         }
     }
+}
 
-    #[test]
-    fn cache_occupancy_never_exceeds_capacity(
-        items in prop::collection::vec(0u64..500, 1..400),
-        ways in 1usize..5,
-        sets in 1usize..9,
-    ) {
-        let mut cache = SetAssociativeCache::new(sets, ways, 0, PolicyKind::default());
-        for &item in &items {
-            cache.access(item, item as u32);
-            prop_assert!(cache.resident_lines() <= sets * ways);
-        }
-    }
-
-    #[test]
-    fn locality_policy_with_huge_lambda_equals_lru(
-        items in prop::collection::vec(0u64..64, 1..300),
-    ) {
+#[test]
+fn locality_policy_with_huge_lambda_equals_lru() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let len = rng.gen_range(1usize..300);
         let mut lru = SetAssociativeCache::new(2, 4, 0, PolicyKind::Lru);
-        let mut loc = SetAssociativeCache::new(
-            2,
-            4,
-            0,
-            PolicyKind::LocalityPreserved { lambda: 1e15 },
-        );
-        for &item in &items {
+        let mut loc =
+            SetAssociativeCache::new(2, 4, 0, PolicyKind::LocalityPreserved { lambda: 1e15 });
+        for _ in 0..len {
+            let item = rng.gen_range(0u64..64);
             let a = lru.access(item, item as u32);
             let b = loc.access(item, item as u32);
-            prop_assert_eq!(a, b, "diverged on item {}", item);
+            assert_eq!(a, b, "seed {seed}: diverged on item {item}");
         }
     }
+}
 
-    #[test]
-    fn on1_ranks_are_a_permutation(es in edges(40, 100)) {
-        let mut b = GraphBuilder::new();
-        b.add_edges(es.iter().copied());
-        if let Ok(g) = b.build() {
-            let ranks = on1::on1_scores(&g).ranks();
-            let mut seen = vec![false; ranks.len()];
-            for &r in &ranks {
-                prop_assert!(!seen[r as usize]);
-                seen[r as usize] = true;
-            }
+#[test]
+fn on1_ranks_are_a_permutation() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + seed);
+        let Some(g) = random_graph(&mut rng, 40, 100) else {
+            continue;
+        };
+        let ranks = on1::on1_scores(&g).ranks();
+        let mut seen = vec![false; ranks.len()];
+        for &r in &ranks {
+            assert!(!seen[r as usize], "seed {seed}: rank {r} duplicated");
+            seen[r as usize] = true;
         }
     }
+}
 
-    #[test]
-    fn explorer_split_conserves_embeddings(es in edges(18, 40), cut in 1usize..30) {
-        let mut b = GraphBuilder::new();
-        b.add_edges(es.iter().copied());
-        if let Ok(g) = b.build() {
-            let count_all = |graph: &gramer_suite::gramer_graph::CsrGraph| {
-                let app = MotifCounting::new(4).expect("valid");
-                DfsEnumerator::new(graph).run(&app).embeddings
-            };
-            let expected = count_all(&g);
+#[test]
+fn explorer_split_conserves_embeddings() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(6000 + seed);
+        let Some(g) = random_graph(&mut rng, 18, 40) else {
+            continue;
+        };
+        let cut = rng.gen_range(1usize..30);
+        let expected = {
+            let app = MotifCounting::new(4).expect("valid");
+            DfsEnumerator::new(&g).run(&app).embeddings
+        };
 
-            // Run with a split injected after `cut` steps on every root.
-            let mut total = 0u64;
-            let mut obs = NullObserver;
-            for root in g.vertices() {
-                let mut pool = vec![Explorer::new(&g, root)];
-                let mut steps = 0usize;
-                while let Some(mut ex) = pool.pop() {
-                    loop {
-                        match ex.step(&mut obs) {
-                            Step::Candidate => {
-                                total += 1;
-                                if ex.embedding().len() < 4 {
-                                    ex.descend();
-                                } else {
-                                    ex.retract();
-                                }
+        // Run with a split injected after `cut` steps on every root.
+        let mut total = 0u64;
+        let mut obs = NullObserver;
+        for root in g.vertices() {
+            let mut pool = vec![Explorer::new(&g, root)];
+            let mut steps = 0usize;
+            while let Some(mut ex) = pool.pop() {
+                loop {
+                    match ex.step(&mut obs) {
+                        Step::Candidate => {
+                            total += 1;
+                            if ex.embedding().len() < 4 {
+                                ex.descend();
+                            } else {
+                                ex.retract();
                             }
-                            Step::Done => break,
-                            _ => {}
                         }
-                        steps += 1;
-                        if steps % cut == 0 {
-                            if let Some(thief) = ex.split() {
-                                pool.push(thief);
-                            }
+                        Step::Done => break,
+                        _ => {}
+                    }
+                    steps += 1;
+                    if steps % cut == 0 {
+                        if let Some(thief) = ex.split() {
+                            pool.push(thief);
                         }
                     }
                 }
             }
-            prop_assert_eq!(total, expected);
         }
+        assert_eq!(total, expected, "seed {seed} cut {cut}");
     }
 }
 

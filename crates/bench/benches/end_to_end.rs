@@ -13,19 +13,25 @@ fn end_to_end(c: &mut Criterion) {
 
     group.bench_function(BenchmarkId::new("simulate", "3-CF"), |b| {
         let cfg = GramerConfig::default();
-        let pre = preprocess(&g, &cfg);
+        let pre = preprocess(&g, &cfg).expect("valid config");
         let app = CliqueFinding::new(3).expect("valid");
-        b.iter(|| Simulator::new(&pre, cfg.clone()).run(&app).cycles)
+        b.iter(|| {
+            let sim = Simulator::new(&pre, cfg.clone()).expect("valid config");
+            sim.run(&app).expect("run succeeds").cycles
+        })
     });
     group.bench_function(BenchmarkId::new("simulate", "3-MC"), |b| {
         let cfg = GramerConfig::default();
-        let pre = preprocess(&g, &cfg);
+        let pre = preprocess(&g, &cfg).expect("valid config");
         let app = MotifCounting::new(3).expect("valid");
-        b.iter(|| Simulator::new(&pre, cfg.clone()).run(&app).cycles)
+        b.iter(|| {
+            let sim = Simulator::new(&pre, cfg.clone()).expect("valid config");
+            sim.run(&app).expect("run succeeds").cycles
+        })
     });
     group.bench_function("preprocess", |b| {
         let cfg = GramerConfig::default();
-        b.iter(|| preprocess(&g, &cfg).vertex_pin)
+        b.iter(|| preprocess(&g, &cfg).expect("valid config").vertex_pin)
     });
     group.finish();
 }

@@ -13,7 +13,7 @@ impl AccessObserver for Tracer {
 fn main() {
     let g = Dataset::Mico.generate_scaled(100);
     let cfg = GramerConfig { tau: Some(0.05), ..GramerConfig::default() };
-    let pre = preprocess(&g, &cfg);
+    let pre = preprocess(&g, &cfg).unwrap();
     let rg = &pre.graph;
     let mut tr = Tracer { t: IterationTrace::new(rg.num_vertices(), rg.adjacency_len()) };
     let app = CliqueFinding::new(4).unwrap();
@@ -24,7 +24,7 @@ fn main() {
     println!("traffic to pinned: vertex={:.3} edge={:.3}; ideal top5: v={:.3} e={:.3}",
         vshare as f64 / tr.t.vertex.total() as f64, eshare as f64 / tr.t.edge.total() as f64,
         tr.t.vertex.top_share(0.05), tr.t.edge.top_share(0.05));
-    let r = Simulator::new(&pre, cfg).run(&app);
+    let r = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
     println!("tau=5%: cycles={} vhit={:.3} ehit={:.3} dram={}", r.cycles,
         r.mem.vertex.on_chip_ratio(), r.mem.edge.on_chip_ratio(), r.dram_requests);
 }

@@ -29,7 +29,7 @@ fn constrained(budget: bool) -> GramerConfig {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
     let d = Dataset::P2p;
     let variant = AppVariant::Cf(4);
@@ -76,7 +76,7 @@ fn main() {
                 AppVariant::Cf(k) => CliqueFinding::new(k).expect("valid k"),
                 _ => unreachable!("ablation uses CF"),
             };
-            PointOutput::from_report(run_gramer(cache.get(d), &app, cfg()))
+            run_gramer(cache.get(d), &app, cfg()).map(PointOutput::from_report)
         });
     }
     sweep.point(d.name(), &variant.name(d), "compaction", || {
@@ -167,4 +167,5 @@ fn main() {
             static_lru.cycles as f64 / lamh.cycles as f64
         );
     }
+    gramer_bench::finish(&result)
 }

@@ -20,7 +20,7 @@ fn datasets() -> impl Iterator<Item = Dataset> {
     })
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
     let variant = AppVariant::Cf(5); // the paper's Fig. 11(b) uses 5-CF
     let cache = AnalogCache::new();
@@ -32,7 +32,7 @@ fn main() {
             let energy = EnergyModel::default();
             let g = cache.get(d);
             variant.with_app(d, |app| {
-                let report = run_gramer(g, app, GramerConfig::default());
+                let report = run_gramer(g, app, GramerConfig::default())?;
                 let profile = app.profile(g);
                 let gramer_e = energy.accel_power_w * report.wall_seconds();
                 let fr_t = FractalModel::default().estimate_seconds(&profile);
@@ -49,7 +49,8 @@ fn main() {
                         .metric("rstream_energy_x", energy.cpu_energy(s) / gramer_e)
                         .metric("rstream_time_x", s / total);
                 }
-                PointOutput { report: Some(report), ..out }
+                out.report = Some(report);
+                Ok::<_, gramer::SimError>(out)
             })
         });
     }
@@ -81,4 +82,5 @@ fn main() {
             r.metric_f64("preprocess_pct").unwrap_or(0.0)
         );
     }
+    gramer_bench::finish(&result)
 }

@@ -31,7 +31,7 @@ fn config(mode: MemoryMode) -> GramerConfig {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
     let d = Dataset::P2p;
     // The paper's Fig. 12 x-axis: 3/4/5-CF, 3/4-MC, FSM-2K, FSM-3K. 4-MC
@@ -70,9 +70,9 @@ fn main() {
         for (label, mode) in MODES {
             let cache = &cache;
             sweep.point(d.name(), &variant.name(d), label, move || {
-                let report = variant
-                    .with_app(d, |app| run_gramer(cache.get(d), app, config(mode)));
-                PointOutput::from_report(report)
+                variant
+                    .with_app(d, |app| run_gramer(cache.get(d), app, config(mode)))
+                    .map(PointOutput::from_report)
             });
         }
     }
@@ -81,8 +81,9 @@ fn main() {
         sweep.point("rmat-skew", "4-CF", label, move || {
             let app = CliqueFinding::new(4).expect("valid");
             let cfg = config(mode);
-            let pre = gramer::preprocess(heavy_graph(), &cfg);
-            PointOutput::from_report(gramer::Simulator::new(&pre, cfg).run(&app))
+            let pre = gramer::preprocess(heavy_graph(), &cfg)?;
+            let report = gramer::Simulator::new(&pre, cfg)?.run(&app)?;
+            Ok::<_, gramer::SimError>(PointOutput::from_report(report))
         });
     }
     let result = sweep.execute(&args);
@@ -106,6 +107,7 @@ fn main() {
     );
     rule(68);
     print_modes(&result, "rmat-skew", "4-CF", false);
+    gramer_bench::finish(&result)
 }
 
 /// Prints one row per memory mode, with speedups against the uniform-LRU

@@ -22,7 +22,7 @@ fn graphs() -> &'static [Dataset] {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
     let variant = AppVariant::Cf(5); // the paper sweeps 5-CF
     let cache = AnalogCache::new();
@@ -36,8 +36,9 @@ fn main() {
                     slots_per_pu: slots,
                     ..GramerConfig::default()
                 };
-                let r = variant.with_app(d, |app| run_gramer(cache.get(d), app, cfg));
-                PointOutput::from_report(r)
+                variant
+                    .with_app(d, |app| run_gramer(cache.get(d), app, cfg))
+                    .map(PointOutput::from_report)
             });
         }
         for (label, stealing) in [("steal-off", false), ("steal-on", true)] {
@@ -47,8 +48,9 @@ fn main() {
                     work_stealing: stealing,
                     ..GramerConfig::default()
                 };
-                let r = variant.with_app(d, |app| run_gramer(cache.get(d), app, cfg));
-                PointOutput::from_report(r)
+                variant
+                    .with_app(d, |app| run_gramer(cache.get(d), app, cfg))
+                    .map(PointOutput::from_report)
             });
         }
     }
@@ -100,4 +102,5 @@ fn main() {
             without as f64 / with as f64
         );
     }
+    gramer_bench::finish(&result)
 }

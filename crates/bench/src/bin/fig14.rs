@@ -33,7 +33,7 @@ fn lambda_graphs() -> &'static [Dataset] {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
     let variant = AppVariant::Cf(5);
     let cache = AnalogCache::new();
@@ -47,9 +47,9 @@ fn main() {
                     tau: Some(t),
                     ..GramerConfig::default()
                 };
-                PointOutput::from_report(
-                    variant.with_app(d, |app| run_gramer(cache.get(d), app, cfg)),
-                )
+                variant
+                    .with_app(d, |app| run_gramer(cache.get(d), app, cfg))
+                    .map(PointOutput::from_report)
             });
         }
     }
@@ -62,9 +62,9 @@ fn main() {
                     lambda: l,
                     ..GramerConfig::default()
                 };
-                PointOutput::from_report(
-                    variant.with_app(d, |app| run_gramer(cache.get(d), app, cfg)),
-                )
+                variant
+                    .with_app(d, |app| run_gramer(cache.get(d), app, cfg))
+                    .map(PointOutput::from_report)
             });
         }
     }
@@ -120,4 +120,5 @@ fn main() {
         }
         println!();
     }
+    gramer_bench::finish(&result)
 }

@@ -41,7 +41,7 @@ fn datasets() -> impl Iterator<Item = Dataset> {
 
 const VARIANTS: [AppVariant; 3] = [AppVariant::Cf(4), AppVariant::Fsm, AppVariant::Mc(3)];
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
     let cache = AnalogCache::new();
 
@@ -89,6 +89,7 @@ fn main() {
         "\nanalog scale divisors (cache hierarchy scaled alike): {:?}",
         datasets().map(|d| (d.name(), divisor(d))).collect::<Vec<_>>()
     );
+    gramer_bench::finish(&result)
 }
 
 fn profile_point(g: &CsrGraph, d: Dataset, variant: AppVariant) -> PointOutput {

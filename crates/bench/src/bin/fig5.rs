@@ -51,7 +51,7 @@ fn iteration_cap(d: Dataset) -> usize {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
     let cache = AnalogCache::new();
 
@@ -107,4 +107,5 @@ fn main() {
         }
         rule(52);
     }
+    gramer_bench::finish(&result)
 }

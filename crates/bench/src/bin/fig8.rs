@@ -54,7 +54,7 @@ fn trace(g: &gramer_graph::CsrGraph) -> Trace {
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
     let d = Dataset::P2p;
     let g = analog(d);
@@ -125,4 +125,5 @@ fn main() {
     if let (Some(h1), Some(h3)) = (secs(1), secs(3)) {
         println!("\n1-hop vs 3-hop cost ratio: {:.0}x", h3 / h1.max(1e-9));
     }
+    gramer_bench::finish(&result)
 }

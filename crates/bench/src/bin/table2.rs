@@ -11,7 +11,7 @@ use gramer_bench::{rule, PointOutput, Sweep, SweepArgs};
 
 const APPS: [(&str, bool); 3] = [("CF", false), ("FSM", true), ("MC", true)];
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
 
     let mut sweep = Sweep::new("table2");
@@ -63,4 +63,5 @@ fn main() {
         }
     }
     println!();
+    gramer_bench::finish(&result)
 }

@@ -19,7 +19,7 @@ use gramer_bench::{
 };
 use gramer_graph::datasets::Dataset;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
     let cache = AnalogCache::new();
 
@@ -35,7 +35,7 @@ fn main() {
             sweep.point(d.name(), &variant.name(d), "vs-baselines", move || {
                 let g = cache.get(d);
                 variant.with_app(d, |app| {
-                    let report = run_gramer(g, app, GramerConfig::default());
+                    let report = run_gramer(g, app, GramerConfig::default())?;
                     let profile = app.profile(g);
                     let fr = FractalModel::default().estimate_seconds(&profile);
                     let rs = RstreamModel::default().estimate(&profile);
@@ -48,7 +48,8 @@ fn main() {
                     if let RstreamOutcome::Seconds(s) = rs {
                         out = out.metric("rstream_over_gramer", s / wall);
                     }
-                    PointOutput { report: Some(report), ..out }
+                    out.report = Some(report);
+                    Ok::<_, gramer::SimError>(out)
                 })
             });
         }
@@ -101,6 +102,7 @@ fn main() {
             .map(|&d| (d.name(), divisor(d)))
             .collect::<Vec<_>>()
     );
+    gramer_bench::finish(&result)
 }
 
 /// Cells whose scaled analogs still exceed a software-simulation budget.

@@ -15,7 +15,7 @@ const MODES: [(&str, AncestorMode); 3] = [
     ("w/ AB + Compaction", AncestorMode::BufferedCompacted),
 ];
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args = SweepArgs::parse();
 
     let mut sweep = Sweep::new("table4");
@@ -61,4 +61,5 @@ fn main() {
             100.0 * (comp / ab - 1.0)
         );
     }
+    gramer_bench::finish(&result)
 }

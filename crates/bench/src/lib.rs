@@ -3,10 +3,13 @@
 //!
 //! Each binary in `src/bin/` reproduces one artifact by declaring its
 //! grid of `(dataset, app, config)` points as a [`Sweep`] and handing it
-//! to the parallel sweep runner (see [`sweep`]). Every binary therefore
-//! understands the same CLI — `--jobs N`, `--json PATH`, `--filter
-//! SUBSTR`, `--list` — and writes a structured JSON artifact to
-//! `results/BENCH_<name>.json` alongside its stdout table.
+//! to the parallel, fault-tolerant sweep runner (see [`sweep`]). Every
+//! binary therefore understands the same CLI — `--jobs N`, `--json PATH`,
+//! `--filter SUBSTR`, `--list`, `--resume`, `--point-timeout SECS`,
+//! `--max-retries N`, `--journal PATH` — and writes a structured JSON
+//! artifact to `results/BENCH_<name>.json` alongside its stdout table.
+//! Failing points are quarantined into structured records instead of
+//! aborting the sweep; see `EXPERIMENTS.md` for the failure semantics.
 //!
 //! | binary | artifact |
 //! |---|---|
@@ -45,11 +48,14 @@
 //! let result = sweep.run(2, None);
 //! assert_eq!(result.records.len(), 2);
 //! assert_eq!(result.records[0].metric_f64("k"), Some(3.0));
+//! // Both points completed, so the failure-aware exit code is 0.
+//! assert!(result.records.iter().all(|r| r.is_ok()));
+//! assert_eq!(result.exit_code(), 0);
 //! ```
 
 #![warn(missing_docs)]
 
-use gramer::{preprocess, GramerConfig, Preprocessed, RunReport, Simulator};
+use gramer::{preprocess, GramerConfig, Preprocessed, RunReport, SimError, Simulator};
 use gramer_graph::datasets::Dataset;
 use gramer_graph::CsrGraph;
 use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
@@ -59,7 +65,9 @@ use std::sync::OnceLock;
 
 pub mod sweep;
 
-pub use sweep::{PointOutput, PointRecord, Sweep, SweepResult};
+pub use sweep::{
+    PointError, PointOutput, PointRecord, PointStatus, Sweep, SweepOptions, SweepResult,
+};
 
 /// Whether the quick (coarser) mode is enabled via `GRAMER_QUICK=1`.
 pub fn quick_mode() -> bool {
@@ -192,7 +200,7 @@ pub trait DynApp: Sync {
     /// See [`EcmApp::max_vertices`].
     fn max_vertices(&self) -> usize;
     /// Runs the GRAMER simulator on a preprocessed graph.
-    fn simulate(&self, pre: &Preprocessed, config: GramerConfig) -> RunReport;
+    fn simulate(&self, pre: &Preprocessed, config: GramerConfig) -> Result<RunReport, SimError>;
     /// Profiles the workload on the modeled CPU.
     fn profile(&self, graph: &CsrGraph) -> gramer_baselines::CpuProfile;
 }
@@ -206,8 +214,8 @@ impl<A: EcmApp + Sync> DynApp for A {
         EcmApp::max_vertices(self)
     }
 
-    fn simulate(&self, pre: &Preprocessed, config: GramerConfig) -> RunReport {
-        Simulator::new(pre, config).run(self)
+    fn simulate(&self, pre: &Preprocessed, config: GramerConfig) -> Result<RunReport, SimError> {
+        Ok(Simulator::new(pre, config)?.run(self)?)
     }
 
     fn profile(&self, graph: &CsrGraph) -> gramer_baselines::CpuProfile {
@@ -215,22 +223,32 @@ impl<A: EcmApp + Sync> DynApp for A {
     }
 }
 
-/// Runs GRAMER end-to-end (preprocess + simulate) with `config`.
-pub fn run_gramer(graph: &CsrGraph, app: &dyn DynApp, config: GramerConfig) -> RunReport {
-    let pre = preprocess(graph, &config);
+/// Runs GRAMER end-to-end (preprocess + simulate) with `config`,
+/// surfacing configuration and simulation failures as typed errors the
+/// sweep runner turns into structured failure records.
+pub fn run_gramer(
+    graph: &CsrGraph,
+    app: &dyn DynApp,
+    config: GramerConfig,
+) -> Result<RunReport, SimError> {
+    let pre = preprocess(graph, &config)?;
     app.simulate(&pre, config)
 }
 
 /// Command-line options shared by every experiment binary.
 ///
 /// ```text
-/// --jobs N         worker threads (default: available parallelism)
-/// --json PATH      JSON artifact path (default: results/BENCH_<name>.json)
-/// --filter SUBSTR  only run points whose dataset/app/config id contains SUBSTR
-/// --list           print the point ids this binary would run, then exit
-/// --help           print usage, then exit
+/// --jobs N             worker threads (default: available parallelism)
+/// --json PATH          JSON artifact path (default: results/BENCH_<name>.json)
+/// --filter SUBSTR      only run points whose dataset/app/config id contains SUBSTR
+/// --list               print the point ids this binary would run, then exit
+/// --resume             replay completed points from the journal, run the rest
+/// --point-timeout SECS cancel any point exceeding this wall-clock budget
+/// --max-retries N      re-run a failed point up to N extra times
+/// --journal PATH       journal path (default: results/.journal/<name>.jsonl)
+/// --help               print usage, then exit
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepArgs {
     /// Worker-thread count for the sweep runner.
     pub jobs: usize,
@@ -240,16 +258,33 @@ pub struct SweepArgs {
     pub filter: Option<String>,
     /// Print the point ids and exit instead of running.
     pub list: bool,
+    /// Replay journaled completions instead of re-running them.
+    pub resume: bool,
+    /// Per-point wall-clock budget in seconds.
+    pub point_timeout: Option<f64>,
+    /// Extra attempts for failed (not timed-out) points.
+    pub max_retries: u32,
+    /// Journal path override (`None` → `results/.journal/<name>.jsonl`).
+    pub journal: Option<PathBuf>,
 }
 
 /// Usage text shared by every experiment binary.
 pub const SWEEP_USAGE: &str = "\
 Options:
-  --jobs N         worker threads (default: available parallelism)
-  --json PATH      JSON artifact path (default: results/BENCH_<name>.json)
-  --filter SUBSTR  only run points whose dataset/app/config id contains SUBSTR
-  --list           print the point ids this binary would run, then exit
-  --help           print this help, then exit
+  --jobs N             worker threads (default: available parallelism)
+  --json PATH          JSON artifact path (default: results/BENCH_<name>.json)
+  --filter SUBSTR      only run points whose dataset/app/config id contains SUBSTR
+  --list               print the point ids this binary would run, then exit
+  --resume             replay completed points from the journal, run the rest
+  --point-timeout SECS cancel any point exceeding this wall-clock budget
+  --max-retries N      re-run a failed point up to N extra times
+  --journal PATH       journal path (default: results/.journal/<name>.jsonl)
+  --help               print this help, then exit
+
+Failure semantics:
+  A panicking or erroring point becomes a structured \"failed\" record; a
+  point past --point-timeout becomes \"timed_out\". The process exits
+  non-zero only when every point of some (dataset, app) group failed.
 
 Environment:
   GRAMER_QUICK=1   coarser, ~4x faster pass";
@@ -261,6 +296,10 @@ impl Default for SweepArgs {
             json: None,
             filter: None,
             list: false,
+            resume: false,
+            point_timeout: None,
+            max_retries: 0,
+            journal: None,
         }
     }
 }
@@ -310,6 +349,25 @@ impl SweepArgs {
                 "--json" => parsed.json = Some(PathBuf::from(value(&mut it)?)),
                 "--filter" => parsed.filter = Some(value(&mut it)?),
                 "--list" => parsed.list = true,
+                "--resume" => parsed.resume = true,
+                "--point-timeout" => {
+                    let v = value(&mut it)?;
+                    parsed.point_timeout = Some(
+                        v.parse::<f64>()
+                            .ok()
+                            .filter(|&s| s.is_finite() && s > 0.0)
+                            .ok_or_else(|| {
+                                format!("--point-timeout expects positive seconds, got {v:?}")
+                            })?,
+                    );
+                }
+                "--max-retries" => {
+                    let v = value(&mut it)?;
+                    parsed.max_retries = v.parse::<u32>().map_err(|_| {
+                        format!("--max-retries expects a non-negative integer, got {v:?}")
+                    })?;
+                }
+                "--journal" => parsed.journal = Some(PathBuf::from(value(&mut it)?)),
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -320,6 +378,39 @@ impl SweepArgs {
 /// Default worker-thread count: the host's available parallelism.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Standard epilogue for the experiment binaries: prints a summary of any
+/// failed or timed-out points to stderr and converts the sweep's failure
+/// semantics into the process exit code (non-zero only when every point
+/// of some `(dataset, app)` group failed). Use as the last line of
+/// `main() -> std::process::ExitCode`.
+pub fn finish(result: &SweepResult) -> std::process::ExitCode {
+    let failures: Vec<&PointRecord> = result.failures().collect();
+    if !failures.is_empty() {
+        eprintln!("[{}] {} point(s) did not complete:", result.name, failures.len());
+        for f in &failures {
+            let detail = f
+                .error
+                .as_ref()
+                .map(|e| format!("{}: {}", e.kind, e.message))
+                .unwrap_or_default();
+            eprintln!(
+                "[{}]   {} ({}, {} attempt(s)) {detail}",
+                result.name,
+                f.id(),
+                f.status.as_str(),
+                f.attempts,
+            );
+        }
+    }
+    for (dataset, app) in result.failed_groups() {
+        eprintln!(
+            "[{}] group {dataset}/{app} has no completed point",
+            result.name
+        );
+    }
+    std::process::ExitCode::from(result.exit_code())
 }
 
 /// Prints a separator line sized to `width`.
@@ -384,6 +475,32 @@ mod tests {
         assert!(SweepArgs::try_parse(&["--jobs", "0"]).is_err());
         assert!(SweepArgs::try_parse(&["--jobs", "many"]).is_err());
         assert!(SweepArgs::try_parse(&["--bogus"]).is_err());
+        assert!(SweepArgs::try_parse(&["--point-timeout", "-3"]).is_err());
+        assert!(SweepArgs::try_parse(&["--point-timeout", "nan"]).is_err());
+        assert!(SweepArgs::try_parse(&["--max-retries", "-1"]).is_err());
+    }
+
+    #[test]
+    fn sweep_args_parse_fault_tolerance_flags() {
+        let a = SweepArgs::try_parse(&[
+            "--resume",
+            "--point-timeout=2.5",
+            "--max-retries",
+            "3",
+            "--journal",
+            "j.jsonl",
+        ])
+        .unwrap();
+        assert!(a.resume);
+        assert_eq!(a.point_timeout, Some(2.5));
+        assert_eq!(a.max_retries, 3);
+        assert_eq!(a.journal, Some(PathBuf::from("j.jsonl")));
+
+        let d = SweepArgs::try_parse::<&str>(&[]).unwrap();
+        assert!(!d.resume);
+        assert_eq!(d.point_timeout, None);
+        assert_eq!(d.max_retries, 0);
+        assert_eq!(d.journal, None);
     }
 
     #[test]

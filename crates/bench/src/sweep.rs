@@ -1,5 +1,6 @@
 //! The experiment-sweep runner: executes independent simulation points in
-//! parallel and serializes the whole sweep to a stable JSON artifact.
+//! parallel, survives failing points, and serializes the whole sweep to a
+//! stable JSON artifact.
 //!
 //! Every `fig*`/`table*` binary declares its grid of
 //! `(dataset, app, config)` points as a [`Sweep`], then calls
@@ -9,24 +10,41 @@
 //! 2. executes the remaining points on a work-queue thread pool
 //!    (`--jobs N`, std threads + channels, no external dependencies) —
 //!    host-side parallelism only, so simulated results are unaffected;
-//! 3. re-assembles results in **declaration order** regardless of
+//! 3. **quarantines failures**: each point runs under
+//!    `std::panic::catch_unwind`, so a panicking or erroring point becomes
+//!    a structured [`PointStatus::Failed`] record instead of tearing down
+//!    the whole sweep; `--max-retries N` re-runs failed points with
+//!    exponential backoff before recording the failure;
+//! 4. **watches the clock**: with `--point-timeout SECS` a monitor thread
+//!    cancels any point that exceeds its wall-clock budget through the
+//!    cooperative [`gramer::progress`] token (the simulator ticks once per
+//!    scheduled event), recording it as [`PointStatus::TimedOut`];
+//! 5. **journals completions**: each finished point is appended to a
+//!    crash-safe JSONL journal (`results/.journal/<sweep>.jsonl`,
+//!    write-temp-then-rename, fsync'd), so `--resume` can replay completed
+//!    points after a crash or SIGKILL and still emit byte-identical
+//!    `points` data;
+//! 6. re-assembles results in **declaration order** regardless of
 //!    completion order, making the JSON point data byte-identical across
 //!    `--jobs` settings;
-//! 4. logs per-point progress to stderr (stdout stays clean for tables);
-//! 5. writes `results/BENCH_<name>.json` (override with `--json PATH`):
+//! 7. logs per-point progress to stderr (stdout stays clean for tables);
+//! 8. writes `results/BENCH_<name>.json` (override with `--json PATH`):
 //!    deterministic point data + a merged summary, with volatile
 //!    host-side timing and peak-RSS metadata quarantined under `"host"`.
 //!
 //! The schema is hand-rolled on [`gramer::json::JsonValue`] and versioned
-//! via `schema_version`; see `EXPERIMENTS.md` for the layout.
+//! via `schema_version`; see `EXPERIMENTS.md` for the layout and the
+//! failure semantics (statuses, exit codes, journal format).
 
 use crate::SweepArgs;
 use gramer::json::JsonValue;
-use gramer::{ReportSummary, RunReport};
-use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::time::Instant;
+use gramer::progress::{self, ProgressToken};
+use gramer::{ReportSummary, RunReport, SimError};
+use std::cell::{Cell, RefCell};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex, Once};
+use std::time::{Duration, Instant};
 
 /// What one sweep point produces: an optional full simulator report plus
 /// named scalar/structured metrics for the bin's table and the JSON file.
@@ -36,6 +54,9 @@ pub struct PointOutput {
     pub report: Option<RunReport>,
     /// Named metrics in insertion order (serialized as a JSON object).
     pub metrics: Vec<(String, JsonValue)>,
+    /// The report as raw JSON, for records replayed from a journal (the
+    /// in-memory [`RunReport`] is not reconstructible from its JSON).
+    replayed_report: Option<JsonValue>,
 }
 
 impl PointOutput {
@@ -50,6 +71,7 @@ impl PointOutput {
         PointOutput {
             report: Some(report),
             metrics: Vec::new(),
+            replayed_report: None,
         }
     }
 
@@ -58,6 +80,78 @@ impl PointOutput {
         self.metrics.push((key.to_string(), value.into()));
         self
     }
+
+    /// The report as JSON: the live report when the point ran in this
+    /// process, the journaled JSON when it was replayed by `--resume`.
+    fn report_json(&self) -> JsonValue {
+        match (&self.report, &self.replayed_report) {
+            (Some(r), _) => r.to_json_value(),
+            (None, Some(j)) => j.clone(),
+            (None, None) => JsonValue::Null,
+        }
+    }
+}
+
+/// Conversion of a point closure's return value into the runner's
+/// `Result`. Implemented for plain [`PointOutput`] (infallible points stay
+/// ergonomic) and for `Result<PointOutput, E>` for any error convertible
+/// into [`SimError`].
+pub trait IntoPointResult {
+    /// Converts into the canonical point result.
+    fn into_point_result(self) -> Result<PointOutput, SimError>;
+}
+
+impl IntoPointResult for PointOutput {
+    fn into_point_result(self) -> Result<PointOutput, SimError> {
+        Ok(self)
+    }
+}
+
+impl<E: Into<SimError>> IntoPointResult for Result<PointOutput, E> {
+    fn into_point_result(self) -> Result<PointOutput, SimError> {
+        self.map_err(Into::into)
+    }
+}
+
+/// How a sweep point ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointStatus {
+    /// The point completed and produced its output.
+    Ok,
+    /// The point errored or panicked on every attempt.
+    Failed,
+    /// The point exceeded `--point-timeout` and was cancelled.
+    TimedOut,
+}
+
+impl PointStatus {
+    /// The status tag used in the JSON artifact and journal.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PointStatus::Ok => "ok",
+            PointStatus::Failed => "failed",
+            PointStatus::TimedOut => "timed_out",
+        }
+    }
+}
+
+/// A structured description of why a point failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointError {
+    /// Machine-readable tag: a [`SimError::kind`] value, `"panic"`, or
+    /// `"timeout"`.
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl PointError {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("kind", JsonValue::from(self.kind.as_str())),
+            ("message", JsonValue::from(self.message.as_str())),
+        ])
+    }
 }
 
 /// One declared `(dataset, app, config)` grid point and its work closure.
@@ -65,7 +159,7 @@ pub struct SweepPoint<'a> {
     dataset: String,
     app: String,
     config: String,
-    run: Box<dyn Fn() -> PointOutput + Send + Sync + 'a>,
+    run: Box<dyn Fn() -> Result<PointOutput, SimError> + Send + Sync + 'a>,
 }
 
 impl SweepPoint<'_> {
@@ -84,10 +178,16 @@ pub struct PointRecord {
     pub app: String,
     /// Configuration label of the point.
     pub config: String,
-    /// What the point produced.
+    /// What the point produced (empty on failure/timeout).
     pub output: PointOutput,
+    /// How the point ended.
+    pub status: PointStatus,
+    /// Number of attempts made (1 unless `--max-retries` re-ran it).
+    pub attempts: u32,
+    /// Failure description when `status` is not [`PointStatus::Ok`].
+    pub error: Option<PointError>,
     /// Host wall-clock seconds this point took (volatile; excluded from
-    /// the deterministic JSON point data).
+    /// the deterministic JSON point data; `0.0` for replayed records).
     pub wall_seconds: f64,
 }
 
@@ -95,6 +195,11 @@ impl PointRecord {
     /// The point's `dataset/app/config` id.
     pub fn id(&self) -> String {
         format!("{}/{}/{}", self.dataset, self.app, self.config)
+    }
+
+    /// Whether the point completed ([`PointStatus::Ok`]).
+    pub fn is_ok(&self) -> bool {
+        self.status == PointStatus::Ok
     }
 
     /// Looks up a named metric.
@@ -111,15 +216,83 @@ impl PointRecord {
         self.metric(key).and_then(JsonValue::as_f64)
     }
 
-    /// Simulated cycles, when the point carries a report.
+    /// Simulated cycles, when the point carries a report (live or
+    /// replayed from the journal).
     pub fn cycles(&self) -> Option<u64> {
-        self.output.report.as_ref().map(|r| r.cycles)
+        match &self.output.report {
+            Some(r) => Some(r.cycles),
+            None => self
+                .output
+                .replayed_report
+                .as_ref()?
+                .get("cycles")?
+                .as_u64(),
+        }
     }
 
-    /// The point's simulator report, when present.
+    /// The point's simulator report, when it ran in this process
+    /// (replayed records only carry the report as JSON).
     pub fn report(&self) -> Option<&RunReport> {
         self.output.report.as_ref()
     }
+
+    /// The deterministic JSON fields of this record, in schema order.
+    fn record_fields(&self) -> Vec<(String, JsonValue)> {
+        record_fields_raw(
+            &self.dataset,
+            &self.app,
+            &self.config,
+            self.status,
+            self.attempts,
+            self.error.as_ref(),
+            &self.output,
+        )
+    }
+}
+
+/// The deterministic JSON fields of one point, in schema order — shared
+/// by the artifact's `points` array and the journal lines so that a
+/// replayed record serializes byte-identically to a fresh one.
+fn record_fields_raw(
+    dataset: &str,
+    app: &str,
+    config: &str,
+    status: PointStatus,
+    attempts: u32,
+    error: Option<&PointError>,
+    output: &PointOutput,
+) -> Vec<(String, JsonValue)> {
+    vec![
+        ("dataset".to_string(), JsonValue::from(dataset)),
+        ("app".to_string(), JsonValue::from(app)),
+        ("config".to_string(), JsonValue::from(config)),
+        ("status".to_string(), JsonValue::from(status.as_str())),
+        ("attempts".to_string(), JsonValue::from(u64::from(attempts))),
+        (
+            "error".to_string(),
+            error.map_or(JsonValue::Null, PointError::to_json_value),
+        ),
+        ("metrics".to_string(), JsonValue::Object(output.metrics.to_vec())),
+        ("report".to_string(), output.report_json()),
+    ]
+}
+
+/// Execution options for [`Sweep::run_with`] — the programmatic form of
+/// the shared CLI flags (see [`SweepArgs`]).
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Substring filter over point ids.
+    pub filter: Option<String>,
+    /// Replay completed points from the journal instead of re-running.
+    pub resume: bool,
+    /// Wall-clock budget per point attempt, seconds.
+    pub point_timeout: Option<f64>,
+    /// Re-run a failed (not timed-out) point up to this many extra times.
+    pub max_retries: u32,
+    /// Journal path; `None` disables journaling (and `resume`).
+    pub journal: Option<PathBuf>,
 }
 
 /// A declarative set of independent simulation points.
@@ -139,19 +312,22 @@ impl<'a> Sweep<'a> {
     }
 
     /// Declares one point. `run` must be independent of every other
-    /// point: it may run on any worker thread, in any order.
-    pub fn point(
+    /// point: it may run on any worker thread, in any order. The closure
+    /// may return a plain [`PointOutput`] or a
+    /// `Result<PointOutput, E: Into<SimError>>`; errors and panics become
+    /// structured failure records instead of aborting the sweep.
+    pub fn point<R: IntoPointResult>(
         &mut self,
         dataset: &str,
         app: &str,
         config: &str,
-        run: impl Fn() -> PointOutput + Send + Sync + 'a,
+        run: impl Fn() -> R + Send + Sync + 'a,
     ) {
         self.points.push(SweepPoint {
             dataset: dataset.to_string(),
             app: app.to_string(),
             config: config.to_string(),
-            run: Box::new(run),
+            run: Box::new(move || run().into_point_result()),
         });
     }
 
@@ -165,9 +341,12 @@ impl<'a> Sweep<'a> {
         self.points.is_empty()
     }
 
-    /// Runs the sweep under `args`: honours `--list` (print ids and exit)
-    /// and `--filter`, executes with `--jobs` workers, and writes the
-    /// JSON artifact. This is the entry point the bins use.
+    /// Runs the sweep under `args`: honours `--list` (print ids and
+    /// exit), `--filter`, `--resume`, `--point-timeout`, `--max-retries`,
+    /// executes with `--jobs` workers, journals completed points, and
+    /// writes the JSON artifact. This is the entry point the bins use;
+    /// pass the result to [`crate::finish`] for the failure-aware exit
+    /// code.
     pub fn execute(self, args: &SweepArgs) -> SweepResult {
         if args.list {
             for p in self.filtered(args.filter.as_deref()) {
@@ -179,7 +358,20 @@ impl<'a> Sweep<'a> {
             .json
             .clone()
             .unwrap_or_else(|| Path::new("results").join(format!("BENCH_{}.json", self.name)));
-        let result = self.run(args.jobs, args.filter.as_deref());
+        let journal_path = args.journal.clone().unwrap_or_else(|| {
+            Path::new("results")
+                .join(".journal")
+                .join(format!("{}.jsonl", self.name))
+        });
+        let opts = SweepOptions {
+            jobs: args.jobs,
+            filter: args.filter.clone(),
+            resume: args.resume,
+            point_timeout: args.point_timeout,
+            max_retries: args.max_retries,
+            journal: Some(journal_path),
+        };
+        let result = self.run_with(&opts);
         match result.write_json(&json_path) {
             Ok(()) => eprintln!("[{}] wrote {}", result.name, json_path.display()),
             Err(e) => eprintln!("[{}] could not write {}: {e}", result.name, json_path.display()),
@@ -187,67 +379,174 @@ impl<'a> Sweep<'a> {
         result
     }
 
-    /// Pure execution (no JSON file, no process exit): runs the filtered
-    /// points on `jobs` workers and returns records in declaration order.
+    /// Pure execution with default fault-tolerance options (no journal,
+    /// no timeout, no retries): runs the filtered points on `jobs`
+    /// workers and returns records in declaration order.
     pub fn run(self, jobs: usize, filter: Option<&str>) -> SweepResult {
+        self.run_with(&SweepOptions {
+            jobs,
+            filter: filter.map(str::to_string),
+            ..SweepOptions::default()
+        })
+    }
+
+    /// Full execution under explicit [`SweepOptions`] (no JSON artifact,
+    /// no process exit).
+    pub fn run_with(self, opts: &SweepOptions) -> SweepResult {
         let name = self.name;
         let points: Vec<SweepPoint<'a>> = {
+            let filter = opts.filter.as_deref();
             let matches = |p: &SweepPoint<'_>| filter.is_none_or(|f| p.id().contains(f));
             self.points.into_iter().filter(|p| matches(p)).collect()
         };
-        let n = points.len();
-        let jobs = jobs.max(1).min(n.max(1));
         let started = Instant::now();
 
+        // Journal bookkeeping: load previously completed points when
+        // resuming, and keep the journal handle for appends.
+        let mut journal = opts.journal.as_ref().map(|p| Journal::open(p));
+        let replayed: Vec<Option<PointRecord>> = {
+            let completed = if opts.resume {
+                journal
+                    .as_ref()
+                    .map(Journal::completed_by_id)
+                    .unwrap_or_default()
+            } else {
+                Default::default()
+            };
+            points
+                .iter()
+                .map(|p| {
+                    completed
+                        .get(&p.id())
+                        .map(|entry| replay_record(p, entry))
+                })
+                .collect()
+        };
+
+        // Indices still to run (everything not replayed).
+        let todo: Vec<usize> = replayed
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let n_total = points.len();
+        let n_todo = todo.len();
+        let n_replayed = n_total - n_todo;
+        if n_replayed > 0 {
+            eprintln!("[{name}] resuming: {n_replayed}/{n_total} points replayed from journal");
+        }
+        let jobs = opts.jobs.max(1).min(n_todo.max(1));
+
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, PointOutput, f64)>();
-        let mut outputs: Vec<Option<(PointOutput, f64)>> = Vec::new();
-        outputs.resize_with(n, || None);
+        let stop_watchdog = AtomicBool::new(false);
+        // One watch slot per worker: (token, wall-clock deadline).
+        let watch_slots: Vec<Mutex<Option<(ProgressToken, Instant)>>> =
+            (0..jobs).map(|_| Mutex::new(None)).collect();
+        let (tx, rx) = mpsc::channel::<(usize, Completed)>();
+        let mut outputs: Vec<Option<Completed>> = Vec::new();
+        outputs.resize_with(n_total, || None);
 
         std::thread::scope(|scope| {
             let points = &points;
+            let todo = &todo;
             let next = &next;
-            for _ in 0..jobs {
+            let watch_slots = &watch_slots;
+            let stop_watchdog = &stop_watchdog;
+            for w in 0..jobs {
                 let tx = tx.clone();
                 scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n_todo {
                         break;
                     }
+                    let i = todo[k];
                     let t0 = Instant::now();
-                    let output = (points[i].run)();
+                    let (status, attempts, error, output) = run_point(
+                        &points[i],
+                        opts.point_timeout,
+                        opts.max_retries,
+                        &watch_slots[w],
+                    );
+                    let completed = Completed {
+                        output,
+                        status,
+                        attempts,
+                        error,
+                        secs: t0.elapsed().as_secs_f64(),
+                    };
                     // The receiver only disconnects if the collector
                     // panicked; nothing useful to do with the result then.
-                    let _ = tx.send((i, output, t0.elapsed().as_secs_f64()));
+                    let _ = tx.send((i, completed));
                 });
             }
             drop(tx);
 
-            // Collect on this thread so progress lines never interleave.
-            let mut done = 0usize;
-            while let Ok((i, output, secs)) = rx.recv() {
-                done += 1;
-                eprintln!(
-                    "[{name}] {done}/{n} {} ({secs:.2}s, jobs={jobs})",
-                    points[i].id()
-                );
-                outputs[i] = Some((output, secs));
+            // Watchdog: cancel any registered point past its deadline.
+            if opts.point_timeout.is_some() {
+                scope.spawn(move || {
+                    while !stop_watchdog.load(Ordering::Relaxed) {
+                        for slot in watch_slots {
+                            if let Some((token, deadline)) =
+                                slot.lock().unwrap_or_else(|e| e.into_inner()).as_ref()
+                            {
+                                if Instant::now() >= *deadline {
+                                    token.cancel();
+                                }
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                });
             }
+
+            // Collect on this thread so progress lines never interleave
+            // and the journal has a single writer.
+            let mut done = 0usize;
+            let mut journal_dead = false;
+            while let Ok((i, completed)) = rx.recv() {
+                done += 1;
+                let state = match completed.status {
+                    PointStatus::Ok => String::new(),
+                    other => format!(", {}", other.as_str()),
+                };
+                eprintln!(
+                    "[{name}] {done}/{n_todo} {} ({:.2}s, jobs={jobs}{state})",
+                    points[i].id(),
+                    completed.secs,
+                );
+                if let Some(j) = journal.as_mut() {
+                    if let Err(e) = j.append(&journal_entry_for(&points[i], &completed)) {
+                        eprintln!("[{name}] journal write failed: {e}");
+                        // Stop retrying a dead journal (full disk etc.).
+                        journal_dead = true;
+                    }
+                }
+                if journal_dead {
+                    journal = None;
+                }
+                outputs[i] = Some(completed);
+            }
+            stop_watchdog.store(true, Ordering::Relaxed);
         });
 
         let records = points
             .into_iter()
+            .zip(replayed)
             .zip(outputs)
-            .map(|(p, slot)| {
-                let (output, wall_seconds) =
-                    slot.expect("every queued point sends exactly one result");
-                PointRecord {
+            .map(|((p, replay), slot)| match (replay, slot) {
+                (Some(r), _) => r,
+                (None, Some(c)) => PointRecord {
                     dataset: p.dataset,
                     app: p.app,
                     config: p.config,
-                    output,
-                    wall_seconds,
-                }
+                    output: c.output,
+                    status: c.status,
+                    attempts: c.attempts,
+                    error: c.error,
+                    wall_seconds: c.secs,
+                },
+                (None, None) => unreachable!("every queued point sends exactly one result"),
             })
             .collect();
 
@@ -263,6 +562,270 @@ impl<'a> Sweep<'a> {
         self.points
             .iter()
             .filter(move |p| filter.is_none_or(|f| p.id().contains(f)))
+    }
+}
+
+/// A worker's finished point, sent back to the collector thread.
+struct Completed {
+    output: PointOutput,
+    status: PointStatus,
+    attempts: u32,
+    error: Option<PointError>,
+    secs: f64,
+}
+
+/// The journal line for a freshly completed point: the deterministic
+/// record fields plus the point id the replayer keys on.
+fn journal_entry_for(point: &SweepPoint<'_>, c: &Completed) -> JsonValue {
+    let mut fields = vec![("id".to_string(), JsonValue::from(point.id()))];
+    fields.extend(record_fields_raw(
+        &point.dataset,
+        &point.app,
+        &point.config,
+        c.status,
+        c.attempts,
+        c.error.as_ref(),
+        &c.output,
+    ));
+    JsonValue::Object(fields)
+}
+
+/// Replays a journaled completion into a [`PointRecord`].
+fn replay_record(point: &SweepPoint<'_>, entry: &JsonValue) -> PointRecord {
+    let metrics = match entry.get("metrics") {
+        Some(JsonValue::Object(pairs)) => pairs.clone(),
+        _ => Vec::new(),
+    };
+    let replayed_report = match entry.get("report") {
+        Some(JsonValue::Null) | None => None,
+        Some(other) => Some(other.clone()),
+    };
+    let attempts = entry
+        .get("attempts")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(1) as u32;
+    PointRecord {
+        dataset: point.dataset.clone(),
+        app: point.app.clone(),
+        config: point.config.clone(),
+        output: PointOutput {
+            report: None,
+            metrics,
+            replayed_report,
+        },
+        status: PointStatus::Ok,
+        attempts,
+        error: None,
+        wall_seconds: 0.0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic quarantine
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Panic message captured by the quarantine hook for the current
+    /// quarantined execution.
+    static CAPTURED_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// Whether the current thread is inside a quarantined execution.
+    static QUARANTINE_ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs the chained panic hook exactly once per process.
+///
+/// Inside a quarantined execution the hook records the panic message (and
+/// location) into a thread-local slot instead of printing the default
+/// report; everywhere else it defers to the previously installed hook.
+fn install_quarantine_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quarantined = QUARANTINE_ACTIVE.with(Cell::get);
+            if quarantined {
+                let payload = info.payload();
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let full = match info.location() {
+                    Some(loc) => format!("{msg} (at {}:{})", loc.file(), loc.line()),
+                    None => msg,
+                };
+                CAPTURED_PANIC.with(|c| *c.borrow_mut() = Some(full));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Outcome of one quarantined attempt.
+enum Attempt {
+    Ok(PointOutput),
+    Failed(PointError),
+    Cancelled,
+}
+
+/// Runs `f` with panics quarantined: a typed error or panic becomes an
+/// [`Attempt::Failed`]; a [`progress::Cancelled`] unwind (the watchdog's
+/// cooperative cancellation) becomes [`Attempt::Cancelled`].
+fn run_quarantined(f: impl FnOnce() -> Result<PointOutput, SimError>) -> Attempt {
+    install_quarantine_hook();
+    QUARANTINE_ACTIVE.with(|q| q.set(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    QUARANTINE_ACTIVE.with(|q| q.set(false));
+    match result {
+        Ok(Ok(output)) => Attempt::Ok(output),
+        Ok(Err(e)) => Attempt::Failed(PointError {
+            kind: e.kind().to_string(),
+            message: e.to_string(),
+        }),
+        Err(payload) => {
+            if payload.downcast_ref::<progress::Cancelled>().is_some() {
+                Attempt::Cancelled
+            } else {
+                let message = CAPTURED_PANIC
+                    .with(|c| c.borrow_mut().take())
+                    .unwrap_or_else(|| "panic with no captured message".to_string());
+                Attempt::Failed(PointError {
+                    kind: "panic".to_string(),
+                    message,
+                })
+            }
+        }
+    }
+}
+
+/// Base delay of the exponential retry backoff.
+const RETRY_BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Runs one point to a final status: quarantined attempts, watchdog
+/// registration, and `max_retries` re-runs of failures (timeouts are not
+/// retried — a point that blew its budget once will blow it again).
+fn run_point(
+    point: &SweepPoint<'_>,
+    timeout: Option<f64>,
+    max_retries: u32,
+    watch: &Mutex<Option<(ProgressToken, Instant)>>,
+) -> (PointStatus, u32, Option<PointError>, PointOutput) {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let token = ProgressToken::new();
+        if let Some(secs) = timeout {
+            let deadline = Instant::now() + Duration::from_secs_f64(secs.max(0.0));
+            *watch.lock().unwrap_or_else(|e| e.into_inner()) = Some((token.clone(), deadline));
+        }
+        let guard = progress::install(token);
+        let outcome = run_quarantined(|| (point.run)());
+        drop(guard);
+        if timeout.is_some() {
+            *watch.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+        match outcome {
+            Attempt::Ok(output) => return (PointStatus::Ok, attempts, None, output),
+            Attempt::Cancelled => {
+                let budget = timeout.unwrap_or(0.0);
+                return (
+                    PointStatus::TimedOut,
+                    attempts,
+                    Some(PointError {
+                        kind: "timeout".to_string(),
+                        message: format!("point exceeded its {budget}s wall-clock budget"),
+                    }),
+                    PointOutput::new(),
+                );
+            }
+            Attempt::Failed(error) => {
+                if attempts <= max_retries {
+                    // Exponential backoff before the re-run.
+                    let delay = RETRY_BACKOFF_BASE * 2u32.saturating_pow(attempts - 1).min(64);
+                    std::thread::sleep(delay);
+                    continue;
+                }
+                return (PointStatus::Failed, attempts, Some(error), PointOutput::new());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint journal
+// ---------------------------------------------------------------------------
+
+/// A crash-safe JSONL journal of completed sweep points.
+///
+/// Every append rewrites the whole file to a temporary sibling, fsyncs
+/// it, and renames it over the journal — so the journal on disk is always
+/// a complete, well-formed prefix of the sweep, even across SIGKILL.
+/// (Sweeps are at most a few hundred points, so the O(n²) rewrite cost is
+/// noise next to simulation time.)
+struct Journal {
+    path: PathBuf,
+    lines: Vec<String>,
+}
+
+impl Journal {
+    /// Opens `path`, loading any lines an earlier (possibly killed) run
+    /// left behind. Unreadable files start an empty journal.
+    fn open(path: &Path) -> Journal {
+        let lines = std::fs::read_to_string(path)
+            .map(|text| {
+                text.lines()
+                    .filter(|l| !l.trim().is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        Journal {
+            path: path.to_path_buf(),
+            lines,
+        }
+    }
+
+    /// Successfully completed entries keyed by point id; when a point
+    /// appears multiple times (a failed run re-attempted later), the
+    /// last entry wins.
+    fn completed_by_id(&self) -> std::collections::HashMap<String, JsonValue> {
+        let mut map = std::collections::HashMap::new();
+        for line in &self.lines {
+            let Ok(entry) = JsonValue::parse(line) else {
+                continue; // torn or corrupt line: ignore
+            };
+            let Some(id) = entry.get("id").and_then(JsonValue::as_str) else {
+                continue;
+            };
+            let ok = entry.get("status").and_then(JsonValue::as_str) == Some("ok");
+            if ok {
+                map.insert(id.to_string(), entry);
+            } else {
+                // A later failure supersedes an earlier success for the
+                // same id (shouldn't happen, but last-wins is the rule).
+                map.remove(id);
+            }
+        }
+        map
+    }
+
+    /// Appends one entry crash-safely (rewrite + fsync + rename).
+    fn append(&mut self, entry: &JsonValue) -> std::io::Result<()> {
+        use std::io::Write;
+        self.lines.push(entry.to_string());
+        if let Some(dir) = self.path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            for line in &self.lines {
+                writeln!(f, "{line}")?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)
     }
 }
 
@@ -292,44 +855,62 @@ impl SweepResult {
         self.records.iter().filter(move |r| r.dataset == dataset)
     }
 
-    /// The deterministic per-point JSON array — everything except
-    /// host-side timing. Byte-identical across `--jobs` settings.
-    pub fn points_json(&self) -> JsonValue {
-        JsonValue::array(self.records.iter().map(|r| {
-            JsonValue::object([
-                ("dataset", JsonValue::from(r.dataset.as_str())),
-                ("app", JsonValue::from(r.app.as_str())),
-                ("config", JsonValue::from(r.config.as_str())),
-                (
-                    "metrics",
-                    JsonValue::Object(
-                        r.output
-                            .metrics
-                            .iter()
-                            .map(|(k, v)| (k.clone(), v.clone()))
-                            .collect(),
-                    ),
-                ),
-                (
-                    "report",
-                    r.output
-                        .report
-                        .as_ref()
-                        .map_or(JsonValue::Null, RunReport::to_json_value),
-                ),
-            ])
-        }))
+    /// `(dataset, app)` groups in which **every** point failed or timed
+    /// out — the condition that makes the sweep exit non-zero. Partial
+    /// failures (a group with at least one completed point) keep exit
+    /// code 0 so one bad configuration can't mask an otherwise useful
+    /// artifact.
+    pub fn failed_groups(&self) -> Vec<(String, String)> {
+        let mut groups: Vec<(String, String, bool)> = Vec::new();
+        for r in &self.records {
+            match groups
+                .iter_mut()
+                .find(|(d, a, _)| *d == r.dataset && *a == r.app)
+            {
+                Some((_, _, any_ok)) => *any_ok |= r.is_ok(),
+                None => groups.push((r.dataset.clone(), r.app.clone(), r.is_ok())),
+            }
+        }
+        groups
+            .into_iter()
+            .filter(|(_, _, any_ok)| !any_ok)
+            .map(|(d, a, _)| (d, a))
+            .collect()
     }
 
-    /// Merged [`ReportSummary`] over every point that carries a report.
+    /// Process exit code implied by the failure semantics: `1` when some
+    /// `(dataset, app)` group has no completed point, `0` otherwise.
+    pub fn exit_code(&self) -> u8 {
+        u8::from(!self.failed_groups().is_empty())
+    }
+
+    /// Records that did not complete, in declaration order.
+    pub fn failures(&self) -> impl Iterator<Item = &PointRecord> {
+        self.records.iter().filter(|r| !r.is_ok())
+    }
+
+    /// The deterministic per-point JSON array — everything except
+    /// host-side timing. Byte-identical across `--jobs` settings and
+    /// across `--resume` replays.
+    pub fn points_json(&self) -> JsonValue {
+        JsonValue::array(
+            self.records
+                .iter()
+                .map(|r| JsonValue::Object(r.record_fields())),
+        )
+    }
+
+    /// Merged [`ReportSummary`] over every point that carries a live
+    /// report (journal-replayed reports are JSON-only and not merged).
     pub fn summary(&self) -> ReportSummary {
         ReportSummary::merge(self.records.iter().filter_map(PointRecord::report))
     }
 
-    /// The full JSON document (`schema_version` 1).
+    /// The full JSON document (`schema_version` 2: point records carry
+    /// `status`/`attempts`/`error`).
     pub fn to_json_value(&self) -> JsonValue {
         JsonValue::object([
-            ("schema_version", JsonValue::from(1u64)),
+            ("schema_version", JsonValue::from(2u64)),
             ("sweep", JsonValue::from(self.name.as_str())),
             ("points", self.points_json()),
             ("summary", self.summary().to_json_value()),
@@ -400,6 +981,12 @@ mod tests {
         s
     }
 
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gramer-sweep-test-{}-{name}", std::process::id()));
+        p
+    }
+
     #[test]
     fn results_are_in_declaration_order() {
         let ran = AtomicU64::new(0);
@@ -416,6 +1003,8 @@ mod tests {
                 "g2/5-CF/default"
             ]
         );
+        assert!(r.records.iter().all(PointRecord::is_ok));
+        assert_eq!(r.exit_code(), 0);
     }
 
     #[test]
@@ -458,6 +1047,9 @@ mod tests {
     \"dataset\": \"k3\",
     \"app\": \"3-CF\",
     \"config\": \"default\",
+    \"status\": \"ok\",
+    \"attempts\": 1,
+    \"error\": null,
     \"metrics\": {
       \"cycles\": 123,
       \"ratio\": 0.5
@@ -475,7 +1067,7 @@ mod tests {
         s.point("d", "a", "c", || PointOutput::new().metric("x", 1u64));
         let r = s.run(1, None);
         let doc = r.to_json_value();
-        assert_eq!(doc.get("schema_version").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(doc.get("schema_version").and_then(JsonValue::as_u64), Some(2));
         assert_eq!(doc.get("sweep").and_then(JsonValue::as_str), Some("doc"));
         assert!(doc.get("summary").is_some());
         assert!(doc.get("host").and_then(|h| h.get("jobs")).is_some());
@@ -510,6 +1102,7 @@ mod tests {
         let r = Sweep::new("empty").run(4, None);
         assert!(r.records.is_empty());
         assert_eq!(r.summary().runs, 0);
+        assert_eq!(r.exit_code(), 0);
     }
 
     #[test]
@@ -521,5 +1114,273 @@ mod tests {
         assert_eq!(p.metric_f64("v"), Some(2.5));
         assert_eq!(p.metric_f64("missing"), None);
         assert!(r.find("d1", "app", "other").is_none());
+    }
+
+    // -- fault tolerance ---------------------------------------------------
+
+    #[test]
+    fn panicking_point_becomes_failed_record() {
+        let mut s = Sweep::new("quarantine");
+        s.point("d", "good", "c", || PointOutput::new().metric("x", 1u64));
+        s.point("d", "bad", "c", || -> PointOutput {
+            panic!("injected failure {}", 42);
+        });
+        s.point("d", "also-good", "c", || PointOutput::new().metric("x", 2u64));
+        let r = s.run(2, None);
+        assert_eq!(r.records.len(), 3, "sweep must survive the panic");
+        let bad = r.find("d", "bad", "c").expect("failed record present");
+        assert_eq!(bad.status, PointStatus::Failed);
+        assert_eq!(bad.attempts, 1);
+        let err = bad.error.as_ref().expect("error recorded");
+        assert_eq!(err.kind, "panic");
+        assert!(
+            err.message.contains("injected failure 42"),
+            "panic message not captured: {:?}",
+            err.message
+        );
+        // Healthy neighbours are unaffected.
+        assert!(r.find("d", "good", "c").unwrap().is_ok());
+        assert!(r.find("d", "also-good", "c").unwrap().is_ok());
+        // The (d, good) and (d, also-good) groups are fine and (d, bad)
+        // is fully failed -> non-zero exit.
+        assert_eq!(r.exit_code(), 1);
+        assert_eq!(r.failed_groups(), vec![("d".to_string(), "bad".to_string())]);
+    }
+
+    #[test]
+    fn typed_error_point_records_kind() {
+        let mut s = Sweep::new("typed");
+        s.point("d", "a", "bad-config", || -> Result<PointOutput, SimError> {
+            Err(SimError::App("no such dataset".to_string()))
+        });
+        s.point("d", "a", "good", || {
+            Ok::<_, SimError>(PointOutput::new().metric("x", 1u64))
+        });
+        let r = s.run(1, None);
+        let bad = r.find("d", "a", "bad-config").unwrap();
+        assert_eq!(bad.status, PointStatus::Failed);
+        assert_eq!(bad.error.as_ref().unwrap().kind, "app-error");
+        // The (d, a) group has one completed point -> exit 0.
+        assert_eq!(r.exit_code(), 0);
+    }
+
+    #[test]
+    fn exit_code_nonzero_only_when_whole_group_fails() {
+        let mut s = Sweep::new("groups");
+        s.point("d1", "a", "c1", || -> PointOutput { panic!("down") });
+        s.point("d1", "a", "c2", || PointOutput::new());
+        let r = s.run(1, None);
+        assert_eq!(r.exit_code(), 0, "partially failed group must not fail the run");
+
+        let mut s = Sweep::new("groups");
+        s.point("d1", "a", "c1", || -> PointOutput { panic!("down") });
+        s.point("d1", "a", "c2", || -> PointOutput { panic!("down") });
+        s.point("d2", "a", "c1", || PointOutput::new());
+        let r = s.run(1, None);
+        assert_eq!(r.exit_code(), 1, "fully failed group must fail the run");
+        assert_eq!(r.failures().count(), 2);
+    }
+
+    #[test]
+    fn retries_rerun_failed_points() {
+        let calls = AtomicU64::new(0);
+        let mut s = Sweep::new("retry");
+        s.point("d", "flaky", "c", || {
+            // Fail the first two attempts, succeed on the third.
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("transient fault");
+            }
+            PointOutput::new().metric("x", 7u64)
+        });
+        let r = s.run_with(&SweepOptions {
+            jobs: 1,
+            max_retries: 3,
+            ..SweepOptions::default()
+        });
+        let p = &r.records[0];
+        assert!(p.is_ok());
+        assert_eq!(p.attempts, 3);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+
+        // With retries exhausted the point stays failed and counts them.
+        let calls = AtomicU64::new(0);
+        let mut s = Sweep::new("retry");
+        s.point("d", "doomed", "c", || -> PointOutput {
+            calls.fetch_add(1, Ordering::Relaxed);
+            panic!("permanent fault");
+        });
+        let r = s.run_with(&SweepOptions {
+            jobs: 1,
+            max_retries: 2,
+            ..SweepOptions::default()
+        });
+        assert_eq!(r.records[0].status, PointStatus::Failed);
+        assert_eq!(r.records[0].attempts, 3);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn watchdog_times_out_stalling_point() {
+        let mut s = Sweep::new("watchdog");
+        s.point("d", "stall", "c", || -> PointOutput {
+            // A cooperative stall: ticks (so it is cancellable) but never
+            // finishes on its own.
+            loop {
+                progress::tick();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        s.point("d", "quick", "c", || PointOutput::new().metric("x", 1u64));
+        let t0 = Instant::now();
+        let r = s.run_with(&SweepOptions {
+            jobs: 2,
+            point_timeout: Some(0.2),
+            ..SweepOptions::default()
+        });
+        // Generous bound (1-CPU CI): the stall must end well before the
+        // 60s test timeout, and the sweep must complete.
+        assert!(t0.elapsed() < Duration::from_secs(30));
+        let stalled = r.find("d", "stall", "c").unwrap();
+        assert_eq!(stalled.status, PointStatus::TimedOut);
+        assert_eq!(stalled.error.as_ref().unwrap().kind, "timeout");
+        assert!(r.find("d", "quick", "c").unwrap().is_ok());
+    }
+
+    #[test]
+    fn journal_and_resume_replay_completed_points() {
+        let journal = temp_path("resume.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        // Interrupted first run: only p1 declared (simulates a sweep
+        // killed after its first point was journaled).
+        let mut s = Sweep::new("resume");
+        s.point("d", "p1", "c", || PointOutput::new().metric("v", 11u64));
+        let first = s.run_with(&SweepOptions {
+            jobs: 1,
+            journal: Some(journal.clone()),
+            ..SweepOptions::default()
+        });
+        assert!(first.records[0].is_ok());
+        assert!(journal.exists(), "journal file must be written");
+
+        // Full fresh run (no resume) for the byte-identity baseline.
+        let mut s = Sweep::new("resume");
+        let p2_ran = AtomicU64::new(0);
+        s.point("d", "p1", "c", || PointOutput::new().metric("v", 11u64));
+        s.point("d", "p2", "c", || {
+            p2_ran.fetch_add(1, Ordering::Relaxed);
+            PointOutput::new().metric("v", 22u64)
+        });
+        let fresh = s.run(1, None);
+
+        // Resumed run: p1 must replay from the journal (not re-execute),
+        // p2 runs live; the points JSON must be byte-identical.
+        let mut s = Sweep::new("resume");
+        let p1_reran = AtomicU64::new(0);
+        s.point("d", "p1", "c", || {
+            p1_reran.fetch_add(1, Ordering::Relaxed);
+            PointOutput::new().metric("v", 11u64)
+        });
+        s.point("d", "p2", "c", || PointOutput::new().metric("v", 22u64));
+        let resumed = s.run_with(&SweepOptions {
+            jobs: 1,
+            resume: true,
+            journal: Some(journal.clone()),
+            ..SweepOptions::default()
+        });
+        assert_eq!(p1_reran.load(Ordering::Relaxed), 0, "p1 must be replayed");
+        assert_eq!(
+            resumed.points_json().to_string_pretty(),
+            fresh.points_json().to_string_pretty(),
+            "resumed points JSON must be byte-identical to a fresh run"
+        );
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn failed_points_are_rerun_on_resume() {
+        let journal = temp_path("rerun.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        // First run: the point fails (and is journaled as failed).
+        let mut s = Sweep::new("rerun");
+        s.point("d", "p", "c", || -> PointOutput { panic!("first run") });
+        let r = s.run_with(&SweepOptions {
+            jobs: 1,
+            journal: Some(journal.clone()),
+            ..SweepOptions::default()
+        });
+        assert_eq!(r.records[0].status, PointStatus::Failed);
+
+        // Resume: failed entries must NOT be replayed as complete.
+        let reran = AtomicU64::new(0);
+        let mut s = Sweep::new("rerun");
+        s.point("d", "p", "c", || {
+            reran.fetch_add(1, Ordering::Relaxed);
+            PointOutput::new().metric("fixed", true)
+        });
+        let r = s.run_with(&SweepOptions {
+            jobs: 1,
+            resume: true,
+            journal: Some(journal.clone()),
+            ..SweepOptions::default()
+        });
+        assert_eq!(reran.load(Ordering::Relaxed), 1, "failed point must re-run");
+        assert!(r.records[0].is_ok());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn journal_survives_torn_trailing_line() {
+        let journal = temp_path("torn.jsonl");
+        std::fs::write(
+            &journal,
+            "{\"id\": \"d/p1/c\", \"status\": \"ok\", \"attempts\": 1, \"metrics\": {\"v\": 1}, \"report\": null}\n{\"id\": \"d/p2/c\", \"status\": \"o",
+        )
+        .unwrap();
+        let reran = AtomicU64::new(0);
+        let mut s = Sweep::new("torn");
+        s.point("d", "p1", "c", || {
+            reran.fetch_add(1, Ordering::Relaxed);
+            PointOutput::new().metric("v", 1u64)
+        });
+        s.point("d", "p2", "c", || {
+            reran.fetch_add(1, Ordering::Relaxed);
+            PointOutput::new().metric("v", 2u64)
+        });
+        let r = s.run_with(&SweepOptions {
+            jobs: 1,
+            resume: true,
+            journal: Some(journal.clone()),
+            ..SweepOptions::default()
+        });
+        // p1 replays; the torn p2 line is ignored and p2 re-runs.
+        assert_eq!(reran.load(Ordering::Relaxed), 1);
+        assert!(r.records.iter().all(PointRecord::is_ok));
+        assert_eq!(r.records[0].metric_f64("v"), Some(1.0));
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn replayed_report_preserves_cycles_lookup() {
+        let journal = temp_path("cycles.jsonl");
+        std::fs::write(
+            &journal,
+            "{\"id\": \"d/p/c\", \"status\": \"ok\", \"attempts\": 1, \"metrics\": {}, \"report\": {\"cycles\": 777}}\n",
+        )
+        .unwrap();
+        let mut s = Sweep::new("cycles");
+        s.point("d", "p", "c", || -> PointOutput {
+            panic!("must not run — journaled")
+        });
+        let r = s.run_with(&SweepOptions {
+            jobs: 1,
+            resume: true,
+            journal: Some(journal.clone()),
+            ..SweepOptions::default()
+        });
+        let p = &r.records[0];
+        assert!(p.is_ok());
+        assert!(p.report().is_none(), "replayed reports are JSON-only");
+        assert_eq!(p.cycles(), Some(777));
+        let _ = std::fs::remove_file(&journal);
     }
 }

@@ -89,20 +89,20 @@ fn parse_float(s: &str) -> f64 {
 }
 
 fn run_app(graph: &CsrGraph, opts: &Options) -> Result<(String, gramer::RunReport), String> {
-    let pre = preprocess(graph, &opts.config);
+    let pre = preprocess(graph, &opts.config).map_err(|e| e.to_string())?;
     let run = |app: &dyn DynRun| app.run(&pre, opts.config.clone());
     let spec = opts.app.to_ascii_lowercase();
     let report = if let Some(t) = spec.strip_prefix("fsm:") {
         let threshold: u64 = t.parse().map_err(|_| format!("bad FSM threshold {t:?}"))?;
-        run(&FrequentSubgraphMining::new(threshold))
+        run(&FrequentSubgraphMining::new(threshold))?
     } else {
         let (k, kind) = spec
             .split_once('-')
             .ok_or_else(|| format!("bad app spec {spec:?}"))?;
         let k: usize = k.parse().map_err(|_| format!("bad size in {spec:?}"))?;
         match kind {
-            "cf" => run(&CliqueFinding::new(k)?),
-            "mc" => run(&MotifCounting::new(k)?),
+            "cf" => run(&CliqueFinding::new(k)?)?,
+            "mc" => run(&MotifCounting::new(k)?)?,
             other => return Err(format!("unknown application kind {other:?}")),
         }
     };
@@ -111,12 +111,18 @@ fn run_app(graph: &CsrGraph, opts: &Options) -> Result<(String, gramer::RunRepor
 
 /// Object-safe run adapter (the simulator API is generic).
 trait DynRun {
-    fn run(&self, pre: &gramer::Preprocessed, cfg: GramerConfig) -> gramer::RunReport;
+    fn run(&self, pre: &gramer::Preprocessed, cfg: GramerConfig)
+        -> Result<gramer::RunReport, String>;
 }
 
 impl<A: EcmApp> DynRun for A {
-    fn run(&self, pre: &gramer::Preprocessed, cfg: GramerConfig) -> gramer::RunReport {
-        Simulator::new(pre, cfg).run(self)
+    fn run(
+        &self,
+        pre: &gramer::Preprocessed,
+        cfg: GramerConfig,
+    ) -> Result<gramer::RunReport, String> {
+        let sim = Simulator::new(pre, cfg).map_err(|e| e.to_string())?;
+        sim.run(self).map_err(|e| e.to_string())
     }
 }
 

@@ -1,3 +1,4 @@
+use crate::error::ConfigError;
 use gramer_memsim::{DramConfig, LatencyConfig};
 
 /// How much graph data the on-chip memory can hold.
@@ -14,12 +15,17 @@ pub enum MemoryBudget {
 impl MemoryBudget {
     /// Resolves the budget to an item count for a graph with `data_items`
     /// total items (`|V| + adjacency slots`).
-    pub fn resolve(self, data_items: usize) -> usize {
+    ///
+    /// Returns [`ConfigError::BadFraction`] for a fractional budget
+    /// outside `[0, 1]` (NaN included).
+    pub fn resolve(self, data_items: usize) -> Result<usize, ConfigError> {
         match self {
-            MemoryBudget::Items(n) => n,
+            MemoryBudget::Items(n) => Ok(n),
             MemoryBudget::Fraction(f) => {
-                assert!((0.0..=1.0).contains(&f), "fraction out of range");
-                ((data_items as f64) * f).round() as usize
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(ConfigError::BadFraction(f));
+                }
+                Ok(((data_items as f64) * f).round() as usize)
             }
         }
     }
@@ -121,37 +127,59 @@ impl Default for GramerConfig {
 }
 
 impl GramerConfig {
-    /// Validates invariants; called by [`crate::Simulator::new`].
+    /// Validates invariants; called by [`crate::Simulator::new`] and
+    /// [`crate::preprocess`].
     ///
-    /// # Panics
-    ///
-    /// Panics on a degenerate configuration (zero PUs/slots/partitions,
-    /// non-positive clock, λ < 0, τ outside `(0, 0.5]`).
-    pub fn validate(&self) {
-        assert!(self.num_pus > 0, "need at least one PU");
-        assert!(self.slots_per_pu > 0, "need at least one slot per PU");
-        assert!(self.ancestor_depth >= 2, "ancestor depth too small");
-        assert!(self.clock_hz > 0.0, "clock must be positive");
-        assert!(
-            self.lambda.is_finite() && self.lambda >= 0.0,
-            "lambda must be finite and non-negative"
-        );
-        assert!(self.partitions > 0, "need at least one memory partition");
-        if let Some(tau) = self.tau {
-            assert!(tau > 0.0 && tau <= 0.5, "tau must be in (0, 0.5]");
+    /// Returns the first violated invariant as a typed [`ConfigError`]
+    /// (degenerate configurations: zero PUs/slots/partitions, non-positive
+    /// clock, λ < 0, τ outside `(0, 0.5]`, fractional budget outside
+    /// `[0, 1]`).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_pus == 0 {
+            return Err(ConfigError::ZeroPus);
         }
+        if self.slots_per_pu == 0 {
+            return Err(ConfigError::ZeroSlots);
+        }
+        if self.ancestor_depth < 2 {
+            return Err(ConfigError::AncestorDepthTooSmall(self.ancestor_depth));
+        }
+        if !(self.clock_hz.is_finite() && self.clock_hz > 0.0) {
+            return Err(ConfigError::BadClock(self.clock_hz));
+        }
+        if !(self.lambda.is_finite() && self.lambda >= 0.0) {
+            return Err(ConfigError::BadLambda(self.lambda));
+        }
+        if self.partitions == 0 {
+            return Err(ConfigError::ZeroPartitions);
+        }
+        if let Some(tau) = self.tau {
+            if !(tau > 0.0 && tau <= 0.5) {
+                return Err(ConfigError::BadTau(tau));
+            }
+        }
+        // Surface a bad fractional budget at validation time rather than
+        // deep inside tau resolution.
+        if let MemoryBudget::Fraction(f) = self.budget {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(ConfigError::BadFraction(f));
+            }
+        }
+        Ok(())
     }
 
     /// The paper's τ formula: `MIN(50%, |Memory| / (2·(|V|+|E|)))`,
     /// honouring an explicit override.
     ///
-    /// `data_items` is `|V|` plus the adjacency-slot count.
-    pub fn effective_tau(&self, data_items: usize) -> f64 {
+    /// `data_items` is `|V|` plus the adjacency-slot count. Fails with
+    /// [`ConfigError::BadFraction`] if the budget fraction is out of
+    /// range.
+    pub fn effective_tau(&self, data_items: usize) -> Result<f64, ConfigError> {
         if let Some(t) = self.tau {
-            return t;
+            return Ok(t);
         }
-        let capacity = self.budget.resolve(data_items) as f64;
-        (capacity / (2.0 * data_items as f64)).min(0.5)
+        let capacity = self.budget.resolve(data_items)? as f64;
+        Ok((capacity / (2.0 * data_items as f64)).min(0.5))
     }
 
     /// Total concurrent embeddings (`num_pus × slots_per_pu`; 128 in the
@@ -168,7 +196,7 @@ mod tests {
     #[test]
     fn default_matches_paper() {
         let c = GramerConfig::default();
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.total_slots(), 128);
         assert_eq!(c.partitions, 8);
         assert!((c.clock_hz - 200e6).abs() < 1.0);
@@ -181,9 +209,9 @@ mod tests {
             ..GramerConfig::default()
         };
         // Tiny graph: everything fits, tau = 50%.
-        assert!((c.effective_tau(100) - 0.5).abs() < 1e-12);
+        assert!((c.effective_tau(100).unwrap() - 0.5).abs() < 1e-12);
         // Huge graph: tau = capacity / (2 * items).
-        let tau = c.effective_tau(10_000_000);
+        let tau = c.effective_tau(10_000_000).unwrap();
         assert!((tau - 0.05).abs() < 1e-12);
     }
 
@@ -193,22 +221,52 @@ mod tests {
             tau: Some(0.05),
             ..GramerConfig::default()
         };
-        assert_eq!(c.effective_tau(123), 0.05);
+        assert_eq!(c.effective_tau(123).unwrap(), 0.05);
     }
 
     #[test]
     fn budget_fraction_resolves() {
-        assert_eq!(MemoryBudget::Fraction(0.1).resolve(1000), 100);
-        assert_eq!(MemoryBudget::Items(42).resolve(1000), 42);
+        assert_eq!(MemoryBudget::Fraction(0.1).resolve(1000).unwrap(), 100);
+        assert_eq!(MemoryBudget::Items(42).resolve(1000).unwrap(), 42);
     }
 
     #[test]
-    #[should_panic(expected = "tau")]
+    fn bad_fraction_is_typed_error() {
+        assert_eq!(
+            MemoryBudget::Fraction(1.5).resolve(1000),
+            Err(ConfigError::BadFraction(1.5))
+        );
+        assert_eq!(
+            MemoryBudget::Fraction(f64::NAN).resolve(1000).map_err(|e| e.kind()),
+            Err("config-bad-fraction")
+        );
+    }
+
+    #[test]
     fn bad_tau_rejected() {
         let c = GramerConfig {
             tau: Some(0.9),
             ..GramerConfig::default()
         };
-        c.validate();
+        assert_eq!(c.validate(), Err(ConfigError::BadTau(0.9)));
+    }
+
+    #[test]
+    fn validate_reports_first_violation() {
+        let zero_pus = GramerConfig {
+            num_pus: 0,
+            ..GramerConfig::default()
+        };
+        assert_eq!(zero_pus.validate(), Err(ConfigError::ZeroPus));
+        let bad_budget = GramerConfig {
+            budget: MemoryBudget::Fraction(-0.1),
+            ..GramerConfig::default()
+        };
+        assert_eq!(bad_budget.validate(), Err(ConfigError::BadFraction(-0.1)));
+        let bad_clock = GramerConfig {
+            clock_hz: f64::NAN,
+            ..GramerConfig::default()
+        };
+        assert_eq!(bad_clock.validate().map_err(|e| e.kind()), Err("config-bad-clock"));
     }
 }

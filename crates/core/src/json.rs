@@ -486,8 +486,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ascii digits are valid UTF-8");
+        // The scanned range is ASCII digits/signs/dots, always valid UTF-8.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
         if !is_float {
             if let Ok(n) = text.parse::<u64>() {
                 return Ok(JsonValue::UInt(n));

@@ -32,9 +32,12 @@
 //! use gramer_mining::{apps::CliqueFinding, DfsEnumerator};
 //!
 //! let g = generate::barabasi_albert(200, 3, 1);
-//! let pre = preprocess(&g, &GramerConfig::default());
+//! let pre = preprocess(&g, &GramerConfig::default()).unwrap();
 //! let app = CliqueFinding::new(3).unwrap();
-//! let report = Simulator::new(&pre, GramerConfig::default()).run(&app);
+//! let report = Simulator::new(&pre, GramerConfig::default())
+//!     .unwrap()
+//!     .run(&app)
+//!     .unwrap();
 //! assert!(report.cycles > 0);
 //! // The accelerator's counts match the software reference exactly.
 //! let reference = DfsEnumerator::new(&g).run(&app);
@@ -50,10 +53,13 @@ mod report;
 mod sim;
 
 pub mod area;
+pub mod error;
 pub mod json;
 pub mod pipeline;
+pub mod progress;
 
 pub use config::{GramerConfig, MemoryBudget, MemoryMode};
+pub use error::{ConfigError, SimError};
 pub use preprocess::{preprocess, Preprocessed};
 pub use report::{ReportSummary, RunReport};
 pub use sim::Simulator;

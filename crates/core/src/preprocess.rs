@@ -1,4 +1,5 @@
 use crate::config::GramerConfig;
+use crate::error::ConfigError;
 use gramer_graph::{on1, reorder, CsrGraph};
 
 /// A graph prepared for the accelerator: reordered by descending ON1 so
@@ -36,6 +37,9 @@ const PREPROCESS_SECONDS_PER_OP: f64 = 25e-9;
 
 /// Runs GRAMER's preprocessing: ON1 scoring, reordering, τ resolution.
 ///
+/// Fails with a typed [`ConfigError`] when `config` violates an
+/// invariant.
+///
 /// # Example
 ///
 /// ```
@@ -43,20 +47,20 @@ const PREPROCESS_SECONDS_PER_OP: f64 = 25e-9;
 /// use gramer_graph::generate;
 ///
 /// let g = generate::barabasi_albert(100, 3, 7);
-/// let pre = preprocess(&g, &GramerConfig::default());
+/// let pre = preprocess(&g, &GramerConfig::default()).unwrap();
 /// // Highest-degree hub ends up at ID 0 and inside the pinned prefix.
 /// assert!(pre.vertex_pin > 0);
 /// assert!(pre.graph.degree(0) >= pre.graph.degree(1));
 /// ```
-pub fn preprocess(graph: &CsrGraph, config: &GramerConfig) -> Preprocessed {
-    config.validate();
+pub fn preprocess(graph: &CsrGraph, config: &GramerConfig) -> Result<Preprocessed, ConfigError> {
+    config.validate()?;
     let scores = on1::on1_scores(graph);
     let reordering = reorder::reorder_by_scores(graph, &scores);
 
     let v = graph.num_vertices();
     let slots = graph.adjacency_len();
     let data_items = v + slots;
-    let tau = config.effective_tau(data_items);
+    let tau = config.effective_tau(data_items)?;
 
     let vertex_pin = ((v as f64) * tau).round() as usize;
     let edge_pin = ((slots as f64) * tau).round() as usize;
@@ -67,14 +71,14 @@ pub fn preprocess(graph: &CsrGraph, config: &GramerConfig) -> Preprocessed {
     let ops = slots as f64 + (v as f64) * logv + v as f64 + slots as f64;
     let preprocess_seconds = ops * PREPROCESS_SECONDS_PER_OP;
 
-    Preprocessed {
+    Ok(Preprocessed {
         graph: reordering.graph.clone(),
         reordering,
         tau,
         vertex_pin,
         edge_pin,
         preprocess_seconds,
-    }
+    })
 }
 
 impl Preprocessed {
@@ -102,7 +106,7 @@ mod tests {
             tau: Some(0.05),
             ..GramerConfig::default()
         };
-        let pre = preprocess(&g, &cfg);
+        let pre = preprocess(&g, &cfg).unwrap();
         assert_eq!(pre.vertex_pin, 10);
         assert_eq!(
             pre.edge_pin,
@@ -113,7 +117,7 @@ mod tests {
     #[test]
     fn small_graph_fully_pinned_at_default_budget() {
         let g = generate::barabasi_albert(100, 2, 2);
-        let pre = preprocess(&g, &GramerConfig::default());
+        let pre = preprocess(&g, &GramerConfig::default()).unwrap();
         assert!((pre.tau - 0.5).abs() < 1e-12);
         assert_eq!(pre.vertex_pin, 50);
     }
@@ -123,7 +127,7 @@ mod tests {
         // After reorder, ON1 scores are non-increasing in vertex ID, so the
         // pinned prefix is the hottest data by construction.
         let g = generate::barabasi_albert(300, 3, 9);
-        let pre = preprocess(&g, &GramerConfig::default());
+        let pre = preprocess(&g, &GramerConfig::default()).unwrap();
         let scores = gramer_graph::on1::on1_scores(&pre.graph);
         let s = scores.as_slice();
         for w in s.windows(2) {
@@ -136,11 +140,13 @@ mod tests {
         let small = preprocess(
             &generate::barabasi_albert(100, 2, 3),
             &GramerConfig::default(),
-        );
+        )
+        .unwrap();
         let large = preprocess(
             &generate::barabasi_albert(1000, 2, 3),
             &GramerConfig::default(),
-        );
+        )
+        .unwrap();
         assert!(large.preprocess_seconds > small.preprocess_seconds);
         // Citeseer-scale graphs preprocess in milliseconds, as in §VI-B.
         assert!(small.preprocess_seconds < 0.01);
@@ -153,7 +159,21 @@ mod tests {
             budget: MemoryBudget::Fraction(0.1),
             ..GramerConfig::default()
         };
-        let pre = preprocess(&g, &cfg);
+        let pre = preprocess(&g, &cfg).unwrap();
         assert!((pre.tau - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_config_is_typed_error() {
+        let g = generate::cycle(10);
+        let cfg = GramerConfig {
+            budget: crate::config::MemoryBudget::Fraction(2.0),
+            ..GramerConfig::default()
+        };
+        let err = match preprocess(&g, &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("bad budget accepted"),
+        };
+        assert_eq!(err.kind(), "config-bad-fraction");
     }
 }

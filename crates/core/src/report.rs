@@ -41,7 +41,7 @@ impl RunReport {
         if self.pu_steps.is_empty() || self.steps == 0 {
             return 1.0;
         }
-        let max = *self.pu_steps.iter().max().unwrap() as f64;
+        let max = self.pu_steps.iter().copied().max().unwrap_or(0) as f64;
         let avg = self.steps as f64 / self.pu_steps.len() as f64;
         max / avg
     }

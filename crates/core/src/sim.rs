@@ -1,9 +1,11 @@
 use crate::config::{GramerConfig, MemoryMode};
+use crate::error::{ConfigError, SimError};
 use crate::preprocess::Preprocessed;
+use crate::progress;
 use crate::report::RunReport;
 use gramer_graph::VertexId;
 use gramer_memsim::policy::PolicyKind;
-use gramer_memsim::{DataKind, HybridConfig, MemorySubsystem, SubsystemConfig};
+use gramer_memsim::{DataKind, HybridConfig, MemError, MemorySubsystem, SubsystemConfig};
 use gramer_mining::{
     AccessObserver, EcmApp, Explorer, MiningResult, PatternCounts, PatternInterner, Step,
 };
@@ -69,16 +71,15 @@ struct Pu {
 impl<'p> Simulator<'p> {
     /// Creates a simulator over a preprocessed graph.
     ///
-    /// # Panics
-    ///
-    /// Panics if `config` is invalid.
-    pub fn new(pre: &'p Preprocessed, config: GramerConfig) -> Self {
-        config.validate();
-        Simulator { pre, config }
+    /// Fails with a typed [`ConfigError`] if `config` violates an
+    /// invariant.
+    pub fn new(pre: &'p Preprocessed, config: GramerConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Simulator { pre, config })
     }
 
     /// Builds the memory subsystem for the configured memory mode.
-    fn build_memory(&self) -> MemorySubsystem {
+    fn build_memory(&self) -> Result<MemorySubsystem, MemError> {
         let cfg = &self.config;
         let v = self.pre.graph.num_vertices();
         let slots = self.pre.graph.adjacency_len();
@@ -139,7 +140,7 @@ impl<'p> Simulator<'p> {
         let vertex = hybrid(vertex_pinned, vertex_cache_items, v, 0);
         let edge = hybrid(edge_pinned, edge_cache_items, slots, 2);
 
-        MemorySubsystem::new(SubsystemConfig {
+        MemorySubsystem::try_new(SubsystemConfig {
             partitions: cfg.partitions,
             vertex,
             edge,
@@ -155,20 +156,25 @@ impl<'p> Simulator<'p> {
 
     /// Runs `app` to completion and returns the full report.
     ///
-    /// # Panics
+    /// Fails with [`SimError::DepthExceedsAncestors`] when the
+    /// application's maximum embedding size exceeds the configured
+    /// ancestor-buffer depth, or [`SimError::Memory`] when the memory
+    /// subsystem cannot be built.
     ///
-    /// Panics if the application's maximum embedding size exceeds the
-    /// configured ancestor-buffer depth.
-    pub fn run<A: EcmApp>(&self, app: &A) -> RunReport {
-        assert!(
-            app.max_vertices() <= self.config.ancestor_depth,
-            "application depth {} exceeds ancestor buffers ({})",
-            app.max_vertices(),
-            self.config.ancestor_depth
-        );
+    /// The event loop reports forward progress through
+    /// [`crate::progress::tick`] once per scheduled slot-step, so a
+    /// watchdog (the sweep runner's per-point timeout) can observe
+    /// liveness and cancel a run cooperatively.
+    pub fn run<A: EcmApp>(&self, app: &A) -> Result<RunReport, SimError> {
+        if app.max_vertices() > self.config.ancestor_depth {
+            return Err(SimError::DepthExceedsAncestors {
+                depth: app.max_vertices(),
+                ancestor_depth: self.config.ancestor_depth,
+            });
+        }
         let graph = &self.pre.graph;
         let cfg = &self.config;
-        let mut mem = self.build_memory();
+        let mut mem = self.build_memory()?;
         let mut slot_src: Vec<VertexId> = Vec::with_capacity(graph.adjacency_len());
         for v in graph.vertices() {
             slot_src.extend(std::iter::repeat(v).take(graph.degree(v)));
@@ -217,6 +223,9 @@ impl<'p> Simulator<'p> {
         }
 
         while let Some(Reverse((t, p, s))) = heap.pop() {
+            // One heartbeat per scheduled event; also the cooperative
+            // cancellation point for the sweep watchdog.
+            progress::tick();
             // Acquire work if the slot is idle.
             if slots[p][s].is_none() {
                 let mut acquired_at = t;
@@ -280,7 +289,11 @@ impl<'p> Simulator<'p> {
                 slot_src: &slot_src,
                 now: issue,
             };
-            let ex = slots[p][s].as_mut().expect("slot has work");
+            let ex = match slots[p][s].as_mut() {
+                Some(ex) => ex,
+                // The idle branch above either filled the slot or bailed.
+                None => unreachable!("scheduled an empty slot"),
+            };
             match ex.step(&mut obs) {
                 Step::Rejected => {
                     candidates += 1;
@@ -326,7 +339,7 @@ impl<'p> Simulator<'p> {
         let mem_stats = mem.stats();
         let transfer_seconds =
             cfg.setup_seconds + graph.footprint_bytes() as f64 / cfg.pcie_bandwidth;
-        RunReport {
+        Ok(RunReport {
             app: app.name(),
             cycles: max_time,
             seconds: max_time as f64 / cfg.clock_hz,
@@ -346,7 +359,7 @@ impl<'p> Simulator<'p> {
             steps,
             pu_steps,
             pu_finish,
-        }
+        })
     }
 }
 
@@ -367,9 +380,9 @@ mod tests {
     fn counts_match_reference_cf() {
         let g = small_graph();
         let cfg = GramerConfig::default();
-        let pre = preprocess(&g, &cfg);
+        let pre = preprocess(&g, &cfg).unwrap();
         let app = CliqueFinding::new(4).unwrap();
-        let report = Simulator::new(&pre, cfg).run(&app);
+        let report = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
         let reference = DfsEnumerator::new(&g).run(&app);
         assert_eq!(report.result.total_at(4), reference.total_at(4));
         assert_eq!(report.result.embeddings, reference.embeddings);
@@ -383,9 +396,9 @@ mod tests {
     fn counts_match_reference_mc() {
         let g = small_graph();
         let cfg = GramerConfig::default();
-        let pre = preprocess(&g, &cfg);
+        let pre = preprocess(&g, &cfg).unwrap();
         let app = MotifCounting::new(3).unwrap();
-        let report = Simulator::new(&pre, cfg).run(&app);
+        let report = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
         // Note: the simulator mines the REORDERED graph; motif counts are
         // relabel-invariant, so totals still match the original.
         let reference = DfsEnumerator::new(&g).run(&app);
@@ -400,9 +413,12 @@ mod tests {
     fn stealing_does_not_change_results_but_changes_time() {
         let g = small_graph();
         let base = GramerConfig::default();
-        let pre = preprocess(&g, &base);
+        let pre = preprocess(&g, &base).unwrap();
         let app = CliqueFinding::new(4).unwrap();
-        let with_steal = Simulator::new(&pre, base.clone()).run(&app);
+        let with_steal = Simulator::new(&pre, base.clone())
+            .unwrap()
+            .run(&app)
+            .unwrap();
         let without = Simulator::new(
             &pre,
             GramerConfig {
@@ -410,7 +426,9 @@ mod tests {
                 ..base
             },
         )
-        .run(&app);
+        .unwrap()
+        .run(&app)
+        .unwrap();
         assert_eq!(
             with_steal.result.total_at(4),
             without.result.total_at(4)
@@ -434,10 +452,10 @@ mod tests {
             slots_per_pu: 8,
             ..GramerConfig::default()
         };
-        let pre = preprocess(&g, &cfg1);
+        let pre = preprocess(&g, &cfg1).unwrap();
         let app = CliqueFinding::new(4).unwrap();
-        let t1 = Simulator::new(&pre, cfg1).run(&app).cycles;
-        let t8 = Simulator::new(&pre, cfg8).run(&app).cycles;
+        let t1 = Simulator::new(&pre, cfg1).unwrap().run(&app).unwrap().cycles;
+        let t8 = Simulator::new(&pre, cfg8).unwrap().run(&app).unwrap().cycles;
         assert!(
             (t8 as f64) < (t1 as f64) * 0.7,
             "slots gave no speedup: {t1} -> {t8}"
@@ -465,10 +483,16 @@ mod tests {
             memory_mode: mode,
             ..GramerConfig::default()
         };
-        let pre = preprocess(&g, &mk(MemoryMode::Lamh));
+        let pre = preprocess(&g, &mk(MemoryMode::Lamh)).unwrap();
         let app = CliqueFinding::new(4).unwrap();
-        let lamh = Simulator::new(&pre, mk(MemoryMode::Lamh)).run(&app);
-        let uniform = Simulator::new(&pre, mk(MemoryMode::UniformLru)).run(&app);
+        let lamh = Simulator::new(&pre, mk(MemoryMode::Lamh))
+            .unwrap()
+            .run(&app)
+            .unwrap();
+        let uniform = Simulator::new(&pre, mk(MemoryMode::UniformLru))
+            .unwrap()
+            .run(&app)
+            .unwrap();
         assert_eq!(
             lamh.result.total_at(4),
             uniform.result.total_at(4),
@@ -496,24 +520,58 @@ mod tests {
     fn deterministic_runs() {
         let g = small_graph();
         let cfg = GramerConfig::default();
-        let pre = preprocess(&g, &cfg);
+        let pre = preprocess(&g, &cfg).unwrap();
         let app = MotifCounting::new(3).unwrap();
-        let a = Simulator::new(&pre, cfg.clone()).run(&app);
-        let b = Simulator::new(&pre, cfg).run(&app);
+        let a = Simulator::new(&pre, cfg.clone()).unwrap().run(&app).unwrap();
+        let b = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.mem, b.mem);
         assert_eq!(a.steals, b.steals);
     }
 
     #[test]
-    #[should_panic(expected = "ancestor buffers")]
-    fn depth_overflow_rejected() {
+    fn depth_overflow_is_typed_error() {
         let g = generate::complete(6);
         let cfg = GramerConfig {
             ancestor_depth: 3,
             ..GramerConfig::default()
         };
-        let pre = preprocess(&g, &cfg);
-        let _ = Simulator::new(&pre, cfg).run(&MotifCounting::new(4).unwrap());
+        let pre = preprocess(&g, &cfg).unwrap();
+        let err = Simulator::new(&pre, cfg)
+            .unwrap()
+            .run(&MotifCounting::new(4).unwrap())
+            .expect_err("depth overflow accepted");
+        assert_eq!(err.kind(), "sim-depth-exceeds-ancestors");
+        assert!(err.to_string().contains("ancestor buffers"));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let g = generate::cycle(8);
+        let good = GramerConfig::default();
+        let pre = preprocess(&g, &good).unwrap();
+        let bad = GramerConfig {
+            num_pus: 0,
+            ..GramerConfig::default()
+        };
+        let err = match Simulator::new(&pre, bad) {
+            Err(e) => e,
+            Ok(_) => panic!("zero PUs accepted"),
+        };
+        assert_eq!(err.kind(), "config-zero-pus");
+    }
+
+    #[test]
+    fn run_bumps_installed_progress_heartbeat() {
+        let g = small_graph();
+        let cfg = GramerConfig::default();
+        let pre = preprocess(&g, &cfg).unwrap();
+        let app = CliqueFinding::new(3).unwrap();
+        let tok = crate::progress::ProgressToken::new();
+        let guard = crate::progress::install(tok.clone());
+        let report = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
+        drop(guard);
+        // One tick per scheduled event: at least one per recorded step.
+        assert!(tok.heartbeat() >= report.steps);
     }
 }

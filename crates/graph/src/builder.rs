@@ -114,12 +114,14 @@ impl GraphBuilder {
         }
 
         let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
         offsets.push(0usize);
         for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
+            total += d;
+            offsets.push(total);
         }
 
-        let mut adjacency = vec![0 as VertexId; *offsets.last().unwrap()];
+        let mut adjacency = vec![0 as VertexId; total];
         let mut cursor = offsets[..n].to_vec();
         for &(u, v) in &sorted {
             adjacency[cursor[u as usize]] = v;

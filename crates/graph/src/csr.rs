@@ -75,7 +75,7 @@ impl CsrGraph {
     ) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(offsets[0], 0);
-        debug_assert_eq!(*offsets.last().unwrap(), adjacency.len());
+        debug_assert_eq!(offsets.last().copied(), Some(adjacency.len()));
         debug_assert_eq!(labels.len(), offsets.len() - 1);
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         #[cfg(debug_assertions)]

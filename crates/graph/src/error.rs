@@ -8,7 +8,13 @@ pub enum GraphError {
     /// The builder contained no vertices at all.
     Empty,
     /// A vertex ID exceeded the supported maximum (`u32::MAX - 1`).
-    VertexIdOverflow(u64),
+    VertexIdOverflow {
+        /// The offending ID as parsed.
+        id: u64,
+        /// 1-based line number in the input; `0` when the source is not
+        /// line-oriented (e.g. the binary CSR format).
+        line: usize,
+    },
     /// An edge-list line could not be parsed.
     Parse {
         /// 1-based line number in the input.
@@ -25,15 +31,45 @@ pub enum GraphError {
         /// Number of vertices in the graph.
         vertices: usize,
     },
+    /// A generator or builder was given an out-of-range parameter
+    /// (e.g. `rmat` probabilities that do not sum to 1).
+    InvalidParameter {
+        /// Human-readable description of the violated invariant.
+        what: String,
+    },
+}
+
+impl GraphError {
+    /// Short machine-readable tag naming the variant — the `kind` field of
+    /// structured failure records (see `gramer-bench`'s sweep journal).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GraphError::Empty => "graph-empty",
+            GraphError::VertexIdOverflow { .. } => "graph-id-overflow",
+            GraphError::Parse { .. } => "graph-parse",
+            GraphError::Io(_) => "graph-io",
+            GraphError::LabelCount { .. } => "graph-label-count",
+            GraphError::InvalidParameter { .. } => "graph-parameter",
+        }
+    }
+
+    /// Convenience constructor for [`GraphError::InvalidParameter`].
+    pub fn invalid(what: impl Into<String>) -> Self {
+        GraphError::InvalidParameter { what: what.into() }
+    }
 }
 
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::Empty => write!(f, "graph has no vertices"),
-            GraphError::VertexIdOverflow(id) => {
+            GraphError::VertexIdOverflow { id, line: 0 } => {
                 write!(f, "vertex id {id} exceeds the supported maximum")
             }
+            GraphError::VertexIdOverflow { id, line } => write!(
+                f,
+                "vertex id {id} on line {line} exceeds the supported maximum"
+            ),
             GraphError::Parse { line, content } => {
                 write!(f, "cannot parse edge-list line {line}: {content:?}")
             }
@@ -42,6 +78,9 @@ impl fmt::Display for GraphError {
                 f,
                 "label count {labels} does not match vertex count {vertices}"
             ),
+            GraphError::InvalidParameter { what } => {
+                write!(f, "invalid parameter: {what}")
+            }
         }
     }
 }

@@ -9,9 +9,20 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::{CsrGraph, Label, VertexId};
+use crate::error::GraphError;
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Finalizes a builder whose construction guarantees at least one vertex;
+/// the error arm is structurally unreachable for the fixed-shape
+/// generators below.
+fn finish(b: &GraphBuilder, what: &str) -> CsrGraph {
+    match b.build() {
+        Ok(g) => g,
+        Err(e) => unreachable!("{what} built an invalid graph: {e}"),
+    }
+}
 
 /// Parameters for the R-MAT recursive matrix generator.
 ///
@@ -56,11 +67,40 @@ impl Default for RmatParams {
 /// # Panics
 ///
 /// Panics if `scale >= 31` (vertex IDs would overflow) or the quadrant
-/// probabilities do not sum to ~1.
+/// probabilities do not sum to ~1; [`try_rmat`] reports the same
+/// conditions as [`GraphError::InvalidParameter`] instead.
 pub fn rmat(scale: u32, edges: usize, params: RmatParams, seed: u64) -> CsrGraph {
-    assert!(scale < 31, "rmat scale too large");
+    match try_rmat(scale, edges, params, seed) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`rmat`]: invalid parameters become
+/// [`GraphError::InvalidParameter`] instead of panics.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `scale >= 31` or the
+/// quadrant probabilities do not sum to ~1 (including NaN probabilities).
+pub fn try_rmat(
+    scale: u32,
+    edges: usize,
+    params: RmatParams,
+    seed: u64,
+) -> Result<CsrGraph, GraphError> {
+    if scale >= 31 {
+        return Err(GraphError::invalid(format!(
+            "rmat scale {scale} too large (vertex ids would overflow)"
+        )));
+    }
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-6, "rmat probabilities must sum to 1");
+    // NaN-safe: a NaN sum must be rejected, so compare the negation.
+    if (sum - 1.0).abs().partial_cmp(&1e-6) != Some(std::cmp::Ordering::Less) {
+        return Err(GraphError::invalid(format!(
+            "rmat probabilities must sum to 1, got {sum}"
+        )));
+    }
 
     let n: u64 = 1 << scale;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -96,7 +136,7 @@ pub fn rmat(scale: u32, edges: usize, params: RmatParams, seed: u64) -> CsrGraph
         }
         b.add_edge(x0 as VertexId, y0 as VertexId);
     }
-    b.build().expect("rmat produced at least one vertex")
+    b.build()
 }
 
 /// Generates an undirected Barabási–Albert preferential-attachment graph
@@ -116,10 +156,29 @@ pub fn rmat(scale: u32, edges: usize, params: RmatParams, seed: u64) -> CsrGraph
 ///
 /// # Panics
 ///
-/// Panics if `m == 0` or `n <= m`.
+/// Panics if `m == 0` or `n <= m`; [`try_barabasi_albert`] reports the
+/// same conditions as [`GraphError::InvalidParameter`] instead.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
-    assert!(m > 0, "attachment count must be positive");
-    assert!(n > m, "need more vertices than attachment edges");
+    match try_barabasi_albert(n, m, seed) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`barabasi_albert`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m == 0` or `n <= m`.
+pub fn try_barabasi_albert(n: usize, m: usize, seed: u64) -> Result<CsrGraph, GraphError> {
+    if m == 0 {
+        return Err(GraphError::invalid("attachment count must be positive"));
+    }
+    if n <= m {
+        return Err(GraphError::invalid(format!(
+            "need more vertices than attachment edges ({n} <= {m})"
+        )));
+    }
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n * m);
@@ -154,7 +213,7 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
             endpoints.push(v);
         }
     }
-    b.build().expect("barabasi_albert produced vertices")
+    b.build()
 }
 
 /// Generates a Chung–Lu power-law graph with `n` vertices, approximately
@@ -181,11 +240,38 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
 ///
 /// # Panics
 ///
-/// Panics if `n < 2`, `gamma <= 2.0`, or `m` exceeds the possible edges.
+/// Panics if `n < 2`, `gamma <= 2.0`, or `m` exceeds the possible edges;
+/// [`try_chung_lu`] reports the same conditions as
+/// [`GraphError::InvalidParameter`] instead.
 pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> CsrGraph {
-    assert!(n >= 2, "need at least two vertices");
-    assert!(gamma > 2.0, "gamma must exceed 2 for a finite mean degree");
-    assert!(m <= n * (n - 1) / 2, "too many edges requested");
+    match try_chung_lu(n, m, gamma, seed) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`chung_lu`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`, `gamma <= 2.0`
+/// (including NaN), or `m` exceeds the number of possible edges.
+pub fn try_chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> Result<CsrGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::invalid("need at least two vertices"));
+    }
+    // NaN-safe: NaN gamma must be rejected too.
+    if gamma.partial_cmp(&2.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(GraphError::invalid(format!(
+            "gamma must exceed 2 for a finite mean degree, got {gamma}"
+        )));
+    }
+    if m > n * (n - 1) / 2 {
+        return Err(GraphError::invalid(format!(
+            "too many edges requested: {m} > {}",
+            n * (n - 1) / 2
+        )));
+    }
 
     let mut rng = StdRng::seed_from_u64(seed);
     let exponent = -1.0 / (gamma - 1.0);
@@ -222,7 +308,7 @@ pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> CsrGraph {
             b.add_edge(u, v);
         }
     }
-    b.build().expect("chung_lu produced vertices")
+    b.build()
 }
 
 /// Generates an Erdős–Rényi `G(n, m)` graph with exactly `m` distinct
@@ -241,11 +327,32 @@ pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> CsrGraph {
 ///
 /// # Panics
 ///
-/// Panics if `n < 2` or `m` exceeds the number of possible edges.
+/// Panics if `n < 2` or `m` exceeds the number of possible edges;
+/// [`try_erdos_renyi`] reports the same conditions as
+/// [`GraphError::InvalidParameter`] instead.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
-    assert!(n >= 2, "need at least two vertices");
+    match try_erdos_renyi(n, m, seed) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`erdos_renyi`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2` or `m` exceeds the
+/// number of possible edges.
+pub fn try_erdos_renyi(n: usize, m: usize, seed: u64) -> Result<CsrGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::invalid("need at least two vertices"));
+    }
     let possible = n * (n - 1) / 2;
-    assert!(m <= possible, "too many edges requested");
+    if m > possible {
+        return Err(GraphError::invalid(format!(
+            "too many edges requested: {m} > {possible}"
+        )));
+    }
 
     let mut rng = StdRng::seed_from_u64(seed);
     let dist = Uniform::from(0..n as VertexId);
@@ -263,7 +370,7 @@ pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
             b.add_edge(u, v);
         }
     }
-    b.build().expect("erdos_renyi produced vertices")
+    b.build()
 }
 
 /// The complete graph `K_n`.
@@ -283,7 +390,7 @@ pub fn complete(n: usize) -> CsrGraph {
             b.add_edge(u, v);
         }
     }
-    b.build().expect("complete graph nonempty")
+    finish(&b, "complete")
 }
 
 /// The cycle graph `C_n`.
@@ -297,7 +404,7 @@ pub fn cycle(n: usize) -> CsrGraph {
     for v in 0..n as VertexId {
         b.add_edge(v, ((v as usize + 1) % n) as VertexId);
     }
-    b.build().expect("cycle nonempty")
+    finish(&b, "cycle")
 }
 
 /// The path graph `P_n` (`n` vertices, `n-1` edges).
@@ -311,7 +418,7 @@ pub fn path(n: usize) -> CsrGraph {
     for v in 0..(n - 1) as VertexId {
         b.add_edge(v, v + 1);
     }
-    b.build().expect("path nonempty")
+    finish(&b, "path")
 }
 
 /// The complete bipartite graph `K_{a,b}` (part A = vertices `0..a`,
@@ -331,7 +438,7 @@ pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
             builder.add_edge(u, a as VertexId + v);
         }
     }
-    builder.build().expect("bipartite graph nonempty")
+    finish(&builder, "complete_bipartite")
 }
 
 /// The `rows × cols` grid graph (4-neighborhood lattice) — the
@@ -355,7 +462,7 @@ pub fn grid(rows: usize, cols: usize) -> CsrGraph {
             }
         }
     }
-    b.build().expect("grid nonempty")
+    finish(&b, "grid")
 }
 
 /// The star graph `S_n` (one hub connected to `n` leaves).
@@ -371,7 +478,7 @@ pub fn star(n: usize) -> CsrGraph {
     for v in 1..=n as VertexId {
         b.add_edge(0, v);
     }
-    b.build().expect("star nonempty")
+    finish(&b, "star")
 }
 
 /// Returns a copy of `graph` with vertex labels drawn uniformly from
@@ -415,7 +522,7 @@ pub fn relabel(graph: &CsrGraph, labels: Vec<Label>) -> CsrGraph {
         }
     }
     b.labels(labels);
-    b.build().expect("relabel preserves vertices")
+    finish(&b, "relabel")
 }
 
 #[cfg(test)]

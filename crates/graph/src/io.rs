@@ -13,18 +13,22 @@ use std::path::Path;
 
 /// Parses an edge list from any reader.
 ///
-/// Each non-comment line contains two vertex IDs separated by whitespace;
-/// lines starting with `#` or `%` and blank lines are ignored. The graph is
+/// Each non-comment line contains two vertex IDs separated by whitespace
+/// (extra trailing columns, as in weighted SNAP dumps, are ignored); lines
+/// starting with `#` or `%` and blank lines are skipped, and CRLF line
+/// endings plus leading/trailing whitespace are tolerated. The graph is
 /// treated as undirected (duplicate directions collapse).
 ///
 /// A mutable reference can be passed as the reader, e.g. `&mut file`.
 ///
 /// # Errors
 ///
-/// Returns [`GraphError::Parse`] for malformed lines,
+/// Every error names the offending 1-based input line:
+/// [`GraphError::Parse`] for malformed lines,
 /// [`GraphError::VertexIdOverflow`] for IDs above `u32::MAX - 1`,
-/// [`GraphError::Io`] for underlying I/O failures and
-/// [`GraphError::Empty`] when no vertex was found.
+/// [`GraphError::Io`] for underlying I/O failures (including invalid
+/// UTF-8) and [`GraphError::Empty`] when no vertex was found. The parser
+/// never panics, no matter how corrupted the input is.
 ///
 /// # Example
 ///
@@ -63,7 +67,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
                 content: line.clone(),
             })?;
             if raw >= VertexId::MAX as u64 {
-                return Err(GraphError::VertexIdOverflow(raw));
+                return Err(GraphError::VertexIdOverflow {
+                    id: raw,
+                    line: lineno + 1,
+                });
             }
             Ok(raw as VertexId)
         };
@@ -186,7 +193,10 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
     for v in 0..n {
         for &u in &adjacency[offsets[v]..offsets[v + 1]] {
             if u as usize >= n {
-                return Err(GraphError::VertexIdOverflow(u as u64));
+                return Err(GraphError::VertexIdOverflow {
+                    id: u as u64,
+                    line: 0,
+                });
             }
             if (v as VertexId) < u {
                 b.add_edge(v as VertexId, u);
@@ -234,12 +244,30 @@ mod tests {
     }
 
     #[test]
-    fn overflow_id_rejected() {
-        let text = format!("0 {}\n", u64::from(u32::MAX));
-        assert!(matches!(
-            read_edge_list(text.as_bytes()),
-            Err(GraphError::VertexIdOverflow(_))
-        ));
+    fn overflow_id_rejected_with_line() {
+        let text = format!("0 1\n0 {}\n", u64::from(u32::MAX));
+        match read_edge_list(text.as_bytes()) {
+            Err(GraphError::VertexIdOverflow { id, line }) => {
+                assert_eq!(id, u64::from(u32::MAX));
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected overflow error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crlf_and_trailing_whitespace_tolerated() {
+        let text = "# header\r\n0 1 \r\n1 2\t\r\n  2 3\r\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn extra_columns_ignored() {
+        // SNAP dumps sometimes carry weights or timestamps.
+        let g = read_edge_list("0 1 0.5\n1 2 1612137600\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
     }
 
     #[test]
@@ -305,5 +333,56 @@ mod tests {
     fn duplicate_directions_collapse() {
         let g = read_edge_list("0 1\n1 0\n".as_bytes()).unwrap();
         assert_eq!(g.num_edges(), 1);
+    }
+
+    /// Seeded byte-level corruption of a valid edge list: the parser must
+    /// never panic, and every structured error must point at a line that
+    /// actually exists in the mutated input.
+    #[test]
+    fn corrupted_inputs_never_panic_and_errors_carry_lines() {
+        let g = generate::barabasi_albert(30, 2, 3);
+        let mut base = Vec::new();
+        write_edge_list(&g, &mut base).unwrap();
+
+        // Small deterministic LCG so the test needs no RNG dependency.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 11
+        };
+
+        for round in 0..400 {
+            let mut buf = base.clone();
+            let flips = 1 + (next() as usize % 6);
+            for _ in 0..flips {
+                let i = next() as usize % buf.len();
+                buf[i] = (next() & 0xFF) as u8;
+            }
+            let total_lines = buf.split(|&b| b == b'\n').count();
+            match read_edge_list(buf.as_slice()) {
+                Ok(_) | Err(GraphError::Io(_)) | Err(GraphError::Empty) => {}
+                Err(GraphError::Parse { line, content }) => {
+                    assert!(
+                        line >= 1 && line <= total_lines,
+                        "round {round}: parse error line {line} out of range"
+                    );
+                    // The reported content must be the actual input line
+                    // (modulo the trailing CR that `lines()` strips).
+                    let raw: Vec<&[u8]> = buf.split(|&b| b == b'\n').collect();
+                    let expected = raw[line - 1].strip_suffix(b"\r").unwrap_or(raw[line - 1]);
+                    assert_eq!(
+                        String::from_utf8_lossy(expected),
+                        content,
+                        "round {round}: error content does not match input line"
+                    );
+                }
+                Err(GraphError::VertexIdOverflow { line, .. }) => {
+                    assert!(line >= 1 && line <= total_lines);
+                }
+                Err(other) => panic!("round {round}: unexpected error {other:?}"),
+            }
+        }
     }
 }

@@ -56,10 +56,12 @@ impl OnScores {
     /// the order — and hence the reordering of §IV-C — is deterministic).
     pub fn ranking(&self) -> Vec<VertexId> {
         let mut order: Vec<VertexId> = (0..self.scores.len() as VertexId).collect();
+        // total_cmp keeps the sort deterministic even for non-finite
+        // scores (which a pathological graph could produce) instead of
+        // panicking mid-ranking.
         order.sort_by(|&a, &b| {
             self.scores[b as usize]
-                .partial_cmp(&self.scores[a as usize])
-                .expect("ON scores are finite")
+                .total_cmp(&self.scores[a as usize])
                 .then(a.cmp(&b))
         });
         order

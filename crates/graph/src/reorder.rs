@@ -111,7 +111,11 @@ pub fn apply_permutation(graph: &CsrGraph, old_id: &[VertexId]) -> Reordered {
         .map(|&old| graph.label(old))
         .collect::<Vec<_>>();
     b.labels(labels);
-    let graph = b.build().expect("permutation of nonempty graph");
+    let graph = match b.build() {
+        Ok(g) => g,
+        // A permutation of a nonempty graph always has vertices.
+        Err(e) => unreachable!("reorder rebuilt an invalid graph: {e}"),
+    };
     Reordered {
         graph,
         new_id,

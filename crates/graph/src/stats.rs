@@ -68,8 +68,8 @@ pub fn degree_stats(graph: &CsrGraph) -> DegreeStats {
     };
 
     DegreeStats {
-        min: *degrees.first().unwrap(),
-        max: *degrees.last().unwrap(),
+        min: degrees.first().copied().unwrap_or(0),
+        max: degrees.last().copied().unwrap_or(0),
         mean,
         gini,
         top5_edge_share,

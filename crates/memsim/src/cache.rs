@@ -1,3 +1,4 @@
+use crate::error::MemError;
 use crate::policy::{LineMeta, PolicyKind, ReplacePolicy};
 
 /// A set-associative cache over abstract item IDs.
@@ -34,18 +35,37 @@ impl SetAssociativeCache {
     ///
     /// # Panics
     ///
-    /// Panics if `sets == 0` or `ways == 0`.
+    /// Panics if `sets == 0` or `ways == 0`; use [`Self::try_new`] to get
+    /// a typed error instead.
     pub fn new(sets: usize, ways: usize, block_bits: u32, policy: PolicyKind) -> Self {
-        assert!(sets > 0, "cache needs at least one set");
-        assert!(ways > 0, "cache needs at least one way");
-        SetAssociativeCache {
+        match SetAssociativeCache::try_new(sets, ways, block_bits, policy) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects degenerate geometry with a typed
+    /// [`MemError`] instead of panicking.
+    pub fn try_new(
+        sets: usize,
+        ways: usize,
+        block_bits: u32,
+        policy: PolicyKind,
+    ) -> Result<Self, MemError> {
+        if sets == 0 {
+            return Err(MemError::ZeroSets);
+        }
+        if ways == 0 {
+            return Err(MemError::ZeroWays);
+        }
+        Ok(SetAssociativeCache {
             sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
             ways,
             block_bits,
             clock: 0,
             policy: policy.build(),
             evictions: 0,
-        }
+        })
     }
 
     /// Sizes a cache to hold (at least) `items` items with the given
@@ -63,7 +83,7 @@ impl SetAssociativeCache {
 
     /// Total item capacity (`sets × ways × block`).
     pub fn capacity_items(&self) -> usize {
-        self.sets.len() * self.ways << self.block_bits
+        (self.sets.len() * self.ways) << self.block_bits
     }
 
     /// Number of evictions performed so far.
@@ -137,6 +157,26 @@ impl SetAssociativeCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_new_rejects_degenerate_geometry() {
+        use crate::error::MemError;
+        assert_eq!(
+            SetAssociativeCache::try_new(0, 2, 0, PolicyKind::Lru).err(),
+            Some(MemError::ZeroSets)
+        );
+        assert_eq!(
+            SetAssociativeCache::try_new(2, 0, 0, PolicyKind::Lru).err(),
+            Some(MemError::ZeroWays)
+        );
+        assert!(SetAssociativeCache::try_new(2, 2, 0, PolicyKind::Lru).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn new_still_panics_on_zero_sets() {
+        let _ = SetAssociativeCache::new(0, 2, 0, PolicyKind::Lru);
+    }
 
     #[test]
     fn cold_miss_then_hit() {

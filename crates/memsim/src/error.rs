@@ -1,0 +1,66 @@
+//! Typed construction errors for the memory simulator.
+//!
+//! The panicking constructors (`new`) remain for ergonomic use in tests
+//! and examples; fault-tolerant callers (the sweep runner's quarantined
+//! points, config validation in `gramer-core`) use the `try_new` variants
+//! and surface these as structured failures instead of aborting a run.
+
+use std::fmt;
+
+/// Error returned by the fallible (`try_new`) constructors of this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// A cache was configured with zero sets.
+    ZeroSets,
+    /// A cache was configured with zero ways (associativity).
+    ZeroWays,
+    /// A [`crate::MemorySubsystem`] was configured with zero partitions.
+    ZeroPartitions,
+}
+
+impl MemError {
+    /// Stable machine-readable tag for structured failure records
+    /// (mirrors `GraphError::kind` in `gramer-graph`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MemError::ZeroSets => "mem-zero-sets",
+            MemError::ZeroWays => "mem-zero-ways",
+            MemError::ZeroPartitions => "mem-zero-partitions",
+        }
+    }
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::ZeroSets => write!(f, "cache needs at least one set"),
+            MemError::ZeroWays => write!(f, "cache needs at least one way"),
+            MemError::ZeroPartitions => write!(f, "need at least one partition"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [MemError::ZeroSets, MemError::ZeroWays, MemError::ZeroPartitions];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.kind(), b.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_legacy_panic_messages() {
+        // The panicking `new` wrappers format these errors, so the text
+        // must keep the phrases existing `#[should_panic]` tests expect.
+        assert!(MemError::ZeroSets.to_string().contains("at least one set"));
+        assert!(MemError::ZeroPartitions.to_string().contains("partition"));
+    }
+}

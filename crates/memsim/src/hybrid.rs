@@ -1,4 +1,5 @@
 use crate::cache::SetAssociativeCache;
+use crate::error::MemError;
 use crate::policy::PolicyKind;
 use crate::scratchpad::Scratchpad;
 use crate::stats::KindStats;
@@ -73,19 +74,28 @@ impl HybridMemory {
     /// # Panics
     ///
     /// Panics if the cache geometry in `config` is degenerate (zero sets
-    /// or ways).
+    /// or ways); use [`Self::try_new`] to get a typed error instead.
     pub fn new(kind: DataKind, config: HybridConfig) -> Self {
-        HybridMemory {
+        match HybridMemory::try_new(kind, config) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects a degenerate cache geometry with a
+    /// typed [`MemError`] instead of panicking.
+    pub fn try_new(kind: DataKind, config: HybridConfig) -> Result<Self, MemError> {
+        Ok(HybridMemory {
             kind,
             scratchpad: Scratchpad::from_mask(config.pinned),
-            cache: SetAssociativeCache::new(
+            cache: SetAssociativeCache::try_new(
                 config.sets,
                 config.ways,
                 config.block_bits,
                 config.policy,
-            ),
+            )?,
             stats: KindStats::default(),
-        }
+        })
     }
 
     /// Which data kind this memory serves.

@@ -48,6 +48,7 @@ mod cache;
 mod cpu;
 mod dram;
 mod energy;
+mod error;
 mod hybrid;
 mod scratchpad;
 mod stats;
@@ -60,6 +61,7 @@ pub use cache::SetAssociativeCache;
 pub use cpu::{CpuCacheConfig, CpuCacheModel, CpuLevel};
 pub use dram::{DramConfig, DramModel};
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use error::MemError;
 pub use hybrid::{AccessOutcome, HybridConfig, HybridMemory};
 pub use policy::ReplacePolicy;
 pub use scratchpad::Scratchpad;

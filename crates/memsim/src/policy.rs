@@ -78,8 +78,8 @@ impl ReplacePolicy for Lru {
             .iter()
             .enumerate()
             .min_by_key(|(i, l)| (l.last_used, *i))
-            .expect("victim called on non-empty set")
-            .0
+            // victim() is only called on a full (hence non-empty) set.
+            .map_or(0, |(i, _)| i)
     }
 
     fn name(&self) -> &'static str {
@@ -97,8 +97,8 @@ impl ReplacePolicy for Fifo {
             .iter()
             .enumerate()
             .min_by_key(|(i, l)| (l.inserted, *i))
-            .expect("victim called on non-empty set")
-            .0
+            // victim() is only called on a full (hence non-empty) set.
+            .map_or(0, |(i, _)| i)
     }
 
     fn name(&self) -> &'static str {
@@ -234,8 +234,8 @@ impl ReplacePolicy for Lirs {
             .iter()
             .enumerate()
             .max_by_key(|(i, l)| (l.last_used - l.prev_used, usize::MAX - *i))
-            .expect("victim called on non-empty set")
-            .0
+            // victim() is only called on a full (hence non-empty) set.
+            .map_or(0, |(i, _)| i)
     }
 
     fn name(&self) -> &'static str {
@@ -264,8 +264,8 @@ impl ReplacePolicy for SegmentedLru {
             .iter()
             .enumerate()
             .min_by_key(|(i, l)| (l.last_used, *i))
-            .expect("victim called on non-empty set")
-            .0
+            // victim() is only called on a full (hence non-empty) set.
+            .map_or(0, |(i, _)| i)
     }
 
     fn name(&self) -> &'static str {

@@ -1,4 +1,5 @@
 use crate::dram::{DramConfig, DramModel};
+use crate::error::MemError;
 use crate::hybrid::{AccessOutcome, HybridConfig, HybridMemory};
 use crate::stats::MemStats;
 
@@ -141,16 +142,28 @@ impl MemorySubsystem {
     ///
     /// # Panics
     ///
-    /// Panics if `config.partitions == 0` or a hybrid config is degenerate.
+    /// Panics if `config.partitions == 0` or a hybrid config is degenerate;
+    /// use [`Self::try_new`] to get a typed error instead.
     pub fn new(config: SubsystemConfig) -> Self {
-        assert!(config.partitions > 0, "need at least one partition");
+        match MemorySubsystem::try_new(config) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects zero partitions or degenerate hybrid
+    /// geometry with a typed [`MemError`] instead of panicking.
+    pub fn try_new(config: SubsystemConfig) -> Result<Self, MemError> {
+        if config.partitions == 0 {
+            return Err(MemError::ZeroPartitions);
+        }
         let vertex_banks = (0..config.partitions)
-            .map(|_| HybridMemory::new(DataKind::Vertex, config.vertex.clone()))
-            .collect();
+            .map(|_| HybridMemory::try_new(DataKind::Vertex, config.vertex.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
         let edge_banks = (0..config.partitions)
-            .map(|_| HybridMemory::new(DataKind::Edge, config.edge.clone()))
-            .collect();
-        MemorySubsystem {
+            .map(|_| HybridMemory::try_new(DataKind::Edge, config.edge.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MemorySubsystem {
             vertex_banks,
             edge_banks,
             vertex_port_free: vec![0; config.partitions * config.latency.ports_per_bank.max(1)],
@@ -164,7 +177,7 @@ impl MemorySubsystem {
             edge_fifo: vec![Default::default(); config.partitions],
             dram: DramModel::new(config.dram),
             latency: config.latency,
-        }
+        })
     }
 
     /// Number of partitions.
@@ -209,9 +222,11 @@ impl MemorySubsystem {
         };
         // Earliest-free port of the bank.
         let base = p * self.ports_per_bank;
+        // ports_per_bank is clamped to >= 1 at construction, so the range
+        // is never empty and the fallback never fires.
         let port = (base..base + self.ports_per_bank)
             .min_by_key(|&i| ports[i])
-            .expect("bank has at least one port");
+            .unwrap_or(base);
         let start = admit.max(ports[port]);
         ports[port] = start + self.latency.port_occupancy_cycles;
 
@@ -333,6 +348,36 @@ mod tests {
                 occupancy_cycles: 4,
             },
         })
+    }
+
+    #[test]
+    fn try_new_rejects_zero_partitions_and_bad_hybrid() {
+        let hybrid = HybridConfig {
+            pinned: Vec::new(),
+            sets: 2,
+            ways: 2,
+            block_bits: 0,
+            policy: PolicyKind::Lru,
+        };
+        let mk = |partitions, sets| SubsystemConfig {
+            partitions,
+            vertex: HybridConfig { sets, ..hybrid.clone() },
+            edge: hybrid.clone(),
+            vertex_route_bits: 0,
+            edge_route_bits: 0,
+            next_line_prefetch: false,
+            latency: LatencyConfig::default(),
+            dram: DramConfig::default(),
+        };
+        assert_eq!(
+            MemorySubsystem::try_new(mk(0, 2)).err(),
+            Some(MemError::ZeroPartitions)
+        );
+        assert_eq!(
+            MemorySubsystem::try_new(mk(2, 0)).err(),
+            Some(MemError::ZeroSets)
+        );
+        assert!(MemorySubsystem::try_new(mk(2, 2)).is_ok());
     }
 
     #[test]

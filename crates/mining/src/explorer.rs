@@ -204,7 +204,11 @@ impl<'g> Explorer<'g> {
             frame.opened = false;
         }
 
-        let frame = self.frames.last_mut().expect("frame exists");
+        let frame = match self.frames.last_mut() {
+            Some(f) => f,
+            // The loop above advances but never pops the last frame.
+            None => unreachable!("explorer stepped with no open frame"),
+        };
         let j = frame.j as usize;
         let vj = self.emb.vertex(j);
         let slot = self.graph.first_edge_offset(vj) + frame.idx as usize;

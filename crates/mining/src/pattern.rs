@@ -316,7 +316,11 @@ fn canonicalize(
             _ => best = Some((cl, ca)),
         }
     });
-    let (labels, adj) = best.expect("at least the identity permutation");
+    let (labels, adj) = match best {
+        Some(b) => b,
+        // permute() always visits at least the identity permutation.
+        None => unreachable!("canonicalization saw no permutation"),
+    };
     Pattern {
         n: n as u8,
         labels,

@@ -34,8 +34,8 @@ fn main() {
             memory_mode: mode,
             ..GramerConfig::default()
         };
-        let pre = preprocess(&graph, &config);
-        let r = Simulator::new(&pre, config).run(&app);
+        let pre = preprocess(&graph, &config).unwrap();
+        let r = Simulator::new(&pre, config).unwrap().run(&app).unwrap();
         println!(
             "{:<14} {:>9.2}% {:>9.2}% {:>12} {:>10}",
             name,
@@ -54,8 +54,8 @@ fn main() {
             lambda,
             ..GramerConfig::default()
         };
-        let pre = preprocess(&graph, &config);
-        let r = Simulator::new(&pre, config).run(&app);
+        let pre = preprocess(&graph, &config).unwrap();
+        let r = Simulator::new(&pre, config).unwrap().run(&app).unwrap();
         println!(
             "{:<8} {:>12} {:>9.2}%",
             lambda,

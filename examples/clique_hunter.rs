@@ -25,13 +25,13 @@ fn main() {
     );
 
     let config = GramerConfig::default();
-    let pre = preprocess(&graph, &config);
+    let pre = preprocess(&graph, &config).unwrap();
     let fractal = FractalModel::default();
     let rstream = RstreamModel::default();
 
     for k in 3..=5 {
         let app = CliqueFinding::new(k).expect("valid k");
-        let report = Simulator::new(&pre, config.clone()).run(&app);
+        let report = Simulator::new(&pre, config.clone()).unwrap().run(&app).unwrap();
         let profile = profile_on_cpu(&graph, &app);
         let fr = fractal.estimate_seconds(&profile);
         let rs = rstream.estimate(&profile);

@@ -26,8 +26,8 @@ fn main() {
 
     // Mine on the accelerator.
     let config = GramerConfig::default();
-    let pre = preprocess(&graph, &config);
-    let report = Simulator::new(&pre, config).run(&app);
+    let pre = preprocess(&graph, &config).unwrap();
+    let report = Simulator::new(&pre, config).unwrap().run(&app).unwrap();
     println!("accelerator: {}", report.summary());
 
     // The frequent patterns (threshold applied over exact occurrence

@@ -23,9 +23,9 @@ fn main() {
     );
 
     let config = GramerConfig::default();
-    let pre = preprocess(&graph, &config);
+    let pre = preprocess(&graph, &config).unwrap();
     let app = MotifCounting::new(4).expect("4 is a valid motif size");
-    let report = Simulator::new(&pre, config).run(&app);
+    let report = Simulator::new(&pre, config).unwrap().run(&app).unwrap();
 
     println!("motif census:");
     for size in 3..=4 {

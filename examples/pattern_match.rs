@@ -20,7 +20,7 @@ fn main() {
     );
 
     let config = GramerConfig::default();
-    let pre = preprocess(&graph, &config);
+    let pre = preprocess(&graph, &config).unwrap();
 
     println!(
         "{:<26} {:>12} {:>12} {:>10}",
@@ -35,7 +35,7 @@ fn main() {
                 continue;
             }
         };
-        let report = Simulator::new(&pre, config.clone()).run(&app);
+        let report = Simulator::new(&pre, config.clone()).unwrap().run(&app).unwrap();
         println!(
             "{:<26} {:>12} {:>12} {:>10}",
             format!("{pattern:?}").replace("Pattern", ""),
@@ -48,7 +48,7 @@ fn main() {
     // Cross-check the triangle through the independent oracle.
     let triangle = Pattern::from_parts(3, &[0; 3], &[0b110, 0b101, 0b011]);
     let app = SubgraphMatching::new(triangle).expect("triangle is connected");
-    let report = Simulator::new(&pre, config).run(&app);
+    let report = Simulator::new(&pre, config).unwrap().run(&app).unwrap();
     assert_eq!(
         app.matches(&report.result),
         algo::triangle_count(&graph),

@@ -20,7 +20,7 @@ fn main() {
 
     // 2. GRAMER preprocessing: ON1 ranking + reordering + priority pins.
     let config = GramerConfig::default();
-    let pre = preprocess(&graph, &config);
+    let pre = preprocess(&graph, &config).unwrap();
     println!(
         "preprocess: tau = {:.1}%, {} vertices and {} edge slots pinned ({:.3} ms modeled)",
         100.0 * pre.tau,
@@ -31,7 +31,7 @@ fn main() {
 
     // 3. Simulate 3-clique finding on the accelerator.
     let app = CliqueFinding::new(3).expect("3 is a valid clique size");
-    let report = Simulator::new(&pre, config).run(&app);
+    let report = Simulator::new(&pre, config).unwrap().run(&app).unwrap();
     println!("accelerator: {}", report.summary());
     println!(
         "             {:.2}% of requests served on-chip, {} off-chip",

@@ -7,6 +7,8 @@
 #   1. cargo build --release --workspace   (all crates + experiment bins)
 #   2. cargo test -q --workspace           (unit + integration + doc tests)
 #   3. cargo doc --no-deps --workspace     (rustdoc, warnings denied)
+#   4. cargo clippy on the library crates  (unwrap/expect denied: failures
+#      must flow through the typed error taxonomy, not panic)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,5 +20,9 @@ cargo test -q --workspace
 
 echo "== tier1: cargo doc --no-deps --workspace (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "== tier1: clippy unwrap/expect gate on library crates"
+cargo clippy -q -p gramer -p gramer-graph -p gramer-memsim -p gramer-mining --lib -- \
+    -D clippy::unwrap_used -D clippy::expect_used
 
 echo "== tier1: all green"

@@ -15,8 +15,9 @@
 //!
 //! let graph = generate::barabasi_albert(100, 3, 7);
 //! let config = GramerConfig::default();
-//! let pre = preprocess(&graph, &config);
-//! let report = Simulator::new(&pre, config).run(&CliqueFinding::new(3).unwrap());
+//! let pre = preprocess(&graph, &config).unwrap();
+//! let app = CliqueFinding::new(3).unwrap();
+//! let report = Simulator::new(&pre, config).unwrap().run(&app).unwrap();
 //! assert!(report.cycles > 0);
 //! ```
 

@@ -13,8 +13,8 @@ fn gramer_beats_both_baselines_on_time_and_energy() {
     let g = Dataset::Citeseer.generate_scaled(2);
     let app = CliqueFinding::new(4).expect("valid");
     let cfg = GramerConfig::default();
-    let pre = preprocess(&g, &cfg);
-    let report = Simulator::new(&pre, cfg).run(&app);
+    let pre = preprocess(&g, &cfg).unwrap();
+    let report = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
     let profile = profile_on_cpu(&g, &app);
 
     let fractal = FractalModel::default().estimate_seconds(&profile);
@@ -37,18 +37,18 @@ fn rstream_collapses_under_intermediate_explosion() {
     // RStream/GRAMER ratio must blow up relative to CF on the same graph.
     let g = generate::chung_lu(900, 2700, 2.5, 11);
     let cfg = GramerConfig::default();
-    let pre = preprocess(&g, &cfg);
+    let pre = preprocess(&g, &cfg).unwrap();
     let rstream = RstreamModel::default();
 
     let cf = CliqueFinding::new(4).expect("valid");
     let mc = MotifCounting::new(4).expect("valid");
     let cf_ratio = {
-        let r = Simulator::new(&pre, cfg.clone()).run(&cf);
+        let r = Simulator::new(&pre, cfg.clone()).unwrap().run(&cf).unwrap();
         let p = profile_on_cpu(&g, &cf);
         rstream.estimate(&p).seconds().expect("completes") / r.seconds
     };
     let mc_ratio = {
-        let r = Simulator::new(&pre, cfg).run(&mc);
+        let r = Simulator::new(&pre, cfg).unwrap().run(&mc).unwrap();
         let p = profile_on_cpu(&g, &mc);
         rstream.estimate(&p).seconds().expect("completes") / r.seconds
     };
@@ -65,8 +65,8 @@ fn preprocessing_fraction_shrinks_with_graph_size() {
     let app = CliqueFinding::new(4).expect("valid");
     let frac = |g: &gramer_suite::gramer_graph::CsrGraph| {
         let cfg = GramerConfig::default();
-        let pre = preprocess(g, &cfg);
-        let r = Simulator::new(&pre, cfg).run(&app);
+        let pre = preprocess(g, &cfg).unwrap();
+        let r = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
         r.preprocess_seconds / r.seconds
     };
     let small = frac(&generate::chung_lu(200, 600, 2.5, 2));
@@ -101,8 +101,8 @@ fn tau_sweep_improves_monotonically_toward_ideal() {
             tau: Some(tau),
             ..GramerConfig::default()
         };
-        let pre = preprocess(&g, &cfg);
-        let r = Simulator::new(&pre, cfg).run(&app);
+        let pre = preprocess(&g, &cfg).unwrap();
+        let r = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
         (r.cycles, r.hit_ratio())
     };
     let taus = [0.01, 0.05, 0.20, 0.50];
@@ -128,8 +128,8 @@ fn work_stealing_helps_on_skewed_graphs() {
             work_stealing: stealing,
             ..GramerConfig::default()
         };
-        let pre = preprocess(&g, &cfg);
-        Simulator::new(&pre, cfg).run(&app).cycles
+        let pre = preprocess(&g, &cfg).unwrap();
+        Simulator::new(&pre, cfg).unwrap().run(&app).unwrap().cycles
     };
     let with = cycles(true);
     let without = cycles(false);
@@ -150,8 +150,8 @@ fn memory_budget_degrades_gracefully() {
             budget: MemoryBudget::Fraction(frac),
             ..GramerConfig::default()
         };
-        let pre = preprocess(&g, &cfg);
-        Simulator::new(&pre, cfg).run(&app).dram_requests
+        let pre = preprocess(&g, &cfg).unwrap();
+        Simulator::new(&pre, cfg).unwrap().run(&app).unwrap().dram_requests
     };
     let big = dram(0.5);
     let mid = dram(0.1);

@@ -9,8 +9,8 @@ use gramer_suite::gramer_mining::brute::{brute_force_counts, total_connected};
 use gramer_suite::gramer_mining::{BfsEnumerator, DfsEnumerator, EcmApp};
 
 fn simulate<A: EcmApp>(graph: &gramer_suite::gramer_graph::CsrGraph, app: &A, cfg: GramerConfig) -> gramer_suite::gramer::RunReport {
-    let pre = preprocess(graph, &cfg);
-    Simulator::new(&pre, cfg).run(app)
+    let pre = preprocess(graph, &cfg).unwrap();
+    Simulator::new(&pre, cfg).unwrap().run(app).unwrap()
 }
 
 #[test]

@@ -100,7 +100,7 @@ impl AccessObserver for CpuObserver {
         self.charge(v as u64 * VERTEX_BYTES, true);
     }
 
-    fn edge_access(&mut self, slot: usize, _size: usize) {
+    fn edge_access(&mut self, slot: usize, _src: VertexId, _size: usize) {
         self.charge(self.vertex_region_end + slot as u64 * EDGE_BYTES, false);
     }
 }

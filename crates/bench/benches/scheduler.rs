@@ -1,0 +1,79 @@
+//! Host-side cost of the discrete-event scheduler: the calendar/bucket
+//! queue (the default) against the binary-heap reference, first on
+//! synthetic simulator-shaped traffic, then end-to-end on a golden-size
+//! workload. The queues must order events identically (property-tested
+//! in `gramer`); these benches track only what each costs the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gramer::events::{CalendarQueue, EventQueue, HeapQueue};
+use gramer::{preprocess, GramerConfig, Scheduler, Simulator};
+use gramer_graph::generate;
+use gramer_mining::apps::CliqueFinding;
+
+/// Number of pop+push pairs per synthetic measurement.
+const OPS: u64 = 200_000;
+
+/// Drives `q` through [`OPS`] pop+push pairs shaped like simulator
+/// traffic: 128 concurrent slot events (8 PUs x 16 slots) whose
+/// completion times advance by small, deterministically varied deltas —
+/// the scratchpad/cache latencies plus port queueing the event loop
+/// produces.
+fn pump<Q: EventQueue>(q: &mut Q) -> u64 {
+    for id in 0..128u32 {
+        q.push((id % 7) as u64, id);
+    }
+    let mut acc = 0u64;
+    for i in 0..OPS {
+        let (t, id) = q.pop().expect("queue cannot run dry here");
+        acc = acc.wrapping_add(t);
+        let delta = 1 + (i.wrapping_mul(2654435761) >> 7) % 9;
+        q.push(t + delta, id);
+    }
+    while q.pop().is_some() {}
+    acc
+}
+
+fn queue_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.bench_function(BenchmarkId::new("pump", "calendar"), |b| {
+        b.iter(|| pump(&mut CalendarQueue::default()))
+    });
+    group.bench_function(BenchmarkId::new("pump", "heap"), |b| {
+        b.iter(|| pump(&mut HeapQueue::default()))
+    });
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    // The BA golden workload (see tests/golden.rs): large enough to
+    // exercise acquisition, stealing and traceback traffic, small enough
+    // to iterate.
+    let graph = generate::barabasi_albert(200, 3, 11);
+    let app = CliqueFinding::new(4).expect("valid k");
+    let base = GramerConfig::default();
+    let pre = preprocess(&graph, &base).expect("golden config preprocesses");
+
+    let mut group = c.benchmark_group("scheduler");
+    for (name, scheduler) in [
+        ("calendar", Scheduler::Calendar),
+        ("heap", Scheduler::Heap),
+    ] {
+        let cfg = GramerConfig {
+            scheduler,
+            ..base.clone()
+        };
+        group.bench_function(BenchmarkId::new("simulate_ba200_cf4", name), |b| {
+            b.iter(|| {
+                Simulator::new(&pre, cfg.clone())
+                    .expect("golden config is valid")
+                    .run(&app)
+                    .expect("golden workload simulates")
+                    .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, queue_traffic, end_to_end);
+criterion_main!(benches);

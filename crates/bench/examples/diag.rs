@@ -7,7 +7,7 @@ use gramer_mining::{AccessObserver, DfsEnumerator};
 struct Tracer { t: IterationTrace }
 impl AccessObserver for Tracer {
     fn vertex_access(&mut self, v: u32, _s: usize) { self.t.vertex.record(v as usize); }
-    fn edge_access(&mut self, slot: usize, _s: usize) { self.t.edge.record(slot); }
+    fn edge_access(&mut self, slot: usize, _src: u32, _s: usize) { self.t.edge.record(slot); }
 }
 
 fn main() {

@@ -35,7 +35,7 @@ impl AccessObserver for PerIteration {
         self.traces[size].vertex.record(v as usize);
     }
 
-    fn edge_access(&mut self, slot: usize, size: usize) {
+    fn edge_access(&mut self, slot: usize, _src: u32, size: usize) {
         self.traces[size].edge.record(slot);
     }
 }

@@ -27,7 +27,7 @@ impl AccessObserver for VertexTracePerIter {
         self.counters[size].record(v as usize);
     }
 
-    fn edge_access(&mut self, _slot: usize, _size: usize) {}
+    fn edge_access(&mut self, _slot: usize, _src: u32, _size: usize) {}
 }
 
 /// The ideal per-iteration top-5% masks plus the mining wall time, traced

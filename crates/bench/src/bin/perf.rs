@@ -1,0 +1,181 @@
+//! `perf` — the pinned end-to-end performance workload behind
+//! `scripts/perf.sh`.
+//!
+//! Runs a fixed, seeded workload through the full GRAMER stack
+//! (preprocess + simulate) and writes `results/BENCH_core.json` recording
+//! the repo's simulator-throughput trajectory: wall seconds, simulator
+//! steps per second, and peak RSS, keyed by git revision. Future PRs are
+//! held to these numbers (see EXPERIMENTS.md, "Simulator performance
+//! trajectory").
+//!
+//! The workload is deliberately *host-performance* sensitive and
+//! *simulation-deterministic*: the graphs are seeded, the apps fixed, so
+//! `cycles`, `steps` and every mining count must be byte-stable across
+//! hosts and PRs (asserted here), while wall seconds measure the
+//! simulator implementation itself.
+//!
+//! ```text
+//! cargo run --release -p gramer-bench --bin perf [-- --json PATH] [--quick]
+//! ```
+
+use gramer::{preprocess, GramerConfig, RunReport, Simulator};
+use gramer_bench::perf;
+use gramer_graph::{generate, CsrGraph};
+use gramer_mining::apps::{CliqueFinding, MotifCounting};
+use gramer_mining::EcmApp;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One pinned workload cell.
+struct Cell {
+    name: &'static str,
+    graph: CsrGraph,
+    app: Box<dyn DynPerfApp>,
+}
+
+trait DynPerfApp {
+    fn simulate(&self, pre: &gramer::Preprocessed, cfg: GramerConfig) -> RunReport;
+}
+
+impl<A: EcmApp> DynPerfApp for A {
+    fn simulate(&self, pre: &gramer::Preprocessed, cfg: GramerConfig) -> RunReport {
+        Simulator::new(pre, cfg)
+            .expect("pinned config is valid")
+            .run(self)
+            .expect("pinned workload must simulate")
+    }
+}
+
+/// The pinned workload: a seeded Barabási–Albert graph under 4-clique
+/// finding (hub-heavy closure checks) and a seeded R-MAT graph under
+/// 3-motif counting (pattern interning + skewed traffic). Sizes are
+/// chosen so one pass takes seconds, not minutes, on a laptop core.
+fn cells(quick: bool) -> Vec<Cell> {
+    let scale = if quick { 4 } else { 1 };
+    vec![
+        Cell {
+            name: "BA(3000,4)x4-CF",
+            graph: generate::barabasi_albert(3000 / scale, 4, 71),
+            app: Box::new(CliqueFinding::new(4).expect("valid k")),
+        },
+        Cell {
+            name: "RMAT(13)x3-MC",
+            graph: generate::rmat(
+                13 - (quick as u32) * 2,
+                40_000 / scale,
+                generate::RmatParams {
+                    a: 0.57,
+                    b: 0.19,
+                    c: 0.19,
+                    d: 0.05,
+                },
+                7,
+            ),
+            app: Box::new(MotifCounting::new(3).expect("valid k")),
+        },
+    ]
+}
+
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace().nth(1).and_then(|v| v.parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// The current git revision, from `GRAMER_GIT_REV` (set by
+/// `scripts/perf.sh`) or `git rev-parse`, else `"unknown"`.
+fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("GRAMER_GIT_REV") {
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path = std::path::PathBuf::from("results/BENCH_core.json");
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = p.into(),
+                None => {
+                    eprintln!("--json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "perf — pinned simulator-throughput workload\n\
+                     usage: perf [--json PATH] [--quick]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = GramerConfig::default();
+    let mut workloads = Vec::new();
+    let mut total_steps = 0u64;
+    let mut total_seconds = 0.0f64;
+    println!(
+        "{:<18} {:>10} {:>14} {:>14} {:>12}",
+        "workload", "wall s", "steps", "steps/sec", "sim cycles"
+    );
+    for cell in cells(quick) {
+        let t0 = Instant::now();
+        let pre = preprocess(&cell.graph, &cfg).expect("pinned config preprocesses");
+        let report = cell.app.simulate(&pre, cfg.clone());
+        let wall = t0.elapsed().as_secs_f64();
+        let sps = report.steps as f64 / wall.max(1e-9);
+        println!(
+            "{:<18} {:>10.3} {:>14} {:>14.0} {:>12}",
+            cell.name, wall, report.steps, sps, report.cycles
+        );
+        total_steps += report.steps;
+        total_seconds += wall;
+        workloads.push((cell.name, wall, report));
+    }
+    let steps_per_sec = total_steps as f64 / total_seconds.max(1e-9);
+    let rss = peak_rss_kb();
+    println!(
+        "{:<18} {:>10.3} {:>14} {:>14.0}   peak RSS {} kB",
+        "TOTAL", total_seconds, total_steps, steps_per_sec, rss
+    );
+
+    let doc = perf::perf_document(&git_rev(), quick, &workloads, steps_per_sec, rss);
+    if let Some(dir) = json_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&json_path, doc) {
+        Ok(()) => {
+            println!("wrote {}", json_path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", json_path.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -63,6 +63,7 @@ use gramer_mining::EcmApp;
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
+pub mod perf;
 pub mod sweep;
 
 pub use sweep::{

@@ -1,0 +1,90 @@
+//! The `BENCH_core.json` document written by the `perf` binary — the
+//! repo's simulator-throughput trajectory (see EXPERIMENTS.md).
+//!
+//! Schema (`schema_version: 1`):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "core",
+//!   "git_rev": "abc1234",
+//!   "quick": false,
+//!   "workloads": [
+//!     { "name": "BA(3000,4)x4-CF", "wall_seconds": 0.0, "steps": 0,
+//!       "steps_per_sec": 0.0, "cycles": 0, "embeddings": 0 }
+//!   ],
+//!   "total": { "wall_seconds": 0.0, "steps": 0, "steps_per_sec": 0.0 },
+//!   "peak_rss_kb": 0
+//! }
+//! ```
+//!
+//! `cycles`, `steps` and `embeddings` are *simulated* quantities and must
+//! be identical across hosts and PRs (they detect semantic drift);
+//! `wall_seconds`, `steps_per_sec` and `peak_rss_kb` measure the
+//! simulator implementation and are the trajectory being tracked.
+
+use gramer::json::JsonValue;
+use gramer::RunReport;
+
+/// Builds the `BENCH_core.json` document text (trailing newline
+/// included, insertion-ordered keys, byte-stable for fixed inputs).
+pub fn perf_document(
+    git_rev: &str,
+    quick: bool,
+    workloads: &[(&'static str, f64, RunReport)],
+    total_steps_per_sec: f64,
+    peak_rss_kb: u64,
+) -> String {
+    let total_seconds: f64 = workloads.iter().map(|(_, w, _)| *w).sum();
+    let total_steps: u64 = workloads.iter().map(|(_, _, r)| r.steps).sum();
+    let cells = workloads.iter().map(|(name, wall, report)| {
+        JsonValue::object([
+            ("name", JsonValue::from(*name)),
+            ("wall_seconds", JsonValue::from(*wall)),
+            ("steps", JsonValue::from(report.steps)),
+            (
+                "steps_per_sec",
+                JsonValue::from(report.steps as f64 / wall.max(1e-9)),
+            ),
+            ("cycles", JsonValue::from(report.cycles)),
+            ("embeddings", JsonValue::from(report.result.embeddings)),
+        ])
+    });
+    let doc = JsonValue::object([
+        ("schema_version", JsonValue::from(1u64)),
+        ("bench", JsonValue::from("core")),
+        ("git_rev", JsonValue::from(git_rev)),
+        ("quick", JsonValue::from(quick)),
+        ("workloads", JsonValue::array(cells)),
+        (
+            "total",
+            JsonValue::object([
+                ("wall_seconds", JsonValue::from(total_seconds)),
+                ("steps", JsonValue::from(total_steps)),
+                ("steps_per_sec", JsonValue::from(total_steps_per_sec)),
+            ]),
+        ),
+        ("peak_rss_kb", JsonValue::from(peak_rss_kb)),
+    ]);
+    let mut text = doc.to_string();
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_is_parseable_and_carries_schema() {
+        let text = perf_document("deadbee", false, &[], 0.0, 1234);
+        let doc = JsonValue::parse(text.trim()).unwrap();
+        assert_eq!(doc.get("schema_version"), Some(&JsonValue::UInt(1)));
+        assert_eq!(
+            doc.get("git_rev"),
+            Some(&JsonValue::Str("deadbee".into()))
+        );
+        assert_eq!(doc.get("peak_rss_kb"), Some(&JsonValue::UInt(1234)));
+        assert!(matches!(doc.get("workloads"), Some(JsonValue::Array(a)) if a.is_empty()));
+    }
+}

@@ -47,6 +47,37 @@ pub enum MemoryMode {
     UniformLru,
 }
 
+/// Which event-queue implementation drives the simulator's inner loop.
+///
+/// Purely a *host-side* choice: both queues pop events in the identical
+/// total order (strictly ascending `(time, slot)`), so simulated cycle
+/// counts, memory statistics and mining results are scheduler-invariant —
+/// a guarantee enforced by the golden-config equivalence tests. The
+/// calendar queue is the fast default; the heap is retained as a
+/// cross-check (`--scheduler=heap` in the experiment bins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Calendar/bucket queue: O(1) push/pop for near-future events.
+    #[default]
+    Calendar,
+    /// Binary min-heap: the reference implementation.
+    Heap,
+}
+
+impl std::str::FromStr for Scheduler {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "calendar" => Ok(Scheduler::Calendar),
+            "heap" => Ok(Scheduler::Heap),
+            other => Err(format!(
+                "unknown scheduler {other:?} (expected \"calendar\" or \"heap\")"
+            )),
+        }
+    }
+}
+
 /// Configuration of the GRAMER accelerator.
 ///
 /// [`GramerConfig::default`] reproduces the evaluated configuration of
@@ -98,6 +129,9 @@ pub struct GramerConfig {
     pub setup_seconds: f64,
     /// Host-to-card transfer bandwidth in bytes/second (PCIe Gen3 x16).
     pub pcie_bandwidth: f64,
+    /// Event-queue implementation of the simulator's inner loop. Affects
+    /// host throughput only, never simulated results (see [`Scheduler`]).
+    pub scheduler: Scheduler,
 }
 
 impl Default for GramerConfig {
@@ -122,6 +156,7 @@ impl Default for GramerConfig {
             next_line_prefetch: false,
             setup_seconds: 5e-3,
             pcie_bandwidth: 12e9,
+            scheduler: Scheduler::default(),
         }
     }
 }

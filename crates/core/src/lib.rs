@@ -48,6 +48,8 @@
 #![forbid(unsafe_code)]
 
 mod config;
+#[doc(hidden)]
+pub mod events;
 mod preprocess;
 mod report;
 mod sim;
@@ -58,7 +60,7 @@ pub mod json;
 pub mod pipeline;
 pub mod progress;
 
-pub use config::{GramerConfig, MemoryBudget, MemoryMode};
+pub use config::{GramerConfig, MemoryBudget, MemoryMode, Scheduler};
 pub use error::{ConfigError, SimError};
 pub use preprocess::{preprocess, Preprocessed};
 pub use report::{ReportSummary, RunReport};

@@ -1,6 +1,7 @@
 use crate::config::GramerConfig;
 use crate::error::ConfigError;
-use gramer_graph::{on1, reorder, CsrGraph};
+use gramer_graph::{on1, reorder, AdjProbe, CsrGraph};
+use std::sync::Arc;
 
 /// A graph prepared for the accelerator: reordered by descending ON1 so
 /// that *vertex ID equals priority rank* (§IV-C), with the high-priority
@@ -27,6 +28,25 @@ pub struct Preprocessed {
     /// Modeled CPU time of the preprocessing (ON1 pass + sort + rebuild) —
     /// the "Preproc. Time" component of Fig. 11(b).
     pub preprocess_seconds: f64,
+    /// Adjacency probe index over the reordered graph, shared by every
+    /// run's connectivity checks (see [`AdjProbe`]).
+    pub probe: AdjProbe,
+    /// Pinned-membership mask for the vertex scratchpads (`true` for the
+    /// reordered-ID prefix `0..vertex_pin`), shared by reference across
+    /// runs and memory partitions instead of being rebuilt per run.
+    pub vertex_pin_mask: Arc<Vec<bool>>,
+    /// Pinned-membership mask for the edge scratchpads (prefix
+    /// `0..edge_pin` of adjacency slots).
+    pub edge_pin_mask: Arc<Vec<bool>>,
+}
+
+/// Builds the `true^pin false^(universe-pin)` prefix mask.
+fn prefix_mask(pin: usize, universe: usize) -> Arc<Vec<bool>> {
+    let mut m = vec![false; universe];
+    for bit in m.iter_mut().take(pin) {
+        *bit = true;
+    }
+    Arc::new(m)
 }
 
 /// Cost of one CPU operation in the preprocessing model, seconds.
@@ -71,13 +91,21 @@ pub fn preprocess(graph: &CsrGraph, config: &GramerConfig) -> Result<Preprocesse
     let ops = slots as f64 + (v as f64) * logv + v as f64 + slots as f64;
     let preprocess_seconds = ops * PREPROCESS_SECONDS_PER_OP;
 
+    let graph = reordering.graph.clone();
+    let probe = AdjProbe::build(&graph);
+    let vertex_pin_mask = prefix_mask(vertex_pin, v);
+    let edge_pin_mask = prefix_mask(edge_pin, slots);
+
     Ok(Preprocessed {
-        graph: reordering.graph.clone(),
+        graph,
         reordering,
         tau,
         vertex_pin,
         edge_pin,
         preprocess_seconds,
+        probe,
+        vertex_pin_mask,
+        edge_pin_mask,
     })
 }
 

@@ -6,18 +6,20 @@
 //! (stop a point that exceeded its budget). Both flow through a
 //! [`ProgressToken`]:
 //!
-//! * the simulator's event loop calls [`tick`] once per scheduled step,
-//!   which bumps the token's heartbeat counter — the watchdog reads it to
-//!   report liveness;
+//! * the simulator's event loop calls [`tick_n`] once per small batch of
+//!   scheduled steps (the thread-local lookup is hot-path overhead, so
+//!   the simulator amortises it over 256 events), which bumps the token's
+//!   heartbeat counter — the watchdog reads it to report liveness;
 //! * when the watchdog decides a point is over budget it calls
-//!   [`ProgressToken::cancel`]; the *next* [`tick`] on the simulating
-//!   thread unwinds with a [`Cancelled`] payload, which the sweep runner's
-//!   panic quarantine converts into a structured `timed_out` record.
+//!   [`ProgressToken::cancel`]; the *next* [`tick`]/[`tick_n`] on the
+//!   simulating thread unwinds with a [`Cancelled`] payload, which the
+//!   sweep runner's panic quarantine converts into a structured
+//!   `timed_out` record.
 //!
 //! Cancellation is cooperative: code that never ticks cannot be stopped.
-//! The simulator ticks every event-loop iteration, so real sweep points
-//! respond within microseconds; arbitrary user closures are only covered
-//! if they call [`tick`] themselves.
+//! The simulator ticks every few hundred event-loop iterations, so real
+//! sweep points still respond within microseconds; arbitrary user
+//! closures are only covered if they call [`tick`] themselves.
 //!
 //! Tokens are installed per thread ([`install`]) so a multi-threaded sweep
 //! can watch each worker independently; [`tick`] is a no-op when no token
@@ -102,12 +104,27 @@ pub fn install(token: ProgressToken) -> InstallGuard {
 /// payload instead of returning.
 #[inline]
 pub fn tick() {
+    tick_n(1);
+}
+
+/// Records `n` units of forward progress in one heartbeat update.
+///
+/// Semantically equivalent to calling [`tick`] `n` times, but with a
+/// single thread-local lookup, cancellation check, and atomic add — the
+/// simulator uses this to amortise progress reporting over batches of
+/// scheduled events. `tick_n(0)` still performs the cancellation check.
+///
+/// No-op when no token is installed. If the installed token has been
+/// [cancelled](ProgressToken::cancel), unwinds with a [`Cancelled`]
+/// payload instead of returning.
+#[inline]
+pub fn tick_n(n: u64) {
     CURRENT.with(|c| {
         if let Some(tok) = c.borrow().as_ref() {
             if tok.cancel.load(Ordering::Relaxed) {
                 std::panic::panic_any(Cancelled);
             }
-            tok.heartbeat.fetch_add(1, Ordering::Relaxed);
+            tok.heartbeat.fetch_add(n, Ordering::Relaxed);
         }
     });
 }
@@ -157,6 +174,22 @@ mod tests {
         // The guard restored the empty state during unwind.
         tick();
         assert_eq!(watcher.heartbeat(), 1);
+    }
+
+    #[test]
+    fn tick_n_batches_heartbeat_and_checks_cancel() {
+        let tok = ProgressToken::new();
+        let watcher = tok.clone();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = install(tok);
+            tick_n(256);
+            tick_n(0); // cancel check only, no heartbeat change
+            watcher.cancel();
+            tick_n(0); // unwinds here despite the zero batch
+            unreachable!("tick_n after cancel must not return");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(watcher.heartbeat(), 256);
     }
 
     #[test]

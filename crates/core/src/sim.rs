@@ -1,5 +1,6 @@
-use crate::config::{GramerConfig, MemoryMode};
+use crate::config::{GramerConfig, MemoryMode, Scheduler};
 use crate::error::{ConfigError, SimError};
+use crate::events::{CalendarQueue, EventQueue, HeapQueue};
 use crate::preprocess::Preprocessed;
 use crate::progress;
 use crate::report::RunReport;
@@ -9,14 +10,18 @@ use gramer_memsim::{DataKind, HybridConfig, MemError, MemorySubsystem, Subsystem
 use gramer_mining::{
     AccessObserver, EcmApp, Explorer, MiningResult, PatternCounts, PatternInterner, Step,
 };
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 /// Cycles an idle slot waits before re-checking for stealable work.
 const IDLE_RETRY_CYCLES: u64 = 32;
 /// Extra cycles charged when a steal succeeds (stealing-buffer pop plus
 /// ancestor transfer, §V-C).
 const STEAL_PENALTY_CYCLES: u64 = 2;
+/// Scheduled events per [`progress::tick_n`] heartbeat. The thread-local
+/// lookup in `tick` costs as much as several queue operations, so the
+/// event loop batches it; cancellation latency stays well under a
+/// millisecond at any realistic event rate.
+const PROGRESS_BATCH: u64 = 256;
 
 /// The discrete-event GRAMER simulator.
 ///
@@ -41,9 +46,6 @@ pub struct Simulator<'p> {
 /// from the cache's multi-slot blocks, not from a bypass register.
 struct TimedObserver<'a> {
     mem: &'a mut MemorySubsystem,
-    /// Precomputed slot → source-vertex table (rank lookup per §IV-B
-    /// without a per-access binary search).
-    slot_src: &'a [VertexId],
     now: u64,
 }
 
@@ -54,10 +56,11 @@ impl AccessObserver for TimedObserver<'_> {
         self.now = c.finish;
     }
 
-    fn edge_access(&mut self, slot: usize, _size: usize) {
-        // An edge inherits the rank of its source vertex (§IV-B).
-        let rank = self.slot_src[slot];
-        let c = self.mem.access(DataKind::Edge, slot as u64, rank, self.now);
+    fn edge_access(&mut self, slot: usize, src: VertexId, _size: usize) {
+        // An edge inherits the rank of its source vertex (§IV-B); the
+        // explorer passes the source along, so no slot → source lookup
+        // is needed on this path.
+        let c = self.mem.access(DataKind::Edge, slot as u64, src, self.now);
         self.now = c.finish;
     }
 }
@@ -79,47 +82,42 @@ impl<'p> Simulator<'p> {
     }
 
     /// Builds the memory subsystem for the configured memory mode.
+    ///
+    /// The pinned-membership masks come straight from [`Preprocessed`]
+    /// (built once per dataset) and are `Arc`-shared into every partition
+    /// bank, so constructing a subsystem never copies an O(universe)
+    /// vector.
     fn build_memory(&self) -> Result<MemorySubsystem, MemError> {
         let cfg = &self.config;
-        let v = self.pre.graph.num_vertices();
-        let slots = self.pre.graph.adjacency_len();
+        let empty_mask = || std::sync::Arc::new(Vec::new());
 
-        let (vertex_pinned, vertex_cache_items, edge_pinned, edge_cache_items, policy) =
+        let (vertex_mask, vertex_cache_items, edge_mask, edge_cache_items, policy) =
             match cfg.memory_mode {
                 MemoryMode::Lamh => (
+                    self.pre.vertex_pin_mask.clone(),
                     self.pre.vertex_pin,
-                    self.pre.vertex_pin,
-                    self.pre.edge_pin,
+                    self.pre.edge_pin_mask.clone(),
                     self.pre.edge_pin,
                     PolicyKind::LocalityPreserved { lambda: cfg.lambda },
                 ),
                 MemoryMode::StaticLru => (
+                    self.pre.vertex_pin_mask.clone(),
                     self.pre.vertex_pin,
-                    self.pre.vertex_pin,
-                    self.pre.edge_pin,
+                    self.pre.edge_pin_mask.clone(),
                     self.pre.edge_pin,
                     PolicyKind::Lru,
                 ),
                 // Same total capacity, all of it cache.
                 MemoryMode::UniformLru => (
-                    0,
+                    empty_mask(),
                     2 * self.pre.vertex_pin,
-                    0,
+                    empty_mask(),
                     2 * self.pre.edge_pin,
                     PolicyKind::Lru,
                 ),
             };
 
-        let hybrid = |pinned: usize, cache_items: usize, universe: usize, block_bits: u32| {
-            let mask = if pinned == 0 {
-                Vec::new()
-            } else {
-                let mut m = vec![false; universe];
-                for bit in m.iter_mut().take(pinned) {
-                    *bit = true;
-                }
-                m
-            };
+        let hybrid = |mask: std::sync::Arc<Vec<bool>>, cache_items: usize, block_bits: u32| {
             // The cache is split evenly over the partitions (ceiling so
             // the configured capacity is a lower bound); 4-way
             // set-associative as in §VI-A.
@@ -137,8 +135,8 @@ impl<'p> Simulator<'p> {
 
         // Vertices cache per item; edge lines hold 4 consecutive slots
         // (16 B), giving neighbor-walks their natural spatial locality.
-        let vertex = hybrid(vertex_pinned, vertex_cache_items, v, 0);
-        let edge = hybrid(edge_pinned, edge_cache_items, slots, 2);
+        let vertex = hybrid(vertex_mask, vertex_cache_items, 0);
+        let edge = hybrid(edge_mask, edge_cache_items, 2);
 
         MemorySubsystem::try_new(SubsystemConfig {
             partitions: cfg.partitions,
@@ -162,10 +160,26 @@ impl<'p> Simulator<'p> {
     /// subsystem cannot be built.
     ///
     /// The event loop reports forward progress through
-    /// [`crate::progress::tick`] once per scheduled slot-step, so a
-    /// watchdog (the sweep runner's per-point timeout) can observe
-    /// liveness and cancel a run cooperatively.
+    /// [`crate::progress::tick_n`] once per 256 scheduled slot-steps, so
+    /// a watchdog (the sweep runner's per-point timeout) can observe
+    /// liveness and cancel a run cooperatively with negligible hot-path
+    /// overhead.
+    ///
+    /// Which event-queue implementation drives the loop is selected by
+    /// [`GramerConfig::scheduler`]; both pop events in an identical
+    /// order, so the choice affects host throughput only — simulated
+    /// cycles, memory statistics and mining results are bit-for-bit the
+    /// same (asserted by the scheduler-equivalence tests in
+    /// `tests/golden.rs`).
     pub fn run<A: EcmApp>(&self, app: &A) -> Result<RunReport, SimError> {
+        match self.config.scheduler {
+            Scheduler::Calendar => self.run_with::<A, CalendarQueue>(app),
+            Scheduler::Heap => self.run_with::<A, HeapQueue>(app),
+        }
+    }
+
+    /// The event loop, generic over the queue implementation.
+    fn run_with<A: EcmApp, Q: EventQueue + Default>(&self, app: &A) -> Result<RunReport, SimError> {
         if app.max_vertices() > self.config.ancestor_depth {
             return Err(SimError::DepthExceedsAncestors {
                 depth: app.max_vertices(),
@@ -175,10 +189,6 @@ impl<'p> Simulator<'p> {
         let graph = &self.pre.graph;
         let cfg = &self.config;
         let mut mem = self.build_memory()?;
-        let mut slot_src: Vec<VertexId> = Vec::with_capacity(graph.adjacency_len());
-        for v in graph.vertices() {
-            slot_src.extend(std::iter::repeat(v).take(graph.degree(v)));
-        }
 
         let mut interner = PatternInterner::new();
         let mut counts = PatternCounts::new();
@@ -210,24 +220,35 @@ impl<'p> Simulator<'p> {
             pus[i % cfg.num_pus].roots.push_back(v);
         }
 
-        let mut slots: Vec<Vec<Option<Explorer<'_>>>> = (0..cfg.num_pus)
-            .map(|_| (0..cfg.slots_per_pu).map(|_| None).collect())
-            .collect();
+        // Event id = pu * slots_per_pu + slot: monotone in (pu, slot), so
+        // `(time, id)` queue order is identical to the historical
+        // `(time, pu, slot)` heap order. Slots are stored flat and indexed
+        // by the id directly; the id → PU map is a table lookup because a
+        // hardware divide by the runtime `slots_per_pu` costs as much as
+        // several queue operations on every scheduled event.
+        let spp = cfg.slots_per_pu;
+        let num_slots = cfg.num_pus * spp;
+        let pu_of: Vec<u32> = (0..num_slots).map(|i| (i / spp) as u32).collect();
+        let mut slots: Vec<Option<Explorer<'_>>> = (0..num_slots).map(|_| None).collect();
 
-        // Event = (ready time, pu, slot); min-heap order is deterministic.
-        let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
-        for p in 0..cfg.num_pus {
-            for s in 0..cfg.slots_per_pu {
-                heap.push(Reverse((0, p, s)));
-            }
+        let mut queue = Q::default();
+        for id in 0..num_slots {
+            queue.push(0, id as u32);
         }
 
-        while let Some(Reverse((t, p, s))) = heap.pop() {
-            // One heartbeat per scheduled event; also the cooperative
-            // cancellation point for the sweep watchdog.
-            progress::tick();
+        let mut tick_backlog = 0u64;
+        while let Some((t, id)) = queue.pop() {
+            let sid = id as usize;
+            let p = pu_of[sid] as usize;
+            // Heartbeat + cooperative cancellation point for the sweep
+            // watchdog, amortised over batches of scheduled events.
+            tick_backlog += 1;
+            if tick_backlog == PROGRESS_BATCH {
+                progress::tick_n(PROGRESS_BATCH);
+                tick_backlog = 0;
+            }
             // Acquire work if the slot is idle.
-            if slots[p][s].is_none() {
+            if slots[sid].is_none() {
                 let mut acquired_at = t;
                 let own = pus[p].roots.pop_front();
                 let root = own.or_else(|| {
@@ -242,15 +263,15 @@ impl<'p> Simulator<'p> {
                     pus[donor].roots.pop_back()
                 });
                 if let Some(root) = root {
-                    slots[p][s] = Some(Explorer::new(graph, root));
+                    slots[sid] = Some(Explorer::with_probe(graph, &self.pre.probe, root));
                     pus[p].active_slots += 1;
                 } else if cfg.work_stealing {
                     let mut stolen = None;
-                    for victim in 0..cfg.slots_per_pu {
-                        if victim == s {
+                    for victim in p * spp..(p + 1) * spp {
+                        if victim == sid {
                             continue;
                         }
-                        if let Some(ex) = slots[p][victim].as_mut() {
+                        if let Some(ex) = slots[victim].as_mut() {
                             if let Some(thief) = ex.split() {
                                 stolen = Some(thief);
                                 break;
@@ -258,22 +279,22 @@ impl<'p> Simulator<'p> {
                         }
                     }
                     if let Some(thief) = stolen {
-                        slots[p][s] = Some(thief);
+                        slots[sid] = Some(thief);
                         pus[p].active_slots += 1;
                         steals += 1;
                         acquired_at = t + STEAL_PENALTY_CYCLES;
                     }
                 }
-                if slots[p][s].is_none() {
+                if slots[sid].is_none() {
                     // Nothing to do now; retry while peers are active
                     // (their descents may create stealable ranges).
                     if pus[p].active_slots > 0 {
-                        heap.push(Reverse((t + IDLE_RETRY_CYCLES, p, s)));
+                        queue.push(t + IDLE_RETRY_CYCLES, id);
                     }
                     continue;
                 }
                 if acquired_at > t {
-                    heap.push(Reverse((acquired_at, p, s)));
+                    queue.push(acquired_at, id);
                     continue;
                 }
             }
@@ -286,10 +307,9 @@ impl<'p> Simulator<'p> {
 
             let mut obs = TimedObserver {
                 mem: &mut mem,
-                slot_src: &slot_src,
                 now: issue,
             };
-            let ex = match slots[p][s].as_mut() {
+            let ex = match slots[sid].as_mut() {
                 Some(ex) => ex,
                 // The idle branch above either filled the slot or bailed.
                 None => unreachable!("scheduled an empty slot"),
@@ -299,10 +319,10 @@ impl<'p> Simulator<'p> {
                     candidates += 1;
                     let next_size = (ex.embedding().len() + 1).min(app.max_vertices());
                     candidates_by_size[next_size] += 1;
-                    heap.push(Reverse((obs.now, p, s)));
+                    queue.push(obs.now, id);
                 }
                 Step::Traceback => {
-                    heap.push(Reverse((obs.now, p, s)));
+                    queue.push(obs.now, id);
                 }
                 Step::Candidate => {
                     candidates += 1;
@@ -321,18 +341,20 @@ impl<'p> Simulator<'p> {
                         ex.retract();
                     }
                     // Filter/Process pipeline stage: one extra cycle.
-                    heap.push(Reverse((obs.now + 1, p, s)));
+                    queue.push(obs.now + 1, id);
                 }
                 Step::Done => {
-                    slots[p][s] = None;
+                    slots[sid] = None;
                     pus[p].active_slots -= 1;
-                    heap.push(Reverse((obs.now + 1, p, s)));
+                    queue.push(obs.now + 1, id);
                 }
             }
             let finished = obs.now;
             max_time = max_time.max(finished);
             pu_finish[p] = pu_finish[p].max(finished);
         }
+        // Flush the partial heartbeat batch (also a final cancel check).
+        progress::tick_n(tick_backlog);
 
         debug_assert!(pus.iter().all(|pu| pu.roots.is_empty()));
 
@@ -571,7 +593,33 @@ mod tests {
         let guard = crate::progress::install(tok.clone());
         let report = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
         drop(guard);
-        // One tick per scheduled event: at least one per recorded step.
+        // Heartbeats are batched (one `tick_n(256)` per 256 scheduled
+        // events, remainder flushed at the end), so the total still
+        // equals the scheduled-event count — at least one per recorded
+        // step — while the watchdog only observes it in coarse jumps.
         assert!(tok.heartbeat() >= report.steps);
+        assert!(tok.heartbeat() > 0);
+    }
+
+    #[test]
+    fn heap_scheduler_matches_calendar_report() {
+        let g = small_graph();
+        let cal_cfg = GramerConfig::default();
+        assert_eq!(cal_cfg.scheduler, Scheduler::Calendar);
+        let heap_cfg = GramerConfig {
+            scheduler: Scheduler::Heap,
+            ..GramerConfig::default()
+        };
+        let pre = preprocess(&g, &cal_cfg).unwrap();
+        let app = CliqueFinding::new(4).unwrap();
+        let a = Simulator::new(&pre, cal_cfg).unwrap().run(&app).unwrap();
+        let b = Simulator::new(&pre, heap_cfg).unwrap().run(&app).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.steals, b.steals);
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.pu_steps, b.pu_steps);
+        assert_eq!(a.result.embeddings, b.result.embeddings);
+        assert_eq!(a.result.candidates_examined, b.result.candidates_examined);
     }
 }

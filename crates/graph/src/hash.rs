@@ -1,0 +1,136 @@
+//! A fast, non-cryptographic hasher for hot-path hash maps.
+//!
+//! `std`'s default SipHash is keyed and DoS-resistant, which simulator
+//! inner loops do not need; this is the Fx polynomial hash used by the
+//! Rust compiler itself (multiply by a large odd constant after folding
+//! each word in). Kept in-repo because the build environment is offline
+//! (same approach as `shims/rand`). Determinism matters here: unlike
+//! `RandomState`, [`FxBuildHasher`] hashes identically across processes,
+//! so anything iterating a map in hash order stays reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use gramer_graph::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplication constant (a large odd number with no obvious
+/// structure, as used by rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast polynomial hasher over machine words.
+///
+/// Not collision-resistant against adversarial keys — use only for
+/// internal maps keyed by trusted data (vertex IDs, pattern bytes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf) | ((rest.len() as u64 + 1) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s; zero-sized and
+/// deterministic across processes.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 3, 0][..]));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), i as usize);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i.wrapping_mul(7))), Some(&(i as usize)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn set_works() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(&5));
+    }
+}

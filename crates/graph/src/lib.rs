@@ -50,9 +50,12 @@ mod builder;
 mod csr;
 mod error;
 
+mod probe;
+
 pub mod algo;
 pub mod datasets;
 pub mod generate;
+pub mod hash;
 pub mod io;
 pub mod on1;
 pub mod reorder;
@@ -61,3 +64,4 @@ pub mod stats;
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef, Label, NeighborIter, VertexId};
 pub use error::GraphError;
+pub use probe::AdjProbe;

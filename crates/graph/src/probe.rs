@@ -1,0 +1,304 @@
+//! Degree-thresholded adjacency probing.
+//!
+//! The mining engine's connectivity checks (first-neighbor and closure
+//! probes) dominate simulator wall-clock time: every check binary-searches
+//! a sorted CSR row, and power-law hubs — the rows probed most often — are
+//! exactly the longest ones. An [`AdjProbe`] is a per-graph side index,
+//! built once during preprocessing, that answers those probes faster while
+//! reproducing `binary_search`'s result *positions* bit-for-bit (the
+//! position decides which adjacency slot a probe is charged to, which
+//! feeds the cache model, which feeds simulated cycle counts — so "almost
+//! the same" would silently change every reported number).
+//!
+//! Rows with degree below [`AdjProbe::DEFAULT_THRESHOLD`] keep the plain
+//! binary search (short rows are cheap and cache-resident). Indexed rows
+//! come in two tiers:
+//!
+//! * **dense tier** — rows whose degree is at least 1/64 of the vertex
+//!   universe store a bitmap over the universe plus per-word rank
+//!   prefixes. A probe is then one word load, a bit test and a popcount,
+//!   for hits *and* misses alike (`rank(b)` is exactly binary search's
+//!   position). The top hubs, which absorb most probes, live here.
+//! * **hash tier** — the remaining indexed rows store an
+//!   `(src, dst) → position` entry per edge in an
+//!   [`FxHashMap`](crate::hash::FxHashMap), so probes that *hit* resolve
+//!   in O(1); misses still fall back to the search because the charged
+//!   slot is the would-be insertion point.
+
+use crate::csr::{CsrGraph, VertexId};
+use crate::hash::FxHashMap;
+
+/// Per-graph adjacency probe index. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use gramer_graph::{generate, AdjProbe};
+///
+/// let g = generate::barabasi_albert(300, 3, 7);
+/// let probe = AdjProbe::build(&g);
+/// for v in g.vertices().take(20) {
+///     for &w in g.neighbors(v) {
+///         assert_eq!(probe.probe(&g, v, w), AdjProbe::probe_unindexed(&g, v, w));
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdjProbe {
+    threshold: usize,
+    /// `(src << 32 | dst) → dst's position in src's row`, for hash-tier
+    /// rows (degree ≥ `threshold` but too sparse for the dense tier).
+    hits: FxHashMap<u64, u32>,
+    /// Dense tier: per-vertex row number into the bitmap arena, or
+    /// [`NO_DENSE_ROW`] when the vertex is hash-tier or unindexed.
+    dense_row: Vec<u32>,
+    /// Words per dense bitmap row: `ceil(num_vertices / 64)`.
+    words_per_row: usize,
+    /// Bitmap arena, `words_per_row` words per dense row; bit `b` of row
+    /// `r` is set iff the edge `(vertex_of(r), b)` exists.
+    words: Vec<u64>,
+    /// Per-word rank prefix: set bits in the row's earlier words, so
+    /// `rank(b)` — and with it binary search's exact position — is one
+    /// load plus one popcount.
+    prefix: Vec<u32>,
+    /// `(src, dst)` pairs covered by the dense tier (for accounting).
+    dense_entries: usize,
+}
+
+/// Marker in [`AdjProbe::dense_row`] for vertices without a dense row.
+const NO_DENSE_ROW: u32 = u32::MAX;
+
+#[inline]
+fn key(a: VertexId, b: VertexId) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+impl AdjProbe {
+    /// Rows shorter than this stay on plain binary search. Chosen so the
+    /// index covers hub rows (where searches are deep and frequent) while
+    /// staying a small fraction of graph size on power-law degree
+    /// distributions.
+    pub const DEFAULT_THRESHOLD: usize = 64;
+
+    /// Rows up to this long answer unindexed probes with a branchless
+    /// linear rank instead of a binary search (see
+    /// [`Self::probe_unindexed`]).
+    pub const LINEAR_PROBE_MAX: usize = 64;
+
+    /// Builds the index for `graph` with the default degree threshold.
+    pub fn build(graph: &CsrGraph) -> Self {
+        Self::with_threshold(graph, Self::DEFAULT_THRESHOLD)
+    }
+
+    /// Builds the index covering rows with degree ≥ `threshold`
+    /// (`threshold == 0` indexes every row).
+    ///
+    /// Rows dense enough that a full bitmap over the vertex universe
+    /// averages at least one set bit per word (degree × 64 ≥ |V|) get the
+    /// dense tier — these are exactly the hubs that absorb most probes.
+    /// The remaining indexed rows use the hash tier.
+    pub fn with_threshold(graph: &CsrGraph, threshold: usize) -> Self {
+        let n = graph.num_vertices();
+        let words_per_row = n.div_ceil(64).max(1);
+        let min_deg = threshold.max(1);
+        let dense_min = min_deg.max(n.div_ceil(64));
+
+        let mut probe = AdjProbe {
+            threshold,
+            hits: FxHashMap::default(),
+            dense_row: vec![NO_DENSE_ROW; n],
+            words_per_row,
+            words: Vec::new(),
+            prefix: Vec::new(),
+            dense_entries: 0,
+        };
+        let hash_entries: usize = graph
+            .vertices()
+            .map(|v| graph.degree(v))
+            .filter(|&d| d >= min_deg && d < dense_min)
+            .sum();
+        probe.hits.reserve(hash_entries);
+
+        for v in graph.vertices() {
+            let run = graph.neighbors(v);
+            if run.len() >= dense_min {
+                let row = (probe.words.len() / words_per_row) as u32;
+                probe.dense_row[v as usize] = row;
+                let base = probe.words.len();
+                probe.words.resize(base + words_per_row, 0);
+                for &w in run {
+                    probe.words[base + (w as usize >> 6)] |= 1u64 << (w & 63);
+                }
+                let mut rank = 0u32;
+                for i in 0..words_per_row {
+                    probe.prefix.push(rank);
+                    rank += probe.words[base + i].count_ones();
+                }
+                probe.dense_entries += run.len();
+            } else if run.len() >= min_deg {
+                for (pos, &w) in run.iter().enumerate() {
+                    probe.hits.insert(key(v, w), pos as u32);
+                }
+            }
+        }
+        probe
+    }
+
+    /// Number of indexed `(src, dst)` entries across both tiers.
+    pub fn indexed_entries(&self) -> usize {
+        self.hits.len() + self.dense_entries
+    }
+
+    /// Probes `a`'s adjacency row for `b`.
+    ///
+    /// Returns `(found, pos)` with exactly the semantics of
+    /// [`Self::probe_unindexed`]: on a hit, `pos` is `b`'s index in the
+    /// row; on a miss, `pos` is the insertion point clamped to the last
+    /// valid index (the slot a hardware comparator walk would stop at).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of bounds for `graph`.
+    #[inline]
+    pub fn probe(&self, graph: &CsrGraph, a: VertexId, b: VertexId) -> (bool, usize) {
+        // Dense tier: membership is a bit test and the exact binary-search
+        // position is a rank query (prefix + popcount) — no hashing, no
+        // O(log degree) walk, and hubs take this path for hits *and*
+        // misses alike.
+        let dense = self.dense_row.get(a as usize).copied().unwrap_or(NO_DENSE_ROW);
+        if dense != NO_DENSE_ROW {
+            let base = dense as usize * self.words_per_row;
+            let word_idx = b as usize >> 6;
+            let word = self.words[base + word_idx];
+            let bit = 1u64 << (b & 63);
+            let before = self.prefix[base + word_idx] as usize
+                + (word & bit.wrapping_sub(1)).count_ones() as usize;
+            return if word & bit != 0 {
+                (true, before)
+            } else {
+                // Dense rows have degree >= 1, so the clamp is safe.
+                (false, before.min(graph.degree(a) - 1))
+            };
+        }
+        let run = graph.neighbors(a);
+        if run.len() >= self.threshold {
+            if let Some(&pos) = self.hits.get(&key(a, b)) {
+                return (true, pos as usize);
+            }
+            // Indexed row, absent neighbor: only the insertion point is
+            // left to compute.
+            let p = run.partition_point(|&x| x < b);
+            return (false, p.min(run.len().saturating_sub(1)));
+        }
+        Self::probe_unindexed_run(run, b)
+    }
+
+    /// The reference probe: plain binary search over the sorted row, with
+    /// the miss position clamped into the row. [`Self::probe`] must agree
+    /// with this for every `(a, b)` (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of bounds for `graph`.
+    #[inline]
+    pub fn probe_unindexed(graph: &CsrGraph, a: VertexId, b: VertexId) -> (bool, usize) {
+        Self::probe_unindexed_run(graph.neighbors(a), b)
+    }
+
+    #[inline]
+    fn probe_unindexed_run(run: &[VertexId], b: VertexId) -> (bool, usize) {
+        // Short rows: branchless rank. CSR rows are strictly sorted, so
+        // the number of entries below `b` is exactly binary search's
+        // position for hits and misses alike; the data-independent count
+        // auto-vectorizes and never mispredicts, where a short binary
+        // search mispredicts on nearly every level.
+        if run.len() <= Self::LINEAR_PROBE_MAX {
+            let pos: usize = run.iter().map(|&x| usize::from(x < b)).sum();
+            let found = pos < run.len() && run[pos] == b;
+            let clamped = if found {
+                pos
+            } else {
+                pos.min(run.len().saturating_sub(1))
+            };
+            return (found, clamped);
+        }
+        match run.binary_search(&b) {
+            Ok(p) => (true, p),
+            Err(p) => (false, p.min(run.len().saturating_sub(1))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn assert_agrees(g: &CsrGraph, probe: &AdjProbe) {
+        for a in g.vertices() {
+            // Every present neighbor, plus probes around the row's value
+            // range (misses below, between and above).
+            for &b in g.neighbors(a) {
+                assert_eq!(
+                    probe.probe(g, a, b),
+                    AdjProbe::probe_unindexed(g, a, b),
+                    "hit disagreement at ({a}, {b})"
+                );
+            }
+            for b in 0..g.num_vertices() as VertexId {
+                assert_eq!(
+                    probe.probe(g, a, b),
+                    AdjProbe::probe_unindexed(g, a, b),
+                    "disagreement at ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_binary_search_on_powerlaw() {
+        let g = generate::barabasi_albert(150, 4, 3);
+        assert_agrees(&g, &AdjProbe::build(&g));
+    }
+
+    #[test]
+    fn agrees_when_every_row_is_indexed() {
+        let g = generate::rmat(6, 250, generate::RmatParams::default(), 9);
+        assert_agrees(&g, &AdjProbe::with_threshold(&g, 0));
+    }
+
+    #[test]
+    fn agrees_when_no_row_is_indexed() {
+        let g = generate::erdos_renyi(60, 150, 5);
+        let probe = AdjProbe::with_threshold(&g, usize::MAX);
+        assert_eq!(probe.indexed_entries(), 0);
+        assert_agrees(&g, &probe);
+    }
+
+    #[test]
+    fn dense_tier_agrees_with_binary_search() {
+        // n = 40 < 64, so every indexed row meets the dense-tier density
+        // bound: threshold 1 forces the whole graph through the bitmap
+        // path, including single-edge rows (clamp on miss).
+        let g = generate::erdos_renyi(40, 120, 11);
+        let probe = AdjProbe::with_threshold(&g, 1);
+        let expect: usize = g.vertices().map(|v| g.degree(v)).sum();
+        assert_eq!(probe.indexed_entries(), expect);
+        assert_agrees(&g, &probe);
+    }
+
+    #[test]
+    fn indexes_only_hub_rows() {
+        let g = generate::barabasi_albert(400, 3, 1);
+        let threshold = 32;
+        let probe = AdjProbe::with_threshold(&g, threshold);
+        let expect: usize = g
+            .vertices()
+            .map(|v| g.degree(v))
+            .filter(|&d| d >= threshold)
+            .sum();
+        assert_eq!(probe.indexed_entries(), expect);
+        assert!(expect > 0, "graph too small to exercise the hub path");
+        assert!(expect < g.adjacency_len());
+    }
+}

@@ -21,9 +21,24 @@ use crate::policy::{LineMeta, PolicyKind, ReplacePolicy};
 /// ```
 #[derive(Debug)]
 pub struct SetAssociativeCache {
-    sets: Vec<Vec<LineMeta>>,
+    /// Line metadata, flat at stride `ways` (set `s` occupies
+    /// `lines[s*ways..s*ways+set_len[s]]`, in fill order). One contiguous
+    /// allocation instead of a `Vec<Vec<_>>` keeps the per-access lookup
+    /// to a single pointer chase.
+    lines: Vec<LineMeta>,
+    /// Tags of `lines`, split out structure-of-arrays style: the hit scan
+    /// reads `ways` consecutive u64s (one cache line for a 4-way set)
+    /// instead of striding through 40-byte `LineMeta` records. Kept in
+    /// sync with `lines[i].tag` on every fill.
+    tags: Vec<u64>,
+    set_len: Vec<u16>,
+    num_sets: usize,
     ways: usize,
     block_bits: u32,
+    /// Lemire "fastmod" constant `⌊2^64 / num_sets⌋ + 1`; gives the exact
+    /// `tag % num_sets` for 32-bit tags with two multiplies instead of a
+    /// hardware divide (the divide dominated the hit path).
+    mod_m: u64,
     clock: u64,
     policy: Box<dyn ReplacePolicy + Send>,
     evictions: u64,
@@ -59,9 +74,13 @@ impl SetAssociativeCache {
             return Err(MemError::ZeroWays);
         }
         Ok(SetAssociativeCache {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            lines: vec![LineMeta::filled(0, 0, 0); sets * ways],
+            tags: vec![0u64; sets * ways],
+            set_len: vec![0u16; sets],
+            num_sets: sets,
             ways,
             block_bits,
+            mod_m: (u64::MAX / sets as u64).wrapping_add(1),
             clock: 0,
             policy: policy.build(),
             evictions: 0,
@@ -83,7 +102,7 @@ impl SetAssociativeCache {
 
     /// Total item capacity (`sets × ways × block`).
     pub fn capacity_items(&self) -> usize {
-        (self.sets.len() * self.ways) << self.block_bits
+        (self.num_sets * self.ways) << self.block_bits
     }
 
     /// Number of evictions performed so far.
@@ -103,7 +122,14 @@ impl SetAssociativeCache {
     /// [`crate::MemorySubsystem`]).
     #[inline]
     fn set_index(&self, tag: u64) -> usize {
-        (tag % self.sets.len() as u64) as usize
+        if tag <= u32::MAX as u64 {
+            // Lemire–Kaser–Kurz fastmod: exact for 32-bit dividends and
+            // any divisor below 2^32.
+            let low = self.mod_m.wrapping_mul(tag);
+            ((low as u128 * self.num_sets as u128) >> 64) as usize
+        } else {
+            (tag % self.num_sets as u64) as usize
+        }
     }
 
     /// Accesses `item` (whose priority rank is `rank`); returns `true` on
@@ -113,20 +139,26 @@ impl SetAssociativeCache {
         self.clock += 1;
         let tag = item >> self.block_bits;
         let set_idx = self.set_index(tag);
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.ways;
+        let len = self.set_len[set_idx] as usize;
 
-        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
-            line.touch(self.clock);
-            return true;
+        for (i, t) in self.tags[base..base + len].iter().enumerate() {
+            if *t == tag {
+                self.lines[base + i].touch(self.clock);
+                return true;
+            }
         }
 
         let fill = LineMeta::filled(tag, self.clock, rank);
-        if set.len() < self.ways {
-            set.push(fill);
+        if len < self.ways {
+            self.lines[base + len] = fill;
+            self.tags[base + len] = tag;
+            self.set_len[set_idx] = (len + 1) as u16;
         } else {
-            let victim = self.policy.victim(set, self.clock);
-            debug_assert!(victim < set.len());
-            set[victim] = fill;
+            let victim = self.policy.victim(&self.lines[base..base + len], self.clock);
+            debug_assert!(victim < len);
+            self.lines[base + victim] = fill;
+            self.tags[base + victim] = tag;
             self.evictions += 1;
         }
         false
@@ -135,20 +167,20 @@ impl SetAssociativeCache {
     /// Whether `item`'s block is currently resident (no state change).
     pub fn contains(&self, item: u64) -> bool {
         let tag = item >> self.block_bits;
-        let set = &self.sets[self.set_index(tag)];
-        set.iter().any(|l| l.tag == tag)
+        let set_idx = self.set_index(tag);
+        let base = set_idx * self.ways;
+        let len = self.set_len[set_idx] as usize;
+        self.tags[base..base + len].contains(&tag)
     }
 
     /// Number of resident lines (for occupancy assertions).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.set_len.iter().map(|&l| l as usize).sum()
     }
 
     /// Clears all contents and counters, keeping the configuration.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.set_len.fill(0);
         self.clock = 0;
         self.evictions = 0;
     }

@@ -28,8 +28,11 @@ impl AccessOutcome {
 #[derive(Debug, Clone)]
 pub struct HybridConfig {
     /// High-priority membership mask indexed by item ID; an empty vec
-    /// disables the scratchpad (the Uniform-LRU baseline).
-    pub pinned: Vec<bool>,
+    /// disables the scratchpad (the Uniform-LRU baseline). `Arc`-shared:
+    /// every partition bank of a subsystem (and every run over the same
+    /// preprocessed dataset) references one mask allocation. Build from a
+    /// plain vector with `.into()`.
+    pub pinned: std::sync::Arc<Vec<bool>>,
     /// Number of sets in the low-priority cache.
     pub sets: usize,
     /// Associativity of the low-priority cache (the paper uses 4-way).
@@ -43,7 +46,7 @@ pub struct HybridConfig {
 impl HybridConfig {
     /// A hierarchy with `pinned` pinned in the scratchpad and a cache
     /// sized to `cache_items` items under `policy` (4-way, 1-item blocks).
-    pub fn sized(pinned: Vec<bool>, cache_items: usize, policy: PolicyKind) -> Self {
+    pub fn sized(pinned: std::sync::Arc<Vec<bool>>, cache_items: usize, policy: PolicyKind) -> Self {
         let blocks = cache_items.max(4);
         HybridConfig {
             pinned,
@@ -111,6 +114,7 @@ impl HybridMemory {
     /// Accesses an item whose global ID (for the priority check) differs
     /// from its bank-local ID (for cache indexing). Banked subsystems
     /// densify IDs per bank so modulo set indexing stays uniform.
+    #[inline]
     pub fn access_routed(&mut self, global_item: u64, local_item: u64, rank: u32) -> AccessOutcome {
         let outcome = if self.scratchpad.contains(global_item) {
             AccessOutcome::HighPriorityHit
@@ -171,7 +175,7 @@ mod tests {
         HybridMemory::new(
             DataKind::Vertex,
             HybridConfig {
-                pinned,
+                pinned: pinned.into(),
                 sets: 2,
                 ways: 2,
                 block_bits: 0,

@@ -29,7 +29,7 @@
 //!
 //! // Pin items 0 and 1 on-chip, cache the rest in a 2-set × 2-way cache.
 //! let cfg = HybridConfig {
-//!     pinned: vec![true, true, false, false, false, false],
+//!     pinned: vec![true, true, false, false, false, false].into(),
 //!     sets: 2,
 //!     ways: 2,
 //!     block_bits: 0,

@@ -8,7 +8,7 @@
 /// ```
 /// use gramer_memsim::Scratchpad;
 ///
-/// let sp = Scratchpad::from_mask(vec![true, false, true]);
+/// let sp = Scratchpad::from_mask(vec![true, false, true].into());
 /// assert!(sp.contains(0));
 /// assert!(!sp.contains(1));
 /// assert!(!sp.contains(99)); // out of range: never pinned
@@ -16,15 +16,44 @@
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scratchpad {
-    mask: Vec<bool>,
+    pins: PinSet,
     pinned: usize,
+}
+
+/// Membership representation. After GRAMER's rank reordering (ID ==
+/// rank) the pinned set is a contiguous ID prefix, which the hardware
+/// checks with a single comparator — `Prefix` mirrors that: membership
+/// is one register compare, no memory load. Arbitrary masks (baselines,
+/// tests) keep the O(universe) vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PinSet {
+    /// Items `0..count` are pinned.
+    Prefix(u64),
+    /// Explicit per-item membership, shared by reference: a banked
+    /// subsystem instantiates one scratchpad per (partition, kind) over
+    /// the *same* global mask, and sweep runners rebuild subsystems per
+    /// point — sharing avoids cloning an O(universe) vector each time.
+    Mask(std::sync::Arc<Vec<bool>>),
 }
 
 impl Scratchpad {
     /// Builds a scratchpad from a membership mask indexed by item ID.
-    pub fn from_mask(mask: Vec<bool>) -> Self {
+    ///
+    /// Masks whose `true` entries form a contiguous prefix — the shape
+    /// every rank-reordered pipeline produces — are detected here and
+    /// answered by a comparator instead of a per-access mask load.
+    pub fn from_mask(mask: std::sync::Arc<Vec<bool>>) -> Self {
         let pinned = mask.iter().filter(|&&b| b).count();
-        Scratchpad { mask, pinned }
+        if mask[..pinned].iter().all(|&b| b) {
+            return Scratchpad {
+                pins: PinSet::Prefix(pinned as u64),
+                pinned,
+            };
+        }
+        Scratchpad {
+            pins: PinSet::Mask(mask),
+            pinned,
+        }
     }
 
     /// Builds a scratchpad pinning the contiguous ID range `0..count`.
@@ -33,17 +62,17 @@ impl Scratchpad {
     /// exactly such a prefix, which is how the hardware checks priority
     /// with a single comparator.
     pub fn from_prefix(count: usize, universe: usize) -> Self {
-        let mut mask = vec![false; universe];
-        for slot in mask.iter_mut().take(count) {
-            *slot = true;
+        let count = count.min(universe);
+        Scratchpad {
+            pins: PinSet::Prefix(count as u64),
+            pinned: count,
         }
-        Scratchpad::from_mask(mask)
     }
 
     /// An empty scratchpad (used by the Uniform-LRU baseline of Fig. 12).
     pub fn empty() -> Self {
         Scratchpad {
-            mask: Vec::new(),
+            pins: PinSet::Prefix(0),
             pinned: 0,
         }
     }
@@ -51,7 +80,10 @@ impl Scratchpad {
     /// Whether `item` is permanently resident.
     #[inline]
     pub fn contains(&self, item: u64) -> bool {
-        self.mask.get(item as usize).copied().unwrap_or(false)
+        match &self.pins {
+            PinSet::Prefix(count) => item < *count,
+            PinSet::Mask(mask) => mask.get(item as usize).copied().unwrap_or(false),
+        }
     }
 
     /// Number of pinned items (the scratchpad's required capacity).
@@ -88,5 +120,22 @@ mod tests {
     fn out_of_range_is_false() {
         let sp = Scratchpad::from_prefix(2, 2);
         assert!(!sp.contains(5));
+    }
+
+    #[test]
+    fn prefix_shaped_mask_is_detected() {
+        let sp = Scratchpad::from_mask(vec![true, true, false, false].into());
+        assert_eq!(sp.pins, PinSet::Prefix(2));
+        assert!(sp.contains(1));
+        assert!(!sp.contains(2));
+    }
+
+    #[test]
+    fn non_prefix_mask_keeps_exact_membership() {
+        let sp = Scratchpad::from_mask(vec![true, false, true, false].into());
+        assert!(matches!(sp.pins, PinSet::Mask(_)));
+        assert!(sp.contains(0) && sp.contains(2));
+        assert!(!sp.contains(1) && !sp.contains(3));
+        assert_eq!(sp.pinned_items(), 2);
     }
 }

@@ -98,7 +98,7 @@ pub struct Completion {
 /// };
 /// use gramer_memsim::policy::PolicyKind;
 ///
-/// let hybrid = HybridConfig { pinned: vec![true; 4], sets: 2, ways: 2, block_bits: 0,
+/// let hybrid = HybridConfig { pinned: vec![true; 4].into(), sets: 2, ways: 2, block_bits: 0,
 ///                             policy: PolicyKind::default() };
 /// let cfg = SubsystemConfig {
 ///     partitions: 2,
@@ -116,25 +116,90 @@ pub struct Completion {
 /// ```
 #[derive(Debug)]
 pub struct MemorySubsystem {
-    vertex_banks: Vec<HybridMemory>,
-    edge_banks: Vec<HybridMemory>,
-    /// Request ports per (partition, kind): the vertex/edge isolation of
-    /// §IV-A means the two never contend with each other, and each BRAM
-    /// bank exposes `ports_per_bank` ports. Laid out as
-    /// `partition * ports_per_bank + port`.
-    vertex_port_free: Vec<u64>,
-    edge_port_free: Vec<u64>,
+    vertex: KindState,
+    edge: KindState,
     ports_per_bank: usize,
-    vertex_route_bits: u32,
-    edge_route_bits: u32,
+    partitions: u64,
+    /// `Some(log2(partitions))` when the partition count is a power of
+    /// two (the paper's 8 is): routing then uses shift/mask instead of
+    /// hardware divides, which dominated the per-access cost.
+    part_shift: Option<u32>,
     next_line_prefetch: bool,
     prefetches: u64,
-    /// Completion times of in-flight requests per (partition, kind) FIFO;
-    /// bounded by `request_fifo_depth`.
-    vertex_fifo: Vec<std::collections::VecDeque<u64>>,
-    edge_fifo: Vec<std::collections::VecDeque<u64>>,
     dram: DramModel,
     latency: LatencyConfig,
+}
+
+/// Per-kind banked state: the vertex/edge isolation of §IV-A means the
+/// two never contend, so each kind owns its banks and its per-partition
+/// timing state outright — one `match` on the request kind selects
+/// everything.
+#[derive(Debug)]
+struct KindState {
+    banks: Vec<HybridMemory>,
+    /// Per-partition port + FIFO timing state, one contiguous record per
+    /// partition so an access touches one predictable region instead of
+    /// chasing parallel arrays.
+    hot: Vec<PartHot>,
+    /// Spilled port-free times (`partition * ports_per_bank + port`) for
+    /// configurations with more ports than [`PORTS_INLINE`]; empty
+    /// otherwise.
+    ports_spill: Vec<u64>,
+    route_bits: u32,
+    /// `(1 << route_bits) - 1`, hoisted out of the access path.
+    route_mask: u64,
+}
+
+/// Ports stored inline in [`PartHot`]; real configurations model
+/// dual-ported BRAMs (ablations use 1), so 4 covers everything that
+/// occurs in practice without touching the spill vector.
+const PORTS_INLINE: usize = 4;
+
+/// The per-partition timing state touched by every access: the bank's
+/// port free-times and its request FIFO, packed together.
+#[derive(Debug, Clone)]
+struct PartHot {
+    port_free: [u64; PORTS_INLINE],
+    fifo: ReqFifo,
+}
+
+/// In-struct ring capacity of a [`ReqFifo`]; the default
+/// `request_fifo_depth` (8) fits, so the common case never leaves the
+/// `Vec<ReqFifo>`'s own cache lines.
+const FIFO_INLINE: usize = 8;
+
+/// Fixed-capacity ring of in-flight completion times (Fig. 7's request
+/// buffer). The admission loop in [`MemorySubsystem::access`] keeps
+/// occupancy at or below the configured depth, so capacity never grows.
+/// Depths up to [`FIFO_INLINE`] live in an inline array — the per-access
+/// ring touch then stays inside the partition array itself instead of
+/// chasing a per-partition heap allocation; deeper configs spill to a
+/// boxed slice.
+#[derive(Debug, Clone)]
+struct ReqFifo {
+    head: u32,
+    len: u32,
+    cap: u32,
+    inline: [u64; FIFO_INLINE],
+    spill: Option<Box<[u64]>>,
+}
+
+impl ReqFifo {
+    fn new(depth: usize) -> Self {
+        let cap = depth.max(1);
+        ReqFifo {
+            head: 0,
+            len: 0,
+            cap: cap as u32,
+            inline: [0; FIFO_INLINE],
+            spill: (cap > FIFO_INLINE).then(|| vec![0; cap].into_boxed_slice()),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
 }
 
 impl MemorySubsystem {
@@ -157,24 +222,43 @@ impl MemorySubsystem {
         if config.partitions == 0 {
             return Err(MemError::ZeroPartitions);
         }
-        let vertex_banks = (0..config.partitions)
-            .map(|_| HybridMemory::try_new(DataKind::Vertex, config.vertex.clone()))
-            .collect::<Result<Vec<_>, _>>()?;
-        let edge_banks = (0..config.partitions)
-            .map(|_| HybridMemory::try_new(DataKind::Edge, config.edge.clone()))
-            .collect::<Result<Vec<_>, _>>()?;
+        let ports_per_bank = config.latency.ports_per_bank.max(1);
+        let mk_kind = |kind: DataKind,
+                       template: &HybridConfig,
+                       route_bits: u32|
+         -> Result<KindState, MemError> {
+            let banks = (0..config.partitions)
+                .map(|_| HybridMemory::try_new(kind, template.clone()))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(KindState {
+                banks,
+                hot: vec![
+                    PartHot {
+                        port_free: [0; PORTS_INLINE],
+                        fifo: ReqFifo::new(config.latency.request_fifo_depth),
+                    };
+                    config.partitions
+                ],
+                ports_spill: if ports_per_bank > PORTS_INLINE {
+                    vec![0; config.partitions * ports_per_bank]
+                } else {
+                    Vec::new()
+                },
+                route_bits,
+                route_mask: (1u64 << route_bits) - 1,
+            })
+        };
+        let partitions = config.partitions as u64;
         Ok(MemorySubsystem {
-            vertex_banks,
-            edge_banks,
-            vertex_port_free: vec![0; config.partitions * config.latency.ports_per_bank.max(1)],
-            edge_port_free: vec![0; config.partitions * config.latency.ports_per_bank.max(1)],
-            ports_per_bank: config.latency.ports_per_bank.max(1),
-            vertex_route_bits: config.vertex_route_bits,
-            edge_route_bits: config.edge_route_bits,
+            vertex: mk_kind(DataKind::Vertex, &config.vertex, config.vertex_route_bits)?,
+            edge: mk_kind(DataKind::Edge, &config.edge, config.edge_route_bits)?,
+            ports_per_bank,
+            partitions,
+            part_shift: partitions
+                .is_power_of_two()
+                .then_some(partitions.trailing_zeros()),
             next_line_prefetch: config.next_line_prefetch,
             prefetches: 0,
-            vertex_fifo: vec![Default::default(); config.partitions],
-            edge_fifo: vec![Default::default(); config.partitions],
             dram: DramModel::new(config.dram),
             latency: config.latency,
         })
@@ -182,79 +266,125 @@ impl MemorySubsystem {
 
     /// Number of partitions.
     pub fn partitions(&self) -> usize {
-        self.vertex_banks.len()
+        self.vertex.banks.len()
     }
 
     /// Performs a timed access to `item` of `kind` (priority rank `rank`)
     /// issued at cycle `now`.
+    ///
+    /// `#[inline]` lets the observer shims — which pass `kind` as a
+    /// literal — constant-fold the kind dispatch away.
+    #[inline]
     pub fn access(&mut self, kind: DataKind, item: u64, rank: u32, now: u64) -> Completion {
-        let partitions = self.vertex_banks.len() as u64;
-        let route_bits = match kind {
-            DataKind::Vertex => self.vertex_route_bits,
-            DataKind::Edge => self.edge_route_bits,
+        let partitions = self.partitions;
+        let part_shift = self.part_shift;
+        let depth = self.latency.request_fifo_depth;
+        let ports_per_bank = self.ports_per_bank;
+        let st = match kind {
+            DataKind::Vertex => &mut self.vertex,
+            DataKind::Edge => &mut self.edge,
         };
-        let p = ((item >> route_bits) % partitions) as usize;
+        let route_bits = st.route_bits;
+        let unit = item >> route_bits;
+        // Partition routing plus bank-local densification (the routing
+        // unit index is divided by the partition count so modulo set
+        // indexing inside the bank stays uniform): shift/mask when the
+        // partition count is a power of two (the paper's 8 is), hardware
+        // divides otherwise.
+        let (p, dense_unit) = match part_shift {
+            Some(shift) => ((unit & (partitions - 1)) as usize, unit >> shift),
+            None => ((unit % partitions) as usize, unit / partitions),
+        };
+        // Split the kind state into disjoint field borrows so one
+        // bounds-checked `hot[p]` lookup serves FIFO admission, the port
+        // pick, and the completion push (the bank access in between
+        // borrows a different field).
+        let route_mask = st.route_mask;
+        let KindState {
+            banks,
+            hot,
+            ports_spill,
+            ..
+        } = st;
+        let hotp = &mut hot[p];
 
         // Request-FIFO admission (Fig. 7): a full buffer stalls the
-        // request until its oldest outstanding entry drains.
+        // request until its oldest outstanding entry drains. The ring is
+        // resolved to a raw slice + head/len registers once; the same
+        // slice later receives the completion push.
         let mut admit = now;
-        let depth = self.latency.request_fifo_depth;
+        let fifo_cap = hotp.fifo.cap;
+        let mut fifo_head = hotp.fifo.head;
+        let mut fifo_len = hotp.fifo.len;
+        let fifo_buf: &mut [u64] = match &mut hotp.fifo.spill {
+            None => &mut hotp.fifo.inline,
+            Some(b) => b,
+        };
         if depth > 0 {
-            let fifo = match kind {
-                DataKind::Vertex => &mut self.vertex_fifo[p],
-                DataKind::Edge => &mut self.edge_fifo[p],
-            };
-            while let Some(&front) = fifo.front() {
+            while fifo_len > 0 {
+                let front = fifo_buf[fifo_head as usize];
                 if front <= admit {
-                    fifo.pop_front();
-                } else if fifo.len() >= depth {
+                    // drained: fall through to the pop below
+                } else if fifo_len as usize >= depth {
                     admit = front;
-                    fifo.pop_front();
                 } else {
                     break;
                 }
+                fifo_head += 1;
+                if fifo_head == fifo_cap {
+                    fifo_head = 0;
+                }
+                fifo_len -= 1;
             }
         }
 
-        let ports = match kind {
-            DataKind::Vertex => &mut self.vertex_port_free,
-            DataKind::Edge => &mut self.edge_port_free,
-        };
-        // Earliest-free port of the bank.
-        let base = p * self.ports_per_bank;
-        // ports_per_bank is clamped to >= 1 at construction, so the range
-        // is never empty and the fallback never fires.
-        let port = (base..base + self.ports_per_bank)
-            .min_by_key(|&i| ports[i])
-            .unwrap_or(base);
-        let start = admit.max(ports[port]);
-        ports[port] = start + self.latency.port_occupancy_cycles;
+        // Earliest-free port of the bank. ports_per_bank is clamped to
+        // >= 1 at construction; dual-ported BRAMs (the practical case)
+        // take a branchless two-way pick, everything else a short scan.
+        let occupancy = self.latency.port_occupancy_cycles;
+        let start;
+        if ports_per_bank == 2 {
+            let pf = &mut hotp.port_free;
+            let i = (pf[1] < pf[0]) as usize;
+            start = admit.max(pf[i]);
+            pf[i] = start + occupancy;
+        } else {
+            let ports: &mut [u64] = if ports_per_bank <= PORTS_INLINE {
+                &mut hotp.port_free[..ports_per_bank]
+            } else {
+                &mut ports_spill[p * ports_per_bank..(p + 1) * ports_per_bank]
+            };
+            let mut port = 0;
+            for i in 1..ports.len() {
+                if ports[i] < ports[port] {
+                    port = i;
+                }
+            }
+            start = admit.max(ports[port]);
+            ports[port] = start + occupancy;
+        }
 
-        let bank = match kind {
-            DataKind::Vertex => &mut self.vertex_banks[p],
-            DataKind::Edge => &mut self.edge_banks[p],
-        };
-        // Densify the item ID for the bank's cache: the routing unit
-        // (block) index is divided by the partition count so modulo set
-        // indexing inside the bank stays uniform.
-        let unit = item >> route_bits;
-        let offset = item & ((1u64 << route_bits) - 1);
-        let local_item = ((unit / partitions) << route_bits) | offset;
-        let outcome = bank.access_routed(item, local_item, rank);
+        let offset = item & route_mask;
+        let local_item = (dense_unit << route_bits) | offset;
+        let outcome = banks[p].access_routed(item, local_item, rank);
         let finish = match outcome {
             AccessOutcome::HighPriorityHit => start + self.latency.scratchpad_cycles,
             AccessOutcome::CacheHit => start + self.latency.cache_cycles,
             AccessOutcome::Miss => self.dram.service(start),
         };
 
-        // Record the in-flight request in the FIFO.
-        if self.latency.request_fifo_depth > 0 {
-            let fifo = match kind {
-                DataKind::Vertex => &mut self.vertex_fifo[p],
-                DataKind::Edge => &mut self.edge_fifo[p],
-            };
-            fifo.push_back(finish);
+        // Record the in-flight request in the FIFO and write the ring
+        // registers back.
+        if depth > 0 {
+            let mut i = fifo_head + fifo_len;
+            if i >= fifo_cap {
+                i -= fifo_cap;
+            }
+            fifo_buf[i as usize] = finish;
+            fifo_len += 1;
         }
+        hotp.fifo.head = fifo_head;
+        hotp.fifo.len = fifo_len;
 
         // Next-line prefetch: on an edge miss, pull the following block
         // too (adjacency runs are walked sequentially). The prefetched
@@ -266,10 +396,13 @@ impl MemorySubsystem {
         {
             let next_unit = unit + 1;
             let next_item = next_unit << route_bits;
-            let np = (next_unit % partitions) as usize;
-            let next_local = ((next_unit / partitions) << route_bits) | offset;
+            let (np, next_dense) = match part_shift {
+                Some(shift) => ((next_unit & (partitions - 1)) as usize, next_unit >> shift),
+                None => ((next_unit % partitions) as usize, next_unit / partitions),
+            };
+            let next_local = (next_dense << route_bits) | offset;
             let next_rank = rank.saturating_add(1);
-            if self.edge_banks[np].prefetch(next_item, next_local, next_rank) {
+            if self.edge.banks[np].prefetch(next_item, next_local, next_rank) {
                 self.prefetches += 1;
                 self.dram.service(start);
             }
@@ -291,10 +424,10 @@ impl MemorySubsystem {
     /// Aggregated statistics over all partitions.
     pub fn stats(&self) -> MemStats {
         let mut stats = MemStats::default();
-        for b in &self.vertex_banks {
+        for b in &self.vertex.banks {
             stats.vertex += *b.stats();
         }
-        for b in &self.edge_banks {
+        for b in &self.edge.banks {
             stats.edge += *b.stats();
         }
         stats
@@ -308,13 +441,15 @@ impl MemorySubsystem {
     /// Clears all dynamic state (cache contents, ports, DRAM queues,
     /// statistics). Scratchpad membership is retained.
     pub fn reset(&mut self) {
-        for b in self.vertex_banks.iter_mut().chain(self.edge_banks.iter_mut()) {
-            b.reset();
-        }
-        self.vertex_port_free.fill(0);
-        self.edge_port_free.fill(0);
-        for f in self.vertex_fifo.iter_mut().chain(self.edge_fifo.iter_mut()) {
-            f.clear();
+        for st in [&mut self.vertex, &mut self.edge] {
+            for b in st.banks.iter_mut() {
+                b.reset();
+            }
+            for h in st.hot.iter_mut() {
+                h.port_free = [0; PORTS_INLINE];
+                h.fifo.clear();
+            }
+            st.ports_spill.fill(0);
         }
         self.prefetches = 0;
         self.dram.reset();
@@ -328,7 +463,7 @@ mod tests {
 
     fn subsystem(partitions: usize) -> MemorySubsystem {
         let hybrid = HybridConfig {
-            pinned: vec![true, true, false, false, false, false, false, false],
+            pinned: vec![true, true, false, false, false, false, false, false].into(),
             sets: 2,
             ways: 2,
             block_bits: 0,
@@ -353,7 +488,7 @@ mod tests {
     #[test]
     fn try_new_rejects_zero_partitions_and_bad_hybrid() {
         let hybrid = HybridConfig {
-            pinned: Vec::new(),
+            pinned: Vec::new().into(),
             sets: 2,
             ways: 2,
             block_bits: 0,
@@ -392,7 +527,7 @@ mod tests {
     fn same_partition_serializes_beyond_dual_ports() {
         // Pin everything so latency differences don't mask port queueing.
         let hybrid = HybridConfig {
-            pinned: vec![true; 8],
+            pinned: vec![true; 8].into(),
             sets: 2,
             ways: 2,
             block_bits: 0,
@@ -452,7 +587,7 @@ mod tests {
     #[test]
     fn full_request_fifo_stalls_new_requests() {
         let hybrid = HybridConfig {
-            pinned: Vec::new(),
+            pinned: Vec::new().into(),
             sets: 4,
             ways: 4,
             block_bits: 0,
@@ -494,7 +629,7 @@ mod tests {
     fn next_line_prefetch_serves_sequential_walks() {
         let mk = |prefetch: bool| {
             let hybrid = HybridConfig {
-                pinned: Vec::new(),
+                pinned: Vec::new().into(),
                 sets: 16,
                 ways: 4,
                 block_bits: 2,

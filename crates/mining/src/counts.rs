@@ -1,11 +1,15 @@
 use crate::pattern::{Pattern, PatternId, PatternInterner};
-use std::collections::HashMap;
+use gramer_graph::hash::FxHashMap;
 
 /// Occurrence counts per `(embedding size, pattern)` — the output set `O`
 /// of Algorithm 1 after reduction.
+///
+/// Keyed by an [`FxHashMap`]: `add` sits on the simulator's per-embedding
+/// path, and reporting goes through [`Self::sorted`], so the hasher never
+/// affects output order.
 #[derive(Debug, Default)]
 pub struct PatternCounts {
-    counts: HashMap<(u8, PatternId), u64>,
+    counts: FxHashMap<(u8, PatternId), u64>,
 }
 
 impl PatternCounts {

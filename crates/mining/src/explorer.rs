@@ -30,7 +30,7 @@
 
 use crate::embedding::{Embedding, MAX_EMBEDDING};
 use crate::observer::AccessObserver;
-use gramer_graph::{CsrGraph, VertexId};
+use gramer_graph::{AdjProbe, CsrGraph, VertexId};
 
 /// Result of one [`Explorer::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +78,15 @@ impl Frame {
             opened: false,
         }
     }
+
+    /// Placeholder for unused stack entries.
+    const EMPTY: Frame = Frame {
+        j: 0,
+        idx: 0,
+        j_end: 0,
+        idx_end: 0,
+        opened: false,
+    };
 }
 
 /// Step-wise DFS exploration of one initial embedding.
@@ -108,8 +117,16 @@ impl Frame {
 #[derive(Debug, Clone)]
 pub struct Explorer<'g> {
     graph: &'g CsrGraph,
+    /// Optional adjacency probe index for the connectivity checks; when
+    /// absent, probes binary-search the CSR rows directly. Results and
+    /// charged slots are identical either way (see [`AdjProbe`]).
+    probe: Option<&'g AdjProbe>,
     emb: Embedding,
-    frames: Vec<Frame>,
+    /// DFS frame stack, stored inline: depth is bounded by
+    /// [`MAX_EMBEDDING`], so no Explorer ever heap-allocates — a slot
+    /// acquisition or work-steal split costs a fixed-size copy only.
+    frames: [Frame; MAX_EMBEDDING],
+    depth: u8,
     pending: bool,
 }
 
@@ -121,12 +138,24 @@ impl<'g> Explorer<'g> {
     /// Panics if `root` is out of bounds for `graph`.
     pub fn new(graph: &'g CsrGraph, root: VertexId) -> Self {
         assert!((root as usize) < graph.num_vertices(), "root out of bounds");
+        let mut frames = [Frame::EMPTY; MAX_EMBEDDING];
+        frames[0] = Frame::fresh(0, 1);
         Explorer {
             graph,
+            probe: None,
             emb: Embedding::single(root),
-            frames: vec![Frame::fresh(0, 1)],
+            frames,
+            depth: 1,
             pending: false,
         }
+    }
+
+    /// Like [`Self::new`], but connectivity checks use the given
+    /// [`AdjProbe`] (which must have been built over the same graph).
+    pub fn with_probe(graph: &'g CsrGraph, probe: &'g AdjProbe, root: VertexId) -> Self {
+        let mut ex = Explorer::new(graph, root);
+        ex.probe = Some(probe);
+        ex
     }
 
     /// Starts from an arbitrary existing embedding (used by the BFS
@@ -134,10 +163,14 @@ impl<'g> Explorer<'g> {
     pub fn with_embedding(graph: &'g CsrGraph, emb: Embedding) -> Self {
         assert!(!emb.is_empty(), "cannot explore an empty embedding");
         let j_end = emb.len() as u8;
+        let mut frames = [Frame::EMPTY; MAX_EMBEDDING];
+        frames[0] = Frame::fresh(0, j_end);
         Explorer {
             graph,
+            probe: None,
             emb,
-            frames: vec![Frame::fresh(0, j_end)],
+            frames,
+            depth: 1,
             pending: false,
         }
     }
@@ -150,12 +183,12 @@ impl<'g> Explorer<'g> {
 
     /// Current DFS depth (number of active frames).
     pub fn depth(&self) -> usize {
-        self.frames.len()
+        self.depth as usize
     }
 
     /// Whether exploration has finished.
     pub fn is_done(&self) -> bool {
-        self.frames.is_empty()
+        self.depth == 0
     }
 
     /// Performs one unit of work: examines one adjacency slot or performs
@@ -175,13 +208,14 @@ impl<'g> Explorer<'g> {
 
         // Advance bookkeeping until a billable action is found.
         loop {
-            let Some(frame) = self.frames.last_mut() else {
+            if self.depth == 0 {
                 return Step::Done;
-            };
+            }
+            let frame = &mut self.frames[self.depth as usize - 1];
             if frame.j >= frame.j_end {
                 // Current embedding exhausted: traceback.
-                self.frames.pop();
-                if self.frames.is_empty() {
+                self.depth -= 1;
+                if self.depth == 0 {
                     return Step::Done;
                 }
                 self.emb.pop();
@@ -204,16 +238,13 @@ impl<'g> Explorer<'g> {
             frame.opened = false;
         }
 
-        let frame = match self.frames.last_mut() {
-            Some(f) => f,
-            // The loop above advances but never pops the last frame.
-            None => unreachable!("explorer stepped with no open frame"),
-        };
+        // The loop above advances but never pops the last frame.
+        let frame = &mut self.frames[self.depth as usize - 1];
         let j = frame.j as usize;
         let vj = self.emb.vertex(j);
         let slot = self.graph.first_edge_offset(vj) + frame.idx as usize;
         frame.idx += 1;
-        observer.edge_access(slot, size);
+        observer.edge_access(slot, vj, size);
         let w = self.graph.adjacency_at(slot);
 
         if self.emb.contains(w) {
@@ -267,7 +298,9 @@ impl<'g> Explorer<'g> {
         assert!(self.pending, "descend without a pending candidate");
         self.pending = false;
         let j_end = self.emb.len() as u8;
-        self.frames.push(Frame::fresh(0, j_end));
+        // depth < emb.len() <= MAX_EMBEDDING always holds here.
+        self.frames[self.depth as usize] = Frame::fresh(0, j_end);
+        self.depth += 1;
     }
 
     /// Drops the candidate (filter failed or maximum size reached) and
@@ -310,10 +343,10 @@ impl<'g> Explorer<'g> {
         assert!(!self.pending, "split while a candidate is pending");
 
         // frames[i] extends the embedding prefix of size base + i.
-        let base = self.emb.len() - self.frames.len() + 1;
+        let base = self.emb.len() - self.depth as usize + 1;
 
         let mut cut: Option<(usize, Frame)> = None;
-        for (depth, frame) in self.frames.iter_mut().enumerate() {
+        for (depth, frame) in self.frames[..self.depth as usize].iter_mut().enumerate() {
             if frame.j >= frame.j_end {
                 continue; // exhausted frame awaiting traceback
             }
@@ -356,10 +389,14 @@ impl<'g> Explorer<'g> {
         while emb.len() > prefix_len {
             emb.pop();
         }
+        let mut frames = [Frame::EMPTY; MAX_EMBEDDING];
+        frames[0] = thief_frame;
         Some(Explorer {
             graph: self.graph,
+            probe: self.probe,
             emb,
-            frames: vec![thief_frame],
+            frames,
+            depth: 1,
             pending: false,
         })
     }
@@ -384,13 +421,15 @@ impl<'g> Explorer<'g> {
     ) -> bool {
         observer.vertex_access(u, size);
         let mut probe = |a: VertexId, b: VertexId| -> bool {
-            let run = self.graph.neighbors(a);
-            let (found, pos) = match run.binary_search(&b) {
-                Ok(p) => (true, p),
-                Err(p) => (false, p.min(run.len().saturating_sub(1))),
+            // The indexed and unindexed paths return identical (found,
+            // pos) pairs (see AdjProbe), so the charged slot — and thus
+            // every simulated cycle count — is probe-index-invariant.
+            let (found, pos) = match self.probe {
+                Some(ix) => ix.probe(self.graph, a, b),
+                None => AdjProbe::probe_unindexed(self.graph, a, b),
             };
             let slot = self.graph.first_edge_offset(a) + pos;
-            observer.edge_access(slot, size);
+            observer.edge_access(slot, a, size);
             found
         };
         // u→w probe (the embedding member's list, hub-weighted) ...

@@ -15,8 +15,13 @@ pub trait AccessObserver {
     fn vertex_access(&mut self, v: VertexId, size: usize);
 
     /// A random access to the adjacency slot `slot` (edge data read,
-    /// either a neighbor-list walk or a connectivity check probe).
-    fn edge_access(&mut self, slot: usize, size: usize);
+    /// either a neighbor-list walk or a connectivity check probe). `src`
+    /// is the vertex whose adjacency run contains `slot`: an edge datum
+    /// inherits its source's priority rank (§IV-B), and the extension
+    /// engine always knows the source, so passing it here saves timed
+    /// observers a random lookup in a slot → source table as large as
+    /// the edge array itself.
+    fn edge_access(&mut self, slot: usize, src: VertexId, size: usize);
 }
 
 /// An observer that ignores everything (zero-overhead mining).
@@ -28,7 +33,7 @@ impl AccessObserver for NullObserver {
     fn vertex_access(&mut self, _v: VertexId, _size: usize) {}
 
     #[inline]
-    fn edge_access(&mut self, _slot: usize, _size: usize) {}
+    fn edge_access(&mut self, _slot: usize, _src: VertexId, _size: usize) {}
 }
 
 /// An observer that counts accesses, optionally split by iteration.
@@ -45,7 +50,7 @@ impl AccessObserver for CountingObserver {
         self.vertex_accesses += 1;
     }
 
-    fn edge_access(&mut self, _slot: usize, _size: usize) {
+    fn edge_access(&mut self, _slot: usize, _src: VertexId, _size: usize) {
         self.edge_accesses += 1;
     }
 }
@@ -55,8 +60,8 @@ impl<T: AccessObserver + ?Sized> AccessObserver for &mut T {
         (**self).vertex_access(v, size);
     }
 
-    fn edge_access(&mut self, slot: usize, size: usize) {
-        (**self).edge_access(slot, size);
+    fn edge_access(&mut self, slot: usize, src: VertexId, size: usize) {
+        (**self).edge_access(slot, src, size);
     }
 }
 
@@ -68,8 +73,8 @@ mod tests {
     fn counting_observer_counts() {
         let mut c = CountingObserver::default();
         c.vertex_access(3, 1);
-        c.edge_access(5, 1);
-        c.edge_access(6, 2);
+        c.edge_access(5, 0, 1);
+        c.edge_access(6, 0, 2);
         assert_eq!(c.vertex_accesses, 1);
         assert_eq!(c.edge_accesses, 2);
     }

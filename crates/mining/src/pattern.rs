@@ -1,6 +1,6 @@
 use crate::embedding::{Embedding, MAX_EMBEDDING};
+use gramer_graph::hash::FxHashMap;
 use gramer_graph::{CsrGraph, Label};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of an interned canonical pattern.
@@ -378,9 +378,16 @@ fn permute<F: FnMut(&[usize; MAX_EMBEDDING])>(
 /// ```
 #[derive(Debug, Default)]
 pub struct PatternInterner {
-    raw: HashMap<RawKey, PatternId>,
-    canon: HashMap<Pattern, PatternId>,
+    // Fx-hashed (gramer_graph::hash): intern() runs once per accepted
+    // embedding, and the 25-byte keys make SipHash the dominant cost.
+    raw: FxHashMap<RawKey, PatternId>,
+    canon: FxHashMap<Pattern, PatternId>,
     patterns: Vec<Pattern>,
+    // Last (key, id) interned: consecutive accepted embeddings usually
+    // share a pattern (MC(k) sees a handful of distinct shapes), so one
+    // compare short-circuits the map probe on the common path. Purely a
+    // host-side memo — it returns exactly what the map would.
+    last: Option<(RawKey, PatternId)>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -410,7 +417,13 @@ impl PatternInterner {
             labels,
             adj,
         };
+        if let Some((last_key, id)) = self.last {
+            if last_key == key {
+                return id;
+            }
+        }
         if let Some(&id) = self.raw.get(&key) {
+            self.last = Some((key, id));
             return id;
         }
         let pattern = canonicalize(n, labels, adj);
@@ -420,6 +433,7 @@ impl PatternInterner {
             next
         });
         self.raw.insert(key, id);
+        self.last = Some((key, id));
         id
     }
 

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Pinned end-to-end simulator-throughput run. Builds the release perf
+# bin and writes results/BENCH_core.json (schema documented in
+# EXPERIMENTS.md, "Simulator performance trajectory").
+#
+# Usage: scripts/perf.sh [--quick] [--json PATH]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GRAMER_GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export GRAMER_GIT_REV
+
+cargo build --release -q -p gramer-bench --bin perf
+exec ./target/release/perf "$@"

@@ -8,7 +8,10 @@
 #   2. cargo test -q --workspace           (unit + integration + doc tests)
 #   3. cargo doc --no-deps --workspace     (rustdoc, warnings denied)
 #   4. cargo clippy on the library crates  (unwrap/expect denied: failures
-#      must flow through the typed error taxonomy, not panic)
+#      must flow through the typed error taxonomy, not panic; the two
+#      perf lints warn so hot-path regressions surface in review)
+#   5. cargo bench, smoke mode             (every bench runs its closure
+#      exactly once — compiles-and-runs proof, not a measurement)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +26,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "== tier1: clippy unwrap/expect gate on library crates"
 cargo clippy -q -p gramer -p gramer-graph -p gramer-memsim -p gramer-mining --lib -- \
-    -D clippy::unwrap_used -D clippy::expect_used
+    -D clippy::unwrap_used -D clippy::expect_used \
+    -W clippy::needless_collect -W clippy::redundant_clone
+
+echo "== tier1: bench smoke (GRAMER_BENCH_SMOKE=1, single iteration each)"
+GRAMER_BENCH_SMOKE=1 cargo bench -q -p gramer-bench
 
 echo "== tier1: all green"

@@ -17,6 +17,14 @@ use std::time::{Duration, Instant};
 /// Target measurement window per benchmark.
 const MEASURE_MS: u64 = 300;
 
+/// Whether `GRAMER_BENCH_SMOKE` is set: every benchmark then runs its
+/// closure exactly once with no warm-up and reports that single timing.
+/// CI (`scripts/tier1.sh`) uses this to prove each bench still compiles
+/// and runs without paying measurement-quality iteration counts.
+fn smoke_mode() -> bool {
+    std::env::var_os("GRAMER_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Opaque value barrier, mirroring `criterion::black_box`.
 ///
 /// Without inline assembly the strongest safe barrier is a volatile-ish
@@ -69,6 +77,13 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f` repeatedly and records the mean.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if smoke_mode() {
+            let start = Instant::now();
+            black_box(f());
+            self.total = start.elapsed();
+            self.iters = 1;
+            return;
+        }
         // Warm-up (not measured).
         black_box(f());
         let budget = Duration::from_millis(MEASURE_MS);
@@ -198,6 +213,9 @@ mod tests {
 
     #[test]
     fn bencher_runs_and_counts() {
+        // Covers smoke mode in the same test: env vars are process-wide,
+        // so toggling it in a parallel test would race this one.
+        std::env::remove_var("GRAMER_BENCH_SMOKE");
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("test");
         g.sample_size(3);
@@ -210,6 +228,16 @@ mod tests {
         g.finish();
         // warm-up + at least sample_size measured iterations
         assert!(runs >= 4, "ran only {runs} times");
+
+        std::env::set_var("GRAMER_BENCH_SMOKE", "1");
+        let mut smoke_runs = 0u64;
+        g.bench_function("smoke", |b| {
+            b.iter(|| {
+                smoke_runs += 1;
+            })
+        });
+        std::env::remove_var("GRAMER_BENCH_SMOKE");
+        assert_eq!(smoke_runs, 1, "smoke mode must run exactly once");
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Golden semantics snapshots for the simulator.
+//!
+//! These tests lock the *simulated* quantities — cycles, steals, steps,
+//! embeddings, and the per-size accepted/candidate counts — for two
+//! small seeded workloads. Scheduler or probe rewrites in the hot path
+//! must not shift any of these numbers: a performance change that moves
+//! a golden value is a semantics change, not an optimisation, and must
+//! be called out explicitly (by updating the constant and explaining
+//! why in the commit).
+
+use gramer::{preprocess, GramerConfig, RunReport, Scheduler, Simulator};
+use gramer_graph::generate::{self, RmatParams};
+use gramer_graph::CsrGraph;
+use gramer_mining::apps::{CliqueFinding, MotifCounting};
+use gramer_mining::EcmApp;
+
+/// Renders every semantics-bearing field of a [`RunReport`] into one
+/// comparable line. Wall-clock-derived fields are deliberately absent.
+fn golden_summary(r: &RunReport) -> String {
+    format!(
+        "cycles={} steals={} steps={} dram={} embeddings={} candidates={} \
+         accepted_by_size={:?} candidates_by_size={:?} pu_steps={:?}",
+        r.cycles,
+        r.steals,
+        r.steps,
+        r.dram_requests,
+        r.result.embeddings,
+        r.result.candidates_examined,
+        r.result.accepted_by_size,
+        r.result.candidates_by_size,
+        r.pu_steps,
+    )
+}
+
+fn run<A: EcmApp>(graph: &CsrGraph, app: &A, cfg: &GramerConfig) -> RunReport {
+    let pre = preprocess(graph, cfg).unwrap();
+    Simulator::new(&pre, cfg.clone()).unwrap().run(app).unwrap()
+}
+
+fn ba_graph() -> CsrGraph {
+    generate::barabasi_albert(200, 3, 11)
+}
+
+fn rmat_graph() -> CsrGraph {
+    generate::rmat(
+        8,
+        2_000,
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        },
+        7,
+    )
+}
+
+/// BA(200,3) under 4-clique finding, default config.
+const GOLDEN_BA_CF4: &str = "cycles=25565 steals=2507 steps=30891 dram=249 \
+     embeddings=786 candidates=27416 accepted_by_size=[0, 0, 594, 174, 18] \
+     candidates_by_size=[0, 0, 1188, 14330, 11898] \
+     pu_steps=[11532, 8470, 2509, 2129, 1809, 1535, 1742, 1165]";
+
+/// R-MAT(2^8, 2000 edges) under 3-motif counting, default config.
+const GOLDEN_RMAT_MC3: &str = "cycles=48490 steals=6899 steps=92482 dram=444 \
+     embeddings=34016 candidates=84066 accepted_by_size=[0, 0, 1261, 32755] \
+     candidates_by_size=[0, 0, 2522, 81544] \
+     pu_steps=[22897, 12808, 11697, 10478, 9735, 8921, 8850, 7096]";
+
+#[test]
+fn golden_ba200_cf4() {
+    let report = run(
+        &ba_graph(),
+        &CliqueFinding::new(4).unwrap(),
+        &GramerConfig::default(),
+    );
+    assert_eq!(golden_summary(&report), GOLDEN_BA_CF4);
+}
+
+#[test]
+fn golden_rmat_mc3() {
+    let report = run(
+        &rmat_graph(),
+        &MotifCounting::new(3).unwrap(),
+        &GramerConfig::default(),
+    );
+    assert_eq!(golden_summary(&report), GOLDEN_RMAT_MC3);
+}
+
+/// Everything simulated in a [`RunReport`], including the memory-side
+/// statistics and per-PU finish times that `golden_summary` leaves out.
+/// Only wall-clock-derived fields (`preprocess_seconds`) are excluded.
+fn full_semantic_view(r: &RunReport) -> String {
+    format!(
+        "{} pu_finish={:?} mem={:?} counts={:?} transfer_seconds={}",
+        golden_summary(r),
+        r.pu_finish,
+        r.mem,
+        r.result.counts,
+        r.transfer_seconds,
+    )
+}
+
+/// The calendar queue is the default scheduler; the binary heap is kept
+/// as the reference implementation. On both golden workloads the two
+/// must produce *identical* reports — scheduling is a host-side choice,
+/// not a simulated one (ISSUE 3 tentpole invariant).
+#[test]
+fn heap_scheduler_matches_calendar_on_golden_workloads() {
+    let base = GramerConfig::default();
+    let heap_cfg = GramerConfig {
+        scheduler: Scheduler::Heap,
+        ..base.clone()
+    };
+    assert_eq!(base.scheduler, Scheduler::Calendar);
+
+    let ba = ba_graph();
+    let cf = CliqueFinding::new(4).unwrap();
+    assert_eq!(
+        full_semantic_view(&run(&ba, &cf, &base)),
+        full_semantic_view(&run(&ba, &cf, &heap_cfg)),
+        "BA(200,3) x CF(4): heap and calendar schedulers diverged"
+    );
+
+    let rmat = rmat_graph();
+    let mc = MotifCounting::new(3).unwrap();
+    assert_eq!(
+        full_semantic_view(&run(&rmat, &mc, &base)),
+        full_semantic_view(&run(&rmat, &mc, &heap_cfg)),
+        "R-MAT(2^8) x MC(3): heap and calendar schedulers diverged"
+    );
+}

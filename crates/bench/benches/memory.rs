@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gramer_memsim::policy::PolicyKind;
 use gramer_memsim::{
-    DataKind, DramConfig, HybridConfig, HybridMemory, LatencyConfig, MemorySubsystem,
+    AccessPath, DataKind, DramConfig, HybridConfig, HybridMemory, LatencyConfig, MemorySubsystem,
     SetAssociativeCache, SubsystemConfig,
 };
 use rand::rngs::StdRng;
@@ -92,6 +92,7 @@ fn hybrid_and_subsystem(c: &mut Criterion) {
             next_line_prefetch: false,
             latency: LatencyConfig::default(),
             dram: DramConfig::default(),
+            access_path: AccessPath::default(),
         });
         b.iter(|| {
             mem.reset();
@@ -121,6 +122,7 @@ fn hybrid_and_subsystem(c: &mut Criterion) {
                 next_line_prefetch: false,
                 latency: LatencyConfig::default(),
                 dram: DramConfig::default(),
+                access_path: AccessPath::default(),
             });
             let mut now = 0;
             for &item in &stream {

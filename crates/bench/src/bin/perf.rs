@@ -11,11 +11,13 @@
 //! The workload is deliberately *host-performance* sensitive and
 //! *simulation-deterministic*: the graphs are seeded, the apps fixed, so
 //! `cycles`, `steps` and every mining count must be byte-stable across
-//! hosts and PRs (asserted here), while wall seconds measure the
-//! simulator implementation itself.
+//! hosts, repeats and PRs (asserted here), while wall seconds measure
+//! the simulator implementation itself. Each cell is run `--repeats`
+//! times (default 3) and the document records the median and best so a
+//! single noisy run cannot bend the trajectory.
 //!
 //! ```text
-//! cargo run --release -p gramer-bench --bin perf [-- --json PATH] [--quick]
+//! cargo run --release -p gramer-bench --bin perf [-- --json PATH] [--quick] [--repeats N]
 //! ```
 
 use gramer::{preprocess, GramerConfig, RunReport, Simulator};
@@ -110,6 +112,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path = std::path::PathBuf::from("results/BENCH_core.json");
     let mut quick = false;
+    let mut repeats = 3usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -121,10 +124,17 @@ fn main() -> ExitCode {
                 }
             },
             "--quick" => quick = true,
+            "--repeats" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => repeats = n,
+                _ => {
+                    eprintln!("--repeats requires a count >= 1");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "perf — pinned simulator-throughput workload\n\
-                     usage: perf [--json PATH] [--quick]"
+                     usage: perf [--json PATH] [--quick] [--repeats N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -136,35 +146,76 @@ fn main() -> ExitCode {
     }
 
     let cfg = GramerConfig::default();
-    let mut workloads = Vec::new();
-    let mut total_steps = 0u64;
-    let mut total_seconds = 0.0f64;
+    let mut workloads: Vec<perf::WorkloadRuns> = Vec::new();
     println!(
-        "{:<18} {:>10} {:>14} {:>14} {:>12}",
-        "workload", "wall s", "steps", "steps/sec", "sim cycles"
+        "{:<18} {:>10} {:>10} {:>14} {:>14} {:>12}",
+        "workload", "median s", "best s", "steps", "steps/sec med", "sim cycles"
     );
     for cell in cells(quick) {
-        let t0 = Instant::now();
-        let pre = preprocess(&cell.graph, &cfg).expect("pinned config preprocesses");
-        let report = cell.app.simulate(&pre, cfg.clone());
-        let wall = t0.elapsed().as_secs_f64();
-        let sps = report.steps as f64 / wall.max(1e-9);
+        let mut walls = Vec::with_capacity(repeats);
+        let mut first: Option<RunReport> = None;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let pre = preprocess(&cell.graph, &cfg).expect("pinned config preprocesses");
+            let report = cell.app.simulate(&pre, cfg.clone());
+            walls.push(t0.elapsed().as_secs_f64());
+            match &first {
+                None => first = Some(report),
+                Some(f) => {
+                    // Every simulated quantity must be byte-stable
+                    // across repeats — wall time is the only thing a
+                    // repeat is allowed to change.
+                    assert_eq!(f.steps, report.steps, "{}: steps drifted", cell.name);
+                    assert_eq!(f.cycles, report.cycles, "{}: cycles drifted", cell.name);
+                    assert_eq!(f.mem, report.mem, "{}: memory stats drifted", cell.name);
+                    assert_eq!(f.steals, report.steals, "{}: steals drifted", cell.name);
+                    assert_eq!(f.pu_steps, report.pu_steps, "{}: pu_steps drifted", cell.name);
+                    assert_eq!(
+                        f.result.embeddings, report.result.embeddings,
+                        "{}: embeddings drifted",
+                        cell.name
+                    );
+                    assert_eq!(
+                        f.result.counts.sorted(),
+                        report.result.counts.sorted(),
+                        "{}: pattern counts drifted",
+                        cell.name
+                    );
+                }
+            }
+        }
+        let report = first.expect("repeats >= 1");
+        let runs = perf::WorkloadRuns {
+            name: cell.name,
+            walls,
+            report,
+        };
         println!(
-            "{:<18} {:>10.3} {:>14} {:>14.0} {:>12}",
-            cell.name, wall, report.steps, sps, report.cycles
+            "{:<18} {:>10.3} {:>10.3} {:>14} {:>14.0} {:>12}",
+            runs.name,
+            runs.wall_median(),
+            runs.wall_best(),
+            runs.report.steps,
+            runs.report.steps as f64 / runs.wall_median().max(1e-9),
+            runs.report.cycles
         );
-        total_steps += report.steps;
-        total_seconds += wall;
-        workloads.push((cell.name, wall, report));
+        workloads.push(runs);
     }
-    let steps_per_sec = total_steps as f64 / total_seconds.max(1e-9);
+    let total_steps: u64 = workloads.iter().map(|w| w.report.steps).sum();
+    let total_median: f64 = workloads.iter().map(perf::WorkloadRuns::wall_median).sum();
+    let total_best: f64 = workloads.iter().map(perf::WorkloadRuns::wall_best).sum();
     let rss = peak_rss_kb();
     println!(
-        "{:<18} {:>10.3} {:>14} {:>14.0}   peak RSS {} kB",
-        "TOTAL", total_seconds, total_steps, steps_per_sec, rss
+        "{:<18} {:>10.3} {:>10.3} {:>14} {:>14.0}   peak RSS {} kB",
+        "TOTAL",
+        total_median,
+        total_best,
+        total_steps,
+        total_steps as f64 / total_median.max(1e-9),
+        rss
     );
 
-    let doc = perf::perf_document(&git_rev(), quick, &workloads, steps_per_sec, rss);
+    let doc = perf::perf_document(&git_rev(), quick, repeats, &workloads, rss);
     if let Some(dir) = json_path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }

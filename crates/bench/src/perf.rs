@@ -1,67 +1,132 @@
 //! The `BENCH_core.json` document written by the `perf` binary — the
 //! repo's simulator-throughput trajectory (see EXPERIMENTS.md).
 //!
-//! Schema (`schema_version: 1`):
+//! Each workload is run several times (default 3); the document records
+//! the median and best wall time / throughput so the trajectory is
+//! robust to scheduler noise, while the *simulated* quantities are
+//! asserted identical across repeats before the document is built.
+//!
+//! Schema (`schema_version: 2`):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "bench": "core",
 //!   "git_rev": "abc1234",
 //!   "quick": false,
+//!   "repeats": 3,
 //!   "workloads": [
-//!     { "name": "BA(3000,4)x4-CF", "wall_seconds": 0.0, "steps": 0,
-//!       "steps_per_sec": 0.0, "cycles": 0, "embeddings": 0 }
+//!     { "name": "BA(3000,4)x4-CF",
+//!       "wall_seconds_median": 0.0, "wall_seconds_best": 0.0,
+//!       "steps_per_sec_median": 0.0, "steps_per_sec_best": 0.0,
+//!       "steps": 0, "cycles": 0, "embeddings": 0 }
 //!   ],
-//!   "total": { "wall_seconds": 0.0, "steps": 0, "steps_per_sec": 0.0 },
+//!   "total": { "wall_seconds_median": 0.0, "wall_seconds_best": 0.0,
+//!              "steps": 0, "steps_per_sec_median": 0.0,
+//!              "steps_per_sec_best": 0.0 },
 //!   "peak_rss_kb": 0
 //! }
 //! ```
 //!
 //! `cycles`, `steps` and `embeddings` are *simulated* quantities and must
-//! be identical across hosts and PRs (they detect semantic drift);
-//! `wall_seconds`, `steps_per_sec` and `peak_rss_kb` measure the
+//! be identical across hosts, repeats and PRs (they detect semantic
+//! drift); the wall/throughput fields and `peak_rss_kb` measure the
 //! simulator implementation and are the trajectory being tracked.
 
 use gramer::json::JsonValue;
 use gramer::RunReport;
+
+/// The repeated timings of one pinned workload.
+pub struct WorkloadRuns {
+    /// Workload cell name (e.g. `"BA(3000,4)x4-CF"`).
+    pub name: &'static str,
+    /// Wall seconds of each repeat (preprocess + simulate), in run order.
+    pub walls: Vec<f64>,
+    /// The run report. Simulated fields are identical across repeats
+    /// (the perf binary asserts this before building the document).
+    pub report: RunReport,
+}
+
+impl WorkloadRuns {
+    /// Median wall seconds over the repeats.
+    pub fn wall_median(&self) -> f64 {
+        median(&self.walls)
+    }
+
+    /// Best (minimum) wall seconds over the repeats.
+    pub fn wall_best(&self) -> f64 {
+        self.walls.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Median of a non-empty slice (midpoint for odd lengths, mean of the
+/// two central values for even lengths).
+pub fn median(xs: &[f64]) -> f64 {
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
 
 /// Builds the `BENCH_core.json` document text (trailing newline
 /// included, insertion-ordered keys, byte-stable for fixed inputs).
 pub fn perf_document(
     git_rev: &str,
     quick: bool,
-    workloads: &[(&'static str, f64, RunReport)],
-    total_steps_per_sec: f64,
+    repeats: usize,
+    workloads: &[WorkloadRuns],
     peak_rss_kb: u64,
 ) -> String {
-    let total_seconds: f64 = workloads.iter().map(|(_, w, _)| *w).sum();
-    let total_steps: u64 = workloads.iter().map(|(_, _, r)| r.steps).sum();
-    let cells = workloads.iter().map(|(name, wall, report)| {
+    let total_median: f64 = workloads.iter().map(WorkloadRuns::wall_median).sum();
+    let total_best: f64 = workloads.iter().map(WorkloadRuns::wall_best).sum();
+    let total_steps: u64 = workloads.iter().map(|w| w.report.steps).sum();
+    let cells = workloads.iter().map(|w| {
+        let steps = w.report.steps as f64;
         JsonValue::object([
-            ("name", JsonValue::from(*name)),
-            ("wall_seconds", JsonValue::from(*wall)),
-            ("steps", JsonValue::from(report.steps)),
+            ("name", JsonValue::from(w.name)),
+            ("wall_seconds_median", JsonValue::from(w.wall_median())),
+            ("wall_seconds_best", JsonValue::from(w.wall_best())),
             (
-                "steps_per_sec",
-                JsonValue::from(report.steps as f64 / wall.max(1e-9)),
+                "steps_per_sec_median",
+                JsonValue::from(steps / w.wall_median().max(1e-9)),
             ),
-            ("cycles", JsonValue::from(report.cycles)),
-            ("embeddings", JsonValue::from(report.result.embeddings)),
+            (
+                "steps_per_sec_best",
+                JsonValue::from(steps / w.wall_best().max(1e-9)),
+            ),
+            ("steps", JsonValue::from(w.report.steps)),
+            ("cycles", JsonValue::from(w.report.cycles)),
+            ("embeddings", JsonValue::from(w.report.result.embeddings)),
         ])
     });
     let doc = JsonValue::object([
-        ("schema_version", JsonValue::from(1u64)),
+        ("schema_version", JsonValue::from(2u64)),
         ("bench", JsonValue::from("core")),
         ("git_rev", JsonValue::from(git_rev)),
         ("quick", JsonValue::from(quick)),
+        ("repeats", JsonValue::from(repeats as u64)),
         ("workloads", JsonValue::array(cells)),
         (
             "total",
             JsonValue::object([
-                ("wall_seconds", JsonValue::from(total_seconds)),
+                ("wall_seconds_median", JsonValue::from(total_median)),
+                ("wall_seconds_best", JsonValue::from(total_best)),
                 ("steps", JsonValue::from(total_steps)),
-                ("steps_per_sec", JsonValue::from(total_steps_per_sec)),
+                (
+                    "steps_per_sec_median",
+                    JsonValue::from(total_steps as f64 / total_median.max(1e-9)),
+                ),
+                (
+                    "steps_per_sec_best",
+                    JsonValue::from(total_steps as f64 / total_best.max(1e-9)),
+                ),
             ]),
         ),
         ("peak_rss_kb", JsonValue::from(peak_rss_kb)),
@@ -77,14 +142,26 @@ mod tests {
 
     #[test]
     fn document_is_parseable_and_carries_schema() {
-        let text = perf_document("deadbee", false, &[], 0.0, 1234);
+        let text = perf_document("deadbee", false, 3, &[], 1234);
         let doc = JsonValue::parse(text.trim()).unwrap();
-        assert_eq!(doc.get("schema_version"), Some(&JsonValue::UInt(1)));
+        assert_eq!(doc.get("schema_version"), Some(&JsonValue::UInt(2)));
         assert_eq!(
             doc.get("git_rev"),
             Some(&JsonValue::Str("deadbee".into()))
         );
+        assert_eq!(doc.get("repeats"), Some(&JsonValue::UInt(3)));
         assert_eq!(doc.get("peak_rss_kb"), Some(&JsonValue::UInt(1234)));
         assert!(matches!(doc.get("workloads"), Some(JsonValue::Array(a)) if a.is_empty()));
+        let total = doc.get("total").unwrap();
+        assert!(total.get("wall_seconds_median").is_some());
+        assert!(total.get("steps_per_sec_best").is_some());
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_unsorted() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+        assert_eq!(median(&[]), 0.0);
     }
 }

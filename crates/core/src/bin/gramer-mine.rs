@@ -4,7 +4,7 @@
 //! ```text
 //! gramer-mine <edge-list | --demo> --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>
 //!             [--pus N] [--slots N] [--tau F] [--budget-frac F]
-//!             [--lambda F] [--no-steal] [--counts]
+//!             [--lambda F] [--no-steal] [--access-path fast|exact] [--counts]
 //! ```
 //!
 //! The edge list is SNAP-style (`u v` per line, `#` comments). `--demo`
@@ -27,7 +27,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: gramer-mine <edge-list | --demo> --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>> \
-         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] [--counts]"
+         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--counts]"
     );
     std::process::exit(2)
 }
@@ -59,6 +59,13 @@ fn parse_args() -> Options {
             }
             "--lambda" => opts.config.lambda = parse_float(&value("--lambda")),
             "--no-steal" => opts.config.work_stealing = false,
+            "--access-path" => {
+                opts.config.access_path =
+                    value("--access-path").parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        usage()
+                    })
+            }
             "--counts" => opts.show_counts = true,
             "--help" | "-h" => usage(),
             path if !path.starts_with('-') => opts.input = Some(path.to_string()),
@@ -128,7 +135,11 @@ impl<A: EcmApp> DynRun for A {
 
 fn print_counts(result: &MiningResult) {
     for (size, pid, count) in result.counts.sorted() {
-        println!("  {size}-vertex {:?}: {count}", result.interner.pattern(pid));
+        println!(
+            "  {size}-vertex {:?}: {count} (automorphisms: {})",
+            result.interner.pattern(pid),
+            result.automorphism_count(pid),
+        );
     }
 }
 

@@ -1,5 +1,5 @@
 use crate::error::ConfigError;
-use gramer_memsim::{DramConfig, LatencyConfig};
+use gramer_memsim::{AccessPath, DramConfig, LatencyConfig};
 
 /// How much graph data the on-chip memory can hold.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,6 +132,11 @@ pub struct GramerConfig {
     /// Event-queue implementation of the simulator's inner loop. Affects
     /// host throughput only, never simulated results (see [`Scheduler`]).
     pub scheduler: Scheduler,
+    /// Timed-access engine of the memory subsystem. Like [`Scheduler`], a
+    /// host-side choice only: the fast path is bit-exact against the
+    /// exact path on every simulated quantity (`--access-path=exact` in
+    /// the experiment bins selects the reference machinery).
+    pub access_path: AccessPath,
 }
 
 impl Default for GramerConfig {
@@ -157,6 +162,7 @@ impl Default for GramerConfig {
             setup_seconds: 5e-3,
             pcie_bandwidth: 12e9,
             scheduler: Scheduler::default(),
+            access_path: AccessPath::default(),
         }
     }
 }

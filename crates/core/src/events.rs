@@ -31,6 +31,24 @@ pub trait EventQueue {
     fn push(&mut self, time: u64, id: u32);
     /// Dequeues the earliest event, ties broken by smallest `id`.
     fn pop(&mut self) -> Option<(u64, u32)>;
+    /// Enqueues `(time, id)` and immediately dequeues the earliest event
+    /// — the simulator loop's dominant pattern (nearly every slot-step
+    /// ends by scheduling the slot's next event and popping again).
+    ///
+    /// Must behave exactly like `push(time, id)` followed by
+    /// `pop().unwrap()` (the pop cannot miss: an event was just pushed).
+    /// Implementations may override it to bypass their structures when
+    /// the pushed event is provably the next one out — the zero-delay
+    /// lane of the calendar queue.
+    #[inline]
+    fn push_pop(&mut self, time: u64, id: u32) -> (u64, u32) {
+        self.push(time, id);
+        match self.pop() {
+            Some(e) => e,
+            // An event was pushed right above; the queue cannot be empty.
+            None => unreachable!("queue lost an event between push and pop"),
+        }
+    }
 }
 
 /// The reference implementation: a plain binary min-heap. Kept as the
@@ -146,6 +164,41 @@ impl CalendarQueue {
 }
 
 impl EventQueue for CalendarQueue {
+    /// Zero-delay lane: when the freshly pushed event is provably the
+    /// next pop — nothing left at `cur` (active list drained, `cur`'s
+    /// bucket empty, so no same-time smaller id can precede it), no other
+    /// bucket holds an earlier time, and the far heap's minimum is
+    /// strictly later — the event never touches a bucket: time jumps
+    /// straight to it.
+    ///
+    /// The jump preserves the queue invariants: every surviving bucket
+    /// event has a time in `(time, old_cur + HORIZON)`, which stays
+    /// inside the new window `[time, time + HORIZON)` (so its
+    /// `time % HORIZON` slot remains valid), and a far heap whose minimum
+    /// lies inside the new window is already a handled state — `pop`'s
+    /// advance step always consults `far` and refills the near window.
+    #[inline]
+    fn push_pop(&mut self, time: u64, id: u32) -> (u64, u32) {
+        debug_assert!(
+            time >= self.cur,
+            "event time flowed backwards: {time} < {}",
+            self.cur
+        );
+        if self.active_pos >= self.active.len()
+            && self.buckets[self.bucket_of(self.cur)].is_empty()
+            && self.next_near().unwrap_or(u64::MAX) > time
+            && self.far.peek().map_or(u64::MAX, |&Reverse((t, _))| t) > time
+        {
+            self.cur = time;
+            return (time, id);
+        }
+        self.push(time, id);
+        match self.pop() {
+            Some(e) => e,
+            None => unreachable!("queue lost an event between push and pop"),
+        }
+    }
+
     #[inline]
     fn push(&mut self, time: u64, id: u32) {
         debug_assert!(
@@ -285,6 +338,83 @@ mod tests {
         // in-bucket sorted merge and id tie-breaking.
         let script: Vec<(u64, u32)> = (0..3000).map(|_| (r() % 4, (r() % 16) as u32)).collect();
         lockstep(script.into_iter(), 2);
+    }
+
+    /// Drives both queues through a mixed script of push / pop /
+    /// push_pop operations and asserts identical observable behaviour.
+    /// `HeapQueue` keeps the trait's default `push_pop` (a literal
+    /// push-then-pop), so this pins the calendar queue's zero-delay
+    /// bypass to the reference semantics across bypass-taken and
+    /// bypass-refused states.
+    fn lockstep_mixed(seed: u64, ops: usize) {
+        let mut r = rng(seed);
+        let mut heap = HeapQueue::default();
+        let mut cal = CalendarQueue::default();
+        let mut floor = 0u64;
+        for _ in 0..ops {
+            match r() % 4 {
+                0 | 1 => {
+                    let t = floor + r() % 96;
+                    let id = (r() % 64) as u32;
+                    heap.push(t, id);
+                    cal.push(t, id);
+                }
+                2 => {
+                    let a = heap.pop();
+                    let b = cal.pop();
+                    assert_eq!(a, b);
+                    if let Some((t, _)) = a {
+                        floor = t;
+                    }
+                }
+                _ => {
+                    // Occasionally jump past the window so the bypass is
+                    // also exercised right after a far-heap refill.
+                    let dt = if r() % 8 == 0 { r() % 2000 } else { r() % 8 };
+                    let id = (r() % 64) as u32;
+                    let a = heap.push_pop(floor + dt, id);
+                    let b = cal.push_pop(floor + dt, id);
+                    assert_eq!(a, b);
+                    floor = a.0;
+                }
+            }
+        }
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn push_pop_matches_heap_reference_on_mixed_traffic() {
+        for seed in 0..16 {
+            lockstep_mixed(10 + seed, 4000);
+        }
+    }
+
+    #[test]
+    fn push_pop_bypass_stays_consistent_with_later_traffic() {
+        let mut q = CalendarQueue::default();
+        // Empty queue: the zero-delay lane hands the event straight back.
+        assert_eq!(q.push_pop(42, 7), (42, 7));
+        // A same-time pending event refuses the bypass: (42, 8) still
+        // wins the pop by id order, exactly as a heap would decide.
+        q.push(42, 9);
+        q.push(43, 1);
+        assert_eq!(q.push_pop(42, 8), (42, 8));
+        assert_eq!(q.pop(), Some((42, 9)));
+        assert_eq!(q.pop(), Some((43, 1)));
+        assert_eq!(q.pop(), None);
+        // Bypass far beyond the current window (forces the window to
+        // re-anchor at the handed-back time).
+        assert_eq!(q.push_pop(42 + 7 * HORIZON, 5), (42 + 7 * HORIZON, 5));
+        q.push(42 + 7 * HORIZON + 1, 2);
+        assert_eq!(q.pop(), Some((42 + 7 * HORIZON + 1, 2)));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod pipeline;
 pub mod progress;
 
 pub use config::{GramerConfig, MemoryBudget, MemoryMode, Scheduler};
+pub use gramer_memsim::AccessPath;
 pub use error::{ConfigError, SimError};
 pub use preprocess::{preprocess, Preprocessed};
 pub use report::{ReportSummary, RunReport};

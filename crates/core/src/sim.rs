@@ -65,10 +65,15 @@ impl AccessObserver for TimedObserver<'_> {
     }
 }
 
-struct Pu {
-    next_issue: u64,
-    roots: VecDeque<VertexId>,
-    active_slots: usize,
+/// Per-PU state, split hot-from-cold: the scheduler reads `next_issue`
+/// and `active_slots` on every scheduled event, so they live in flat
+/// parallel vectors (a cache line covers all eight PUs) instead of
+/// alongside the fat root queues, which are only touched when a slot
+/// drains.
+struct Pus {
+    next_issue: Vec<u64>,
+    active_slots: Vec<u32>,
+    roots: Vec<VecDeque<VertexId>>,
 }
 
 impl<'p> Simulator<'p> {
@@ -149,6 +154,7 @@ impl<'p> Simulator<'p> {
             next_line_prefetch: cfg.next_line_prefetch,
             latency: cfg.latency,
             dram: cfg.dram,
+            access_path: cfg.access_path,
         })
     }
 
@@ -209,15 +215,13 @@ impl<'p> Simulator<'p> {
         // balanced using adaptive dispatching of the initial
         // embeddings"), a PU that drains its queue pulls pending roots
         // from the most-loaded peer queue.
-        let mut pus: Vec<Pu> = (0..cfg.num_pus)
-            .map(|_| Pu {
-                next_issue: 0,
-                roots: VecDeque::new(),
-                active_slots: 0,
-            })
-            .collect();
+        let mut pus = Pus {
+            next_issue: vec![0u64; cfg.num_pus],
+            active_slots: vec![0u32; cfg.num_pus],
+            roots: (0..cfg.num_pus).map(|_| VecDeque::new()).collect(),
+        };
         for (i, v) in graph.vertices().enumerate() {
-            pus[i % cfg.num_pus].roots.push_back(v);
+            pus.roots[i % cfg.num_pus].push_back(v);
         }
 
         // Event id = pu * slots_per_pu + slot: monotone in (pu, slot), so
@@ -236,8 +240,14 @@ impl<'p> Simulator<'p> {
             queue.push(0, id as u32);
         }
 
+        // The loop carries the next event in a register: a slot-step that
+        // schedules its own continuation uses `EventQueue::push_pop`, so
+        // the queue's zero-delay lane can hand the event straight back
+        // without touching its buckets whenever nothing earlier is
+        // pending (the common cadence once the event population thins).
         let mut tick_backlog = 0u64;
-        while let Some((t, id)) = queue.pop() {
+        let mut next_ev = queue.pop();
+        while let Some((t, id)) = next_ev {
             let sid = id as usize;
             let p = pu_of[sid] as usize;
             // Heartbeat + cooperative cancellation point for the sweep
@@ -250,7 +260,7 @@ impl<'p> Simulator<'p> {
             // Acquire work if the slot is idle.
             if slots[sid].is_none() {
                 let mut acquired_at = t;
-                let own = pus[p].roots.pop_front();
+                let own = pus.roots[p].pop_front();
                 let root = own.or_else(|| {
                     if cfg.static_dispatch {
                         return None;
@@ -259,12 +269,12 @@ impl<'p> Simulator<'p> {
                     // pending root) of the most-loaded peer queue.
                     let donor = (0..cfg.num_pus)
                         .filter(|&q| q != p)
-                        .max_by_key(|&q| (pus[q].roots.len(), usize::MAX - q))?;
-                    pus[donor].roots.pop_back()
+                        .max_by_key(|&q| (pus.roots[q].len(), usize::MAX - q))?;
+                    pus.roots[donor].pop_back()
                 });
                 if let Some(root) = root {
                     slots[sid] = Some(Explorer::with_probe(graph, &self.pre.probe, root));
-                    pus[p].active_slots += 1;
+                    pus.active_slots[p] += 1;
                 } else if cfg.work_stealing {
                     let mut stolen = None;
                     for victim in p * spp..(p + 1) * spp {
@@ -280,7 +290,7 @@ impl<'p> Simulator<'p> {
                     }
                     if let Some(thief) = stolen {
                         slots[sid] = Some(thief);
-                        pus[p].active_slots += 1;
+                        pus.active_slots[p] += 1;
                         steals += 1;
                         acquired_at = t + STEAL_PENALTY_CYCLES;
                     }
@@ -288,20 +298,22 @@ impl<'p> Simulator<'p> {
                 if slots[sid].is_none() {
                     // Nothing to do now; retry while peers are active
                     // (their descents may create stealable ranges).
-                    if pus[p].active_slots > 0 {
-                        queue.push(t + IDLE_RETRY_CYCLES, id);
-                    }
+                    next_ev = if pus.active_slots[p] > 0 {
+                        Some(queue.push_pop(t + IDLE_RETRY_CYCLES, id))
+                    } else {
+                        queue.pop()
+                    };
                     continue;
                 }
                 if acquired_at > t {
-                    queue.push(acquired_at, id);
+                    next_ev = Some(queue.push_pop(acquired_at, id));
                     continue;
                 }
             }
 
             // Scheduler: one slot-step per PU per cycle.
-            let issue = t.max(pus[p].next_issue);
-            pus[p].next_issue = issue + 1;
+            let issue = t.max(pus.next_issue[p]);
+            pus.next_issue[p] = issue + 1;
             steps += 1;
             pu_steps[p] += 1;
 
@@ -314,16 +326,14 @@ impl<'p> Simulator<'p> {
                 // The idle branch above either filled the slot or bailed.
                 None => unreachable!("scheduled an empty slot"),
             };
-            match ex.step(&mut obs) {
+            let next_t = match ex.step(&mut obs) {
                 Step::Rejected => {
                     candidates += 1;
                     let next_size = (ex.embedding().len() + 1).min(app.max_vertices());
                     candidates_by_size[next_size] += 1;
-                    queue.push(obs.now, id);
+                    obs.now
                 }
-                Step::Traceback => {
-                    queue.push(obs.now, id);
-                }
+                Step::Traceback => obs.now,
                 Step::Candidate => {
                     candidates += 1;
                     let emb = ex.embedding();
@@ -341,22 +351,23 @@ impl<'p> Simulator<'p> {
                         ex.retract();
                     }
                     // Filter/Process pipeline stage: one extra cycle.
-                    queue.push(obs.now + 1, id);
+                    obs.now + 1
                 }
                 Step::Done => {
                     slots[sid] = None;
-                    pus[p].active_slots -= 1;
-                    queue.push(obs.now + 1, id);
+                    pus.active_slots[p] -= 1;
+                    obs.now + 1
                 }
-            }
+            };
             let finished = obs.now;
             max_time = max_time.max(finished);
             pu_finish[p] = pu_finish[p].max(finished);
+            next_ev = Some(queue.push_pop(next_t, id));
         }
         // Flush the partial heartbeat batch (also a final cancel check).
         progress::tick_n(tick_backlog);
 
-        debug_assert!(pus.iter().all(|pu| pu.roots.is_empty()));
+        debug_assert!(pus.roots.iter().all(VecDeque::is_empty));
 
         let mem_stats = mem.stats();
         let transfer_seconds =

@@ -149,6 +149,14 @@ impl HybridMemory {
         self.scratchpad.pinned_items()
     }
 
+    /// Pinned-prefix bound: items `0..n` are exactly the pinned set when
+    /// the scratchpad is prefix-shaped, `0` otherwise (which disables any
+    /// prefix-compare shortcut — an empty prefix pins nothing). See
+    /// [`Scratchpad::prefix_len`].
+    pub fn pin_prefix(&self) -> u64 {
+        self.scratchpad.prefix_len().unwrap_or(0)
+    }
+
     /// Capacity of the low-priority cache in items.
     pub fn cache_capacity_items(&self) -> usize {
         self.cache.capacity_items()

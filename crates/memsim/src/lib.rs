@@ -66,4 +66,6 @@ pub use hybrid::{AccessOutcome, HybridConfig, HybridMemory};
 pub use policy::ReplacePolicy;
 pub use scratchpad::Scratchpad;
 pub use stats::{KindStats, MemStats};
-pub use subsystem::{Completion, DataKind, LatencyConfig, MemorySubsystem, SubsystemConfig};
+pub use subsystem::{
+    AccessPath, Completion, DataKind, LatencyConfig, MemorySubsystem, SubsystemConfig,
+};

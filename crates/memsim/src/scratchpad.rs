@@ -91,6 +91,19 @@ impl Scratchpad {
         self.pinned
     }
 
+    /// When membership is the contiguous ID prefix `0..count` (the shape
+    /// every rank-reordered pipeline produces), returns `Some(count)`;
+    /// arbitrary masks return `None`. Lets callers lift the membership
+    /// comparator out of the scratchpad — the fast access path of
+    /// [`crate::MemorySubsystem`] classifies pinned hits with one
+    /// register compare against this bound.
+    pub fn prefix_len(&self) -> Option<u64> {
+        match &self.pins {
+            PinSet::Prefix(count) => Some(*count),
+            PinSet::Mask(_) => None,
+        }
+    }
+
     /// Whether nothing is pinned.
     pub fn is_empty(&self) -> bool {
         self.pinned == 0

@@ -45,6 +45,39 @@ impl Default for LatencyConfig {
     }
 }
 
+/// Which implementation of the timed access engine serves requests.
+///
+/// Purely a *host-side* choice: both paths produce identical completions
+/// and statistics for every request sequence — the fast path only takes a
+/// shortcut when it can prove the exact machinery would be a no-op around
+/// a pinned hit. The guarantee is enforced by lockstep property tests and
+/// the golden-config equivalence suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessPath {
+    /// Two-lane engine: pinned-prefix hits whose partition shows no
+    /// possible contention at issue time resolve with straight-line
+    /// arithmetic; everything else falls back to the exact machinery.
+    #[default]
+    Fast,
+    /// Always walk the full port-arbitration / request-FIFO machinery
+    /// (the reference implementation).
+    Exact,
+}
+
+impl std::str::FromStr for AccessPath {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fast" => Ok(AccessPath::Fast),
+            "exact" => Ok(AccessPath::Exact),
+            other => Err(format!(
+                "unknown access path {other:?} (expected \"fast\" or \"exact\")"
+            )),
+        }
+    }
+}
+
 /// Configuration of a [`MemorySubsystem`].
 #[derive(Debug, Clone)]
 pub struct SubsystemConfig {
@@ -72,6 +105,8 @@ pub struct SubsystemConfig {
     pub latency: LatencyConfig,
     /// Off-chip DRAM model.
     pub dram: DramConfig,
+    /// Timed-access engine selection (host-side only; see [`AccessPath`]).
+    pub access_path: AccessPath,
 }
 
 /// Result of a timed memory access.
@@ -109,6 +144,7 @@ pub struct Completion {
 ///     next_line_prefetch: false,
 ///     latency: LatencyConfig::default(),
 ///     dram: DramConfig::default(),
+///     access_path: Default::default(),
 /// };
 /// let mut mem = MemorySubsystem::new(cfg);
 /// let c = mem.access(DataKind::Vertex, 0, 0, 0);
@@ -128,6 +164,8 @@ pub struct MemorySubsystem {
     prefetches: u64,
     dram: DramModel,
     latency: LatencyConfig,
+    /// Whether the pinned-prefix fast lane is armed (see [`AccessPath`]).
+    fast_path: bool,
 }
 
 /// Per-kind banked state: the vertex/edge isolation of §IV-A means the
@@ -148,6 +186,15 @@ struct KindState {
     route_bits: u32,
     /// `(1 << route_bits) - 1`, hoisted out of the access path.
     route_mask: u64,
+    /// Pinned-prefix bound shared by every bank of this kind: items
+    /// `0..pin_prefix` are exactly the pinned set (all banks are built
+    /// from one shared mask). `0` when the scratchpad is empty or not
+    /// prefix-shaped, which disables the fast lane for this kind.
+    pin_prefix: u64,
+    /// Pinned hits resolved by the fast lane. Folded into
+    /// [`MemorySubsystem::stats`] (the lane never touches the banks), so
+    /// aggregated statistics stay identical to the exact path.
+    fast_hp_hits: u64,
 }
 
 /// Ports stored inline in [`PartHot`]; real configurations model
@@ -182,6 +229,55 @@ struct ReqFifo {
     cap: u32,
     inline: [u64; FIFO_INLINE],
     spill: Option<Box<[u64]>>,
+}
+
+/// Result of routing one request to its partition and classifying it
+/// against that partition's bank hierarchy.
+struct Classified {
+    /// Target partition.
+    part: usize,
+    /// Routing unit (`item >> route_bits`), reused by the prefetcher.
+    unit: u64,
+    /// Offset within the routing unit, reused by the prefetcher.
+    offset: u64,
+    /// Where the request was served.
+    outcome: AccessOutcome,
+}
+
+impl KindState {
+    /// Routes `item` to its partition and performs the bank access — the
+    /// single classification step shared by the timed path and
+    /// [`MemorySubsystem::access_untimed`], so the hit-ratio studies can
+    /// never drift from the timed outcome taxonomy.
+    ///
+    /// Partition routing divides the routing unit by the partition count
+    /// (bank-local densification keeps modulo set indexing uniform):
+    /// shift/mask when the partition count is a power of two (the
+    /// paper's 8 is), hardware divides otherwise.
+    #[inline]
+    fn classify(
+        &mut self,
+        partitions: u64,
+        part_shift: Option<u32>,
+        item: u64,
+        rank: u32,
+    ) -> Classified {
+        let route_bits = self.route_bits;
+        let unit = item >> route_bits;
+        let (p, dense_unit) = match part_shift {
+            Some(shift) => ((unit & (partitions - 1)) as usize, unit >> shift),
+            None => ((unit % partitions) as usize, unit / partitions),
+        };
+        let offset = item & self.route_mask;
+        let local_item = (dense_unit << route_bits) | offset;
+        let outcome = self.banks[p].access_routed(item, local_item, rank);
+        Classified {
+            part: p,
+            unit,
+            offset,
+            outcome,
+        }
+    }
 }
 
 impl ReqFifo {
@@ -230,6 +326,7 @@ impl MemorySubsystem {
             let banks = (0..config.partitions)
                 .map(|_| HybridMemory::try_new(kind, template.clone()))
                 .collect::<Result<Vec<_>, _>>()?;
+            let pin_prefix = banks.first().map_or(0, HybridMemory::pin_prefix);
             Ok(KindState {
                 banks,
                 hot: vec![
@@ -246,6 +343,8 @@ impl MemorySubsystem {
                 },
                 route_bits,
                 route_mask: (1u64 << route_bits) - 1,
+                pin_prefix,
+                fast_hp_hits: 0,
             })
         };
         let partitions = config.partitions as u64;
@@ -261,6 +360,7 @@ impl MemorySubsystem {
             prefetches: 0,
             dram: DramModel::new(config.dram),
             latency: config.latency,
+            fast_path: config.access_path == AccessPath::Fast,
         })
     }
 
@@ -272,10 +372,104 @@ impl MemorySubsystem {
     /// Performs a timed access to `item` of `kind` (priority rank `rank`)
     /// issued at cycle `now`.
     ///
+    /// Under [`AccessPath::Fast`] a pinned-prefix hit takes the two-step
+    /// fast lane. Step one proves the hit with a single compare (after
+    /// rank reordering the pinned set is the ID prefix) — no bank walk.
+    /// Step two resolves timing: when the partition provably cannot
+    /// contend at `now` (both ports free, request FIFO empty or holding a
+    /// single already-drained entry) the completion is pure arithmetic,
+    /// `now + scratchpad_cycles`, touching only the partition's timing
+    /// registers; under possible contention the request runs the exact
+    /// port/FIFO machinery with the outcome pre-classified. Unpinned
+    /// data, non-prefix scratchpads and `Exact` mode take the reference
+    /// path. All lanes are bit-exact: the state each writes is exactly
+    /// what the reference path would leave behind (see DESIGN.md
+    /// "Simulator fast paths").
+    ///
     /// `#[inline]` lets the observer shims — which pass `kind` as a
     /// literal — constant-fold the kind dispatch away.
     #[inline]
     pub fn access(&mut self, kind: DataKind, item: u64, rank: u32, now: u64) -> Completion {
+        if self.fast_path {
+            let partitions = self.partitions;
+            let part_shift = self.part_shift;
+            let dual = self.ports_per_bank == 2;
+            let st = match kind {
+                DataKind::Vertex => &mut self.vertex,
+                DataKind::Edge => &mut self.edge,
+            };
+            if item < st.pin_prefix {
+                if dual {
+                    let unit = item >> st.route_bits;
+                    let p = match part_shift {
+                        Some(_) => (unit & (partitions - 1)) as usize,
+                        None => (unit % partitions) as usize,
+                    };
+                    let hotp = &mut st.hot[p];
+                    let pf = &mut hotp.port_free;
+                    let i = (pf[1] < pf[0]) as usize;
+                    if pf[i] <= now {
+                        // Port free. The FIFO must also be quiescent:
+                        // empty, or one entry already drained by `now`
+                        // (the exact admission loop would pop it without
+                        // stalling).
+                        let f = &mut hotp.fifo;
+                        let head = f.head as usize;
+                        let quiescent = f.len == 0
+                            || (f.len == 1
+                                && match &f.spill {
+                                    None => f.inline[head],
+                                    Some(b) => b[head],
+                                } <= now);
+                        if quiescent {
+                            pf[i] = now + self.latency.port_occupancy_cycles;
+                            let finish = now + self.latency.scratchpad_cycles;
+                            if self.latency.request_fifo_depth > 0 {
+                                // Canonical single-entry ring. Ring
+                                // rotation is unobservable (all FIFO
+                                // operations are relative to `head`), so
+                                // resetting `head` to 0 is exact.
+                                f.head = 0;
+                                f.len = 1;
+                                match &mut f.spill {
+                                    None => f.inline[0] = finish,
+                                    Some(b) => b[0] = finish,
+                                }
+                            }
+                            st.fast_hp_hits += 1;
+                            return Completion {
+                                finish,
+                                outcome: AccessOutcome::HighPriorityHit,
+                            };
+                        }
+                    }
+                }
+                // Pinned but possibly contended: exact timing machinery,
+                // classification already settled by the prefix compare.
+                return self.access_timed(kind, item, rank, now, true);
+            }
+        }
+        self.access_timed(kind, item, rank, now, false)
+    }
+
+    /// The exact timed path: full request-FIFO admission, port
+    /// arbitration and DRAM modelling. Serves every request under
+    /// [`AccessPath::Exact`] and the fast lane's fallbacks under
+    /// [`AccessPath::Fast`].
+    ///
+    /// `pinned` is the fast lane's pre-classification: `true` means the
+    /// prefix compare already proved a `HighPriorityHit`, so the bank
+    /// walk is skipped and the hit is tallied in the fast-lane counter
+    /// (both call sites pass a literal, so the branch constant-folds).
+    #[inline]
+    fn access_timed(
+        &mut self,
+        kind: DataKind,
+        item: u64,
+        rank: u32,
+        now: u64,
+        pinned: bool,
+    ) -> Completion {
         let partitions = self.partitions;
         let part_shift = self.part_shift;
         let depth = self.latency.request_fifo_depth;
@@ -284,27 +478,33 @@ impl MemorySubsystem {
             DataKind::Vertex => &mut self.vertex,
             DataKind::Edge => &mut self.edge,
         };
-        let route_bits = st.route_bits;
-        let unit = item >> route_bits;
-        // Partition routing plus bank-local densification (the routing
-        // unit index is divided by the partition count so modulo set
-        // indexing inside the bank stays uniform): shift/mask when the
-        // partition count is a power of two (the paper's 8 is), hardware
-        // divides otherwise.
-        let (p, dense_unit) = match part_shift {
-            Some(shift) => ((unit & (partitions - 1)) as usize, unit >> shift),
-            None => ((unit % partitions) as usize, unit / partitions),
+        // Route + classify first (the bank access commutes with the
+        // timing machinery: neither reads the other's state), so the
+        // timed and untimed paths share one classification helper.
+        let cls = if pinned {
+            let unit = item >> st.route_bits;
+            let p = match part_shift {
+                Some(_) => (unit & (partitions - 1)) as usize,
+                None => (unit % partitions) as usize,
+            };
+            st.fast_hp_hits += 1;
+            Classified {
+                part: p,
+                unit,
+                // Only read on a Miss (prefetch), which a pinned hit
+                // never is.
+                offset: 0,
+                outcome: AccessOutcome::HighPriorityHit,
+            }
+        } else {
+            st.classify(partitions, part_shift, item, rank)
         };
+        let p = cls.part;
         // Split the kind state into disjoint field borrows so one
         // bounds-checked `hot[p]` lookup serves FIFO admission, the port
-        // pick, and the completion push (the bank access in between
-        // borrows a different field).
-        let route_mask = st.route_mask;
+        // pick, and the completion push.
         let KindState {
-            banks,
-            hot,
-            ports_spill,
-            ..
+            hot, ports_spill, ..
         } = st;
         let hotp = &mut hot[p];
 
@@ -364,10 +564,7 @@ impl MemorySubsystem {
             ports[port] = start + occupancy;
         }
 
-        let offset = item & route_mask;
-        let local_item = (dense_unit << route_bits) | offset;
-        let outcome = banks[p].access_routed(item, local_item, rank);
-        let finish = match outcome {
+        let finish = match cls.outcome {
             AccessOutcome::HighPriorityHit => start + self.latency.scratchpad_cycles,
             AccessOutcome::CacheHit => start + self.latency.cache_cycles,
             AccessOutcome::Miss => self.dram.service(start),
@@ -386,19 +583,40 @@ impl MemorySubsystem {
         hotp.fifo.head = fifo_head;
         hotp.fifo.len = fifo_len;
 
-        // Next-line prefetch: on an edge miss, pull the following block
-        // too (adjacency runs are walked sequentially). The prefetched
-        // block may live in a different partition; it costs a DRAM
-        // request but no port time on the demand path.
-        if self.next_line_prefetch
-            && kind == DataKind::Edge
-            && outcome == AccessOutcome::Miss
-        {
+        self.maybe_prefetch(kind, cls.unit, cls.offset, rank, start, cls.outcome);
+        Completion {
+            finish,
+            outcome: cls.outcome,
+        }
+    }
+
+    /// Next-line prefetch: on an edge miss, pull the following block too
+    /// (adjacency runs are walked sequentially). The prefetched block may
+    /// live in a different partition; it costs a DRAM request but no port
+    /// time on the demand path. Shared by the timed and untimed paths.
+    #[inline]
+    fn maybe_prefetch(
+        &mut self,
+        kind: DataKind,
+        unit: u64,
+        offset: u64,
+        rank: u32,
+        start: u64,
+        outcome: AccessOutcome,
+    ) {
+        if self.next_line_prefetch && kind == DataKind::Edge && outcome == AccessOutcome::Miss {
+            let route_bits = self.edge.route_bits;
             let next_unit = unit + 1;
             let next_item = next_unit << route_bits;
-            let (np, next_dense) = match part_shift {
-                Some(shift) => ((next_unit & (partitions - 1)) as usize, next_unit >> shift),
-                None => ((next_unit % partitions) as usize, next_unit / partitions),
+            let (np, next_dense) = match self.part_shift {
+                Some(shift) => (
+                    (next_unit & (self.partitions - 1)) as usize,
+                    next_unit >> shift,
+                ),
+                None => (
+                    (next_unit % self.partitions) as usize,
+                    next_unit / self.partitions,
+                ),
             };
             let next_local = (next_dense << route_bits) | offset;
             let next_rank = rank.saturating_add(1);
@@ -407,7 +625,6 @@ impl MemorySubsystem {
                 self.dram.service(start);
             }
         }
-        Completion { finish, outcome }
     }
 
     /// Number of next-line prefetch fills performed.
@@ -417,11 +634,31 @@ impl MemorySubsystem {
 
     /// Untimed access (statistics only) — used by hit-ratio studies such
     /// as Fig. 12(a) where queueing is irrelevant.
+    ///
+    /// Shares the classification helper with the timed path, skipping
+    /// only the port/FIFO timing machinery: outcomes, statistics, DRAM
+    /// request counts and prefetch fills are identical to a timed run of
+    /// the same request sequence.
     pub fn access_untimed(&mut self, kind: DataKind, item: u64, rank: u32) -> AccessOutcome {
-        self.access(kind, item, rank, 0).outcome
+        let partitions = self.partitions;
+        let part_shift = self.part_shift;
+        let st = match kind {
+            DataKind::Vertex => &mut self.vertex,
+            DataKind::Edge => &mut self.edge,
+        };
+        let cls = st.classify(partitions, part_shift, item, rank);
+        if cls.outcome == AccessOutcome::Miss {
+            // Keep the DRAM request accounting of the timed path; the
+            // returned latency is meaningless here and dropped.
+            self.dram.service(0);
+        }
+        self.maybe_prefetch(kind, cls.unit, cls.offset, rank, 0, cls.outcome);
+        cls.outcome
     }
 
-    /// Aggregated statistics over all partitions.
+    /// Aggregated statistics over all partitions. Fast-lane hits are
+    /// folded in here (the lane bypasses the banks' own counters), so the
+    /// totals are access-path-invariant.
     pub fn stats(&self) -> MemStats {
         let mut stats = MemStats::default();
         for b in &self.vertex.banks {
@@ -430,7 +667,18 @@ impl MemorySubsystem {
         for b in &self.edge.banks {
             stats.edge += *b.stats();
         }
+        stats.vertex.high_priority_hits += self.vertex.fast_hp_hits;
+        stats.edge.high_priority_hits += self.edge.fast_hp_hits;
         stats
+    }
+
+    /// Timed accesses resolved by the pinned-run fast lane (host-side
+    /// diagnostic; always `0` under [`AccessPath::Exact`]). Together with
+    /// [`Self::stats`]'s total this exposes the fallback rate, which the
+    /// differential tests use to prove a config actually exercises the
+    /// fast/exact boundary.
+    pub fn fast_path_hits(&self) -> u64 {
+        self.vertex.fast_hp_hits + self.edge.fast_hp_hits
     }
 
     /// Total DRAM requests issued.
@@ -450,6 +698,7 @@ impl MemorySubsystem {
                 h.fifo.clear();
             }
             st.ports_spill.fill(0);
+            st.fast_hp_hits = 0;
         }
         self.prefetches = 0;
         self.dram.reset();
@@ -482,6 +731,7 @@ mod tests {
                 latency_cycles: 40,
                 occupancy_cycles: 4,
             },
+            access_path: AccessPath::default(),
         })
     }
 
@@ -503,6 +753,7 @@ mod tests {
             next_line_prefetch: false,
             latency: LatencyConfig::default(),
             dram: DramConfig::default(),
+            access_path: AccessPath::default(),
         };
         assert_eq!(
             MemorySubsystem::try_new(mk(0, 2)).err(),
@@ -542,6 +793,7 @@ mod tests {
             next_line_prefetch: false,
             latency: LatencyConfig::default(),
             dram: DramConfig::default(),
+            access_path: AccessPath::default(),
         });
         // Items 0, 2, 4 all map to partition 0; its bank has 2 ports, so
         // the first two proceed in parallel and the third queues.
@@ -610,6 +862,7 @@ mod tests {
                     latency_cycles: 100,
                     occupancy_cycles: 1,
                 },
+                access_path: AccessPath::default(),
             })
         };
         // Two cold misses issued back-to-back at t=0.
@@ -644,6 +897,7 @@ mod tests {
                 next_line_prefetch: prefetch,
                 latency: LatencyConfig::default(),
                 dram: DramConfig::default(),
+                access_path: AccessPath::default(),
             })
         };
         let walk = |mem: &mut MemorySubsystem| {
@@ -672,5 +926,79 @@ mod tests {
         mem.reset();
         assert_eq!(mem.stats().total(), 0);
         assert_eq!(mem.dram_requests(), 0);
+        assert_eq!(mem.fast_path_hits(), 0);
+    }
+
+    /// Builds the `subsystem()` fixture with an explicit access path and
+    /// pin mask.
+    fn subsystem_with(access_path: AccessPath, pinned: Vec<bool>) -> MemorySubsystem {
+        let hybrid = HybridConfig {
+            pinned: pinned.into(),
+            sets: 2,
+            ways: 2,
+            block_bits: 0,
+            policy: PolicyKind::Lru,
+        };
+        MemorySubsystem::new(SubsystemConfig {
+            partitions: 2,
+            vertex: hybrid.clone(),
+            edge: hybrid,
+            vertex_route_bits: 0,
+            edge_route_bits: 0,
+            next_line_prefetch: false,
+            latency: LatencyConfig::default(),
+            dram: DramConfig::default(),
+            access_path,
+        })
+    }
+
+    #[test]
+    fn fast_lane_tallies_pinned_hits_and_exact_mode_never_does() {
+        let prefix = vec![true, true, true, true, false, false, false, false];
+        let mut fast = subsystem_with(AccessPath::Fast, prefix.clone());
+        let mut exact = subsystem_with(AccessPath::Exact, prefix);
+        let mut now = 0;
+        for item in [0u64, 1, 2, 3, 0, 1, 6, 7] {
+            let a = fast.access(DataKind::Vertex, item, item as u32, now);
+            let b = exact.access(DataKind::Vertex, item, item as u32, now);
+            assert_eq!(a, b, "item {item}");
+            now = a.finish;
+        }
+        // Six of the eight accesses were pinned-prefix hits; every one
+        // went through a fast lane, none through exact mode's counter.
+        assert_eq!(fast.fast_path_hits(), 6);
+        assert_eq!(exact.fast_path_hits(), 0);
+        // The folded statistics agree exactly.
+        assert_eq!(fast.stats(), exact.stats());
+        assert_eq!(fast.stats().vertex.high_priority_hits, 6);
+    }
+
+    #[test]
+    fn fast_lane_disarmed_by_non_prefix_pin_sets() {
+        // A scatter mask pins the same number of items but is not an ID
+        // prefix, so the single-compare classification is unsound and
+        // the fast lane must stand down — while outcomes stay identical.
+        let scatter = vec![true, false, true, false, true, false, true, false];
+        let mut mem = subsystem_with(AccessPath::Fast, scatter);
+        let c = mem.access(DataKind::Vertex, 2, 2, 0);
+        assert_eq!(c.outcome, AccessOutcome::HighPriorityHit);
+        assert_eq!(mem.fast_path_hits(), 0);
+    }
+
+    #[test]
+    fn fast_lane_agrees_with_exact_under_port_pressure() {
+        // Same partition hammered at one cycle apart: the FIFO backs up
+        // and the ultra lane must repeatedly fall back to the exact
+        // machinery mid-run without drifting.
+        let all = vec![true; 8];
+        let mut fast = subsystem_with(AccessPath::Fast, all.clone());
+        let mut exact = subsystem_with(AccessPath::Exact, all);
+        for now in 0..64u64 {
+            // Partition of item 0 both times (route bits 0, 2 partitions).
+            let a = fast.access(DataKind::Vertex, 0, 0, now);
+            let b = exact.access(DataKind::Vertex, 0, 0, now);
+            assert_eq!(a, b, "now {now}");
+        }
+        assert_eq!(fast.stats(), exact.stats());
     }
 }

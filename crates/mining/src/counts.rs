@@ -10,6 +10,13 @@ use gramer_graph::hash::FxHashMap;
 #[derive(Debug, Default)]
 pub struct PatternCounts {
     counts: FxHashMap<(u8, PatternId), u64>,
+    /// Delta not yet merged into `counts`, keyed by the most recently
+    /// added `(size, pattern)`. Mining emits long runs of the same
+    /// pattern (a DFS region extends one motif shape at a time), so most
+    /// [`Self::add`] calls collapse to a compare-and-increment; the map
+    /// is only probed when the key changes, and readers merge the
+    /// pending delta on the fly.
+    pending: Option<((u8, PatternId), u64)>,
 }
 
 impl PatternCounts {
@@ -19,39 +26,81 @@ impl PatternCounts {
     }
 
     /// Adds `delta` occurrences of `pattern` at `size` vertices.
+    #[inline]
     pub fn add(&mut self, size: usize, pattern: PatternId, delta: u64) {
-        *self.counts.entry((size as u8, pattern)).or_insert(0) += delta;
+        let key = (size as u8, pattern);
+        match &mut self.pending {
+            Some((k, d)) if *k == key => *d += delta,
+            slot => {
+                if let Some((k, d)) = slot.take() {
+                    *self.counts.entry(k).or_insert(0) += d;
+                }
+                *slot = Some((key, delta));
+            }
+        }
     }
 
     /// Occurrences of `pattern` at `size`.
     pub fn get(&self, size: usize, pattern: PatternId) -> u64 {
-        self.counts.get(&(size as u8, pattern)).copied().unwrap_or(0)
+        let key = (size as u8, pattern);
+        let pending = match self.pending {
+            Some((k, d)) if k == key => d,
+            _ => 0,
+        };
+        self.counts.get(&key).copied().unwrap_or(0) + pending
     }
 
     /// Total embeddings recorded at `size`.
     pub fn total_at(&self, size: usize) -> u64 {
+        let pending = match self.pending {
+            Some(((s, _), d)) if s == size as u8 => d,
+            _ => 0,
+        };
         self.counts
             .iter()
             .filter(|((s, _), _)| *s == size as u8)
             .map(|(_, &c)| c)
-            .sum()
+            .sum::<u64>()
+            + pending
     }
 
     /// Number of distinct `(size, pattern)` entries.
     pub fn len(&self) -> usize {
-        self.counts.len()
+        self.counts.len() + self.pending_is_new() as usize
     }
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.counts.is_empty() && self.pending.is_none()
+    }
+
+    /// Whether the pending key has no entry in the map yet.
+    fn pending_is_new(&self) -> bool {
+        match self.pending {
+            Some((k, _)) => !self.counts.contains_key(&k),
+            None => false,
+        }
     }
 
     /// Iterates over `((size, pattern), count)` entries (unordered).
     pub fn iter(&self) -> impl Iterator<Item = (usize, PatternId, u64)> + '_ {
+        let pending = self.pending;
+        let extra = match pending {
+            Some((k, d)) if !self.counts.contains_key(&k) => {
+                Some((k.0 as usize, k.1, d))
+            }
+            _ => None,
+        };
         self.counts
             .iter()
-            .map(|(&(s, p), &c)| (s as usize, p, c))
+            .map(move |(&(s, p), &c)| {
+                let bonus = match pending {
+                    Some((k, d)) if k == (s, p) => d,
+                    _ => 0,
+                };
+                (s as usize, p, c + bonus)
+            })
+            .chain(extra)
     }
 
     /// Entries sorted by size then pattern ID (deterministic reporting).
@@ -115,6 +164,16 @@ impl MiningResult {
         self.counts.total_at(size)
     }
 
+    /// Number of automorphisms of the pattern behind `id`, served from
+    /// the interner's intern-time cache (no permutation enumeration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this result's interner.
+    pub fn automorphism_count(&self, id: PatternId) -> u64 {
+        self.interner.automorphism_count(id)
+    }
+
     /// Distinct patterns observed at `size`.
     pub fn distinct_patterns_at(&self, size: usize) -> usize {
         self.counts
@@ -138,6 +197,27 @@ mod tests {
         assert_eq!(c.get(4, PatternId(0)), 1);
         assert_eq!(c.get(5, PatternId(0)), 0);
         assert_eq!(c.total_at(3), 5);
+    }
+
+    #[test]
+    fn pending_delta_is_visible_to_all_readers() {
+        let mut c = PatternCounts::new();
+        c.add(3, PatternId(0), 1);
+        c.add(3, PatternId(0), 1); // same key: accumulates as pending
+        assert_eq!(c.get(3, PatternId(0)), 2);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.total_at(3), 2);
+        assert_eq!(c.sorted(), vec![(3, PatternId(0), 2)]);
+        c.add(4, PatternId(1), 5); // key change flushes the run
+        assert_eq!(c.get(3, PatternId(0)), 2);
+        assert_eq!(c.get(4, PatternId(1)), 5);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_at(4), 5);
+        c.add(3, PatternId(0), 1); // pending key already present in map
+        assert_eq!(c.get(3, PatternId(0)), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.sorted(), vec![(3, PatternId(0), 3), (4, PatternId(1), 5)]);
     }
 
     #[test]

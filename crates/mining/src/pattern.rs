@@ -383,6 +383,11 @@ pub struct PatternInterner {
     raw: FxHashMap<RawKey, PatternId>,
     canon: FxHashMap<Pattern, PatternId>,
     patterns: Vec<Pattern>,
+    // Automorphism counts, parallel to `patterns` and computed once when
+    // the canonical pattern is first created: `automorphism_count`
+    // enumerates up to n! permutations, far too expensive to redo on
+    // every lookup.
+    autos: Vec<u64>,
     // Last (key, id) interned: consecutive accepted embeddings usually
     // share a pattern (MC(k) sees a handful of distinct shapes), so one
     // compare short-circuits the map probe on the common path. Purely a
@@ -430,6 +435,7 @@ impl PatternInterner {
         let next = PatternId(self.patterns.len() as u32);
         let id = *self.canon.entry(pattern).or_insert_with(|| {
             self.patterns.push(pattern);
+            self.autos.push(pattern.automorphism_count());
             next
         });
         self.raw.insert(key, id);
@@ -444,6 +450,17 @@ impl PatternInterner {
     /// Panics if `id` was not produced by this interner.
     pub fn pattern(&self, id: PatternId) -> &Pattern {
         &self.patterns[id.0 as usize]
+    }
+
+    /// Number of automorphisms of the pattern behind `id`, cached at
+    /// intern time (recomputing via [`Pattern::automorphism_count`]
+    /// enumerates up to `n!` permutations per call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn automorphism_count(&self, id: PatternId) -> u64 {
+        self.autos[id.0 as usize]
     }
 
     /// Number of distinct canonical patterns interned.
@@ -626,6 +643,26 @@ mod tests {
         e2.push(0, 0b11);
         assert_eq!(interner.intern(&g, &e1), interner.intern(&g, &e2));
         assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn interner_caches_automorphism_counts() {
+        let g = generate::complete(4);
+        let mut interner = PatternInterner::new();
+        let mut tri = Embedding::single(0);
+        tri.push(1, 0b01);
+        tri.push(2, 0b11);
+        let mut wedge = Embedding::single(0);
+        wedge.push(1, 0b01);
+        wedge.push(3, 0b01);
+        let t = interner.intern(&g, &tri);
+        let w = interner.intern(&g, &wedge);
+        assert_eq!(interner.automorphism_count(t), 6);
+        assert_eq!(interner.automorphism_count(w), 2);
+        // The cache agrees with direct recomputation.
+        for (id, p) in interner.iter() {
+            assert_eq!(interner.automorphism_count(id), p.automorphism_count());
+        }
     }
 
     #[test]

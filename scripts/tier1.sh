@@ -6,11 +6,14 @@
 # Runs, in order:
 #   1. cargo build --release --workspace   (all crates + experiment bins)
 #   2. cargo test -q --workspace           (unit + integration + doc tests)
-#   3. cargo doc --no-deps --workspace     (rustdoc, warnings denied)
-#   4. cargo clippy on the library crates  (unwrap/expect denied: failures
-#      must flow through the typed error taxonomy, not panic; the two
-#      perf lints warn so hot-path regressions surface in review)
-#   5. cargo bench, smoke mode             (every bench runs its closure
+#   3. golden suite x {calendar,heap} x {fast,exact}  (scheduler and
+#      access-path are host-side choices; all four cells must match the
+#      golden constants bit-for-bit)
+#   4. cargo doc --no-deps --workspace     (rustdoc, warnings denied)
+#   5. cargo clippy on the library crates  (unwrap/expect denied: failures
+#      must flow through the typed error taxonomy, not panic; the perf
+#      lints warn so hot-path regressions surface in review)
+#   6. cargo bench, smoke mode             (every bench runs its closure
 #      exactly once — compiles-and-runs proof, not a measurement)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,13 +24,25 @@ cargo build --release --workspace
 echo "== tier1: cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== tier1: golden suite under the scheduler x access-path matrix"
+# Both knobs are host-side choices: every cell must reproduce the same
+# golden constants bit-for-bit (the suite reads these env vars).
+for sched in calendar heap; do
+    for path in fast exact; do
+        echo "   -- scheduler=$sched access-path=$path"
+        GRAMER_SCHEDULER="$sched" GRAMER_ACCESS_PATH="$path" \
+            cargo test -q --test golden
+    done
+done
+
 echo "== tier1: cargo doc --no-deps --workspace (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "== tier1: clippy unwrap/expect gate on library crates"
 cargo clippy -q -p gramer -p gramer-graph -p gramer-memsim -p gramer-mining --lib -- \
     -D clippy::unwrap_used -D clippy::expect_used \
-    -W clippy::needless_collect -W clippy::redundant_clone
+    -W clippy::needless_collect -W clippy::redundant_clone \
+    -W clippy::large_stack_arrays -W clippy::trivially_copy_pass_by_ref
 
 echo "== tier1: bench smoke (GRAMER_BENCH_SMOKE=1, single iteration each)"
 GRAMER_BENCH_SMOKE=1 cargo bench -q -p gramer-bench

@@ -8,7 +8,7 @@
 //! be called out explicitly (by updating the constant and explaining
 //! why in the commit).
 
-use gramer::{preprocess, GramerConfig, RunReport, Scheduler, Simulator};
+use gramer::{preprocess, AccessPath, GramerConfig, RunReport, Scheduler, Simulator};
 use gramer_graph::generate::{self, RmatParams};
 use gramer_graph::CsrGraph;
 use gramer_mining::apps::{CliqueFinding, MotifCounting};
@@ -30,6 +30,21 @@ fn golden_summary(r: &RunReport) -> String {
         r.result.candidates_by_size,
         r.pu_steps,
     )
+}
+
+/// Base config for the golden runs. The tier-1 matrix (`scripts/tier1.sh`)
+/// re-runs this suite under every `scheduler` × `access_path` combination
+/// via `GRAMER_SCHEDULER` / `GRAMER_ACCESS_PATH`; both are host-side
+/// choices, so the golden constants must hold bit-for-bit under all four.
+fn base_config() -> GramerConfig {
+    let mut cfg = GramerConfig::default();
+    if let Ok(s) = std::env::var("GRAMER_SCHEDULER") {
+        cfg.scheduler = s.parse().expect("GRAMER_SCHEDULER must be calendar|heap");
+    }
+    if let Ok(s) = std::env::var("GRAMER_ACCESS_PATH") {
+        cfg.access_path = s.parse().expect("GRAMER_ACCESS_PATH must be fast|exact");
+    }
+    cfg
 }
 
 fn run<A: EcmApp>(graph: &CsrGraph, app: &A, cfg: &GramerConfig) -> RunReport {
@@ -69,21 +84,13 @@ const GOLDEN_RMAT_MC3: &str = "cycles=48490 steals=6899 steps=92482 dram=444 \
 
 #[test]
 fn golden_ba200_cf4() {
-    let report = run(
-        &ba_graph(),
-        &CliqueFinding::new(4).unwrap(),
-        &GramerConfig::default(),
-    );
+    let report = run(&ba_graph(), &CliqueFinding::new(4).unwrap(), &base_config());
     assert_eq!(golden_summary(&report), GOLDEN_BA_CF4);
 }
 
 #[test]
 fn golden_rmat_mc3() {
-    let report = run(
-        &rmat_graph(),
-        &MotifCounting::new(3).unwrap(),
-        &GramerConfig::default(),
-    );
+    let report = run(&rmat_graph(), &MotifCounting::new(3).unwrap(), &base_config());
     assert_eq!(golden_summary(&report), GOLDEN_RMAT_MC3);
 }
 
@@ -107,17 +114,19 @@ fn full_semantic_view(r: &RunReport) -> String {
 /// not a simulated one (ISSUE 3 tentpole invariant).
 #[test]
 fn heap_scheduler_matches_calendar_on_golden_workloads() {
-    let base = GramerConfig::default();
+    let cal_cfg = GramerConfig {
+        scheduler: Scheduler::Calendar,
+        ..base_config()
+    };
     let heap_cfg = GramerConfig {
         scheduler: Scheduler::Heap,
-        ..base.clone()
+        ..base_config()
     };
-    assert_eq!(base.scheduler, Scheduler::Calendar);
 
     let ba = ba_graph();
     let cf = CliqueFinding::new(4).unwrap();
     assert_eq!(
-        full_semantic_view(&run(&ba, &cf, &base)),
+        full_semantic_view(&run(&ba, &cf, &cal_cfg)),
         full_semantic_view(&run(&ba, &cf, &heap_cfg)),
         "BA(200,3) x CF(4): heap and calendar schedulers diverged"
     );
@@ -125,8 +134,42 @@ fn heap_scheduler_matches_calendar_on_golden_workloads() {
     let rmat = rmat_graph();
     let mc = MotifCounting::new(3).unwrap();
     assert_eq!(
-        full_semantic_view(&run(&rmat, &mc, &base)),
+        full_semantic_view(&run(&rmat, &mc, &cal_cfg)),
         full_semantic_view(&run(&rmat, &mc, &heap_cfg)),
         "R-MAT(2^8) x MC(3): heap and calendar schedulers diverged"
+    );
+}
+
+/// The two-lane fast access engine (ISSUE 4 tentpole) is the default;
+/// `--access-path=exact` keeps the reference port/FIFO machinery. On
+/// both golden workloads the two must produce *identical* reports down
+/// to every memory statistic — the fast lanes are a host-side
+/// optimisation, not a model change.
+#[test]
+fn exact_access_path_matches_fast_on_golden_workloads() {
+    let fast_cfg = GramerConfig {
+        access_path: AccessPath::Fast,
+        ..base_config()
+    };
+    let exact_cfg = GramerConfig {
+        access_path: AccessPath::Exact,
+        ..base_config()
+    };
+    assert_eq!(GramerConfig::default().access_path, AccessPath::Fast);
+
+    let ba = ba_graph();
+    let cf = CliqueFinding::new(4).unwrap();
+    assert_eq!(
+        full_semantic_view(&run(&ba, &cf, &fast_cfg)),
+        full_semantic_view(&run(&ba, &cf, &exact_cfg)),
+        "BA(200,3) x CF(4): fast and exact access paths diverged"
+    );
+
+    let rmat = rmat_graph();
+    let mc = MotifCounting::new(3).unwrap();
+    assert_eq!(
+        full_semantic_view(&run(&rmat, &mc, &fast_cfg)),
+        full_semantic_view(&run(&rmat, &mc, &exact_cfg)),
+        "R-MAT(2^8) x MC(3): fast and exact access paths diverged"
     );
 }

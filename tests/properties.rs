@@ -6,13 +6,17 @@
 //! inputs drawn from the workspace's deterministic `rand` shim. Every
 //! case is reproducible: a failure message includes the case seed.
 
+use gramer_suite::gramer::{preprocess, AccessPath, GramerConfig, MemoryBudget, Simulator};
 use gramer_suite::gramer_graph::{generate, io, on1, reorder, GraphBuilder, VertexId};
 use gramer_suite::gramer_memsim::policy::PolicyKind;
-use gramer_suite::gramer_memsim::SetAssociativeCache;
+use gramer_suite::gramer_memsim::{
+    DataKind, HybridConfig, LatencyConfig, MemorySubsystem, SetAssociativeCache, SubsystemConfig,
+};
 use gramer_suite::gramer_mining::apps::MotifCounting;
 use gramer_suite::gramer_mining::{DfsEnumerator, Explorer, NullObserver, Step};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Cases per property (proptest ran 64; these loops are cheap enough to
 /// keep that).
@@ -200,6 +204,172 @@ fn explorer_split_conserves_embeddings() {
             }
         }
         assert_eq!(total, expected, "seed {seed} cut {cut}");
+    }
+}
+
+/// Random pinned-membership mask over `n` items. Shape 0 pins nothing,
+/// shape 1 pins a prefix (the post-reorder layout the fast lane
+/// recognises), shape 2 pins a scatter (a non-prefix set, which disarms
+/// the fast lane entirely — a 100%-fallback degenerate).
+fn random_pin_mask(rng: &mut StdRng, n: usize) -> Arc<Vec<bool>> {
+    match rng.gen_range(0u32..3) {
+        0 => Arc::new(vec![false; n]),
+        1 => {
+            let k = rng.gen_range(0..n + 1);
+            Arc::new((0..n).map(|i| i < k).collect())
+        }
+        _ => Arc::new((0..n).map(|_| rng.gen_range(0u32..2) == 1).collect()),
+    }
+}
+
+/// A random `SubsystemConfig` spanning the fast-lane fallback boundary:
+/// tiny scratchpad/cache latencies, `port_occupancy > 1`, FIFO depth 1
+/// and single-ported banks are all drawn with real probability.
+fn random_subsystem_config(rng: &mut StdRng) -> SubsystemConfig {
+    let policy = PolicyKind::default();
+    let hybrid = |rng: &mut StdRng, n: usize| HybridConfig {
+        pinned: random_pin_mask(rng, n),
+        sets: rng.gen_range(1usize..5),
+        ways: rng.gen_range(1usize..5),
+        block_bits: rng.gen_range(0u32..3),
+        policy,
+    };
+    SubsystemConfig {
+        partitions: 1 << rng.gen_range(0u32..4),
+        vertex: hybrid(rng, 64),
+        edge: hybrid(rng, 128),
+        vertex_route_bits: 0,
+        edge_route_bits: rng.gen_range(0u32..3),
+        next_line_prefetch: rng.gen_range(0u32..2) == 1,
+        latency: LatencyConfig {
+            scratchpad_cycles: rng.gen_range(1u64..4),
+            cache_cycles: rng.gen_range(1u64..6),
+            port_occupancy_cycles: rng.gen_range(1u64..4),
+            ports_per_bank: rng.gen_range(1usize..4),
+            request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
+        },
+        dram: Default::default(),
+        access_path: AccessPath::Fast,
+    }
+}
+
+/// Tentpole invariant: the pinned-run fast lane is bit-exact. A fast and
+/// an exact subsystem driven in lockstep over random configs and random
+/// access streams must return identical completions on every access and
+/// identical statistics at the end — including configs that force 100%
+/// fallback (scatter pins, nothing pinned) and configs where the ultra
+/// lane dominates (full prefix, quiet FIFOs).
+#[test]
+fn fast_path_matches_exact_path() {
+    let mut seen_mixed_fallback = false;
+    let mut seen_fast_hits = false;
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7000 + seed);
+        let cfg = random_subsystem_config(&mut rng);
+        let exact_cfg = SubsystemConfig {
+            access_path: AccessPath::Exact,
+            ..cfg.clone()
+        };
+        let mut fast = MemorySubsystem::try_new(cfg).expect("valid random config");
+        let mut exact = MemorySubsystem::try_new(exact_cfg).expect("valid random config");
+        let mut now = 0u64;
+        for i in 0..400 {
+            now += rng.gen_range(0u64..3);
+            let (kind, item) = if rng.gen_range(0u32..2) == 0 {
+                (DataKind::Vertex, rng.gen_range(0u64..64))
+            } else {
+                (DataKind::Edge, rng.gen_range(0u64..128))
+            };
+            let rank = item as u32;
+            let a = fast.access(kind, item, rank, now);
+            let b = exact.access(kind, item, rank, now);
+            assert_eq!(a, b, "seed {seed}: access {i} diverged ({kind:?} {item} @{now})");
+        }
+        assert_eq!(fast.stats(), exact.stats(), "seed {seed}: stats diverged");
+        assert_eq!(
+            fast.dram_requests(),
+            exact.dram_requests(),
+            "seed {seed}: dram requests diverged"
+        );
+        assert_eq!(
+            fast.prefetches(),
+            exact.prefetches(),
+            "seed {seed}: prefetches diverged"
+        );
+        assert_eq!(exact.fast_path_hits(), 0, "seed {seed}: exact mode took the fast lane");
+        let total = fast.stats().total();
+        let fast_hits = fast.fast_path_hits();
+        seen_fast_hits |= fast_hits > 0;
+        // The acceptance boundary: at least one seeded config where the
+        // exact-path fallback serves > 10% of accesses while the fast
+        // lane still fires (proving both sides of the boundary run).
+        if fast_hits > 0 && (total - fast_hits) as f64 > 0.1 * total as f64 {
+            seen_mixed_fallback = true;
+        }
+    }
+    assert!(seen_fast_hits, "no case exercised the fast lane");
+    assert!(
+        seen_mixed_fallback,
+        "no case mixed fast-lane hits with > 10% exact fallback"
+    );
+}
+
+/// End-to-end flavour of the same invariant: over randomized
+/// `LatencyConfig` and `MemoryBudget` draws, a full simulator run under
+/// `--access-path=fast` is indistinguishable from `--access-path=exact`
+/// on every simulated quantity.
+#[test]
+fn fast_path_matches_exact_path_full_sim() {
+    for seed in 0..CASES / 4 {
+        let mut rng = StdRng::seed_from_u64(8000 + seed);
+        let Some(g) = random_graph(&mut rng, 48, 160) else {
+            continue;
+        };
+        let latency = LatencyConfig {
+            scratchpad_cycles: rng.gen_range(1u64..4),
+            cache_cycles: rng.gen_range(1u64..6),
+            port_occupancy_cycles: rng.gen_range(1u64..4),
+            ports_per_bank: rng.gen_range(1usize..4),
+            request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
+        };
+        let budget = MemoryBudget::Fraction(rng.gen_range(2u32..60) as f64 / 100.0);
+        let fast_cfg = GramerConfig {
+            latency,
+            budget,
+            access_path: AccessPath::Fast,
+            ..GramerConfig::default()
+        };
+        let exact_cfg = GramerConfig {
+            access_path: AccessPath::Exact,
+            ..fast_cfg.clone()
+        };
+        let pre = preprocess(&g, &fast_cfg).expect("random graph preprocesses");
+        let app = MotifCounting::new(3).expect("valid");
+        let a = Simulator::new(&pre, fast_cfg)
+            .expect("valid config")
+            .run(&app)
+            .expect("runs");
+        let b = Simulator::new(&pre, exact_cfg)
+            .expect("valid config")
+            .run(&app)
+            .expect("runs");
+        assert_eq!(a.cycles, b.cycles, "seed {seed}");
+        assert_eq!(a.steps, b.steps, "seed {seed}");
+        assert_eq!(a.steals, b.steals, "seed {seed}");
+        assert_eq!(a.mem, b.mem, "seed {seed}");
+        assert_eq!(a.dram_requests, b.dram_requests, "seed {seed}");
+        assert_eq!(a.pu_steps, b.pu_steps, "seed {seed}");
+        assert_eq!(a.pu_finish, b.pu_finish, "seed {seed}");
+        assert_eq!(a.result.embeddings, b.result.embeddings, "seed {seed}");
+        assert_eq!(
+            a.result.candidates_examined, b.result.candidates_examined,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.result.counts.sorted(),
+            b.result.counts.sorted(),
+            "seed {seed}"
+        );
     }
 }
 

@@ -68,7 +68,10 @@ mod tests {
         let m = FractalModel::default();
         let t = m.estimate_seconds(&p);
         assert!(t > m.startup_seconds);
-        assert!(t < m.startup_seconds * 1.5, "tiny graph should be startup-bound");
+        assert!(
+            t < m.startup_seconds * 1.5,
+            "tiny graph should be startup-bound"
+        );
     }
 
     #[test]

@@ -119,8 +119,8 @@ impl RstreamModel {
         if self.written_bytes(profile) > self.disk_capacity {
             return RstreamOutcome::OutOfDisk;
         }
-        let compute = profile.work_items as f64 * self.op_cycles_per_item
-            + profile.stall_cycles() as f64;
+        let compute =
+            profile.work_items as f64 * self.op_cycles_per_item + profile.stall_cycles() as f64;
         let seconds = self.startup_seconds
             + compute / self.cpu.effective_hz()
             + self.frontier_bytes(profile) / self.disk_bandwidth;

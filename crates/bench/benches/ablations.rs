@@ -69,9 +69,7 @@ fn dedup_ablation(c: &mut Criterion) {
     let g = generate::chung_lu(800, 2400, 2.6, 13);
     let mut group = c.benchmark_group("ablation_dedup");
     group.sample_size(10);
-    group.bench_function("canonical_extension", |b| {
-        b.iter(|| canonical_count(&g, 3))
-    });
+    group.bench_function("canonical_extension", |b| b.iter(|| canonical_count(&g, 3)));
     group.bench_function("hashset_dedup", |b| b.iter(|| hashset_dedup_count(&g, 3)));
     group.finish();
 

@@ -54,10 +54,7 @@ fn end_to_end(c: &mut Criterion) {
     let pre = preprocess(&graph, &base).expect("golden config preprocesses");
 
     let mut group = c.benchmark_group("scheduler");
-    for (name, scheduler) in [
-        ("calendar", Scheduler::Calendar),
-        ("heap", Scheduler::Heap),
-    ] {
+    for (name, scheduler) in [("calendar", Scheduler::Calendar), ("heap", Scheduler::Heap)] {
         let cfg = GramerConfig {
             scheduler,
             ..base.clone()

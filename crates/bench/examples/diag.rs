@@ -4,27 +4,53 @@ use gramer_memsim::trace::IterationTrace;
 use gramer_mining::apps::CliqueFinding;
 use gramer_mining::{AccessObserver, DfsEnumerator};
 
-struct Tracer { t: IterationTrace }
+struct Tracer {
+    t: IterationTrace,
+}
 impl AccessObserver for Tracer {
-    fn vertex_access(&mut self, v: u32, _s: usize) { self.t.vertex.record(v as usize); }
-    fn edge_access(&mut self, slot: usize, _src: u32, _s: usize) { self.t.edge.record(slot); }
+    fn vertex_access(&mut self, v: u32, _s: usize) {
+        self.t.vertex.record(v as usize);
+    }
+    fn edge_access(&mut self, slot: usize, _src: u32, _s: usize) {
+        self.t.edge.record(slot);
+    }
 }
 
 fn main() {
     let g = Dataset::Mico.generate_scaled(100);
-    let cfg = GramerConfig { tau: Some(0.05), ..GramerConfig::default() };
+    let cfg = GramerConfig {
+        tau: Some(0.05),
+        ..GramerConfig::default()
+    };
     let pre = preprocess(&g, &cfg).unwrap();
     let rg = &pre.graph;
-    let mut tr = Tracer { t: IterationTrace::new(rg.num_vertices(), rg.adjacency_len()) };
+    let mut tr = Tracer {
+        t: IterationTrace::new(rg.num_vertices(), rg.adjacency_len()),
+    };
     let app = CliqueFinding::new(4).unwrap();
     DfsEnumerator::new(rg).run_with_observer(&app, &mut tr);
     let vshare: u64 = tr.t.vertex.counts()[..pre.vertex_pin].iter().sum();
     let eshare: u64 = tr.t.edge.counts()[..pre.edge_pin].iter().sum();
-    println!("V={} E={} vpin={} epin={}", rg.num_vertices(), rg.num_edges(), pre.vertex_pin, pre.edge_pin);
-    println!("traffic to pinned: vertex={:.3} edge={:.3}; ideal top5: v={:.3} e={:.3}",
-        vshare as f64 / tr.t.vertex.total() as f64, eshare as f64 / tr.t.edge.total() as f64,
-        tr.t.vertex.top_share(0.05), tr.t.edge.top_share(0.05));
+    println!(
+        "V={} E={} vpin={} epin={}",
+        rg.num_vertices(),
+        rg.num_edges(),
+        pre.vertex_pin,
+        pre.edge_pin
+    );
+    println!(
+        "traffic to pinned: vertex={:.3} edge={:.3}; ideal top5: v={:.3} e={:.3}",
+        vshare as f64 / tr.t.vertex.total() as f64,
+        eshare as f64 / tr.t.edge.total() as f64,
+        tr.t.vertex.top_share(0.05),
+        tr.t.edge.top_share(0.05)
+    );
     let r = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
-    println!("tau=5%: cycles={} vhit={:.3} ehit={:.3} dram={}", r.cycles,
-        r.mem.vertex.on_chip_ratio(), r.mem.edge.on_chip_ratio(), r.dram_requests);
+    println!(
+        "tau=5%: cycles={} vhit={:.3} ehit={:.3} dram={}",
+        r.cycles,
+        r.mem.vertex.on_chip_ratio(),
+        r.mem.edge.on_chip_ratio(),
+        r.dram_requests
+    );
 }

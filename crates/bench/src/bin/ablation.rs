@@ -12,7 +12,7 @@
 use gramer::pipeline::{clock_rate_mhz, AncestorMode};
 use gramer::{GramerConfig, MemoryBudget, MemoryMode};
 use gramer_bench::{
-    run_gramer, rule, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
+    rule, run_gramer, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
 };
 use gramer_graph::datasets::Dataset;
 use gramer_memsim::LatencyConfig;
@@ -88,7 +88,10 @@ fn main() -> std::process::ExitCode {
         PointOutput::new()
             .metric("full_bytes_per_pu", full_bytes)
             .metric("compact_bytes_per_pu", compact_bytes)
-            .metric("buffered_mhz", clock_rate_mhz(&cfg, AncestorMode::Buffered, false))
+            .metric(
+                "buffered_mhz",
+                clock_rate_mhz(&cfg, AncestorMode::Buffered, false),
+            )
             .metric(
                 "compacted_mhz",
                 clock_rate_mhz(&cfg, AncestorMode::BufferedCompacted, false),

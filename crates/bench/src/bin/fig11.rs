@@ -9,7 +9,7 @@
 
 use gramer::GramerConfig;
 use gramer_baselines::{FractalModel, RstreamModel, RstreamOutcome};
-use gramer_bench::{run_gramer, rule, AnalogCache, AppVariant, PointOutput, Sweep, SweepArgs};
+use gramer_bench::{rule, run_gramer, AnalogCache, AppVariant, PointOutput, Sweep, SweepArgs};
 use gramer_graph::datasets::Dataset;
 use gramer_memsim::EnergyModel;
 
@@ -38,8 +38,7 @@ fn main() -> std::process::ExitCode {
                 let fr_t = FractalModel::default().estimate_seconds(&profile);
                 let fr_e = energy.cpu_energy(fr_t);
                 let total = report.total_seconds();
-                let preproc =
-                    100.0 * report.preprocess_seconds / report.wall_seconds().max(1e-12);
+                let preproc = 100.0 * report.preprocess_seconds / report.wall_seconds().max(1e-12);
                 let mut out = PointOutput::new()
                     .metric("fractal_energy_x", fr_e / gramer_e)
                     .metric("fractal_time_x", fr_t / total)

@@ -10,7 +10,7 @@
 
 use gramer::{GramerConfig, MemoryBudget, MemoryMode};
 use gramer_bench::{
-    run_gramer, rule, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
+    rule, run_gramer, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
 };
 use gramer_graph::datasets::Dataset;
 use gramer_graph::{generate, CsrGraph};
@@ -88,7 +88,10 @@ fn main() -> std::process::ExitCode {
     }
     let result = sweep.execute(&args);
 
-    println!("Figure 12 — LAMH vs baselines on {} (10% of data on-chip)", d.name());
+    println!(
+        "Figure 12 — LAMH vs baselines on {} (10% of data on-chip)",
+        d.name()
+    );
     println!("(paper: Static+LRU > Uniform LRU by 13-37pp vertex hit; LAMH adds 1-6pp;");
     println!(" performance 1.6-2.95x then a further 1.06-1.39x)\n");
     println!(
@@ -118,7 +121,10 @@ fn print_modes(result: &gramer_bench::SweepResult, dataset: &str, app: &str, sep
         .and_then(PointRecord::cycles);
     let mut printed = false;
     for (label, _) in MODES {
-        let Some(r) = result.find(dataset, app, label).and_then(PointRecord::report) else {
+        let Some(r) = result
+            .find(dataset, app, label)
+            .and_then(PointRecord::report)
+        else {
             continue;
         };
         printed = true;

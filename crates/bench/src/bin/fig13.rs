@@ -8,7 +8,7 @@
 
 use gramer::GramerConfig;
 use gramer_bench::{
-    run_gramer, rule, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
+    rule, run_gramer, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
 };
 use gramer_graph::datasets::Dataset;
 
@@ -31,15 +31,20 @@ fn main() -> std::process::ExitCode {
     for &d in graphs() {
         for slots in SLOTS {
             let cache = &cache;
-            sweep.point(d.name(), &variant.name(d), &format!("slots-{slots}"), move || {
-                let cfg = GramerConfig {
-                    slots_per_pu: slots,
-                    ..GramerConfig::default()
-                };
-                variant
-                    .with_app(d, |app| run_gramer(cache.get(d), app, cfg))
-                    .map(PointOutput::from_report)
-            });
+            sweep.point(
+                d.name(),
+                &variant.name(d),
+                &format!("slots-{slots}"),
+                move || {
+                    let cfg = GramerConfig {
+                        slots_per_pu: slots,
+                        ..GramerConfig::default()
+                    };
+                    variant
+                        .with_app(d, |app| run_gramer(cache.get(d), app, cfg))
+                        .map(PointOutput::from_report)
+                },
+            );
         }
         for (label, stealing) in [("steal-off", false), ("steal-on", true)] {
             let cache = &cache;
@@ -70,7 +75,9 @@ fn main() -> std::process::ExitCode {
                 .find(d.name(), &variant.name(d), config)
                 .and_then(PointRecord::cycles)
         };
-        let Some(base) = cycles("slots-1") else { continue };
+        let Some(base) = cycles("slots-1") else {
+            continue;
+        };
         print!("{:<10}", d.name());
         for slots in SLOTS {
             match cycles(&format!("slots-{slots}")) {
@@ -83,7 +90,10 @@ fn main() -> std::process::ExitCode {
 
     println!("\nFigure 13(b) — work-stealing speedup (5-CF, 16 slots)");
     println!("(paper: 1.32-1.90x, skewed Mico benefits most)\n");
-    println!("{:<10} {:>12} {:>12} {:>9}", "Graph", "w/o steal", "w/ steal", "Speedup");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9}",
+        "Graph", "w/o steal", "w/ steal", "Speedup"
+    );
     rule(46);
     for &d in graphs() {
         let cycles = |config: &str| {

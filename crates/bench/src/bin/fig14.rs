@@ -7,13 +7,18 @@
 
 use gramer::{GramerConfig, MemoryBudget};
 use gramer_bench::{
-    run_gramer, rule, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
+    rule, run_gramer, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
 };
 use gramer_graph::datasets::Dataset;
 
 // τ sweep on the small/medium graphs (the paper excludes the large ones
 // for BRAM-capacity reasons; we do the same).
-const TAU_GRAPHS: [Dataset; 4] = [Dataset::Citeseer, Dataset::P2p, Dataset::Astro, Dataset::Mico];
+const TAU_GRAPHS: [Dataset; 4] = [
+    Dataset::Citeseer,
+    Dataset::P2p,
+    Dataset::Astro,
+    Dataset::Mico,
+];
 const TAUS: [f64; 6] = [0.01, 0.02, 0.05, 0.10, 0.20, 0.50];
 const LAMBDAS: [f64; 5] = [0.5, 1.0, 2.0, 4.0, 8.0];
 
@@ -85,7 +90,9 @@ fn main() -> std::process::ExitCode {
                 .and_then(PointRecord::cycles)
         };
         // Normalise to the ideal: everything on-chip.
-        let Some(ideal) = cycles(&tau_label(0.50)) else { continue };
+        let Some(ideal) = cycles(&tau_label(0.50)) else {
+            continue;
+        };
         print!("{:<10}", d.name());
         for t in TAUS {
             match cycles(&tau_label(t)) {
@@ -110,7 +117,9 @@ fn main() -> std::process::ExitCode {
                 .find(d.name(), &variant.name(d), config)
                 .and_then(PointRecord::cycles)
         };
-        let Some(base) = cycles(&lambda_label(1.0)) else { continue };
+        let Some(base) = cycles(&lambda_label(1.0)) else {
+            continue;
+        };
         print!("{:<10}", d.name());
         for l in LAMBDAS {
             match cycles(&lambda_label(l)) {

@@ -87,7 +87,9 @@ fn main() -> std::process::ExitCode {
     }
     println!(
         "\nanalog scale divisors (cache hierarchy scaled alike): {:?}",
-        datasets().map(|d| (d.name(), divisor(d))).collect::<Vec<_>>()
+        datasets()
+            .map(|d| (d.name(), divisor(d)))
+            .collect::<Vec<_>>()
     );
     gramer_bench::finish(&result)
 }

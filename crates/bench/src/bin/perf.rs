@@ -18,7 +18,15 @@
 //!
 //! ```text
 //! cargo run --release -p gramer-bench --bin perf [-- --json PATH] [--quick] [--repeats N]
+//!                                                [--check] [--baseline PATH] [--threshold PCT]
 //! ```
+//!
+//! `--check` is the perf regression gate: instead of (over)writing the
+//! JSON document it measures a fresh one and compares it against the
+//! committed baseline (`--baseline`, default `results/BENCH_core.json`).
+//! Simulated quantities must be identical; the total median throughput
+//! may be at most `--threshold` percent (default 10) below the
+//! baseline's. Exits non-zero on any violation.
 
 use gramer::{preprocess, GramerConfig, RunReport, Simulator};
 use gramer_bench::perf;
@@ -84,9 +92,9 @@ fn peak_rss_kb() -> u64 {
     std::fs::read_to_string("/proc/self/status")
         .ok()
         .and_then(|s| {
-            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
-                l.split_whitespace().nth(1).and_then(|v| v.parse().ok())
-            })
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
         })
         .unwrap_or(0)
 }
@@ -113,6 +121,9 @@ fn main() -> ExitCode {
     let mut json_path = std::path::PathBuf::from("results/BENCH_core.json");
     let mut quick = false;
     let mut repeats = 3usize;
+    let mut check = false;
+    let mut baseline_path = std::path::PathBuf::from("results/BENCH_core.json");
+    let mut threshold = 10.0f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -131,10 +142,26 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--check" => check = true,
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = p.into(),
+                None => {
+                    eprintln!("--baseline requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threshold" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(p) if p.is_finite() && p >= 0.0 => threshold = p,
+                _ => {
+                    eprintln!("--threshold requires a non-negative percentage");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "perf — pinned simulator-throughput workload\n\
-                     usage: perf [--json PATH] [--quick] [--repeats N]"
+                     usage: perf [--json PATH] [--quick] [--repeats N]\n\
+                     \x20           [--check] [--baseline PATH] [--threshold PCT]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -169,7 +196,11 @@ fn main() -> ExitCode {
                     assert_eq!(f.cycles, report.cycles, "{}: cycles drifted", cell.name);
                     assert_eq!(f.mem, report.mem, "{}: memory stats drifted", cell.name);
                     assert_eq!(f.steals, report.steals, "{}: steals drifted", cell.name);
-                    assert_eq!(f.pu_steps, report.pu_steps, "{}: pu_steps drifted", cell.name);
+                    assert_eq!(
+                        f.pu_steps, report.pu_steps,
+                        "{}: pu_steps drifted",
+                        cell.name
+                    );
                     assert_eq!(
                         f.result.embeddings, report.result.embeddings,
                         "{}: embeddings drifted",
@@ -216,6 +247,46 @@ fn main() -> ExitCode {
     );
 
     let doc = perf::perf_document(&git_rev(), quick, repeats, &workloads, rss);
+
+    if check {
+        // Regression gate: compare against the committed baseline
+        // instead of overwriting it.
+        let baseline_text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let (fresh, baseline) = match (
+            gramer::json::JsonValue::parse(doc.trim()),
+            gramer::json::JsonValue::parse(baseline_text.trim()),
+        ) {
+            (Ok(f), Ok(b)) => (f, b),
+            (f, b) => {
+                eprintln!("cannot parse perf documents: fresh {f:?} baseline {b:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let verdict = perf::check_against_baseline(&fresh, &baseline, threshold);
+        for line in &verdict.info {
+            println!("{line}");
+        }
+        return if verdict.ok() {
+            println!(
+                "perf check PASSED against {} (threshold -{threshold}%)",
+                baseline_path.display()
+            );
+            ExitCode::SUCCESS
+        } else {
+            for v in &verdict.violations {
+                eprintln!("perf check violation: {v}");
+            }
+            eprintln!("perf check FAILED against {}", baseline_path.display());
+            ExitCode::FAILURE
+        };
+    }
+
     if let Some(dir) = json_path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }

@@ -15,7 +15,7 @@
 use gramer::GramerConfig;
 use gramer_baselines::{FractalModel, RstreamModel, RstreamOutcome};
 use gramer_bench::{
-    divisor, fmt_secs, run_gramer, rule, AnalogCache, AppVariant, PointOutput, Sweep, SweepArgs,
+    divisor, fmt_secs, rule, run_gramer, AnalogCache, AppVariant, PointOutput, Sweep, SweepArgs,
 };
 use gramer_graph::datasets::Dataset;
 

@@ -53,7 +53,8 @@ fn main() -> std::process::ExitCode {
         );
     }
 
-    if let (Some(base), Some(ab), Some(comp)) = (cf("w/o AB"), cf("w/ AB"), cf("w/ AB + Compaction"))
+    if let (Some(base), Some(ab), Some(comp)) =
+        (cf("w/o AB"), cf("w/ AB"), cf("w/ AB + Compaction"))
     {
         println!(
             "\nAB improves the clock by {:.1}% (paper: 23.1%); compaction adds {:.1}% (paper: 115.6%)",

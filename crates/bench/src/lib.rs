@@ -55,12 +55,16 @@
 
 #![warn(missing_docs)]
 
+use gramer::json::JsonValue;
+use gramer::telemetry::{Telemetry, TelemetryConfig};
 use gramer::{preprocess, GramerConfig, Preprocessed, RunReport, SimError, Simulator};
 use gramer_graph::datasets::Dataset;
 use gramer_graph::CsrGraph;
 use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
 use gramer_mining::EcmApp;
+use std::cell::RefCell;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 pub mod perf;
@@ -72,7 +76,9 @@ pub use sweep::{
 
 /// Whether the quick (coarser) mode is enabled via `GRAMER_QUICK=1`.
 pub fn quick_mode() -> bool {
-    std::env::var("GRAMER_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("GRAMER_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Scale divisor applied to each dataset so a software simulator can
@@ -202,6 +208,14 @@ pub trait DynApp: Sync {
     fn max_vertices(&self) -> usize;
     /// Runs the GRAMER simulator on a preprocessed graph.
     fn simulate(&self, pre: &Preprocessed, config: GramerConfig) -> Result<RunReport, SimError>;
+    /// Like [`DynApp::simulate`], recording cycle-windowed telemetry into
+    /// `tel`. Simulated results are identical either way.
+    fn simulate_telemetry(
+        &self,
+        pre: &Preprocessed,
+        config: GramerConfig,
+        tel: &mut Telemetry,
+    ) -> Result<RunReport, SimError>;
     /// Profiles the workload on the modeled CPU.
     fn profile(&self, graph: &CsrGraph) -> gramer_baselines::CpuProfile;
 }
@@ -219,21 +233,72 @@ impl<A: EcmApp + Sync> DynApp for A {
         Ok(Simulator::new(pre, config)?.run(self)?)
     }
 
+    fn simulate_telemetry(
+        &self,
+        pre: &Preprocessed,
+        config: GramerConfig,
+        tel: &mut Telemetry,
+    ) -> Result<RunReport, SimError> {
+        Ok(Simulator::new(pre, config)?.run_telemetry(self, tel)?)
+    }
+
     fn profile(&self, graph: &CsrGraph) -> gramer_baselines::CpuProfile {
         gramer_baselines::profile_on_cpu(graph, self)
     }
 }
 
+/// Process-wide switch for telemetry recording inside [`run_gramer`]
+/// (set from the sweep runner's `--metrics` flag).
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Telemetry rollup of the last [`run_gramer`] call on this thread,
+    /// waiting to be claimed by [`take_point_telemetry`]. Thread-local is
+    /// the right scope: the sweep runner executes each point closure
+    /// entirely on one worker thread and drains the stash right after it
+    /// returns.
+    static POINT_TELEMETRY: RefCell<Option<JsonValue>> = const { RefCell::new(None) };
+}
+
+/// Enables or disables telemetry recording for subsequent
+/// [`run_gramer`] calls in this process.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`run_gramer`] currently records telemetry.
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Claims the telemetry rollup stashed by the most recent
+/// [`run_gramer`] call on the calling thread, if any.
+pub fn take_point_telemetry() -> Option<JsonValue> {
+    POINT_TELEMETRY.with(|t| t.borrow_mut().take())
+}
+
 /// Runs GRAMER end-to-end (preprocess + simulate) with `config`,
 /// surfacing configuration and simulation failures as typed errors the
 /// sweep runner turns into structured failure records.
+///
+/// When metrics are enabled ([`set_metrics_enabled`], driven by the
+/// sweep runner's `--metrics` flag), the run additionally records
+/// cycle-windowed telemetry and stashes its compact rollup for
+/// [`take_point_telemetry`]; simulated results are unaffected.
 pub fn run_gramer(
     graph: &CsrGraph,
     app: &dyn DynApp,
     config: GramerConfig,
 ) -> Result<RunReport, SimError> {
     let pre = preprocess(graph, &config)?;
-    app.simulate(&pre, config)
+    if metrics_enabled() {
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        let report = app.simulate_telemetry(&pre, config, &mut tel)?;
+        POINT_TELEMETRY.with(|t| *t.borrow_mut() = Some(tel.summary_json()));
+        Ok(report)
+    } else {
+        app.simulate(&pre, config)
+    }
 }
 
 /// Command-line options shared by every experiment binary.
@@ -247,6 +312,7 @@ pub fn run_gramer(
 /// --point-timeout SECS cancel any point exceeding this wall-clock budget
 /// --max-retries N      re-run a failed point up to N extra times
 /// --journal PATH       journal path (default: results/.journal/<name>.jsonl)
+/// --metrics            record cycle-windowed telemetry per point
 /// --help               print usage, then exit
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -267,6 +333,9 @@ pub struct SweepArgs {
     pub max_retries: u32,
     /// Journal path override (`None` → `results/.journal/<name>.jsonl`).
     pub journal: Option<PathBuf>,
+    /// Record cycle-windowed telemetry for each point and attach its
+    /// rollup to the point's metrics under `"telemetry"`.
+    pub metrics: bool,
 }
 
 /// Usage text shared by every experiment binary.
@@ -280,6 +349,8 @@ Options:
   --point-timeout SECS cancel any point exceeding this wall-clock budget
   --max-retries N      re-run a failed point up to N extra times
   --journal PATH       journal path (default: results/.journal/<name>.jsonl)
+  --metrics            record cycle-windowed telemetry per point (attached
+                       to each point's metrics under \"telemetry\")
   --help               print this help, then exit
 
 Failure semantics:
@@ -301,6 +372,7 @@ impl Default for SweepArgs {
             point_timeout: None,
             max_retries: 0,
             journal: None,
+            metrics: false,
         }
     }
 }
@@ -341,11 +413,10 @@ impl SweepArgs {
             match flag {
                 "--jobs" => {
                     let v = value(&mut it)?;
-                    parsed.jobs = v
-                        .parse::<usize>()
-                        .ok()
-                        .filter(|&n| n >= 1)
-                        .ok_or_else(|| format!("--jobs expects a positive integer, got {v:?}"))?;
+                    parsed.jobs =
+                        v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--jobs expects a positive integer, got {v:?}")
+                        })?;
                 }
                 "--json" => parsed.json = Some(PathBuf::from(value(&mut it)?)),
                 "--filter" => parsed.filter = Some(value(&mut it)?),
@@ -369,6 +440,7 @@ impl SweepArgs {
                     })?;
                 }
                 "--journal" => parsed.journal = Some(PathBuf::from(value(&mut it)?)),
+                "--metrics" => parsed.metrics = true,
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -389,7 +461,11 @@ pub fn default_jobs() -> usize {
 pub fn finish(result: &SweepResult) -> std::process::ExitCode {
     let failures: Vec<&PointRecord> = result.failures().collect();
     if !failures.is_empty() {
-        eprintln!("[{}] {} point(s) did not complete:", result.name, failures.len());
+        eprintln!(
+            "[{}] {} point(s) did not complete:",
+            result.name,
+            failures.len()
+        );
         for f in &failures {
             let detail = f
                 .error
@@ -502,6 +578,29 @@ mod tests {
         assert_eq!(d.point_timeout, None);
         assert_eq!(d.max_retries, 0);
         assert_eq!(d.journal, None);
+    }
+
+    #[test]
+    fn metrics_flag_parses_and_records_a_rollup() {
+        let a = SweepArgs::try_parse(&["--metrics"]).unwrap();
+        assert!(a.metrics);
+        let d = SweepArgs::try_parse::<&str>(&[]).unwrap();
+        assert!(!d.metrics);
+
+        // With the switch on, run_gramer stashes a telemetry rollup for
+        // this thread — without changing the simulated report.
+        let g = gramer_graph::generate::barabasi_albert(100, 3, 5);
+        let app = CliqueFinding::new(3).expect("valid k");
+        let plain = run_gramer(&g, &app, GramerConfig::default()).unwrap();
+        assert!(take_point_telemetry().is_none());
+        set_metrics_enabled(true);
+        let recorded = run_gramer(&g, &app, GramerConfig::default()).unwrap();
+        set_metrics_enabled(false);
+        let tel = take_point_telemetry().expect("rollup stashed");
+        assert!(tel.get("windows").and_then(JsonValue::as_u64).is_some());
+        assert_eq!(plain.cycles, recorded.cycles);
+        assert_eq!(plain.steps, recorded.steps);
+        assert!(take_point_telemetry().is_none(), "stash is claimed once");
     }
 
     #[test]

@@ -136,6 +136,116 @@ pub fn perf_document(
     text
 }
 
+/// Result of comparing a freshly measured perf document against a
+/// committed baseline (`perf --check`).
+#[derive(Debug, Default)]
+pub struct BaselineCheck {
+    /// Human-readable comparison lines (always produced).
+    pub info: Vec<String>,
+    /// Violations: drifted simulated fields or a throughput regression
+    /// beyond the threshold. Empty means the check passed.
+    pub violations: Vec<String>,
+}
+
+impl BaselineCheck {
+    /// Whether the fresh document is acceptable against the baseline.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn workload_name(cell: &JsonValue) -> String {
+    match cell.get("name") {
+        Some(JsonValue::Str(s)) => s.clone(),
+        _ => "<unnamed>".to_string(),
+    }
+}
+
+/// Compares `fresh` (a just-measured perf document) against `baseline`
+/// (the committed `results/BENCH_core.json`).
+///
+/// Two classes of checks, mirroring the document's two classes of
+/// fields:
+///
+/// * **Simulated** quantities (`steps`, `cycles`, `embeddings` per
+///   workload) must be *identical* — any drift means the simulator's
+///   semantics changed, which a perf-neutral PR must not do.
+/// * **Host throughput** (`total.steps_per_sec_median`) may regress at
+///   most `threshold_pct` percent below the baseline; being faster is
+///   always fine.
+pub fn check_against_baseline(
+    fresh: &JsonValue,
+    baseline: &JsonValue,
+    threshold_pct: f64,
+) -> BaselineCheck {
+    let mut check = BaselineCheck::default();
+
+    if fresh.get("quick") != baseline.get("quick") {
+        check
+            .violations
+            .push("quick mode differs between the fresh run and the baseline document".to_string());
+    }
+
+    let cells = |doc: &JsonValue| -> Vec<JsonValue> {
+        match doc.get("workloads") {
+            Some(JsonValue::Array(a)) => a.clone(),
+            _ => Vec::new(),
+        }
+    };
+    let fresh_cells = cells(fresh);
+    let base_cells = cells(baseline);
+    if base_cells.is_empty() {
+        check
+            .violations
+            .push("baseline document has no workloads".to_string());
+    }
+    for base in &base_cells {
+        let name = workload_name(base);
+        let Some(mine) = fresh_cells
+            .iter()
+            .find(|c| c.get("name") == base.get("name"))
+        else {
+            check
+                .violations
+                .push(format!("workload {name} missing from the fresh run"));
+            continue;
+        };
+        for field in ["steps", "cycles", "embeddings"] {
+            let b = base.get(field).and_then(JsonValue::as_u64);
+            let f = mine.get(field).and_then(JsonValue::as_u64);
+            if b != f {
+                check.violations.push(format!(
+                    "{name}: simulated {field} drifted (baseline {b:?}, fresh {f:?})"
+                ));
+            }
+        }
+    }
+
+    let tput = |doc: &JsonValue| {
+        doc.get("total")
+            .and_then(|t| t.get("steps_per_sec_median"))
+            .and_then(JsonValue::as_f64)
+    };
+    match (tput(fresh), tput(baseline)) {
+        (Some(f), Some(b)) if b > 0.0 => {
+            let floor = b * (1.0 - threshold_pct / 100.0);
+            check.info.push(format!(
+                "median throughput: fresh {f:.0} steps/s vs baseline {b:.0} ({:+.1}%), floor {floor:.0} (-{threshold_pct}%)",
+                100.0 * (f - b) / b
+            ));
+            if f < floor {
+                check.violations.push(format!(
+                    "median throughput regressed more than {threshold_pct}%: {f:.0} < {floor:.0} steps/s"
+                ));
+            }
+        }
+        _ => check
+            .violations
+            .push("total.steps_per_sec_median missing from fresh or baseline document".to_string()),
+    }
+    check
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,16 +255,54 @@ mod tests {
         let text = perf_document("deadbee", false, 3, &[], 1234);
         let doc = JsonValue::parse(text.trim()).unwrap();
         assert_eq!(doc.get("schema_version"), Some(&JsonValue::UInt(2)));
-        assert_eq!(
-            doc.get("git_rev"),
-            Some(&JsonValue::Str("deadbee".into()))
-        );
+        assert_eq!(doc.get("git_rev"), Some(&JsonValue::Str("deadbee".into())));
         assert_eq!(doc.get("repeats"), Some(&JsonValue::UInt(3)));
         assert_eq!(doc.get("peak_rss_kb"), Some(&JsonValue::UInt(1234)));
         assert!(matches!(doc.get("workloads"), Some(JsonValue::Array(a)) if a.is_empty()));
         let total = doc.get("total").unwrap();
         assert!(total.get("wall_seconds_median").is_some());
         assert!(total.get("steps_per_sec_best").is_some());
+    }
+
+    fn doc(steps: u64, cycles: u64, tput: f64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"schema_version": 2, "quick": false,
+                 "workloads": [{{"name": "W", "steps": {steps}, "cycles": {cycles}, "embeddings": 7}}],
+                 "total": {{"steps_per_sec_median": {tput}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_check_accepts_identical_and_faster_runs() {
+        let base = doc(100, 50, 1000.0);
+        assert!(check_against_baseline(&doc(100, 50, 1000.0), &base, 10.0).ok());
+        let faster = check_against_baseline(&doc(100, 50, 2000.0), &base, 10.0);
+        assert!(faster.ok(), "{:?}", faster.violations);
+        assert!(!faster.info.is_empty());
+        // Within the threshold: 5% below floor of -10%.
+        assert!(check_against_baseline(&doc(100, 50, 950.0), &base, 10.0).ok());
+    }
+
+    #[test]
+    fn baseline_check_flags_regressions_and_drift() {
+        let base = doc(100, 50, 1000.0);
+        let slow = check_against_baseline(&doc(100, 50, 800.0), &base, 10.0);
+        assert!(!slow.ok());
+        assert!(slow.violations[0].contains("regressed"));
+        let drift = check_against_baseline(&doc(101, 50, 1000.0), &base, 10.0);
+        assert!(!drift.ok());
+        assert!(drift.violations[0].contains("steps drifted"));
+        let missing = check_against_baseline(
+            &JsonValue::parse(
+                r#"{"quick": false, "workloads": [], "total": {"steps_per_sec_median": 1000.0}}"#,
+            )
+            .unwrap(),
+            &base,
+            10.0,
+        );
+        assert!(!missing.ok());
+        assert!(missing.violations[0].contains("missing from the fresh run"));
     }
 
     #[test]

@@ -272,7 +272,10 @@ fn record_fields_raw(
             "error".to_string(),
             error.map_or(JsonValue::Null, PointError::to_json_value),
         ),
-        ("metrics".to_string(), JsonValue::Object(output.metrics.to_vec())),
+        (
+            "metrics".to_string(),
+            JsonValue::Object(output.metrics.to_vec()),
+        ),
         ("report".to_string(), output.report_json()),
     ]
 }
@@ -354,6 +357,7 @@ impl<'a> Sweep<'a> {
             }
             std::process::exit(0);
         }
+        crate::set_metrics_enabled(args.metrics);
         let json_path = args
             .json
             .clone()
@@ -374,7 +378,11 @@ impl<'a> Sweep<'a> {
         let result = self.run_with(&opts);
         match result.write_json(&json_path) {
             Ok(()) => eprintln!("[{}] wrote {}", result.name, json_path.display()),
-            Err(e) => eprintln!("[{}] could not write {}: {e}", result.name, json_path.display()),
+            Err(e) => eprintln!(
+                "[{}] could not write {}: {e}",
+                result.name,
+                json_path.display()
+            ),
         }
         result
     }
@@ -415,11 +423,7 @@ impl<'a> Sweep<'a> {
             };
             points
                 .iter()
-                .map(|p| {
-                    completed
-                        .get(&p.id())
-                        .map(|entry| replay_record(p, entry))
-                })
+                .map(|p| completed.get(&p.id()).map(|entry| replay_record(p, entry)))
                 .collect()
         };
 
@@ -720,13 +724,22 @@ fn run_point(
             *watch.lock().unwrap_or_else(|e| e.into_inner()) = Some((token.clone(), deadline));
         }
         let guard = progress::install(token);
+        // Discard any telemetry stash a previous (failed) attempt on this
+        // worker thread left behind, so an Ok attempt can only pick up
+        // its own recording.
+        crate::take_point_telemetry();
         let outcome = run_quarantined(|| (point.run)());
         drop(guard);
         if timeout.is_some() {
             *watch.lock().unwrap_or_else(|e| e.into_inner()) = None;
         }
         match outcome {
-            Attempt::Ok(output) => return (PointStatus::Ok, attempts, None, output),
+            Attempt::Ok(mut output) => {
+                if let Some(tel) = crate::take_point_telemetry() {
+                    output.metrics.push(("telemetry".to_string(), tel));
+                }
+                return (PointStatus::Ok, attempts, None, output);
+            }
             Attempt::Cancelled => {
                 let budget = timeout.unwrap_or(0.0);
                 return (
@@ -746,7 +759,12 @@ fn run_point(
                     std::thread::sleep(delay);
                     continue;
                 }
-                return (PointStatus::Failed, attempts, Some(error), PointOutput::new());
+                return (
+                    PointStatus::Failed,
+                    attempts,
+                    Some(error),
+                    PointOutput::new(),
+                );
             }
         }
     }
@@ -1026,7 +1044,11 @@ mod tests {
         let ran = AtomicU64::new(0);
         let r = tiny_sweep(&ran).run(2, Some("g2"));
         assert_eq!(r.records.len(), 3);
-        assert_eq!(ran.load(Ordering::Relaxed), 3, "filtered points must not run");
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            3,
+            "filtered points must not run"
+        );
         let r2 = tiny_sweep(&ran).run(2, Some("5-CF"));
         assert_eq!(r2.records.len(), 1);
         assert_eq!(r2.records[0].dataset, "g2");
@@ -1036,7 +1058,9 @@ mod tests {
     fn golden_snapshot_of_tiny_sweep_points() {
         let mut s = Sweep::new("golden");
         s.point("k3", "3-CF", "default", || {
-            PointOutput::new().metric("cycles", 123u64).metric("ratio", 0.5)
+            PointOutput::new()
+                .metric("cycles", 123u64)
+                .metric("ratio", 0.5)
         });
         let r = s.run(1, None);
         // The exact serialized bytes are the schema contract; update this
@@ -1067,7 +1091,10 @@ mod tests {
         s.point("d", "a", "c", || PointOutput::new().metric("x", 1u64));
         let r = s.run(1, None);
         let doc = r.to_json_value();
-        assert_eq!(doc.get("schema_version").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(
+            doc.get("schema_version").and_then(JsonValue::as_u64),
+            Some(2)
+        );
         assert_eq!(doc.get("sweep").and_then(JsonValue::as_str), Some("doc"));
         assert!(doc.get("summary").is_some());
         assert!(doc.get("host").and_then(|h| h.get("jobs")).is_some());
@@ -1125,7 +1152,9 @@ mod tests {
         s.point("d", "bad", "c", || -> PointOutput {
             panic!("injected failure {}", 42);
         });
-        s.point("d", "also-good", "c", || PointOutput::new().metric("x", 2u64));
+        s.point("d", "also-good", "c", || {
+            PointOutput::new().metric("x", 2u64)
+        });
         let r = s.run(2, None);
         assert_eq!(r.records.len(), 3, "sweep must survive the panic");
         let bad = r.find("d", "bad", "c").expect("failed record present");
@@ -1144,15 +1173,23 @@ mod tests {
         // The (d, good) and (d, also-good) groups are fine and (d, bad)
         // is fully failed -> non-zero exit.
         assert_eq!(r.exit_code(), 1);
-        assert_eq!(r.failed_groups(), vec![("d".to_string(), "bad".to_string())]);
+        assert_eq!(
+            r.failed_groups(),
+            vec![("d".to_string(), "bad".to_string())]
+        );
     }
 
     #[test]
     fn typed_error_point_records_kind() {
         let mut s = Sweep::new("typed");
-        s.point("d", "a", "bad-config", || -> Result<PointOutput, SimError> {
-            Err(SimError::App("no such dataset".to_string()))
-        });
+        s.point(
+            "d",
+            "a",
+            "bad-config",
+            || -> Result<PointOutput, SimError> {
+                Err(SimError::App("no such dataset".to_string()))
+            },
+        );
         s.point("d", "a", "good", || {
             Ok::<_, SimError>(PointOutput::new().metric("x", 1u64))
         });
@@ -1170,7 +1207,11 @@ mod tests {
         s.point("d1", "a", "c1", || -> PointOutput { panic!("down") });
         s.point("d1", "a", "c2", || PointOutput::new());
         let r = s.run(1, None);
-        assert_eq!(r.exit_code(), 0, "partially failed group must not fail the run");
+        assert_eq!(
+            r.exit_code(),
+            0,
+            "partially failed group must not fail the run"
+        );
 
         let mut s = Sweep::new("groups");
         s.point("d1", "a", "c1", || -> PointOutput { panic!("down") });

@@ -61,9 +61,17 @@ const ANCESTOR_ENTRY_BYTES: f64 = 6.0;
 /// let est = area::estimate(&cfg, items, false);
 /// assert!(est.bram > 0.5 && est.bram < 0.8); // Table II: 65.69%
 /// ```
-pub fn estimate(config: &GramerConfig, onchip_items: usize, tracks_patterns: bool) -> ResourceEstimate {
+pub fn estimate(
+    config: &GramerConfig,
+    onchip_items: usize,
+    tracks_patterns: bool,
+) -> ResourceEstimate {
     let pus = config.num_pus as f64;
-    let pattern_l = if tracks_patterns { PATTERN_LUTS_PER_PU } else { 0.0 };
+    let pattern_l = if tracks_patterns {
+        PATTERN_LUTS_PER_PU
+    } else {
+        0.0
+    };
     let pattern_r = if tracks_patterns {
         PATTERN_REGISTERS_PER_PU
     } else {

@@ -5,11 +5,20 @@
 //! gramer-mine <edge-list | --demo> --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>
 //!             [--pus N] [--slots N] [--tau F] [--budget-frac F]
 //!             [--lambda F] [--no-steal] [--access-path fast|exact] [--counts]
+//!             [--metrics-out PATH] [--metrics-summary] [--metrics-window N]
 //! ```
 //!
 //! The edge list is SNAP-style (`u v` per line, `#` comments). `--demo`
 //! generates a power-law graph instead of reading a file.
+//!
+//! `--metrics-out PATH` records cycle-windowed telemetry during the run
+//! (see `gramer::telemetry`) and writes the schema-versioned JSON document
+//! to `PATH` (`-` for stdout). `--metrics-summary` prints a human-readable
+//! rollup instead of (or in addition to) the file; either flag enables
+//! recording. `--metrics-window N` sets the base window width in cycles
+//! (default 1024). Telemetry never changes simulated results.
 
+use gramer::telemetry::{Telemetry, TelemetryConfig};
 use gramer::{preprocess, GramerConfig, MemoryBudget, Simulator};
 use gramer_graph::{generate, io, CsrGraph};
 use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
@@ -22,12 +31,21 @@ struct Options {
     app: String,
     config: GramerConfig,
     show_counts: bool,
+    metrics_out: Option<String>,
+    metrics_summary: bool,
+    metrics_window: Option<u64>,
+}
+
+impl Options {
+    fn metrics_enabled(&self) -> bool {
+        self.metrics_out.is_some() || self.metrics_summary
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: gramer-mine <edge-list | --demo> --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>> \
-         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--counts]"
+         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--counts] [--metrics-out PATH] [--metrics-summary] \\\n         [--metrics-window N]"
     );
     std::process::exit(2)
 }
@@ -39,6 +57,9 @@ fn parse_args() -> Options {
         app: "3-cf".to_string(),
         config: GramerConfig::default(),
         show_counts: false,
+        metrics_out: None,
+        metrics_summary: false,
+        metrics_window: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +88,11 @@ fn parse_args() -> Options {
                     })
             }
             "--counts" => opts.show_counts = true,
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
+            "--metrics-summary" => opts.metrics_summary = true,
+            "--metrics-window" => {
+                opts.metrics_window = Some(parse_num(&value("--metrics-window")) as u64)
+            }
             "--help" | "-h" => usage(),
             path if !path.starts_with('-') => opts.input = Some(path.to_string()),
             other => {
@@ -95,11 +121,26 @@ fn parse_float(s: &str) -> f64 {
     })
 }
 
-fn run_app(graph: &CsrGraph, opts: &Options) -> Result<(String, gramer::RunReport), String> {
+fn run_app(
+    graph: &CsrGraph,
+    opts: &Options,
+) -> Result<(String, gramer::RunReport, Option<Telemetry>), String> {
     let pre = preprocess(graph, &opts.config).map_err(|e| e.to_string())?;
-    let run = |app: &dyn DynRun| app.run(&pre, opts.config.clone());
+    let telemetry = || {
+        opts.metrics_enabled().then(|| {
+            Telemetry::new(TelemetryConfig {
+                window_cycles: opts.metrics_window.unwrap_or(1024),
+                ..TelemetryConfig::default()
+            })
+        })
+    };
+    let run = |app: &dyn DynRun| -> Result<(gramer::RunReport, Option<Telemetry>), String> {
+        let mut tel = telemetry();
+        let report = app.run(&pre, opts.config.clone(), tel.as_mut())?;
+        Ok((report, tel))
+    };
     let spec = opts.app.to_ascii_lowercase();
-    let report = if let Some(t) = spec.strip_prefix("fsm:") {
+    let (report, tel) = if let Some(t) = spec.strip_prefix("fsm:") {
         let threshold: u64 = t.parse().map_err(|_| format!("bad FSM threshold {t:?}"))?;
         run(&FrequentSubgraphMining::new(threshold))?
     } else {
@@ -113,13 +154,17 @@ fn run_app(graph: &CsrGraph, opts: &Options) -> Result<(String, gramer::RunRepor
             other => return Err(format!("unknown application kind {other:?}")),
         }
     };
-    Ok((spec, report))
+    Ok((spec, report, tel))
 }
 
 /// Object-safe run adapter (the simulator API is generic).
 trait DynRun {
-    fn run(&self, pre: &gramer::Preprocessed, cfg: GramerConfig)
-        -> Result<gramer::RunReport, String>;
+    fn run(
+        &self,
+        pre: &gramer::Preprocessed,
+        cfg: GramerConfig,
+        tel: Option<&mut Telemetry>,
+    ) -> Result<gramer::RunReport, String>;
 }
 
 impl<A: EcmApp> DynRun for A {
@@ -127,9 +172,13 @@ impl<A: EcmApp> DynRun for A {
         &self,
         pre: &gramer::Preprocessed,
         cfg: GramerConfig,
+        tel: Option<&mut Telemetry>,
     ) -> Result<gramer::RunReport, String> {
         let sim = Simulator::new(pre, cfg).map_err(|e| e.to_string())?;
-        sim.run(self).map_err(|e| e.to_string())
+        match tel {
+            Some(tel) => sim.run_telemetry(self, tel).map_err(|e| e.to_string()),
+            None => sim.run(self).map_err(|e| e.to_string()),
+        }
     }
 }
 
@@ -141,6 +190,23 @@ fn print_counts(result: &MiningResult) {
             result.automorphism_count(pid),
         );
     }
+}
+
+fn write_metrics(tel: &Telemetry, opts: &Options) -> Result<(), String> {
+    if let Some(path) = opts.metrics_out.as_deref() {
+        let doc = tel.to_json_value().to_string_pretty();
+        if path == "-" {
+            println!("{doc}");
+        } else {
+            std::fs::write(path, doc + "\n")
+                .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+            eprintln!("telemetry written to {path}");
+        }
+    }
+    if opts.metrics_summary {
+        print!("{}", tel.summary_text());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -164,7 +230,7 @@ fn main() -> ExitCode {
     );
 
     match run_app(&graph, &opts) {
-        Ok((_, report)) => {
+        Ok((_, report, tel)) => {
             println!("{}", report.summary());
             println!(
                 "wall {:.6} s (exec {:.6} + transfer {:.6}), preprocess {:.6} s",
@@ -182,6 +248,12 @@ fn main() -> ExitCode {
             );
             if opts.show_counts {
                 print_counts(&report.result);
+            }
+            if let Some(tel) = &tel {
+                if let Err(e) = write_metrics(tel, &opts) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
             ExitCode::SUCCESS
         }

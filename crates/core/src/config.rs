@@ -278,7 +278,9 @@ mod tests {
             Err(ConfigError::BadFraction(1.5))
         );
         assert_eq!(
-            MemoryBudget::Fraction(f64::NAN).resolve(1000).map_err(|e| e.kind()),
+            MemoryBudget::Fraction(f64::NAN)
+                .resolve(1000)
+                .map_err(|e| e.kind()),
             Err("config-bad-fraction")
         );
     }
@@ -308,6 +310,9 @@ mod tests {
             clock_hz: f64::NAN,
             ..GramerConfig::default()
         };
-        assert_eq!(bad_clock.validate().map_err(|e| e.kind()), Err("config-bad-clock"));
+        assert_eq!(
+            bad_clock.validate().map_err(|e| e.kind()),
+            Err("config-bad-clock")
+        );
     }
 }

@@ -31,6 +31,15 @@ pub trait EventQueue {
     fn push(&mut self, time: u64, id: u32);
     /// Dequeues the earliest event, ties broken by smallest `id`.
     fn pop(&mut self) -> Option<(u64, u32)>;
+    /// Number of pending events — the telemetry layer's event-queue-depth
+    /// gauge. Both implementations count identically (the queues are
+    /// totally-order equivalent), so sampled depths are scheduler-choice
+    /// invariant.
+    fn len(&self) -> usize;
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     /// Enqueues `(time, id)` and immediately dequeues the earliest event
     /// — the simulator loop's dominant pattern (nearly every slot-step
     /// ends by scheduling the slot's next event and popping again).
@@ -67,6 +76,11 @@ impl EventQueue for HeapQueue {
     #[inline]
     fn pop(&mut self) -> Option<(u64, u32)> {
         self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -200,6 +214,11 @@ impl EventQueue for CalendarQueue {
     }
 
     #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
     fn push(&mut self, time: u64, id: u32) {
         debug_assert!(
             time >= self.cur,
@@ -281,10 +300,12 @@ mod tests {
             let t = floor + dt;
             heap.push(t, id);
             cal.push(t, id);
+            assert_eq!(heap.len(), cal.len());
             for _ in 0..pops_between {
                 let a = heap.pop();
                 let b = cal.pop();
                 assert_eq!(a, b);
+                assert_eq!(heap.len(), cal.len());
                 if let Some((t, _)) = a {
                     floor = t;
                 }

@@ -440,8 +440,8 @@ impl Parser<'_> {
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             // Surrogate pairs are not produced by our
@@ -511,7 +511,10 @@ mod tests {
         let v = JsonValue::object([
             ("b", JsonValue::from(1u64)),
             ("a", JsonValue::from(2u64)),
-            ("nested", JsonValue::array([JsonValue::Null, JsonValue::Bool(true)])),
+            (
+                "nested",
+                JsonValue::array([JsonValue::Null, JsonValue::Bool(true)]),
+            ),
         ]);
         // Insertion order, not alphabetical.
         assert_eq!(v.to_string(), r#"{"b":1,"a":2,"nested":[null,true]}"#);
@@ -556,7 +559,10 @@ mod tests {
     #[test]
     fn pretty_output_parses_back() {
         let v = JsonValue::object([
-            ("points", JsonValue::array([JsonValue::object([("x", JsonValue::from(1u64))])])),
+            (
+                "points",
+                JsonValue::array([JsonValue::object([("x", JsonValue::from(1u64))])]),
+            ),
             ("empty_arr", JsonValue::Array(vec![])),
             ("empty_obj", JsonValue::Object(vec![])),
         ]);

@@ -59,10 +59,12 @@ pub mod error;
 pub mod json;
 pub mod pipeline;
 pub mod progress;
+pub mod telemetry;
 
 pub use config::{GramerConfig, MemoryBudget, MemoryMode, Scheduler};
-pub use gramer_memsim::AccessPath;
 pub use error::{ConfigError, SimError};
+pub use gramer_memsim::AccessPath;
 pub use preprocess::{preprocess, Preprocessed};
 pub use report::{ReportSummary, RunReport};
 pub use sim::Simulator;
+pub use telemetry::{NullSink, Telemetry, TelemetryConfig, TelemetrySink};

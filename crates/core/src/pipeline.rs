@@ -59,13 +59,19 @@ pub fn critical_path_ns(config: &GramerConfig, mode: AncestorMode, tracks_patter
     let depth = config.ancestor_depth as f64;
     let (mut flow_bits, mut buffer_bits) = match mode {
         AncestorMode::Flowing => (depth * EMB_VERTICES * PAIR_BITS, 0.0),
-        AncestorMode::Buffered => {
-            (slots.log2().ceil(), slots * depth * EMB_VERTICES * PAIR_BITS)
-        }
+        AncestorMode::Buffered => (
+            slots.log2().ceil(),
+            slots * depth * EMB_VERTICES * PAIR_BITS,
+        ),
         AncestorMode::BufferedCompacted => (slots.log2().ceil(), slots * depth * PAIR_BITS),
     };
     if tracks_patterns {
-        flow_bits += PATTERN_FLOW_BITS * if mode == AncestorMode::Flowing { 1.0 } else { 0.0 };
+        flow_bits += PATTERN_FLOW_BITS
+            * if mode == AncestorMode::Flowing {
+                1.0
+            } else {
+                0.0
+            };
         if mode != AncestorMode::Flowing {
             buffer_bits += PATTERN_BUFFER_BITS;
         }
@@ -89,6 +95,20 @@ pub fn critical_path_ns(config: &GramerConfig, mode: AncestorMode, tracks_patter
 /// ```
 pub fn clock_rate_mhz(config: &GramerConfig, mode: AncestorMode, tracks_patterns: bool) -> f64 {
     1000.0 / critical_path_ns(config, mode, tracks_patterns)
+}
+
+/// Pipeline utilization of one PU over a cycle window: issued slot-steps
+/// per issue opportunity. The Scheduler issues at most one slot-step per
+/// cycle (§V-B), so a window of `window_cycles` cycles offers exactly
+/// `window_cycles` issue slots and the ratio is bounded by 1. This is the
+/// occupancy definition the telemetry layer
+/// ([`crate::telemetry::Telemetry`]) reports per window and per PU.
+pub fn pu_utilization(steps: u64, window_cycles: u64) -> f64 {
+    if window_cycles == 0 {
+        0.0
+    } else {
+        steps as f64 / window_cycles as f64
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +140,14 @@ mod tests {
             assert!(mc < cf, "{mode:?}: {mc} !< {cf}");
             assert!(mc > cf * 0.9, "{mode:?} drop too large");
         }
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_zero_safe() {
+        assert_eq!(pu_utilization(0, 1024), 0.0);
+        assert_eq!(pu_utilization(512, 1024), 0.5);
+        assert_eq!(pu_utilization(1024, 1024), 1.0);
+        assert_eq!(pu_utilization(5, 0), 0.0);
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl RunReport {
             ("app", JsonValue::from(self.app.as_str())),
             ("cycles", JsonValue::from(self.cycles)),
             ("seconds", JsonValue::from(self.seconds)),
-            ("preprocess_seconds", JsonValue::from(self.preprocess_seconds)),
+            (
+                "preprocess_seconds",
+                JsonValue::from(self.preprocess_seconds),
+            ),
             ("transfer_seconds", JsonValue::from(self.transfer_seconds)),
             ("wall_seconds", JsonValue::from(self.wall_seconds())),
             ("total_seconds", JsonValue::from(self.total_seconds())),
@@ -108,13 +111,19 @@ impl RunReport {
                     (
                         "accepted_by_size",
                         JsonValue::array(
-                            self.result.accepted_by_size.iter().map(|&n| JsonValue::from(n)),
+                            self.result
+                                .accepted_by_size
+                                .iter()
+                                .map(|&n| JsonValue::from(n)),
                         ),
                     ),
                     (
                         "candidates_by_size",
                         JsonValue::array(
-                            self.result.candidates_by_size.iter().map(|&n| JsonValue::from(n)),
+                            self.result
+                                .candidates_by_size
+                                .iter()
+                                .map(|&n| JsonValue::from(n)),
                         ),
                     ),
                 ]),
@@ -274,7 +283,10 @@ mod tests {
         let v = r.to_json_value();
         let back = JsonValue::parse(&v.to_string()).expect("valid JSON");
         assert_eq!(back.get("app").and_then(JsonValue::as_str), Some("3-CF"));
-        assert_eq!(back.get("cycles").and_then(JsonValue::as_u64), Some(2_000_000));
+        assert_eq!(
+            back.get("cycles").and_then(JsonValue::as_u64),
+            Some(2_000_000)
+        );
         assert_eq!(
             back.get("result")
                 .and_then(|res| res.get("embeddings"))
@@ -282,11 +294,16 @@ mod tests {
             Some(42)
         );
         assert_eq!(
-            back.get("pu_steps").and_then(JsonValue::as_array).map(<[_]>::len),
+            back.get("pu_steps")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
             Some(2)
         );
         // Derived quantities are included for plotting without recompute.
-        let wall = back.get("wall_seconds").and_then(JsonValue::as_f64).unwrap();
+        let wall = back
+            .get("wall_seconds")
+            .and_then(JsonValue::as_f64)
+            .unwrap();
         assert!((wall - 0.015).abs() < 1e-12);
     }
 

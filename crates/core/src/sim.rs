@@ -4,11 +4,12 @@ use crate::events::{CalendarQueue, EventQueue, HeapQueue};
 use crate::preprocess::Preprocessed;
 use crate::progress;
 use crate::report::RunReport;
+use crate::telemetry::{NullSink, SinkObserver, Telemetry, TelemetrySink};
 use gramer_graph::VertexId;
 use gramer_memsim::policy::PolicyKind;
 use gramer_memsim::{DataKind, HybridConfig, MemError, MemorySubsystem, SubsystemConfig};
 use gramer_mining::{
-    AccessObserver, EcmApp, Explorer, MiningResult, PatternCounts, PatternInterner, Step,
+    AccessObserver, EcmApp, Explorer, MiningResult, PatternCounts, PatternInterner, Step, Tee,
 };
 use std::collections::VecDeque;
 
@@ -179,13 +180,39 @@ impl<'p> Simulator<'p> {
     /// `tests/golden.rs`).
     pub fn run<A: EcmApp>(&self, app: &A) -> Result<RunReport, SimError> {
         match self.config.scheduler {
-            Scheduler::Calendar => self.run_with::<A, CalendarQueue>(app),
-            Scheduler::Heap => self.run_with::<A, HeapQueue>(app),
+            Scheduler::Calendar => self.run_with::<A, CalendarQueue, NullSink>(app, &mut NullSink),
+            Scheduler::Heap => self.run_with::<A, HeapQueue, NullSink>(app, &mut NullSink),
         }
     }
 
-    /// The event loop, generic over the queue implementation.
-    fn run_with<A: EcmApp, Q: EventQueue + Default>(&self, app: &A) -> Result<RunReport, SimError> {
+    /// Runs `app` like [`Simulator::run`] while recording cycle-windowed
+    /// telemetry into `tel` (see [`crate::telemetry`]).
+    ///
+    /// Recording is observational only: the returned [`RunReport`] — and
+    /// every simulated quantity inside it — is bit-identical to what
+    /// [`Simulator::run`] produces for the same inputs (asserted by
+    /// `tests/telemetry.rs`). The sink hooks ride the existing event
+    /// loop; they never schedule events or touch the memory subsystem.
+    pub fn run_telemetry<A: EcmApp>(
+        &self,
+        app: &A,
+        tel: &mut Telemetry,
+    ) -> Result<RunReport, SimError> {
+        match self.config.scheduler {
+            Scheduler::Calendar => self.run_with::<A, CalendarQueue, Telemetry>(app, tel),
+            Scheduler::Heap => self.run_with::<A, HeapQueue, Telemetry>(app, tel),
+        }
+    }
+
+    /// The event loop, generic over the queue implementation and the
+    /// telemetry sink. With [`NullSink`] every hook and `S::ACTIVE` guard
+    /// is a compile-time no-op, so the monomorphized loop is exactly the
+    /// uninstrumented one.
+    fn run_with<A: EcmApp, Q: EventQueue + Default, S: TelemetrySink>(
+        &self,
+        app: &A,
+        sink: &mut S,
+    ) -> Result<RunReport, SimError> {
         if app.max_vertices() > self.config.ancestor_depth {
             return Err(SimError::DepthExceedsAncestors {
                 depth: app.max_vertices(),
@@ -239,6 +266,7 @@ impl<'p> Simulator<'p> {
         for id in 0..num_slots {
             queue.push(0, id as u32);
         }
+        sink.on_begin(cfg.num_pus);
 
         // The loop carries the next event in a register: a slot-step that
         // schedules its own continuation uses `EventQueue::push_pop`, so
@@ -257,6 +285,11 @@ impl<'p> Simulator<'p> {
                 progress::tick_n(PROGRESS_BATCH);
                 tick_backlog = 0;
             }
+            if S::ACTIVE {
+                // The popped event is live but no longer counted by the
+                // queue, hence the +1.
+                sink.on_event(t, &mem, queue.len() + 1);
+            }
             // Acquire work if the slot is idle.
             if slots[sid].is_none() {
                 let mut acquired_at = t;
@@ -270,7 +303,11 @@ impl<'p> Simulator<'p> {
                     let donor = (0..cfg.num_pus)
                         .filter(|&q| q != p)
                         .max_by_key(|&q| (pus.roots[q].len(), usize::MAX - q))?;
-                    pus.roots[donor].pop_back()
+                    let donated = pus.roots[donor].pop_back();
+                    if S::ACTIVE && donated.is_some() {
+                        sink.on_donation(donor, p);
+                    }
+                    donated
                 });
                 if let Some(root) = root {
                     slots[sid] = Some(Explorer::with_probe(graph, &self.pre.probe, root));
@@ -282,6 +319,9 @@ impl<'p> Simulator<'p> {
                             continue;
                         }
                         if let Some(ex) = slots[victim].as_mut() {
+                            if S::ACTIVE {
+                                sink.on_steal_attempt(p);
+                            }
                             if let Some(thief) = ex.split() {
                                 stolen = Some(thief);
                                 break;
@@ -293,9 +333,15 @@ impl<'p> Simulator<'p> {
                         pus.active_slots[p] += 1;
                         steals += 1;
                         acquired_at = t + STEAL_PENALTY_CYCLES;
+                        if S::ACTIVE {
+                            sink.on_steal_success(p);
+                        }
                     }
                 }
                 if slots[sid].is_none() {
+                    if S::ACTIVE {
+                        sink.on_idle(p);
+                    }
                     // Nothing to do now; retry while peers are active
                     // (their descents may create stealable ranges).
                     next_ev = if pus.active_slots[p] > 0 {
@@ -317,23 +363,34 @@ impl<'p> Simulator<'p> {
             steps += 1;
             pu_steps[p] += 1;
 
-            let mut obs = TimedObserver {
-                mem: &mut mem,
-                now: issue,
-            };
             let ex = match slots[sid].as_mut() {
                 Some(ex) => ex,
                 // The idle branch above either filled the slot or bailed.
                 None => unreachable!("scheduled an empty slot"),
             };
-            let next_t = match ex.step(&mut obs) {
+            // Explorer state the sink wants is captured before the step
+            // mutates it; free when the sink is inert.
+            let (depth, thief) = if S::ACTIVE {
+                (ex.depth(), ex.is_thief())
+            } else {
+                (0, false)
+            };
+            let mut obs = Tee(
+                TimedObserver {
+                    mem: &mut mem,
+                    now: issue,
+                },
+                SinkObserver(&mut *sink),
+            );
+            let step = ex.step(&mut obs);
+            let next_t = match step {
                 Step::Rejected => {
                     candidates += 1;
                     let next_size = (ex.embedding().len() + 1).min(app.max_vertices());
                     candidates_by_size[next_size] += 1;
-                    obs.now
+                    obs.0.now
                 }
-                Step::Traceback => obs.now,
+                Step::Traceback => obs.0.now,
                 Step::Candidate => {
                     candidates += 1;
                     let emb = ex.embedding();
@@ -351,23 +408,28 @@ impl<'p> Simulator<'p> {
                         ex.retract();
                     }
                     // Filter/Process pipeline stage: one extra cycle.
-                    obs.now + 1
+                    obs.0.now + 1
                 }
                 Step::Done => {
                     slots[sid] = None;
                     pus.active_slots[p] -= 1;
-                    obs.now + 1
+                    obs.0.now + 1
                 }
             };
-            let finished = obs.now;
+            let finished = obs.0.now;
             max_time = max_time.max(finished);
             pu_finish[p] = pu_finish[p].max(finished);
+            if S::ACTIVE {
+                sink.on_step(p, t, issue, finished, depth, thief, step);
+            }
             next_ev = Some(queue.push_pop(next_t, id));
         }
         // Flush the partial heartbeat batch (also a final cancel check).
         progress::tick_n(tick_backlog);
 
         debug_assert!(pus.roots.iter().all(VecDeque::is_empty));
+
+        sink.on_finish(max_time, &mem);
 
         let mem_stats = mem.stats();
         let transfer_seconds =
@@ -462,10 +524,7 @@ mod tests {
         .unwrap()
         .run(&app)
         .unwrap();
-        assert_eq!(
-            with_steal.result.total_at(4),
-            without.result.total_at(4)
-        );
+        assert_eq!(with_steal.result.total_at(4), without.result.total_at(4));
         assert!(with_steal.steals > 0, "no steals happened");
         assert!(without.steals == 0);
         // Stealing should not slow things down on a skewed graph.
@@ -487,8 +546,16 @@ mod tests {
         };
         let pre = preprocess(&g, &cfg1).unwrap();
         let app = CliqueFinding::new(4).unwrap();
-        let t1 = Simulator::new(&pre, cfg1).unwrap().run(&app).unwrap().cycles;
-        let t8 = Simulator::new(&pre, cfg8).unwrap().run(&app).unwrap().cycles;
+        let t1 = Simulator::new(&pre, cfg1)
+            .unwrap()
+            .run(&app)
+            .unwrap()
+            .cycles;
+        let t8 = Simulator::new(&pre, cfg8)
+            .unwrap()
+            .run(&app)
+            .unwrap()
+            .cycles;
         assert!(
             (t8 as f64) < (t1 as f64) * 0.7,
             "slots gave no speedup: {t1} -> {t8}"
@@ -555,7 +622,10 @@ mod tests {
         let cfg = GramerConfig::default();
         let pre = preprocess(&g, &cfg).unwrap();
         let app = MotifCounting::new(3).unwrap();
-        let a = Simulator::new(&pre, cfg.clone()).unwrap().run(&app).unwrap();
+        let a = Simulator::new(&pre, cfg.clone())
+            .unwrap()
+            .run(&app)
+            .unwrap();
         let b = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.mem, b.mem);

@@ -185,7 +185,11 @@ pub fn on1_scores(graph: &CsrGraph) -> OnScores {
     let n = graph.num_vertices();
     let mut scores = vec![0.0f64; n];
     for v in 0..n as VertexId {
-        let nbr_sum: f64 = graph.neighbors(v).iter().map(|&u| graph.degree(u) as f64).sum();
+        let nbr_sum: f64 = graph
+            .neighbors(v)
+            .iter()
+            .map(|&u| graph.degree(u) as f64)
+            .sum();
         scores[v as usize] = graph.degree(v) as f64 * nbr_sum;
     }
     OnScores { scores, hops: 1 }

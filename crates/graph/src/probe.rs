@@ -165,7 +165,11 @@ impl AdjProbe {
         // position is a rank query (prefix + popcount) — no hashing, no
         // O(log degree) walk, and hubs take this path for hits *and*
         // misses alike.
-        let dense = self.dense_row.get(a as usize).copied().unwrap_or(NO_DENSE_ROW);
+        let dense = self
+            .dense_row
+            .get(a as usize)
+            .copied()
+            .unwrap_or(NO_DENSE_ROW);
         if dense != NO_DENSE_ROW {
             let base = dense as usize * self.words_per_row;
             let word_idx = b as usize >> 6;

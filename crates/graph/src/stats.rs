@@ -171,7 +171,10 @@ mod tests {
         let mild = generate::chung_lu(8000, 24000, 3.0, 3);
         let gh = hill_tail_exponent(&heavy, 200);
         let gm = hill_tail_exponent(&mild, 200);
-        assert!(gh < gm, "heavy {gh} should have smaller exponent than mild {gm}");
+        assert!(
+            gh < gm,
+            "heavy {gh} should have smaller exponent than mild {gm}"
+        );
     }
 
     #[test]

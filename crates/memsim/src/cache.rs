@@ -110,6 +110,13 @@ impl SetAssociativeCache {
         self.evictions
     }
 
+    /// Number of lines currently resident (≤ `sets × ways`). A warm-up
+    /// gauge for the telemetry layer: the ramp from 0 to steady state is
+    /// the cold-start segment of the hit-rate curve.
+    pub fn occupied_lines(&self) -> usize {
+        self.set_len.iter().map(|&l| l as usize).sum()
+    }
+
     /// Name of the active replacement policy.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
@@ -155,7 +162,9 @@ impl SetAssociativeCache {
             self.tags[base + len] = tag;
             self.set_len[set_idx] = (len + 1) as u16;
         } else {
-            let victim = self.policy.victim(&self.lines[base..base + len], self.clock);
+            let victim = self
+                .policy
+                .victim(&self.lines[base..base + len], self.clock);
             debug_assert!(victim < len);
             self.lines[base + victim] = fill;
             self.tags[base + victim] = tag;
@@ -262,12 +271,8 @@ mod tests {
     fn locality_policy_keeps_hot_ranks() {
         // 1 set, 2 ways. Fill with a hot-rank and a cold-rank item, then
         // stream cold items: the hot (rank 0) line should survive.
-        let mut c = SetAssociativeCache::new(
-            1,
-            2,
-            0,
-            PolicyKind::LocalityPreserved { lambda: 0.0 },
-        );
+        let mut c =
+            SetAssociativeCache::new(1, 2, 0, PolicyKind::LocalityPreserved { lambda: 0.0 });
         c.access(0, 0); // hot
         c.access(100, 900); // cold
         for i in 101..120u64 {

@@ -56,7 +56,12 @@ pub struct EnergyBreakdown {
 impl EnergyModel {
     /// Energy of an accelerator run of `seconds` with the given memory
     /// activity.
-    pub fn accelerator_energy(&self, seconds: f64, stats: &MemStats, dram_requests: u64) -> EnergyBreakdown {
+    pub fn accelerator_energy(
+        &self,
+        seconds: f64,
+        stats: &MemStats,
+        dram_requests: u64,
+    ) -> EnergyBreakdown {
         let hp = (stats.vertex.high_priority_hits + stats.edge.high_priority_hits) as f64;
         let ch = (stats.vertex.cache_hits + stats.edge.cache_hits) as f64;
         let miss = stats.total_misses() as f64;

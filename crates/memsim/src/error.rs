@@ -48,7 +48,11 @@ mod tests {
 
     #[test]
     fn kinds_are_distinct() {
-        let all = [MemError::ZeroSets, MemError::ZeroWays, MemError::ZeroPartitions];
+        let all = [
+            MemError::ZeroSets,
+            MemError::ZeroWays,
+            MemError::ZeroPartitions,
+        ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a.kind(), b.kind());

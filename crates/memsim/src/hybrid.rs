@@ -46,7 +46,11 @@ pub struct HybridConfig {
 impl HybridConfig {
     /// A hierarchy with `pinned` pinned in the scratchpad and a cache
     /// sized to `cache_items` items under `policy` (4-way, 1-item blocks).
-    pub fn sized(pinned: std::sync::Arc<Vec<bool>>, cache_items: usize, policy: PolicyKind) -> Self {
+    pub fn sized(
+        pinned: std::sync::Arc<Vec<bool>>,
+        cache_items: usize,
+        policy: PolicyKind,
+    ) -> Self {
         let blocks = cache_items.max(4);
         HybridConfig {
             pinned,
@@ -165,6 +169,13 @@ impl HybridMemory {
     /// Evictions performed by the low-priority cache.
     pub fn evictions(&self) -> u64 {
         self.cache.evictions()
+    }
+
+    /// Lines currently resident in the low-priority cache — the warm-up
+    /// gauge behind the telemetry layer's per-window cache-occupancy
+    /// series (see [`crate::SetAssociativeCache::occupied_lines`]).
+    pub fn cache_occupied_lines(&self) -> usize {
+        self.cache.occupied_lines()
     }
 
     /// Clears cache contents and statistics (the scratchpad is static and

@@ -433,7 +433,11 @@ mod tests {
         let lines = [reused_line(0, 2, 1), line(1, 50, 6, 0), line(2, 60, 4, 0)];
         assert_eq!(p.victim(&lines, 61), 2);
         // All protected: plain LRU.
-        let lines = [reused_line(0, 2, 1), reused_line(1, 50, 6), reused_line(2, 60, 4)];
+        let lines = [
+            reused_line(0, 2, 1),
+            reused_line(1, 50, 6),
+            reused_line(2, 60, 4),
+        ];
         assert_eq!(p.victim(&lines, 61), 0);
     }
 
@@ -454,9 +458,6 @@ mod tests {
         assert_eq!(PolicyKind::Random { seed: 3 }.build().name(), "Random");
         assert_eq!(PolicyKind::Lirs.build().name(), "LIRS");
         assert_eq!(PolicyKind::SegmentedLru.build().name(), "SegmentedLRU");
-        assert_eq!(
-            PolicyKind::default().build().name(),
-            "LocalityPreserved"
-        );
+        assert_eq!(PolicyKind::default().build().name(), "LocalityPreserved");
     }
 }

@@ -37,6 +37,20 @@ impl KindStats {
             (self.high_priority_hits + self.cache_hits) as f64 / total as f64
         }
     }
+
+    /// Counters accumulated since `earlier`, an older snapshot of the same
+    /// monotonically growing counter set — the windowing primitive of the
+    /// telemetry layer (`gramer::telemetry`). Saturating, so a mismatched
+    /// snapshot degrades to zeros instead of wrapping.
+    pub fn delta_since(&self, earlier: &KindStats) -> KindStats {
+        KindStats {
+            high_priority_hits: self
+                .high_priority_hits
+                .saturating_sub(earlier.high_priority_hits),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
 }
 
 impl AddAssign for KindStats {
@@ -76,6 +90,15 @@ impl MemStats {
             1.0
         } else {
             (total - self.total_misses()) as f64 / total as f64
+        }
+    }
+
+    /// Per-kind counters accumulated since the older snapshot `earlier`
+    /// (see [`KindStats::delta_since`]).
+    pub fn delta_since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            vertex: self.vertex.delta_since(&earlier.vertex),
+            edge: self.edge.delta_since(&earlier.edge),
         }
     }
 }
@@ -121,6 +144,38 @@ mod tests {
             misses: 30,
         };
         assert_eq!(a.total(), 66);
+    }
+
+    #[test]
+    fn delta_since_windows_the_counters() {
+        let earlier = KindStats {
+            high_priority_hits: 5,
+            cache_hits: 2,
+            misses: 1,
+        };
+        let later = KindStats {
+            high_priority_hits: 9,
+            cache_hits: 2,
+            misses: 4,
+        };
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.high_priority_hits, 4);
+        assert_eq!(d.cache_hits, 0);
+        assert_eq!(d.misses, 3);
+        // A mismatched (newer) snapshot saturates to zero, never wraps.
+        let z = earlier.delta_since(&later);
+        assert_eq!(z.total(), 0);
+        let m_earlier = MemStats {
+            vertex: earlier,
+            edge: KindStats::default(),
+        };
+        let m_later = MemStats {
+            vertex: later,
+            edge: earlier,
+        };
+        let md = m_later.delta_since(&m_earlier);
+        assert_eq!(md.vertex.total(), 7);
+        assert_eq!(md.edge.total(), 8);
     }
 
     #[test]

@@ -686,6 +686,43 @@ impl MemorySubsystem {
         self.dram.requests()
     }
 
+    /// Current request-FIFO occupancy summed over `kind`'s partitions —
+    /// entries admitted but not yet popped by the lazy drain. This is a
+    /// sampling gauge for the telemetry layer; it never perturbs timing
+    /// state. Both access paths leave identical occupancy (the fast lane
+    /// only fires where the exact admission loop would also leave exactly
+    /// one live entry), so sampled values are access-path-invariant.
+    pub fn fifo_occupancy(&self, kind: DataKind) -> u64 {
+        let st = match kind {
+            DataKind::Vertex => &self.vertex,
+            DataKind::Edge => &self.edge,
+        };
+        st.hot.iter().map(|h| h.fifo.len as u64).sum()
+    }
+
+    /// Cache evictions summed over `kind`'s banks (monotone counter; the
+    /// telemetry layer samples deltas of it per window).
+    pub fn evictions(&self, kind: DataKind) -> u64 {
+        let st = match kind {
+            DataKind::Vertex => &self.vertex,
+            DataKind::Edge => &self.edge,
+        };
+        st.banks.iter().map(HybridMemory::evictions).sum()
+    }
+
+    /// Lines currently resident across `kind`'s low-priority caches — the
+    /// warm-up gauge of the telemetry layer's cache-occupancy series.
+    pub fn cache_occupied_lines(&self, kind: DataKind) -> u64 {
+        let st = match kind {
+            DataKind::Vertex => &self.vertex,
+            DataKind::Edge => &self.edge,
+        };
+        st.banks
+            .iter()
+            .map(|b| b.cache_occupied_lines() as u64)
+            .sum()
+    }
+
     /// Clears all dynamic state (cache contents, ports, DRAM queues,
     /// statistics). Scratchpad membership is retained.
     pub fn reset(&mut self) {
@@ -746,7 +783,10 @@ mod tests {
         };
         let mk = |partitions, sets| SubsystemConfig {
             partitions,
-            vertex: HybridConfig { sets, ..hybrid.clone() },
+            vertex: HybridConfig {
+                sets,
+                ..hybrid.clone()
+            },
             edge: hybrid.clone(),
             vertex_route_bits: 0,
             edge_route_bits: 0,

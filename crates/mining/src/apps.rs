@@ -309,7 +309,11 @@ impl SubgraphMatching {
 
 impl EcmApp for SubgraphMatching {
     fn name(&self) -> String {
-        format!("match-{}v{}e", self.target.num_vertices(), self.target.edge_count())
+        format!(
+            "match-{}v{}e",
+            self.target.num_vertices(),
+            self.target.edge_count()
+        )
     }
 
     fn max_vertices(&self) -> usize {

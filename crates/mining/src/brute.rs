@@ -129,9 +129,7 @@ mod tests {
         let counts = brute_force_counts(&g, 3);
         assert_eq!(total_connected(&counts, 2), 7);
         assert_eq!(total_connected(&counts, 3), 7); // 7 wedges, no triangles
-        assert!(counts
-            .keys()
-            .all(|(s, p)| *s != 3 || !p.is_clique()));
+        assert!(counts.keys().all(|(s, p)| *s != 3 || !p.is_clique()));
     }
 
     #[test]

@@ -86,9 +86,7 @@ impl PatternCounts {
     pub fn iter(&self) -> impl Iterator<Item = (usize, PatternId, u64)> + '_ {
         let pending = self.pending;
         let extra = match pending {
-            Some((k, d)) if !self.counts.contains_key(&k) => {
-                Some((k.0 as usize, k.1, d))
-            }
+            Some((k, d)) if !self.counts.contains_key(&k) => Some((k.0 as usize, k.1, d)),
             _ => None,
         };
         self.counts

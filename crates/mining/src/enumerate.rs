@@ -153,8 +153,7 @@ impl<'g> BfsEnumerator<'g> {
         let mut candidates_by_size = vec![0u64; max + 1];
 
         // Iteration 0 frontier: every vertex (Algorithm 1, line 1).
-        let mut frontier: Vec<Embedding> =
-            self.graph.vertices().map(Embedding::single).collect();
+        let mut frontier: Vec<Embedding> = self.graph.vertices().map(Embedding::single).collect();
 
         while !frontier.is_empty() && frontier[0].len() < max {
             let mut next = Vec::new();

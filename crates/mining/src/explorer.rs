@@ -128,6 +128,10 @@ pub struct Explorer<'g> {
     frames: [Frame; MAX_EMBEDDING],
     depth: u8,
     pending: bool,
+    /// Whether this explorer was created by [`Explorer::split`] (it owns a
+    /// stolen extension range). Purely observational — telemetry uses it
+    /// to attribute steps to stolen vs. originally dispatched work.
+    thief: bool,
 }
 
 impl<'g> Explorer<'g> {
@@ -147,6 +151,7 @@ impl<'g> Explorer<'g> {
             frames,
             depth: 1,
             pending: false,
+            thief: false,
         }
     }
 
@@ -172,6 +177,7 @@ impl<'g> Explorer<'g> {
             frames,
             depth: 1,
             pending: false,
+            thief: false,
         }
     }
 
@@ -189,6 +195,12 @@ impl<'g> Explorer<'g> {
     /// Whether exploration has finished.
     pub fn is_done(&self) -> bool {
         self.depth == 0
+    }
+
+    /// Whether this explorer owns a range stolen via [`Explorer::split`]
+    /// (work-stealing balance attribution; see the field note on `thief`).
+    pub fn is_thief(&self) -> bool {
+        self.thief
     }
 
     /// Performs one unit of work: examines one adjacency slot or performs
@@ -398,6 +410,7 @@ impl<'g> Explorer<'g> {
             frames,
             depth: 1,
             pending: false,
+            thief: true,
         })
     }
 

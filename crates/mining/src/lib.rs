@@ -60,5 +60,5 @@ pub use ecm::EcmApp;
 pub use embedding::{Embedding, MAX_EMBEDDING};
 pub use enumerate::{BfsEnumerator, BfsLevelStats, DfsEnumerator};
 pub use explorer::{Explorer, Step};
-pub use observer::{AccessObserver, CountingObserver, NullObserver};
+pub use observer::{AccessObserver, CountingObserver, NullObserver, Tee};
 pub use pattern::{Pattern, PatternId, PatternInterner};

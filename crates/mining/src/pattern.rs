@@ -48,11 +48,7 @@ impl Pattern {
             assert_eq!(adj[i] & (1 << i), 0, "self loop in pattern");
             assert_eq!(adj[i] >> n, 0, "adjacency bit beyond n");
             for j in 0..n {
-                assert_eq!(
-                    (adj[i] >> j) & 1,
-                    (adj[j] >> i) & 1,
-                    "asymmetric adjacency"
-                );
+                assert_eq!((adj[i] >> j) & 1, (adj[j] >> i) & 1, "asymmetric adjacency");
             }
         }
         let mut raw_labels = [0 as Label; MAX_EMBEDDING];
@@ -92,7 +88,9 @@ impl Pattern {
     /// Whether the pattern is complete — a `k`-clique.
     pub fn is_clique(&self) -> bool {
         let n = self.n as usize;
-        self.adj[..n].iter().all(|r| r.count_ones() as usize == n - 1)
+        self.adj[..n]
+            .iter()
+            .all(|r| r.count_ones() as usize == n - 1)
     }
 
     /// Canonical label sequence.
@@ -284,11 +282,7 @@ impl fmt::Debug for Pattern {
     }
 }
 
-fn canonicalize(
-    n: usize,
-    labels: [Label; MAX_EMBEDDING],
-    adj: [u8; MAX_EMBEDDING],
-) -> Pattern {
+fn canonicalize(n: usize, labels: [Label; MAX_EMBEDDING], adj: [u8; MAX_EMBEDDING]) -> Pattern {
     let mut best: Option<([Label; MAX_EMBEDDING], [u8; MAX_EMBEDDING])> = None;
     let mut perm: [usize; MAX_EMBEDDING] = [0, 1, 2, 3, 4, 5, 6, 7];
     permute(&mut perm, n, &mut |p| {

@@ -31,7 +31,10 @@ fn main() {
 
     for k in 3..=5 {
         let app = CliqueFinding::new(k).expect("valid k");
-        let report = Simulator::new(&pre, config.clone()).unwrap().run(&app).unwrap();
+        let report = Simulator::new(&pre, config.clone())
+            .unwrap()
+            .run(&app)
+            .unwrap();
         let profile = profile_on_cpu(&graph, &app);
         let fr = fractal.estimate_seconds(&profile);
         let rs = rstream.estimate(&profile);

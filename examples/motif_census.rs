@@ -29,7 +29,10 @@ fn main() {
 
     println!("motif census:");
     for size in 3..=4 {
-        println!("  {size}-vertex motifs ({} total embeddings):", report.result.total_at(size));
+        println!(
+            "  {size}-vertex motifs ({} total embeddings):",
+            report.result.total_at(size)
+        );
         let mut rows: Vec<_> = report
             .result
             .counts

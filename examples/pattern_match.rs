@@ -35,7 +35,10 @@ fn main() {
                 continue;
             }
         };
-        let report = Simulator::new(&pre, config.clone()).unwrap().run(&app).unwrap();
+        let report = Simulator::new(&pre, config.clone())
+            .unwrap()
+            .run(&app)
+            .unwrap();
         println!(
             "{:<26} {:>12} {:>12} {:>10}",
             format!("{pattern:?}").replace("Pattern", ""),

@@ -3,7 +3,14 @@
 # bin and writes results/BENCH_core.json (schema documented in
 # EXPERIMENTS.md, "Simulator performance trajectory").
 #
-# Usage: scripts/perf.sh [--quick] [--json PATH]
+# Usage: scripts/perf.sh [--quick] [--json PATH] [--repeats N]
+#        scripts/perf.sh --check [--baseline PATH] [--threshold PCT]
+#
+# --check is the perf regression gate: it measures a fresh run and
+# compares it against the committed results/BENCH_core.json instead of
+# overwriting it. Simulated quantities must be identical; the total
+# median throughput may be at most --threshold percent (default 10)
+# below the baseline. Exits non-zero on any violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -1,50 +1,93 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a PR must keep green.
 #
-#   ./scripts/tier1.sh
+#   ./scripts/tier1.sh [stage]
 #
-# Runs, in order:
-#   1. cargo build --release --workspace   (all crates + experiment bins)
-#   2. cargo test -q --workspace           (unit + integration + doc tests)
-#   3. golden suite x {calendar,heap} x {fast,exact}  (scheduler and
-#      access-path are host-side choices; all four cells must match the
-#      golden constants bit-for-bit)
-#   4. cargo doc --no-deps --workspace     (rustdoc, warnings denied)
-#   5. cargo clippy on the library crates  (unwrap/expect denied: failures
-#      must flow through the typed error taxonomy, not panic; the perf
-#      lints warn so hot-path regressions surface in review)
-#   6. cargo bench, smoke mode             (every bench runs its closure
-#      exactly once — compiles-and-runs proof, not a measurement)
+# Stages (run in this order by the default `all`; each is also a CI job
+# in .github/workflows/ci.yml):
+#   fmt     cargo fmt --check              (tree must be rustfmt-clean)
+#   build   cargo build --release          (all crates + experiment bins)
+#   test    cargo test -q --workspace      (unit + integration + doc tests)
+#   golden  golden + telemetry suites x {calendar,heap} x {fast,exact}
+#           (scheduler and access-path are host-side choices; all four
+#           cells must match the golden constants bit-for-bit)
+#   doc     cargo doc --no-deps            (rustdoc, warnings denied)
+#   clippy  clippy on the library crates   (unwrap/expect denied: failures
+#           must flow through the typed error taxonomy, not panic; the
+#           perf lints warn so hot-path regressions surface in review)
+#   bench   cargo bench, smoke mode        (every bench runs its closure
+#           exactly once — compiles-and-runs proof, not a measurement)
+#   all     every stage above (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier1: cargo build --release --workspace"
-cargo build --release --workspace
+stage_fmt() {
+    echo "== tier1: cargo fmt --check"
+    cargo fmt --all --check
+}
 
-echo "== tier1: cargo test -q --workspace"
-cargo test -q --workspace
+stage_build() {
+    echo "== tier1: cargo build --release --workspace"
+    cargo build --release --workspace
+}
 
-echo "== tier1: golden suite under the scheduler x access-path matrix"
-# Both knobs are host-side choices: every cell must reproduce the same
-# golden constants bit-for-bit (the suite reads these env vars).
-for sched in calendar heap; do
-    for path in fast exact; do
-        echo "   -- scheduler=$sched access-path=$path"
-        GRAMER_SCHEDULER="$sched" GRAMER_ACCESS_PATH="$path" \
-            cargo test -q --test golden
+stage_test() {
+    echo "== tier1: cargo test -q --workspace"
+    cargo test -q --workspace
+}
+
+stage_golden() {
+    echo "== tier1: golden + telemetry suites under the scheduler x access-path matrix"
+    # Both knobs are host-side choices: every cell must reproduce the
+    # same golden constants — and the same telemetry document — bit-for-
+    # bit (the suites read these env vars).
+    local sched path
+    for sched in calendar heap; do
+        for path in fast exact; do
+            echo "   -- scheduler=$sched access-path=$path"
+            GRAMER_SCHEDULER="$sched" GRAMER_ACCESS_PATH="$path" \
+                cargo test -q --test golden --test telemetry
+        done
     done
-done
+}
 
-echo "== tier1: cargo doc --no-deps --workspace (warnings denied)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+stage_doc() {
+    echo "== tier1: cargo doc --no-deps --workspace (warnings denied)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+}
 
-echo "== tier1: clippy unwrap/expect gate on library crates"
-cargo clippy -q -p gramer -p gramer-graph -p gramer-memsim -p gramer-mining --lib -- \
-    -D clippy::unwrap_used -D clippy::expect_used \
-    -W clippy::needless_collect -W clippy::redundant_clone \
-    -W clippy::large_stack_arrays -W clippy::trivially_copy_pass_by_ref
+stage_clippy() {
+    echo "== tier1: clippy unwrap/expect gate on library crates"
+    cargo clippy -q -p gramer -p gramer-graph -p gramer-memsim -p gramer-mining --lib -- \
+        -D clippy::unwrap_used -D clippy::expect_used \
+        -W clippy::needless_collect -W clippy::redundant_clone \
+        -W clippy::large_stack_arrays -W clippy::trivially_copy_pass_by_ref
+}
 
-echo "== tier1: bench smoke (GRAMER_BENCH_SMOKE=1, single iteration each)"
-GRAMER_BENCH_SMOKE=1 cargo bench -q -p gramer-bench
+stage_bench() {
+    echo "== tier1: bench smoke (GRAMER_BENCH_SMOKE=1, single iteration each)"
+    GRAMER_BENCH_SMOKE=1 cargo bench -q -p gramer-bench
+}
 
-echo "== tier1: all green"
+stage_all() {
+    stage_fmt
+    stage_build
+    stage_test
+    stage_golden
+    stage_doc
+    stage_clippy
+    stage_bench
+    echo "== tier1: all green"
+}
+
+stage="${1:-all}"
+case "$stage" in
+    fmt|build|test|golden|doc|clippy|bench|all)
+        "stage_$stage"
+        ;;
+    *)
+        echo "unknown stage: $stage" >&2
+        echo "usage: $0 [fmt|build|test|golden|doc|clippy|bench|all]" >&2
+        exit 2
+        ;;
+esac

@@ -151,7 +151,11 @@ fn memory_budget_degrades_gracefully() {
             ..GramerConfig::default()
         };
         let pre = preprocess(&g, &cfg).unwrap();
-        Simulator::new(&pre, cfg).unwrap().run(&app).unwrap().dram_requests
+        Simulator::new(&pre, cfg)
+            .unwrap()
+            .run(&app)
+            .unwrap()
+            .dram_requests
     };
     let big = dram(0.5);
     let mid = dram(0.1);

@@ -8,7 +8,11 @@ use gramer_suite::gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, M
 use gramer_suite::gramer_mining::brute::{brute_force_counts, total_connected};
 use gramer_suite::gramer_mining::{BfsEnumerator, DfsEnumerator, EcmApp};
 
-fn simulate<A: EcmApp>(graph: &gramer_suite::gramer_graph::CsrGraph, app: &A, cfg: GramerConfig) -> gramer_suite::gramer::RunReport {
+fn simulate<A: EcmApp>(
+    graph: &gramer_suite::gramer_graph::CsrGraph,
+    app: &A,
+    cfg: GramerConfig,
+) -> gramer_suite::gramer::RunReport {
     let pre = preprocess(graph, &cfg).unwrap();
     Simulator::new(&pre, cfg).unwrap().run(app).unwrap()
 }
@@ -62,7 +66,9 @@ fn all_engines_agree_on_dataset_analogs() {
 fn results_invariant_under_every_config_knob() {
     let g = generate::chung_lu(400, 1200, 2.4, 3);
     let app = MotifCounting::new(3).expect("valid");
-    let baseline = simulate(&g, &app, GramerConfig::default()).result.total_at(3);
+    let baseline = simulate(&g, &app, GramerConfig::default())
+        .result
+        .total_at(3);
 
     let variants = [
         GramerConfig {
@@ -158,7 +164,10 @@ fn core_numbers_bound_mined_cliques() {
             largest = k;
         }
     }
-    assert!(largest <= bound, "mined K{largest} beyond core bound {bound}");
+    assert!(
+        largest <= bound,
+        "mined K{largest} beyond core bound {bound}"
+    );
 }
 
 #[test]
@@ -181,19 +190,31 @@ fn motif_census_patterns_are_all_connected_patterns() {
 fn closed_form_counts_on_named_graphs() {
     // K7: C(7,k) k-cliques; every motif is a clique.
     let k7 = generate::complete(7);
-    let r = simulate(&k7, &CliqueFinding::new(5).expect("valid"), GramerConfig::default());
+    let r = simulate(
+        &k7,
+        &CliqueFinding::new(5).expect("valid"),
+        GramerConfig::default(),
+    );
     assert_eq!(r.result.total_at(5), 21);
 
     // C9: exactly n wedges at size 3, n paths at size 4, no cliques.
     let c9 = generate::cycle(9);
-    let r = simulate(&c9, &MotifCounting::new(4).expect("valid"), GramerConfig::default());
+    let r = simulate(
+        &c9,
+        &MotifCounting::new(4).expect("valid"),
+        GramerConfig::default(),
+    );
     assert_eq!(r.result.total_at(3), 9);
     assert_eq!(r.result.total_at(4), 9);
     assert_eq!(r.result.count_where(3, |p| p.is_clique()), 0);
 
     // Star S10: C(10,2) wedges, C(10,3) 4-vertex stars.
     let s = generate::star(10);
-    let r = simulate(&s, &MotifCounting::new(4).expect("valid"), GramerConfig::default());
+    let r = simulate(
+        &s,
+        &MotifCounting::new(4).expect("valid"),
+        GramerConfig::default(),
+    );
     assert_eq!(r.result.total_at(3), 45);
     assert_eq!(r.result.total_at(4), 120);
     assert_eq!(r.result.distinct_patterns_at(4), 1);
@@ -201,17 +222,26 @@ fn closed_form_counts_on_named_graphs() {
     // K_{3,4}: 3·C(4,2) + 4·C(3,2) = 30 wedges, no triangles,
     // C(3,2)·C(4,2) = 18 induced four-cycles among the 4-motifs.
     let kb = generate::complete_bipartite(3, 4);
-    let r = simulate(&kb, &MotifCounting::new(4).expect("valid"), GramerConfig::default());
+    let r = simulate(
+        &kb,
+        &MotifCounting::new(4).expect("valid"),
+        GramerConfig::default(),
+    );
     assert_eq!(r.result.total_at(3), 30);
     assert_eq!(r.result.count_where(3, |p| p.is_clique()), 0);
     let four_cycles = r.result.count_where(4, |p| {
-        p.edge_count() == 4 && (0..4).all(|i| (0..4).filter(|&j| j != i && p.has_edge(i, j)).count() == 2)
+        p.edge_count() == 4
+            && (0..4).all(|i| (0..4).filter(|&j| j != i && p.has_edge(i, j)).count() == 2)
     });
     assert_eq!(four_cycles, 18);
 
     // 4×4 grid: 24 edges, wedges = sum of C(deg,2), no triangles.
     let gr = generate::grid(4, 4);
-    let r = simulate(&gr, &MotifCounting::new(3).expect("valid"), GramerConfig::default());
+    let r = simulate(
+        &gr,
+        &MotifCounting::new(3).expect("valid"),
+        GramerConfig::default(),
+    );
     let wedges: u64 = gr
         .vertices()
         .map(|v| {

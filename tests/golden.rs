@@ -90,7 +90,11 @@ fn golden_ba200_cf4() {
 
 #[test]
 fn golden_rmat_mc3() {
-    let report = run(&rmat_graph(), &MotifCounting::new(3).unwrap(), &base_config());
+    let report = run(
+        &rmat_graph(),
+        &MotifCounting::new(3).unwrap(),
+        &base_config(),
+    );
     assert_eq!(golden_summary(&report), GOLDEN_RMAT_MC3);
 }
 

@@ -32,7 +32,11 @@ fn random_edges(rng: &mut StdRng, n: u32, max_edges: usize) -> Vec<(u32, u32)> {
 
 /// Builds a graph from a random edge list, or `None` when every edge was
 /// a self-loop (the builder rejects empty graphs).
-fn random_graph(rng: &mut StdRng, n: u32, max_edges: usize) -> Option<gramer_suite::gramer_graph::CsrGraph> {
+fn random_graph(
+    rng: &mut StdRng,
+    n: u32,
+    max_edges: usize,
+) -> Option<gramer_suite::gramer_graph::CsrGraph> {
     let mut b = GraphBuilder::new();
     b.add_edges(random_edges(rng, n, max_edges));
     b.build().ok()
@@ -283,7 +287,10 @@ fn fast_path_matches_exact_path() {
             let rank = item as u32;
             let a = fast.access(kind, item, rank, now);
             let b = exact.access(kind, item, rank, now);
-            assert_eq!(a, b, "seed {seed}: access {i} diverged ({kind:?} {item} @{now})");
+            assert_eq!(
+                a, b,
+                "seed {seed}: access {i} diverged ({kind:?} {item} @{now})"
+            );
         }
         assert_eq!(fast.stats(), exact.stats(), "seed {seed}: stats diverged");
         assert_eq!(
@@ -296,7 +303,11 @@ fn fast_path_matches_exact_path() {
             exact.prefetches(),
             "seed {seed}: prefetches diverged"
         );
-        assert_eq!(exact.fast_path_hits(), 0, "seed {seed}: exact mode took the fast lane");
+        assert_eq!(
+            exact.fast_path_hits(),
+            0,
+            "seed {seed}: exact mode took the fast lane"
+        );
         let total = fast.stats().total();
         let fast_hits = fast.fast_path_hits();
         seen_fast_hits |= fast_hits > 0;

@@ -1,0 +1,229 @@
+//! Telemetry-layer invariants (PR 5 tentpole).
+//!
+//! Two guarantees are locked here:
+//!
+//! 1. **Observation is free of side effects** — running with a recording
+//!    [`Telemetry`] sink produces a [`RunReport`] bit-identical to an
+//!    unobserved run, on every golden workload.
+//! 2. **The telemetry document is simulated data** — for a fixed seeded
+//!    workload, the JSON document (minus its explicitly host-side
+//!    `"host"` section) is byte-stable across the host-side scheduler ×
+//!    access-path matrix, exactly like the golden run reports. The
+//!    tier-1 matrix (`scripts/tier1.sh golden`) re-runs this suite under
+//!    all four `GRAMER_SCHEDULER` × `GRAMER_ACCESS_PATH` cells.
+//!
+//! As with `tests/golden.rs`: if a simulator change moves the pinned
+//! digest, that is a semantics change and the constant must be updated
+//! with an explanation in the commit.
+
+use gramer::json::JsonValue;
+use gramer::telemetry::{Telemetry, TelemetryConfig};
+use gramer::{preprocess, GramerConfig, RunReport, Simulator};
+use gramer_graph::generate::{self, RmatParams};
+use gramer_graph::CsrGraph;
+use gramer_mining::apps::{CliqueFinding, MotifCounting};
+use gramer_mining::EcmApp;
+
+/// Same env-driven matrix hook as `tests/golden.rs`.
+fn base_config() -> GramerConfig {
+    let mut cfg = GramerConfig::default();
+    if let Ok(s) = std::env::var("GRAMER_SCHEDULER") {
+        cfg.scheduler = s.parse().expect("GRAMER_SCHEDULER must be calendar|heap");
+    }
+    if let Ok(s) = std::env::var("GRAMER_ACCESS_PATH") {
+        cfg.access_path = s.parse().expect("GRAMER_ACCESS_PATH must be fast|exact");
+    }
+    cfg
+}
+
+fn ba_graph() -> CsrGraph {
+    generate::barabasi_albert(200, 3, 11)
+}
+
+fn rmat_graph() -> CsrGraph {
+    generate::rmat(
+        8,
+        2_000,
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        },
+        7,
+    )
+}
+
+fn run_both<A: EcmApp>(
+    graph: &CsrGraph,
+    app: &A,
+    cfg: &GramerConfig,
+) -> (RunReport, RunReport, Telemetry) {
+    let pre = preprocess(graph, cfg).unwrap();
+    let sim = Simulator::new(&pre, cfg.clone()).unwrap();
+    let plain = sim.run(app).unwrap();
+    let mut tel = Telemetry::new(TelemetryConfig::default());
+    let observed = sim.run_telemetry(app, &mut tel).unwrap();
+    (plain, observed, tel)
+}
+
+/// Every simulated quantity of a report, as one comparable string
+/// (wall-clock-derived fields excluded — they are host-side).
+fn semantic_view(r: &RunReport) -> String {
+    format!(
+        "cycles={} steals={} steps={} dram={} embeddings={} candidates={} \
+         accepted_by_size={:?} candidates_by_size={:?} pu_steps={:?} pu_finish={:?} \
+         mem={:?} counts={:?}",
+        r.cycles,
+        r.steals,
+        r.steps,
+        r.dram_requests,
+        r.result.embeddings,
+        r.result.candidates_examined,
+        r.result.accepted_by_size,
+        r.result.candidates_by_size,
+        r.pu_steps,
+        r.pu_finish,
+        r.mem,
+        r.result.counts,
+    )
+}
+
+/// Recording telemetry must not change any simulated quantity, under
+/// any cell of the scheduler × access-path matrix.
+#[test]
+fn telemetry_never_perturbs_the_simulation() {
+    let cfg = base_config();
+
+    let (plain, observed, _) = run_both(&ba_graph(), &CliqueFinding::new(4).unwrap(), &cfg);
+    assert_eq!(
+        semantic_view(&plain),
+        semantic_view(&observed),
+        "BA(200,3) x CF(4): telemetry perturbed the simulation"
+    );
+
+    let (plain, observed, _) = run_both(&rmat_graph(), &MotifCounting::new(3).unwrap(), &cfg);
+    assert_eq!(
+        semantic_view(&plain),
+        semantic_view(&observed),
+        "R-MAT(2^8) x MC(3): telemetry perturbed the simulation"
+    );
+}
+
+/// Removes the top-level `"host"` section — the only part of the
+/// document that is allowed to depend on host-side choices (fast-lane
+/// tallies vary with `--access-path`).
+fn strip_host(doc: JsonValue) -> JsonValue {
+    match doc {
+        JsonValue::Object(pairs) => {
+            JsonValue::Object(pairs.into_iter().filter(|(k, _)| k != "host").collect())
+        }
+        other => other,
+    }
+}
+
+/// FNV-1a, so the golden constant stays one line instead of a full
+/// multi-kilobyte document dump.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Digest of the simulated portion of the telemetry document for
+/// BA(200,3) × CF(4) at the default window width. Must hold under all
+/// four scheduler × access-path cells.
+const GOLDEN_BA_CF4_TELEMETRY_FNV: u64 = 3687618999463328424;
+/// Spot constants guarding the digest against blind updates: they tie
+/// the document to the `tests/golden.rs` numbers for the same workload.
+const GOLDEN_BA_CF4_CYCLES: u64 = 25565;
+const GOLDEN_BA_CF4_STEPS: u64 = 30891;
+const GOLDEN_BA_CF4_DRAM: u64 = 249;
+
+#[test]
+fn telemetry_document_is_byte_stable_across_host_choices() {
+    let (_, observed, tel) = run_both(&ba_graph(), &CliqueFinding::new(4).unwrap(), &base_config());
+    let doc = strip_host(tel.to_json_value());
+    let text = doc.to_string_pretty();
+
+    // The document and the report agree on the headline quantities.
+    assert_eq!(
+        doc.get("cycles").and_then(JsonValue::as_u64),
+        Some(GOLDEN_BA_CF4_CYCLES)
+    );
+    assert_eq!(observed.cycles, GOLDEN_BA_CF4_CYCLES);
+    let totals = doc.get("totals").expect("document has totals");
+    assert_eq!(
+        totals.get("steps").and_then(JsonValue::as_u64),
+        Some(GOLDEN_BA_CF4_STEPS)
+    );
+    assert_eq!(
+        totals.get("dram_requests").and_then(JsonValue::as_u64),
+        Some(GOLDEN_BA_CF4_DRAM)
+    );
+    assert_eq!(
+        doc.get("schema_version").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert!(
+        doc.get("host").is_none(),
+        "host section must be stripped before hashing"
+    );
+
+    // The serialized document itself round-trips and is byte-stable.
+    assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+    assert_eq!(
+        fnv1a(text.as_bytes()),
+        GOLDEN_BA_CF4_TELEMETRY_FNV,
+        "telemetry document drifted; if the simulator semantics \
+         legitimately changed, update the digest and say why"
+    );
+}
+
+/// The full document (host section included) must at least be
+/// self-consistent: window sums equal the run totals.
+#[test]
+fn telemetry_windows_sum_to_totals() {
+    let (_, observed, tel) = run_both(&ba_graph(), &CliqueFinding::new(4).unwrap(), &base_config());
+    let doc = tel.to_json_value();
+    let windows = match doc.get("windows") {
+        Some(JsonValue::Array(w)) => w.clone(),
+        other => panic!("windows missing: {other:?}"),
+    };
+    let sum = |key: &str| -> u64 {
+        windows
+            .iter()
+            .filter_map(|w| w.get(key).and_then(JsonValue::as_u64))
+            .sum()
+    };
+    let pu_sum = |key: &str| -> u64 {
+        windows
+            .iter()
+            .filter_map(|w| match w.get(key) {
+                Some(JsonValue::Array(a)) => {
+                    Some(a.iter().filter_map(JsonValue::as_u64).sum::<u64>())
+                }
+                _ => None,
+            })
+            .sum()
+    };
+    assert_eq!(pu_sum("pu_steps"), observed.steps);
+    assert_eq!(sum("steals"), observed.steals);
+    assert_eq!(sum("dram_requests"), observed.dram_requests);
+    assert_eq!(
+        sum("candidates") + sum("rejected"),
+        observed.result.candidates_examined
+    );
+    let totals = doc.get("totals").unwrap();
+    assert_eq!(
+        totals.get("steps").and_then(JsonValue::as_u64),
+        Some(observed.steps)
+    );
+    assert_eq!(
+        totals.get("steals").and_then(JsonValue::as_u64),
+        Some(observed.steals)
+    );
+}

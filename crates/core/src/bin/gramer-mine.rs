@@ -91,7 +91,12 @@ fn parse_args() -> Options {
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
             "--metrics-summary" => opts.metrics_summary = true,
             "--metrics-window" => {
-                opts.metrics_window = Some(parse_num(&value("--metrics-window")) as u64)
+                let n = parse_num(&value("--metrics-window"));
+                if n == 0 {
+                    eprintln!("--metrics-window must be a positive integer");
+                    usage()
+                }
+                opts.metrics_window = Some(n as u64)
             }
             "--help" | "-h" => usage(),
             path if !path.starts_with('-') => opts.input = Some(path.to_string()),

@@ -392,16 +392,23 @@ impl Telemetry {
         let fast = mem.fast_path_hits();
         let ev_v = mem.evictions(DataKind::Vertex);
         let ev_e = mem.evictions(DataKind::Edge);
+        // Accumulate (not assign): after a coalesce, the open window may
+        // already hold deltas merged in from a closed window, and the
+        // coalesced gauge maxima must survive the close-time sample.
         let win = &mut self.windows[self.cur];
-        win.mem = stats.delta_since(&self.prev_stats);
-        win.dram = dram.saturating_sub(self.prev_dram);
-        win.fast_hits = fast.saturating_sub(self.prev_fast);
-        win.evictions_vertex = ev_v.saturating_sub(self.prev_evict_v);
-        win.evictions_edge = ev_e.saturating_sub(self.prev_evict_e);
-        win.fifo_vertex = mem.fifo_occupancy(DataKind::Vertex);
-        win.fifo_edge = mem.fifo_occupancy(DataKind::Edge);
-        win.cache_lines_vertex = mem.cache_occupied_lines(DataKind::Vertex);
-        win.cache_lines_edge = mem.cache_occupied_lines(DataKind::Edge);
+        win.mem += stats.delta_since(&self.prev_stats);
+        win.dram += dram.saturating_sub(self.prev_dram);
+        win.fast_hits += fast.saturating_sub(self.prev_fast);
+        win.evictions_vertex += ev_v.saturating_sub(self.prev_evict_v);
+        win.evictions_edge += ev_e.saturating_sub(self.prev_evict_e);
+        win.fifo_vertex = win.fifo_vertex.max(mem.fifo_occupancy(DataKind::Vertex));
+        win.fifo_edge = win.fifo_edge.max(mem.fifo_occupancy(DataKind::Edge));
+        win.cache_lines_vertex = win
+            .cache_lines_vertex
+            .max(mem.cache_occupied_lines(DataKind::Vertex));
+        win.cache_lines_edge = win
+            .cache_lines_edge
+            .max(mem.cache_occupied_lines(DataKind::Edge));
         self.prev_stats = stats;
         self.prev_dram = dram;
         self.prev_fast = fast;

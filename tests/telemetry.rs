@@ -227,3 +227,92 @@ fn telemetry_windows_sum_to_totals() {
         Some(observed.steals)
     );
 }
+
+/// The same sums-to-totals invariant under a window configuration small
+/// enough to force coalescing mid-run. Regression test: the close-time
+/// sampling in `advance_to` used to *assign* the cumulative-counter
+/// deltas, silently dropping whatever a coalesce had merged into the
+/// open window, so windowed dram/mem/eviction sums undercounted the run
+/// totals on any run long enough to coalesce.
+#[test]
+fn telemetry_windows_sum_to_totals_with_coalescing() {
+    let cfg = base_config();
+    let pre = preprocess(&ba_graph(), &cfg).unwrap();
+    let sim = Simulator::new(&pre, cfg).unwrap();
+    let app = CliqueFinding::new(4).unwrap();
+    let mut tel = Telemetry::new(TelemetryConfig {
+        window_cycles: 64,
+        max_windows: 8,
+    });
+    let observed = sim.run_telemetry(&app, &mut tel).unwrap();
+    assert!(
+        tel.coalesce_count() > 0,
+        "config must force coalescing for this test to bite"
+    );
+
+    let doc = tel.to_json_value();
+    let windows = match doc.get("windows") {
+        Some(JsonValue::Array(w)) => w.clone(),
+        other => panic!("windows missing: {other:?}"),
+    };
+    let sum = |key: &str| -> u64 {
+        windows
+            .iter()
+            .filter_map(|w| w.get(key).and_then(JsonValue::as_u64))
+            .sum()
+    };
+    let pu_sum = |key: &str| -> u64 {
+        windows
+            .iter()
+            .filter_map(|w| match w.get(key) {
+                Some(JsonValue::Array(a)) => {
+                    Some(a.iter().filter_map(JsonValue::as_u64).sum::<u64>())
+                }
+                _ => None,
+            })
+            .sum()
+    };
+    let kind_sum = |kind: &str, field: &str| -> u64 {
+        windows
+            .iter()
+            .filter_map(|w| {
+                w.get(kind)
+                    .and_then(|k| k.get(field))
+                    .and_then(JsonValue::as_u64)
+            })
+            .sum()
+    };
+
+    assert_eq!(pu_sum("pu_steps"), observed.steps);
+    assert_eq!(sum("steals"), observed.steals);
+    assert_eq!(sum("dram_requests"), observed.dram_requests);
+    assert_eq!(
+        kind_sum("vertex", "high_priority_hits"),
+        observed.mem.vertex.high_priority_hits
+    );
+    assert_eq!(
+        kind_sum("vertex", "cache_hits"),
+        observed.mem.vertex.cache_hits
+    );
+    assert_eq!(kind_sum("vertex", "misses"), observed.mem.vertex.misses);
+    assert_eq!(
+        kind_sum("edge", "high_priority_hits"),
+        observed.mem.edge.high_priority_hits
+    );
+    assert_eq!(kind_sum("edge", "cache_hits"), observed.mem.edge.cache_hits);
+    assert_eq!(kind_sum("edge", "misses"), observed.mem.edge.misses);
+
+    // The totals section agrees with the report too.
+    let totals = doc.get("totals").unwrap();
+    assert_eq!(
+        totals.get("dram_requests").and_then(JsonValue::as_u64),
+        Some(observed.dram_requests)
+    );
+    assert_eq!(
+        totals
+            .get("vertex")
+            .and_then(|v| v.get("misses"))
+            .and_then(JsonValue::as_u64),
+        Some(observed.mem.vertex.misses)
+    );
+}

@@ -57,7 +57,9 @@
 
 use gramer::json::JsonValue;
 use gramer::telemetry::{Telemetry, TelemetryConfig};
-use gramer::{preprocess, GramerConfig, Preprocessed, RunReport, SimError, Simulator};
+use gramer::{
+    preprocess, GramerConfig, PreprocessCache, Preprocessed, RunReport, SimError, Simulator,
+};
 use gramer_graph::datasets::Dataset;
 use gramer_graph::CsrGraph;
 use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
@@ -65,7 +67,7 @@ use gramer_mining::EcmApp;
 use std::cell::RefCell;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 pub mod perf;
 pub mod sweep;
@@ -271,6 +273,41 @@ pub fn metrics_enabled() -> bool {
     METRICS_ENABLED.load(Ordering::Relaxed)
 }
 
+/// Process-wide preprocessing cache used by [`run_gramer`] (set from the
+/// sweep runner's `--artifact-cache` flag). `None` means preprocess
+/// inline, the prior behavior.
+static ARTIFACT_CACHE: Mutex<Option<PreprocessCache>> = Mutex::new(None);
+
+/// Points subsequent [`run_gramer`] calls at an on-disk `.gra`
+/// preprocessing cache (see [`PreprocessCache`]), or disables caching
+/// with `None`. Sweeps revisiting the same `(dataset, τ, budget)` tuple
+/// across points — the common case, since most grids vary simulator
+/// knobs — then preprocess each graph once per process *fleet*, not
+/// once per point, and reuse entries across runs.
+///
+/// # Errors
+///
+/// [`SimError`] if the cache directory cannot be created.
+pub fn set_artifact_cache(dir: Option<&std::path::Path>) -> Result<(), SimError> {
+    let cache = match dir {
+        Some(d) => Some(PreprocessCache::new(d)?),
+        None => None,
+    };
+    match ARTIFACT_CACHE.lock() {
+        Ok(mut slot) => *slot = cache,
+        Err(poisoned) => *poisoned.into_inner() = cache,
+    }
+    Ok(())
+}
+
+/// The currently configured preprocessing cache, if any.
+fn artifact_cache() -> Option<PreprocessCache> {
+    match ARTIFACT_CACHE.lock() {
+        Ok(slot) => slot.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    }
+}
+
 /// Claims the telemetry rollup stashed by the most recent
 /// [`run_gramer`] call on the calling thread, if any.
 pub fn take_point_telemetry() -> Option<JsonValue> {
@@ -290,7 +327,13 @@ pub fn run_gramer(
     app: &dyn DynApp,
     config: GramerConfig,
 ) -> Result<RunReport, SimError> {
-    let pre = preprocess(graph, &config)?;
+    // With a cache configured ([`set_artifact_cache`], driven by
+    // `--artifact-cache`), preprocessing is memoized on disk as a `.gra`
+    // artifact; reports are bit-identical either way.
+    let pre = match artifact_cache() {
+        Some(cache) => cache.get_or_build(graph, &config)?.0,
+        None => preprocess(graph, &config)?,
+    };
     if metrics_enabled() {
         let mut tel = Telemetry::new(TelemetryConfig::default());
         let report = app.simulate_telemetry(&pre, config, &mut tel)?;
@@ -313,6 +356,7 @@ pub fn run_gramer(
 /// --max-retries N      re-run a failed point up to N extra times
 /// --journal PATH       journal path (default: results/.journal/<name>.jsonl)
 /// --metrics            record cycle-windowed telemetry per point
+/// --artifact-cache DIR memoize preprocessing in DIR as .gra artifacts
 /// --help               print usage, then exit
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -336,6 +380,9 @@ pub struct SweepArgs {
     /// Record cycle-windowed telemetry for each point and attach its
     /// rollup to the point's metrics under `"telemetry"`.
     pub metrics: bool,
+    /// Directory of the on-disk `.gra` preprocessing cache
+    /// ([`set_artifact_cache`]); `None` preprocesses inline per point.
+    pub artifact_cache: Option<PathBuf>,
 }
 
 /// Usage text shared by every experiment binary.
@@ -351,6 +398,9 @@ Options:
   --journal PATH       journal path (default: results/.journal/<name>.jsonl)
   --metrics            record cycle-windowed telemetry per point (attached
                        to each point's metrics under \"telemetry\")
+  --artifact-cache DIR memoize preprocessing in DIR as .gra artifacts
+                       (keyed by graph digest + tau/budget knobs; reused
+                       across runs; simulated results are unchanged)
   --help               print this help, then exit
 
 Failure semantics:
@@ -373,6 +423,7 @@ impl Default for SweepArgs {
             max_retries: 0,
             journal: None,
             metrics: false,
+            artifact_cache: None,
         }
     }
 }
@@ -441,6 +492,7 @@ impl SweepArgs {
                 }
                 "--journal" => parsed.journal = Some(PathBuf::from(value(&mut it)?)),
                 "--metrics" => parsed.metrics = true,
+                "--artifact-cache" => parsed.artifact_cache = Some(PathBuf::from(value(&mut it)?)),
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -601,6 +653,35 @@ mod tests {
         assert_eq!(plain.cycles, recorded.cycles);
         assert_eq!(plain.steps, recorded.steps);
         assert!(take_point_telemetry().is_none(), "stash is claimed once");
+    }
+
+    #[test]
+    fn artifact_cache_flag_parses_and_reports_match() {
+        let a = SweepArgs::try_parse(&["--artifact-cache", "cachedir"]).unwrap();
+        assert_eq!(a.artifact_cache, Some(PathBuf::from("cachedir")));
+        let b = SweepArgs::try_parse(&["--artifact-cache=cd2"]).unwrap();
+        assert_eq!(b.artifact_cache, Some(PathBuf::from("cd2")));
+        let d = SweepArgs::try_parse::<&str>(&[]).unwrap();
+        assert_eq!(d.artifact_cache, None);
+
+        // Cached runs produce bit-identical reports to inline ones, both
+        // on the cold (store) and warm (load) pass.
+        let dir = std::env::temp_dir().join(format!(
+            "gramer-bench-artifact-cache-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let g = gramer_graph::generate::barabasi_albert(120, 3, 8);
+        let app = CliqueFinding::new(3).expect("valid k");
+        let inline = run_gramer(&g, &app, GramerConfig::default()).unwrap();
+        set_artifact_cache(Some(dir.as_path())).unwrap();
+        let cold = run_gramer(&g, &app, GramerConfig::default()).unwrap();
+        let warm = run_gramer(&g, &app, GramerConfig::default()).unwrap();
+        set_artifact_cache(None).unwrap();
+        let as_json = |r: &RunReport| r.to_json_value().to_string();
+        assert_eq!(as_json(&inline), as_json(&cold));
+        assert_eq!(as_json(&inline), as_json(&warm));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -358,6 +358,12 @@ impl<'a> Sweep<'a> {
             std::process::exit(0);
         }
         crate::set_metrics_enabled(args.metrics);
+        if let Err(e) = crate::set_artifact_cache(args.artifact_cache.as_deref()) {
+            eprintln!(
+                "[{}] warning: --artifact-cache disabled ({e}); preprocessing inline",
+                self.name
+            );
+        }
         let json_path = args
             .json
             .clone()

@@ -1,0 +1,251 @@
+//! `gramer-artifact` — build, inspect and verify `.gra` preprocessing
+//! artifacts (byte-level spec: `docs/FORMAT.md`).
+//!
+//! ```text
+//! gramer-artifact build <edge-list | binary-csr | --gen NAME> -o PATH
+//!                       [--tau F] [--budget-frac F] [--budget-items N]
+//! gramer-artifact inspect PATH
+//! gramer-artifact verify PATH
+//! ```
+//!
+//! `build` runs GRAMER's preprocessing once (ON1 scoring, reordering,
+//! τ pin classification) and persists the result; `gramer-mine
+//! --artifact PATH` and the sweep runner then start from it directly.
+//! File inputs are sniffed: a `GRAMERv1` magic selects the binary CSR
+//! parser, anything else is read as a SNAP-style edge list. `--gen`
+//! builds from a synthetic generator instead:
+//!
+//! * `golden-ba` / `golden-rmat` — the two golden workload graphs of the
+//!   test suite (`barabasi_albert(200, 3, 11)` and
+//!   `rmat(8, 2000, default, 7)`).
+//! * `demo` — the `gramer-mine --demo` graph
+//!   (`chung_lu(10000, 40000, 2.4, 1)`).
+//! * `ba:<n>:<m>:<seed>`, `rmat:<scale>:<edges>:<seed>`,
+//!   `chung-lu:<n>:<m>:<gamma>:<seed>` — parameterized generators.
+//!
+//! `inspect` prints the header, table of contents and metadata of an
+//! artifact (after full validation). `verify` additionally runs the deep
+//! semantic checks (adjacency symmetry, ON1 rank order) and exits
+//! non-zero on any failure — suitable for CI.
+
+use gramer::{preprocess, GramerConfig, MemoryBudget};
+use gramer_graph::{artifact, generate, io, CsrGraph, GraphArtifact};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gramer-artifact build <edge-list | binary-csr | --gen NAME> -o PATH \\\n                             [--tau F] [--budget-frac F] [--budget-items N]\n       gramer-artifact inspect PATH\n       gramer-artifact verify PATH\n\n--gen names: golden-ba, golden-rmat, demo, ba:<n>:<m>:<seed>, \\\n             rmat:<scale>:<edges>:<seed>, chung-lu:<n>:<m>:<gamma>:<seed>"
+    );
+    std::process::exit(2)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected a number, got {s:?}");
+        usage()
+    })
+}
+
+/// Resolves a `--gen` spec to a graph.
+fn generate_named(spec: &str) -> Result<CsrGraph, String> {
+    match spec {
+        "golden-ba" => return Ok(generate::barabasi_albert(200, 3, 11)),
+        "golden-rmat" => return Ok(generate::rmat(8, 2000, generate::RmatParams::default(), 7)),
+        "demo" => return Ok(generate::chung_lu(10_000, 40_000, 2.4, 1)),
+        _ => {}
+    }
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<u64, String> {
+        s.parse()
+            .map_err(|_| format!("bad number {s:?} in --gen {spec:?}"))
+    };
+    let float = |s: &str| -> Result<f64, String> {
+        s.parse()
+            .map_err(|_| format!("bad number {s:?} in --gen {spec:?}"))
+    };
+    match parts.as_slice() {
+        ["ba", n, m, seed] => {
+            generate::try_barabasi_albert(num(n)? as usize, num(m)? as usize, num(seed)?)
+                .map_err(|e| e.to_string())
+        }
+        ["rmat", scale, edges, seed] => generate::try_rmat(
+            num(scale)? as u32,
+            num(edges)? as usize,
+            generate::RmatParams::default(),
+            num(seed)?,
+        )
+        .map_err(|e| e.to_string()),
+        ["chung-lu", n, m, gamma, seed] => generate::try_chung_lu(
+            num(n)? as usize,
+            num(m)? as usize,
+            float(gamma)?,
+            num(seed)?,
+        )
+        .map_err(|e| e.to_string()),
+        _ => Err(format!(
+            "unknown --gen spec {spec:?} (see gramer-artifact --help)"
+        )),
+    }
+}
+
+fn build(args: &[String]) -> Result<(), String> {
+    let mut input: Option<String> = None;
+    let mut gen_spec: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut config = GramerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--gen" => gen_spec = Some(value("--gen")),
+            "-o" | "--out" => out = Some(value("-o")),
+            "--tau" => config.tau = Some(parse_num(&value("--tau"))),
+            "--budget-frac" => {
+                config.budget = MemoryBudget::Fraction(parse_num(&value("--budget-frac")))
+            }
+            "--budget-items" => {
+                config.budget = MemoryBudget::Items(parse_num(&value("--budget-items")))
+            }
+            path if !path.starts_with('-') => input = Some(path.to_string()),
+            other => {
+                eprintln!("unknown option: {other}");
+                usage()
+            }
+        }
+    }
+    let out = out.ok_or("build requires -o PATH")?;
+    let (graph, source_digest) = match (input, gen_spec) {
+        (Some(path), None) => {
+            let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let digest = artifact::fnv1a(&bytes);
+            let graph = if bytes.starts_with(io::BINARY_MAGIC) {
+                io::read_binary(&bytes[..])
+            } else {
+                io::read_edge_list(&bytes[..])
+            }
+            .map_err(|e| format!("cannot load {path}: {e}"))?;
+            (graph, digest)
+        }
+        (None, Some(spec)) => {
+            let graph = generate_named(&spec)?;
+            // Digest the canonical binary encoding so regenerating the
+            // same spec yields the same source digest.
+            let mut bytes = Vec::new();
+            io::write_binary(&graph, &mut bytes).map_err(|e| e.to_string())?;
+            (graph, artifact::fnv1a(&bytes))
+        }
+        _ => return Err("build needs exactly one of <input> or --gen NAME".to_string()),
+    };
+
+    let t0 = Instant::now();
+    let pre = preprocess(&graph, &config).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed().as_secs_f64();
+    artifact::write_file(&pre.artifact_contents(source_digest), out.as_ref())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    let art = GraphArtifact::open(&out).map_err(|e| format!("re-opening {out}: {e}"))?;
+    println!(
+        "built {out}: {} vertices, {} edges, tau {:.6}, pins ({}, {}), {} bytes, \
+         digest {:#018x}",
+        art.num_vertices(),
+        art.adjacency_len() / 2,
+        art.tau(),
+        art.vertex_pin(),
+        art.edge_pin(),
+        art.file_len(),
+        art.payload_digest()
+    );
+    eprintln!("preprocessing took {:.1} ms (host)", elapsed * 1e3);
+    Ok(())
+}
+
+fn inspect(path: &str) -> Result<(), String> {
+    let t0 = Instant::now();
+    let art = GraphArtifact::open(path).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: .gra format v{}", artifact::FORMAT_VERSION);
+    println!(
+        "  loaded in {:.2} ms via {}",
+        t0.elapsed().as_secs_f64() * 1e3,
+        if art.is_mapped() {
+            "mmap (zero-copy)"
+        } else {
+            "aligned read"
+        }
+    );
+    println!(
+        "  file {} bytes, payload digest {:#018x} (verified)",
+        art.file_len(),
+        art.payload_digest()
+    );
+    println!(
+        "  graph: {} vertices, {} edges ({} adjacency slots)",
+        art.num_vertices(),
+        art.adjacency_len() / 2,
+        art.adjacency_len()
+    );
+    println!(
+        "  tau {:.6}: {} pinned vertices, {} pinned slots",
+        art.tau(),
+        art.vertex_pin(),
+        art.edge_pin()
+    );
+    match art.source_digest() {
+        0 => println!("  source digest: unknown (0)"),
+        d => println!("  source digest: {d:#018x}"),
+    }
+    println!("  sections:");
+    for s in art.sections() {
+        println!(
+            "    {:<8} offset {:>10}  {:>12} bytes  {:>10} x {}B",
+            s.tag,
+            s.offset,
+            s.len,
+            s.elems(),
+            s.elem_width
+        );
+    }
+    Ok(())
+}
+
+fn verify(path: &str) -> Result<(), String> {
+    let t0 = Instant::now();
+    let art = GraphArtifact::open(path).map_err(|e| format!("{path}: {e}"))?;
+    art.verify_deep().map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: OK ({} vertices, {} edges, digest {:#018x}, deep-verified in {:.1} ms)",
+        art.num_vertices(),
+        art.adjacency_len() / 2,
+        art.payload_digest(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match (cmd.as_str(), rest) {
+            ("build", rest) => build(rest),
+            ("inspect", [path]) => inspect(path),
+            ("verify", [path]) => verify(path),
+            ("--help" | "-h", _) => usage(),
+            _ => {
+                eprintln!("unknown or malformed subcommand");
+                usage()
+            }
+        },
+        None => usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -2,14 +2,27 @@
 //! accelerator simulator from the command line.
 //!
 //! ```text
-//! gramer-mine <edge-list | --demo> --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>
-//!             [--pus N] [--slots N] [--tau F] [--budget-frac F]
+//! gramer-mine <edge-list | --demo | --artifact PATH>
+//!             --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>
+//!             [--cache DIR] [--pus N] [--slots N] [--tau F] [--budget-frac F]
 //!             [--lambda F] [--no-steal] [--access-path fast|exact] [--counts]
 //!             [--metrics-out PATH] [--metrics-summary] [--metrics-window N]
 //! ```
 //!
 //! The edge list is SNAP-style (`u v` per line, `#` comments). `--demo`
 //! generates a power-law graph instead of reading a file.
+//!
+//! `--artifact PATH` starts from a preprocessed `.gra` artifact (built
+//! with `gramer-artifact build`; spec in `docs/FORMAT.md`): the file is
+//! memory-mapped, digest-checked and mined directly — no edge-list
+//! parsing, no ON1 pass, no reordering. Reports are bit-identical to the
+//! edge-list path on the same graph and configuration.
+//!
+//! `--cache DIR` memoizes preprocessing in `DIR` as `.gra` artifacts
+//! keyed by (input digest, τ/budget knobs): the first run over an input
+//! pays the full pipeline and stores the result, subsequent runs load
+//! the artifact instead (for file inputs a warm hit skips even the
+//! parsing — only the raw bytes are hashed).
 //!
 //! `--metrics-out PATH` records cycle-windowed telemetry during the run
 //! (see `gramer::telemetry`) and writes the schema-versioned JSON document
@@ -19,15 +32,18 @@
 //! (default 1024). Telemetry never changes simulated results.
 
 use gramer::telemetry::{Telemetry, TelemetryConfig};
-use gramer::{preprocess, GramerConfig, MemoryBudget, Simulator};
-use gramer_graph::{generate, io, CsrGraph};
+use gramer::{preprocess, GramerConfig, MemoryBudget, PreprocessCache, Preprocessed, Simulator};
+use gramer_graph::{artifact, generate, io, GraphArtifact};
 use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
 use gramer_mining::{EcmApp, MiningResult};
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Options {
     input: Option<String>,
     demo: bool,
+    artifact: Option<String>,
+    cache: Option<String>,
     app: String,
     config: GramerConfig,
     show_counts: bool,
@@ -44,7 +60,8 @@ impl Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gramer-mine <edge-list | --demo> --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>> \
+        "usage: gramer-mine <edge-list | --demo | --artifact PATH> \
+         --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>> \\\n         [--cache DIR] \
          [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--counts] [--metrics-out PATH] [--metrics-summary] \\\n         [--metrics-window N]"
     );
     std::process::exit(2)
@@ -54,6 +71,8 @@ fn parse_args() -> Options {
     let mut opts = Options {
         input: None,
         demo: false,
+        artifact: None,
+        cache: None,
         app: "3-cf".to_string(),
         config: GramerConfig::default(),
         show_counts: false,
@@ -71,6 +90,8 @@ fn parse_args() -> Options {
         };
         match arg.as_str() {
             "--demo" => opts.demo = true,
+            "--artifact" => opts.artifact = Some(value("--artifact")),
+            "--cache" => opts.cache = Some(value("--cache")),
             "--app" => opts.app = value("--app"),
             "--pus" => opts.config.num_pus = parse_num(&value("--pus")),
             "--slots" => opts.config.slots_per_pu = parse_num(&value("--slots")),
@@ -106,7 +127,13 @@ fn parse_args() -> Options {
             }
         }
     }
-    if opts.input.is_none() && !opts.demo {
+    let sources = opts.input.is_some() as u32 + opts.demo as u32 + opts.artifact.is_some() as u32;
+    if sources != 1 {
+        eprintln!("exactly one of <edge-list>, --demo, --artifact is required");
+        usage()
+    }
+    if opts.artifact.is_some() && opts.cache.is_some() {
+        eprintln!("--cache is meaningless with --artifact (the artifact IS the cached result)");
         usage()
     }
     opts
@@ -126,11 +153,86 @@ fn parse_float(s: &str) -> f64 {
     })
 }
 
+/// Resolves a [`Preprocessed`] graph from whichever source the command
+/// line selected: a `.gra` artifact, a cached preprocessing run, or the
+/// full parse + preprocess pipeline. Emits one timing line to stderr so
+/// cache hits and artifact loads are visible (EXPERIMENTS.md quotes
+/// them).
+fn resolve_preprocessed(opts: &Options) -> Result<Preprocessed, String> {
+    if let Some(path) = opts.artifact.as_deref() {
+        let t0 = Instant::now();
+        let art = GraphArtifact::open(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+        let pre = Preprocessed::from_artifact(&art, &opts.config).map_err(|e| e.to_string())?;
+        eprintln!(
+            "artifact {path}: loaded in {:.1} ms ({}, digest {:#018x})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            if art.is_mapped() { "mmap" } else { "copied" },
+            art.payload_digest()
+        );
+        return Ok(pre);
+    }
+
+    let cache = match opts.cache.as_deref() {
+        Some(dir) => Some(PreprocessCache::new(dir).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let t0 = Instant::now();
+
+    if opts.demo {
+        let graph = generate::chung_lu(10_000, 40_000, 2.4, 1);
+        if let Some(cache) = &cache {
+            let (pre, hit) = cache
+                .get_or_build(&graph, &opts.config)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "preprocessing: cache {} in {:.1} ms ({})",
+                if hit { "hit" } else { "miss, built" },
+                t0.elapsed().as_secs_f64() * 1e3,
+                cache
+                    .path(PreprocessCache::graph_key(&graph, &opts.config))
+                    .display()
+            );
+            return Ok(pre);
+        }
+        return preprocess(&graph, &opts.config).map_err(|e| e.to_string());
+    }
+
+    let path = opts
+        .input
+        .as_deref()
+        .ok_or("no input (validated by parse_args)")?;
+    if let Some(cache) = &cache {
+        // Hash the raw bytes first: a warm hit never parses the file.
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let digest = artifact::fnv1a(&bytes);
+        let key = PreprocessCache::bytes_key(digest, &opts.config);
+        if let Some(pre) = cache.load(key, &opts.config) {
+            eprintln!(
+                "preprocessing: cache hit in {:.1} ms, parse + preprocess skipped ({})",
+                t0.elapsed().as_secs_f64() * 1e3,
+                cache.path(key).display()
+            );
+            return Ok(pre);
+        }
+        let graph =
+            io::read_edge_list(&bytes[..]).map_err(|e| format!("cannot load {path}: {e}"))?;
+        let pre = preprocess(&graph, &opts.config).map_err(|e| e.to_string())?;
+        cache.store(key, &pre, digest).map_err(|e| e.to_string())?;
+        eprintln!(
+            "preprocessing: cache miss, built in {:.1} ms ({})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            cache.path(key).display()
+        );
+        return Ok(pre);
+    }
+    let graph = io::read_edge_list_file(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    preprocess(&graph, &opts.config).map_err(|e| e.to_string())
+}
+
 fn run_app(
-    graph: &CsrGraph,
+    pre: &Preprocessed,
     opts: &Options,
 ) -> Result<(String, gramer::RunReport, Option<Telemetry>), String> {
-    let pre = preprocess(graph, &opts.config).map_err(|e| e.to_string())?;
     let telemetry = || {
         opts.metrics_enabled().then(|| {
             Telemetry::new(TelemetryConfig {
@@ -141,7 +243,7 @@ fn run_app(
     };
     let run = |app: &dyn DynRun| -> Result<(gramer::RunReport, Option<Telemetry>), String> {
         let mut tel = telemetry();
-        let report = app.run(&pre, opts.config.clone(), tel.as_mut())?;
+        let report = app.run(pre, opts.config.clone(), tel.as_mut())?;
         Ok((report, tel))
     };
     let spec = opts.app.to_ascii_lowercase();
@@ -216,25 +318,20 @@ fn write_metrics(tel: &Telemetry, opts: &Options) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let graph = if opts.demo {
-        generate::chung_lu(10_000, 40_000, 2.4, 1)
-    } else {
-        let path = opts.input.as_deref().expect("validated by parse_args");
-        match io::read_edge_list_file(path) {
-            Ok(g) => g,
-            Err(e) => {
-                eprintln!("cannot load {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+    let pre = match resolve_preprocessed(&opts) {
+        Ok(pre) => pre,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
     };
     eprintln!(
         "graph: {} vertices, {} edges",
-        graph.num_vertices(),
-        graph.num_edges()
+        pre.graph.num_vertices(),
+        pre.graph.num_edges()
     );
 
-    match run_app(&graph, &opts) {
+    match run_app(&pre, &opts) {
         Ok((_, report, tel)) => {
             println!("{}", report.summary());
             println!(

@@ -36,6 +36,17 @@ pub enum ConfigError {
     BadLambda(f64),
     /// Explicit τ outside `(0, 0.5]` (or NaN).
     BadTau(f64),
+    /// A `.gra` artifact was built with a different τ than the one this
+    /// configuration resolves to — its pin classification would not match
+    /// what [`crate::preprocess`] computes, so results could silently
+    /// diverge from the edge-list path. Rebuild the artifact with the
+    /// current knobs (or adjust τ / the memory budget).
+    ArtifactTauMismatch {
+        /// τ recorded in the artifact at build time.
+        artifact: f64,
+        /// τ the configuration resolves to for this graph.
+        config: f64,
+    },
 }
 
 impl ConfigError {
@@ -50,6 +61,7 @@ impl ConfigError {
             ConfigError::BadClock(_) => "config-bad-clock",
             ConfigError::BadLambda(_) => "config-bad-lambda",
             ConfigError::BadTau(_) => "config-bad-tau",
+            ConfigError::ArtifactTauMismatch { .. } => "config-artifact-tau",
         }
     }
 }
@@ -71,6 +83,11 @@ impl fmt::Display for ConfigError {
                 write!(f, "lambda must be finite and non-negative, got {v}")
             }
             ConfigError::BadTau(v) => write!(f, "tau must be in (0, 0.5], got {v}"),
+            ConfigError::ArtifactTauMismatch { artifact, config } => write!(
+                f,
+                "artifact was built with tau = {artifact} but this configuration resolves \
+                 tau = {config}; rebuild the artifact with the current knobs"
+            ),
         }
     }
 }

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cache;
 mod config;
 #[doc(hidden)]
 pub mod events;
@@ -61,10 +62,11 @@ pub mod pipeline;
 pub mod progress;
 pub mod telemetry;
 
+pub use cache::PreprocessCache;
 pub use config::{GramerConfig, MemoryBudget, MemoryMode, Scheduler};
 pub use error::{ConfigError, SimError};
 pub use gramer_memsim::AccessPath;
-pub use preprocess::{preprocess, Preprocessed};
+pub use preprocess::{modeled_preprocess_seconds, preprocess, Preprocessed};
 pub use report::{ReportSummary, RunReport};
 pub use sim::Simulator;
 pub use telemetry::{NullSink, Telemetry, TelemetryConfig, TelemetrySink};

@@ -1,6 +1,6 @@
 use crate::config::GramerConfig;
-use crate::error::ConfigError;
-use gramer_graph::{on1, reorder, AdjProbe, CsrGraph};
+use crate::error::{ConfigError, SimError};
+use gramer_graph::{artifact, on1, reorder, AdjProbe, CsrGraph, GraphArtifact};
 use std::sync::Arc;
 
 /// A graph prepared for the accelerator: reordered by descending ON1 so
@@ -55,6 +55,21 @@ fn prefix_mask(pin: usize, universe: usize) -> Arc<Vec<bool>> {
 /// (≈1.7 ms for Citeseer; < 3% of execution time for Mico).
 const PREPROCESS_SECONDS_PER_OP: f64 = 25e-9;
 
+/// The modeled CPU cost of preprocessing a graph with `v` vertices and
+/// `slots` adjacency slots — the "Preproc. Time" component of Fig. 11(b).
+///
+/// The ON1 pass reads the adjacency once, sorting is `V·log2(V)`, and
+/// the CSR rebuild touches every vertex and slot once more. This is a
+/// pure function of the graph's shape, so the artifact load path
+/// ([`Preprocessed::from_artifact`]) reproduces the exact same value the
+/// edge-list path computes — a prerequisite for bit-identical
+/// [`crate::RunReport`]s between the two.
+pub fn modeled_preprocess_seconds(v: usize, slots: usize) -> f64 {
+    let logv = (v.max(2) as f64).log2();
+    let ops = slots as f64 + (v as f64) * logv + v as f64 + slots as f64;
+    ops * PREPROCESS_SECONDS_PER_OP
+}
+
 /// Runs GRAMER's preprocessing: ON1 scoring, reordering, τ resolution.
 ///
 /// Fails with a typed [`ConfigError`] when `config` violates an
@@ -85,11 +100,7 @@ pub fn preprocess(graph: &CsrGraph, config: &GramerConfig) -> Result<Preprocesse
     let vertex_pin = ((v as f64) * tau).round() as usize;
     let edge_pin = ((slots as f64) * tau).round() as usize;
 
-    // ON1 pass reads the adjacency once, sorting is V·log2(V), and the CSR
-    // rebuild touches every vertex and slot once more.
-    let logv = (v.max(2) as f64).log2();
-    let ops = slots as f64 + (v as f64) * logv + v as f64 + slots as f64;
-    let preprocess_seconds = ops * PREPROCESS_SECONDS_PER_OP;
+    let preprocess_seconds = modeled_preprocess_seconds(v, slots);
 
     let graph = reordering.graph.clone();
     let probe = AdjProbe::build(&graph);
@@ -118,6 +129,78 @@ impl Preprocessed {
     /// Items pinned in the high-priority memories (vertices + slots).
     pub fn pinned_items(&self) -> usize {
         self.vertex_pin + self.edge_pin
+    }
+
+    /// Borrows this preprocessing result as the contents of a `.gra`
+    /// artifact (see [`gramer_graph::artifact`]), ready for
+    /// [`gramer_graph::artifact::encode`] or
+    /// [`gramer_graph::artifact::write_file`].
+    ///
+    /// `source_digest` is the FNV-1a digest of whatever the graph was
+    /// built from (raw edge-list bytes, canonical binary CSR bytes), or
+    /// `0` when unknown; it is stored verbatim so caches can key on it.
+    pub fn artifact_contents(&self, source_digest: u64) -> artifact::ArtifactContents<'_> {
+        artifact::ArtifactContents {
+            graph: &self.graph,
+            old_id: &self.reordering.old_id,
+            new_id: &self.reordering.new_id,
+            tau: self.tau,
+            vertex_pin: self.vertex_pin,
+            edge_pin: self.edge_pin,
+            source_digest,
+        }
+    }
+
+    /// Reconstructs a [`Preprocessed`] from a loaded `.gra` artifact,
+    /// skipping the ON1 pass, the sort and the CSR rebuild entirely.
+    ///
+    /// `preprocess_seconds` is still reported as the *modeled* CPU cost
+    /// of preprocessing (the artifact stores a graph that was, at some
+    /// point, preprocessed — the model charges for that work regardless
+    /// of when it happened), so a [`crate::RunReport`] produced through
+    /// this path is bit-identical to one from [`preprocess`] on the same
+    /// graph and configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] variants when `config` is invalid, and
+    /// [`ConfigError::ArtifactTauMismatch`] when the τ this
+    /// configuration resolves to differs (bitwise) from the τ the
+    /// artifact was built with — pin classification is baked into the
+    /// artifact, so a different τ requires rebuilding it.
+    pub fn from_artifact(
+        art: &GraphArtifact,
+        config: &GramerConfig,
+    ) -> Result<Preprocessed, SimError> {
+        config.validate().map_err(SimError::Config)?;
+        let reordering = art.to_reordered();
+        let v = reordering.graph.num_vertices();
+        let slots = reordering.graph.adjacency_len();
+        let tau = config.effective_tau(v + slots).map_err(SimError::Config)?;
+        if tau.to_bits() != art.tau().to_bits() {
+            return Err(SimError::Config(ConfigError::ArtifactTauMismatch {
+                artifact: art.tau(),
+                config: tau,
+            }));
+        }
+        let vertex_pin = art.vertex_pin();
+        let edge_pin = art.edge_pin();
+        let preprocess_seconds = modeled_preprocess_seconds(v, slots);
+        let graph = reordering.graph.clone();
+        let probe = AdjProbe::build(&graph);
+        let vertex_pin_mask = prefix_mask(vertex_pin, v);
+        let edge_pin_mask = prefix_mask(edge_pin, slots);
+        Ok(Preprocessed {
+            graph,
+            reordering,
+            tau,
+            vertex_pin,
+            edge_pin,
+            preprocess_seconds,
+            probe,
+            vertex_pin_mask,
+            edge_pin_mask,
+        })
     }
 }
 
@@ -189,6 +272,50 @@ mod tests {
         };
         let pre = preprocess(&g, &cfg).unwrap();
         assert!((pre.tau - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_artifact_reproduces_preprocess_exactly() {
+        let g = generate::barabasi_albert(150, 3, 4);
+        let cfg = GramerConfig::default();
+        let pre = preprocess(&g, &cfg).unwrap();
+        let bytes = gramer_graph::artifact::encode(&pre.artifact_contents(99)).unwrap();
+        let art = gramer_graph::GraphArtifact::from_bytes(bytes).unwrap();
+        assert_eq!(art.source_digest(), 99);
+        let back = Preprocessed::from_artifact(&art, &cfg).unwrap();
+        assert_eq!(back.graph, pre.graph);
+        assert_eq!(back.reordering.old_id, pre.reordering.old_id);
+        assert_eq!(back.reordering.new_id, pre.reordering.new_id);
+        assert_eq!(back.tau.to_bits(), pre.tau.to_bits());
+        assert_eq!(back.vertex_pin, pre.vertex_pin);
+        assert_eq!(back.edge_pin, pre.edge_pin);
+        assert_eq!(
+            back.preprocess_seconds.to_bits(),
+            pre.preprocess_seconds.to_bits()
+        );
+        assert_eq!(back.vertex_pin_mask, pre.vertex_pin_mask);
+        assert_eq!(back.edge_pin_mask, pre.edge_pin_mask);
+    }
+
+    #[test]
+    fn from_artifact_rejects_tau_mismatch() {
+        let g = generate::barabasi_albert(150, 3, 4);
+        let built = GramerConfig {
+            tau: Some(0.05),
+            ..GramerConfig::default()
+        };
+        let pre = preprocess(&g, &built).unwrap();
+        let bytes = gramer_graph::artifact::encode(&pre.artifact_contents(0)).unwrap();
+        let art = gramer_graph::GraphArtifact::from_bytes(bytes).unwrap();
+        let loaded = GramerConfig {
+            tau: Some(0.1),
+            ..GramerConfig::default()
+        };
+        let err = match Preprocessed::from_artifact(&art, &loaded) {
+            Err(e) => e,
+            Ok(_) => panic!("tau mismatch accepted"),
+        };
+        assert_eq!(err.kind(), "config-artifact-tau");
     }
 
     #[test]

@@ -37,6 +37,43 @@ pub enum GraphError {
         /// Human-readable description of the violated invariant.
         what: String,
     },
+    /// A `.gra` artifact file ended before a structure it declared.
+    ArtifactTruncated {
+        /// Byte offset at which the file ran out (its actual length).
+        offset: u64,
+        /// What the reader was trying to read there.
+        what: String,
+    },
+    /// A file handed to the artifact loader does not start with the
+    /// `.gra` magic bytes (see `gramer_graph::artifact::MAGIC`).
+    ArtifactMagic {
+        /// The first 8 bytes actually found.
+        found: [u8; 8],
+    },
+    /// A `.gra` artifact uses a format version this reader does not
+    /// understand.
+    ArtifactVersion {
+        /// Version stored in the file header.
+        found: u32,
+        /// The single version this reader supports.
+        supported: u32,
+    },
+    /// The stored payload digest of a `.gra` artifact does not match its
+    /// contents — the file was corrupted or tampered with.
+    ArtifactDigest {
+        /// Digest recorded in the header.
+        stored: u64,
+        /// Digest recomputed over the payload.
+        computed: u64,
+    },
+    /// A `.gra` artifact is structurally invalid (bad table of contents,
+    /// inconsistent metadata, broken CSR invariants, ...).
+    ArtifactMalformed {
+        /// Byte offset of the first offending value.
+        offset: u64,
+        /// Human-readable description of the violation.
+        what: String,
+    },
 }
 
 impl GraphError {
@@ -50,6 +87,11 @@ impl GraphError {
             GraphError::Io(_) => "graph-io",
             GraphError::LabelCount { .. } => "graph-label-count",
             GraphError::InvalidParameter { .. } => "graph-parameter",
+            GraphError::ArtifactTruncated { .. } => "artifact-truncated",
+            GraphError::ArtifactMagic { .. } => "artifact-magic",
+            GraphError::ArtifactVersion { .. } => "artifact-version",
+            GraphError::ArtifactDigest { .. } => "artifact-digest",
+            GraphError::ArtifactMalformed { .. } => "artifact-malformed",
         }
     }
 
@@ -80,6 +122,27 @@ impl fmt::Display for GraphError {
             ),
             GraphError::InvalidParameter { what } => {
                 write!(f, "invalid parameter: {what}")
+            }
+            GraphError::ArtifactTruncated { offset, what } => write!(
+                f,
+                "artifact truncated at byte offset {offset}: expected {what}"
+            ),
+            GraphError::ArtifactMagic { found } => write!(
+                f,
+                "not a .gra artifact: magic bytes are {:?}",
+                String::from_utf8_lossy(found)
+            ),
+            GraphError::ArtifactVersion { found, supported } => write!(
+                f,
+                "unsupported .gra format version {found} (this reader supports {supported})"
+            ),
+            GraphError::ArtifactDigest { stored, computed } => write!(
+                f,
+                "artifact digest mismatch: header records {stored:#018x}, payload hashes to \
+                 {computed:#018x} (file corrupted?)"
+            ),
+            GraphError::ArtifactMalformed { offset, what } => {
+                write!(f, "malformed artifact at byte offset {offset}: {what}")
             }
         }
     }

@@ -114,8 +114,10 @@ pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), 
     Ok(())
 }
 
-/// Magic bytes of the binary CSR format.
-const BINARY_MAGIC: &[u8; 8] = b"GRAMERv1";
+/// Magic bytes of the binary CSR format. Public so tools (e.g.
+/// `gramer-artifact build`) can sniff whether an input file is binary
+/// CSR or a text edge list before choosing a parser.
+pub const BINARY_MAGIC: &[u8; 8] = b"GRAMERv1";
 
 /// Writes `graph` in a compact binary CSR format (magic, counts, offsets
 /// as `u64`, adjacency as `u32`, labels as `u16`, all little-endian).

@@ -20,6 +20,10 @@
 //!   from vertex IDs at runtime.
 //! * [`io`] — SNAP-style edge-list parsing and writing, so real datasets can
 //!   be dropped in for the synthetic analogs.
+//! * [`artifact`] — the versioned `.gra` on-disk artifact holding the
+//!   reordered CSR, labels, ON1 rank table and pin classification behind a
+//!   digest-checked, memory-mappable layout (spec: `docs/FORMAT.md`), so a
+//!   graph is preprocessed once and mined many times.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@ mod error;
 mod probe;
 
 pub mod algo;
+pub mod artifact;
 pub mod datasets;
 pub mod generate;
 pub mod hash;
@@ -61,6 +66,7 @@ pub mod on1;
 pub mod reorder;
 pub mod stats;
 
+pub use artifact::{ArtifactContents, GraphArtifact};
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, EdgeRef, Label, NeighborIter, VertexId};
 pub use error::GraphError;

@@ -17,6 +17,10 @@
 #           perf lints warn so hot-path regressions surface in review)
 #   bench   cargo bench, smoke mode        (every bench runs its closure
 #           exactly once — compiles-and-runs proof, not a measurement)
+#   artifact  .gra artifact round-trip on both golden workloads:
+#           gramer-artifact build/verify/inspect + gramer-mine --artifact,
+#           on the mmap and forced-copy load paths, plus the artifact
+#           test suite (see docs/FORMAT.md)
 #   all     every stage above (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -69,6 +73,29 @@ stage_bench() {
     GRAMER_BENCH_SMOKE=1 cargo bench -q -p gramer-bench
 }
 
+stage_artifact() {
+    echo "== tier1: .gra artifact round-trip (build / verify / inspect / mine)"
+    cargo build --release -q -p gramer --bins
+    local tmp
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    local w
+    for w in golden-ba golden-rmat; do
+        echo "   -- $w: build + verify + inspect"
+        target/release/gramer-artifact build --gen "$w" -o "$tmp/$w.gra"
+        target/release/gramer-artifact verify "$tmp/$w.gra"
+        # Forced-copy load path must accept the same file.
+        GRAMER_ARTIFACT_NO_MMAP=1 target/release/gramer-artifact verify "$tmp/$w.gra"
+        target/release/gramer-artifact inspect "$tmp/$w.gra" > /dev/null
+    done
+    echo "   -- golden-ba: gramer-mine --artifact (4-clique finding)"
+    target/release/gramer-mine --artifact "$tmp/golden-ba.gra" --app 4-cf > /dev/null
+    echo "   -- golden-rmat: gramer-mine --artifact (3-motif counting)"
+    target/release/gramer-mine --artifact "$tmp/golden-rmat.gra" --app 3-mc > /dev/null
+    echo "   -- artifact test suite (round-trip, corruption, pinned digest)"
+    cargo test -q --test artifact
+}
+
 stage_all() {
     stage_fmt
     stage_build
@@ -77,17 +104,18 @@ stage_all() {
     stage_doc
     stage_clippy
     stage_bench
+    stage_artifact
     echo "== tier1: all green"
 }
 
 stage="${1:-all}"
 case "$stage" in
-    fmt|build|test|golden|doc|clippy|bench|all)
+    fmt|build|test|golden|doc|clippy|bench|artifact|all)
         "stage_$stage"
         ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "usage: $0 [fmt|build|test|golden|doc|clippy|bench|all]" >&2
+        echo "usage: $0 [fmt|build|test|golden|doc|clippy|bench|artifact|all]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,342 @@
+//! Read-only memory-mapped bytes with an aligned owned fallback, plus
+//! little-endian typed views — the in-repo stand-in for the small subset
+//! of `memmap2` + `bytemuck` that the `.gra` artifact loader
+//! (`gramer_graph::artifact`) needs. Kept as a shim because the build
+//! environment is offline (same approach as `shims/rand`).
+//!
+//! Two pieces:
+//!
+//! * [`Bytes`] — an immutable byte buffer backed either by a private
+//!   read-only `mmap(2)` of a file (zero-copy: the kernel pages data in
+//!   on demand and the file is never deserialized) or, when mapping is
+//!   unavailable or refused, by an owned allocation that is always
+//!   8-byte aligned. Either way the buffer's base address is at least
+//!   8-byte aligned, which is what makes the typed views below work on
+//!   every artifact section (the `.gra` format aligns all sections to
+//!   8 bytes from the start of the file).
+//! * [`view_u16`] / [`view_u32`] / [`view_u64`] — reinterpret a byte
+//!   slice as a slice of little-endian integers without copying.
+//!   They return `None` (callers then decode element-by-element) when
+//!   the host is big-endian, the pointer is misaligned, or the length
+//!   is not a multiple of the element size — so a `Some` result is
+//!   always a sound, correctly-decoded view.
+//!
+//! This crate is the only place the artifact pipeline uses `unsafe`;
+//! `gramer-graph` itself stays `#![forbid(unsafe_code)]`.
+//!
+//! # Example
+//!
+//! ```
+//! let bytes = gramer_mmap::Bytes::copied_from(&42u64.to_le_bytes());
+//! let words = gramer_mmap::view_u64(&bytes).expect("aligned little-endian host");
+//! assert_eq!(words, &[42]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+
+/// An immutable byte buffer: memory-mapped when possible, owned (and
+/// 8-byte aligned) otherwise. Dereferences to `&[u8]`.
+#[derive(Debug)]
+pub struct Bytes {
+    storage: Storage,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum Storage {
+    #[cfg(unix)]
+    Mapped(unix_mmap::Map),
+    /// `Vec<u64>` backing guarantees 8-byte alignment of the base
+    /// pointer, so the typed views work on the fallback path too.
+    Owned(Vec<u64>),
+}
+
+impl Bytes {
+    /// Opens `path` read-only, preferring a zero-copy memory map and
+    /// falling back to an aligned in-memory read if mapping fails (or
+    /// `force_copy` is set, or the platform has no `mmap`).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening or reading the file.
+    pub fn load(path: &Path, force_copy: bool) -> io::Result<Bytes> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        #[cfg(unix)]
+        if !force_copy && len > 0 {
+            if let Ok(map) = unix_mmap::Map::map_readonly(&file, len) {
+                return Ok(Bytes {
+                    storage: Storage::Mapped(map),
+                    len,
+                });
+            }
+        }
+        let _ = force_copy; // non-unix: always copied
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        file.read_exact(&mut as_bytes_mut(&mut buf)[..len])?;
+        Ok(Bytes {
+            storage: Storage::Owned(buf),
+            len,
+        })
+    }
+
+    /// An owned, aligned copy of `data` (for in-memory artifacts and
+    /// tests; never memory-mapped).
+    pub fn copied_from(data: &[u8]) -> Bytes {
+        let mut buf = vec![0u64; data.len().div_ceil(8)];
+        as_bytes_mut(&mut buf)[..data.len()].copy_from_slice(data);
+        Bytes {
+            storage: Storage::Owned(buf),
+            len: data.len(),
+        }
+    }
+
+    /// Whether this buffer is a live memory map (as opposed to an owned
+    /// copy).
+    pub fn is_mapped(&self) -> bool {
+        match &self.storage {
+            #[cfg(unix)]
+            Storage::Mapped(_) => true,
+            Storage::Owned(_) => false,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.storage {
+            #[cfg(unix)]
+            Storage::Mapped(m) => m.as_slice(),
+            // SAFETY-free: plain u64 -> u8 reinterpretation is always
+            // valid; `len` never exceeds the allocation (enforced at
+            // construction).
+            Storage::Owned(v) => &as_bytes(v)[..self.len],
+        }
+    }
+}
+
+fn as_bytes(words: &[u64]) -> &[u8] {
+    // SAFETY: u8 has alignment 1 and no invalid bit patterns; the
+    // region is exactly the words' allocation.
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), words.len() * 8) }
+}
+
+fn as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
+    // SAFETY: as above, plus exclusive access via the &mut borrow.
+    unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8) }
+}
+
+macro_rules! le_view {
+    ($name:ident, $ty:ty, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Returns `None` when the host is big-endian, `bytes` is not
+        /// aligned to the element size, or its length is not a multiple
+        /// of it — callers must then decode with `from_le_bytes`.
+        pub fn $name(bytes: &[u8]) -> Option<&[$ty]> {
+            if cfg!(target_endian = "big") {
+                return None;
+            }
+            let size = std::mem::size_of::<$ty>();
+            if bytes.len() % size != 0
+                || bytes.as_ptr().align_offset(std::mem::align_of::<$ty>()) != 0
+            {
+                return None;
+            }
+            // SAFETY: alignment and size checked above; integer types
+            // have no invalid bit patterns; on little-endian hosts the
+            // in-memory representation IS the serialized representation.
+            Some(unsafe {
+                std::slice::from_raw_parts(bytes.as_ptr().cast::<$ty>(), bytes.len() / size)
+            })
+        }
+    };
+}
+
+le_view!(
+    view_u16,
+    u16,
+    "Reinterprets little-endian bytes as a `&[u16]` without copying."
+);
+le_view!(
+    view_u32,
+    u32,
+    "Reinterprets little-endian bytes as a `&[u32]` without copying."
+);
+le_view!(
+    view_u64,
+    u64,
+    "Reinterprets little-endian bytes as a `&[u64]` without copying."
+);
+
+#[cfg(unix)]
+mod unix_mmap {
+    //! Minimal read-only `mmap(2)` wrapper. Linked against the platform
+    //! libc the binary already uses; no external crate involved.
+    //!
+    //! Caveat (shared with every mmap library): the mapping's contents
+    //! alias the file, so another process truncating the file while it
+    //! is mapped can fault reads. Artifact files are written atomically
+    //! (temp + rename) precisely so readers never observe a shrinking
+    //! file.
+
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            // 64-bit platforms only (off_t == i64); the workspace does
+            // not target 32-bit hosts.
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// A read-only private mapping of one file, unmapped on drop.
+    #[derive(Debug)]
+    pub struct Map {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is read-only and owned exclusively by this
+    // struct until munmap in Drop.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        pub fn map_readonly(file: &File, len: usize) -> io::Result<Map> {
+            debug_assert!(len > 0, "mmap of an empty file is unspecified");
+            // SAFETY: null addr lets the kernel pick a page-aligned
+            // base; PROT_READ + MAP_PRIVATE never mutates the file.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Map {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: the mapping covers exactly `len` readable bytes
+            // for the lifetime of self.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            // SAFETY: ptr/len are exactly what mmap returned.
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copied_bytes_roundtrip_and_views() {
+        let data: Vec<u8> = (0..48u8).collect();
+        let b = Bytes::copied_from(&data);
+        assert_eq!(&*b, data.as_slice());
+        assert!(!b.is_mapped());
+        if cfg!(target_endian = "little") {
+            let v32 = view_u32(&b).unwrap();
+            assert_eq!(v32.len(), 12);
+            assert_eq!(v32[0], u32::from_le_bytes([0, 1, 2, 3]));
+            let v64 = view_u64(&b).unwrap();
+            assert_eq!(v64.len(), 6);
+            let v16 = view_u16(&b).unwrap();
+            assert_eq!(v16.len(), 24);
+        }
+    }
+
+    #[test]
+    fn views_reject_bad_lengths() {
+        let b = Bytes::copied_from(&[1, 2, 3]);
+        assert!(view_u32(&b).is_none());
+        assert!(view_u64(&b).is_none());
+        assert!(view_u16(&b).is_none());
+    }
+
+    #[test]
+    fn views_reject_misaligned() {
+        let b = Bytes::copied_from(&[0u8; 16]);
+        // Offset by one byte: base alignment is 8, so +1 is misaligned
+        // for every element width > 1.
+        let sub = &b[1..9];
+        assert!(view_u32(sub).is_none() || cfg!(target_endian = "big"));
+    }
+
+    #[test]
+    fn odd_length_copies_preserve_exact_len() {
+        let data = [7u8; 13];
+        let b = Bytes::copied_from(&data);
+        assert_eq!(b.len(), 13);
+        assert_eq!(&*b, &data[..]);
+    }
+
+    #[test]
+    fn load_maps_and_copies_identically() {
+        let dir = std::env::temp_dir().join(format!("gramer-mmap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        let payload: Vec<u8> = (0..255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).unwrap();
+
+        let mapped = Bytes::load(&path, false).unwrap();
+        let copied = Bytes::load(&path, true).unwrap();
+        assert!(!copied.is_mapped());
+        assert_eq!(&*mapped, payload.as_slice());
+        assert_eq!(&*mapped, &*copied);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_empty_file_is_owned_and_empty() {
+        let dir = std::env::temp_dir().join(format!("gramer-mmap-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let b = Bytes::load(&path, false).unwrap();
+        assert!(b.is_empty());
+        assert!(!b.is_mapped());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -144,6 +144,44 @@ fn heap_scheduler_matches_calendar_on_golden_workloads() {
     );
 }
 
+/// Runs `app` starting from a `.gra` artifact round-trip of the
+/// preprocessed graph instead of the direct [`preprocess`] result.
+fn run_via_artifact<A: EcmApp>(graph: &CsrGraph, app: &A, cfg: &GramerConfig) -> RunReport {
+    let pre = preprocess(graph, cfg).unwrap();
+    let bytes = gramer_graph::artifact::encode(&pre.artifact_contents(0)).unwrap();
+    let art = gramer_graph::GraphArtifact::from_bytes(bytes).unwrap();
+    let pre = gramer::Preprocessed::from_artifact(&art, cfg).unwrap();
+    Simulator::new(&pre, cfg.clone()).unwrap().run(app).unwrap()
+}
+
+/// The `.gra` artifact path (ISSUE 6 tentpole) must be invisible in the
+/// results: a run resumed from an artifact produces a [`RunReport`]
+/// whose serialized JSON is byte-identical to the edge-list path's, on
+/// both golden workloads. Runs under the full scheduler × access-path
+/// matrix via `scripts/tier1.sh golden`.
+#[test]
+fn artifact_path_reports_are_bit_identical() {
+    let cfg = base_config();
+
+    let ba = ba_graph();
+    let cf = CliqueFinding::new(4).unwrap();
+    assert_eq!(
+        run(&ba, &cf, &cfg).to_json_value().to_string(),
+        run_via_artifact(&ba, &cf, &cfg).to_json_value().to_string(),
+        "BA(200,3) x CF(4): artifact path diverged from edge-list path"
+    );
+
+    let rmat = rmat_graph();
+    let mc = MotifCounting::new(3).unwrap();
+    assert_eq!(
+        run(&rmat, &mc, &cfg).to_json_value().to_string(),
+        run_via_artifact(&rmat, &mc, &cfg)
+            .to_json_value()
+            .to_string(),
+        "R-MAT(2^8) x MC(3): artifact path diverged from edge-list path"
+    );
+}
+
 /// The two-lane fast access engine (ISSUE 4 tentpole) is the default;
 /// `--access-path=exact` keeps the reference port/FIFO machinery. On
 /// both golden workloads the two must produce *identical* reports down

@@ -39,11 +39,10 @@
 use crate::SweepArgs;
 use gramer::json::JsonValue;
 use gramer::progress::{self, ProgressToken};
-use gramer::{ReportSummary, RunReport, SimError};
-use std::cell::{Cell, RefCell};
+use gramer::{supervise, ReportSummary, RunReport, SimError};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex, Once};
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 /// What one sweep point produces: an optional full simulator report plus
@@ -634,44 +633,6 @@ fn replay_record(point: &SweepPoint<'_>, entry: &JsonValue) -> PointRecord {
 // Panic quarantine
 // ---------------------------------------------------------------------------
 
-thread_local! {
-    /// Panic message captured by the quarantine hook for the current
-    /// quarantined execution.
-    static CAPTURED_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
-    /// Whether the current thread is inside a quarantined execution.
-    static QUARANTINE_ACTIVE: Cell<bool> = const { Cell::new(false) };
-}
-
-/// Installs the chained panic hook exactly once per process.
-///
-/// Inside a quarantined execution the hook records the panic message (and
-/// location) into a thread-local slot instead of printing the default
-/// report; everywhere else it defers to the previously installed hook.
-fn install_quarantine_hook() {
-    static HOOK: Once = Once::new();
-    HOOK.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let quarantined = QUARANTINE_ACTIVE.with(Cell::get);
-            if quarantined {
-                let payload = info.payload();
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                let full = match info.location() {
-                    Some(loc) => format!("{msg} (at {}:{})", loc.file(), loc.line()),
-                    None => msg,
-                };
-                CAPTURED_PANIC.with(|c| *c.borrow_mut() = Some(full));
-            } else {
-                prev(info);
-            }
-        }));
-    });
-}
-
 /// Outcome of one quarantined attempt.
 enum Attempt {
     Ok(PointOutput),
@@ -679,33 +640,24 @@ enum Attempt {
     Cancelled,
 }
 
-/// Runs `f` with panics quarantined: a typed error or panic becomes an
-/// [`Attempt::Failed`]; a [`progress::Cancelled`] unwind (the watchdog's
-/// cooperative cancellation) becomes [`Attempt::Cancelled`].
+/// Runs `f` with panics quarantined through the shared
+/// [`gramer::supervise`] implementation (one scoped-hook capture for the
+/// sweep runner and the `gramer-serve` daemon): a typed error or panic
+/// becomes an [`Attempt::Failed`]; a [`gramer::progress::Cancelled`]
+/// unwind (the watchdog's cooperative cancellation) becomes
+/// [`Attempt::Cancelled`].
 fn run_quarantined(f: impl FnOnce() -> Result<PointOutput, SimError>) -> Attempt {
-    install_quarantine_hook();
-    QUARANTINE_ACTIVE.with(|q| q.set(true));
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
-    QUARANTINE_ACTIVE.with(|q| q.set(false));
-    match result {
-        Ok(Ok(output)) => Attempt::Ok(output),
-        Ok(Err(e)) => Attempt::Failed(PointError {
+    match supervise::run_quarantined(f) {
+        supervise::Outcome::Ok(output) => Attempt::Ok(output),
+        supervise::Outcome::Err(e) => Attempt::Failed(PointError {
             kind: e.kind().to_string(),
             message: e.to_string(),
         }),
-        Err(payload) => {
-            if payload.downcast_ref::<progress::Cancelled>().is_some() {
-                Attempt::Cancelled
-            } else {
-                let message = CAPTURED_PANIC
-                    .with(|c| c.borrow_mut().take())
-                    .unwrap_or_else(|| "panic with no captured message".to_string());
-                Attempt::Failed(PointError {
-                    kind: "panic".to_string(),
-                    message,
-                })
-            }
-        }
+        supervise::Outcome::Panicked(message) => Attempt::Failed(PointError {
+            kind: "panic".to_string(),
+            message,
+        }),
+        supervise::Outcome::Cancelled => Attempt::Cancelled,
     }
 }
 

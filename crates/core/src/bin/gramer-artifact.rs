@@ -47,46 +47,10 @@ fn parse_num<T: std::str::FromStr>(s: &str) -> T {
     })
 }
 
-/// Resolves a `--gen` spec to a graph.
+/// Resolves a `--gen` spec to a graph (shared vocabulary:
+/// [`generate::named`]).
 fn generate_named(spec: &str) -> Result<CsrGraph, String> {
-    match spec {
-        "golden-ba" => return Ok(generate::barabasi_albert(200, 3, 11)),
-        "golden-rmat" => return Ok(generate::rmat(8, 2000, generate::RmatParams::default(), 7)),
-        "demo" => return Ok(generate::chung_lu(10_000, 40_000, 2.4, 1)),
-        _ => {}
-    }
-    let parts: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str| -> Result<u64, String> {
-        s.parse()
-            .map_err(|_| format!("bad number {s:?} in --gen {spec:?}"))
-    };
-    let float = |s: &str| -> Result<f64, String> {
-        s.parse()
-            .map_err(|_| format!("bad number {s:?} in --gen {spec:?}"))
-    };
-    match parts.as_slice() {
-        ["ba", n, m, seed] => {
-            generate::try_barabasi_albert(num(n)? as usize, num(m)? as usize, num(seed)?)
-                .map_err(|e| e.to_string())
-        }
-        ["rmat", scale, edges, seed] => generate::try_rmat(
-            num(scale)? as u32,
-            num(edges)? as usize,
-            generate::RmatParams::default(),
-            num(seed)?,
-        )
-        .map_err(|e| e.to_string()),
-        ["chung-lu", n, m, gamma, seed] => generate::try_chung_lu(
-            num(n)? as usize,
-            num(m)? as usize,
-            float(gamma)?,
-            num(seed)?,
-        )
-        .map_err(|e| e.to_string()),
-        _ => Err(format!(
-            "unknown --gen spec {spec:?} (see gramer-artifact --help)"
-        )),
-    }
+    generate::named(spec).map_err(|e| e.to_string())
 }
 
 fn build(args: &[String]) -> Result<(), String> {

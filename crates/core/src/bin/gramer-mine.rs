@@ -6,7 +6,8 @@
 //!             --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>
 //!             [--cache DIR] [--pus N] [--slots N] [--tau F] [--budget-frac F]
 //!             [--lambda F] [--no-steal] [--access-path fast|exact] [--counts]
-//!             [--metrics-out PATH] [--metrics-summary] [--metrics-window N]
+//!             [--json PATH] [--metrics-out PATH] [--metrics-summary]
+//!             [--metrics-window N]
 //! ```
 //!
 //! The edge list is SNAP-style (`u v` per line, `#` comments). `--demo`
@@ -22,7 +23,15 @@
 //! keyed by (input digest, τ/budget knobs): the first run over an input
 //! pays the full pipeline and stores the result, subsequent runs load
 //! the artifact instead (for file inputs a warm hit skips even the
-//! parsing — only the raw bytes are hashed).
+//! parsing — only the raw bytes are hashed). The cache is strictly an
+//! accelerator: if `DIR` cannot be created or an entry cannot be
+//! written (read-only filesystem, quota, a file squatting on the path),
+//! the run warns once on stderr and continues uncached with exit
+//! status 0 — cache trouble never fails a mining run.
+//!
+//! `--json PATH` writes the full `RunReport` JSON document (stable key
+//! order, the exact serialization `gramer-serve` returns from
+//! `GET /jobs/<id>/report`) to `PATH`, or stdout for `-`.
 //!
 //! `--metrics-out PATH` records cycle-windowed telemetry during the run
 //! (see `gramer::telemetry`) and writes the schema-versioned JSON document
@@ -47,6 +56,7 @@ struct Options {
     app: String,
     config: GramerConfig,
     show_counts: bool,
+    json_out: Option<String>,
     metrics_out: Option<String>,
     metrics_summary: bool,
     metrics_window: Option<u64>,
@@ -62,7 +72,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gramer-mine <edge-list | --demo | --artifact PATH> \
          --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>> \\\n         [--cache DIR] \
-         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--counts] [--metrics-out PATH] [--metrics-summary] \\\n         [--metrics-window N]"
+         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--counts] [--json PATH] [--metrics-out PATH] \\\n         [--metrics-summary] [--metrics-window N]"
     );
     std::process::exit(2)
 }
@@ -76,6 +86,7 @@ fn parse_args() -> Options {
         app: "3-cf".to_string(),
         config: GramerConfig::default(),
         show_counts: false,
+        json_out: None,
         metrics_out: None,
         metrics_summary: false,
         metrics_window: None,
@@ -109,6 +120,7 @@ fn parse_args() -> Options {
                     })
             }
             "--counts" => opts.show_counts = true,
+            "--json" => opts.json_out = Some(value("--json")),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
             "--metrics-summary" => opts.metrics_summary = true,
             "--metrics-window" => {
@@ -172,26 +184,32 @@ fn resolve_preprocessed(opts: &Options) -> Result<Preprocessed, String> {
         return Ok(pre);
     }
 
-    let cache = match opts.cache.as_deref() {
-        Some(dir) => Some(PreprocessCache::new(dir).map_err(|e| e.to_string())?),
-        None => None,
-    };
+    // The cache is best-effort: an unusable directory warns and the run
+    // proceeds uncached rather than failing (satellite of the service
+    // work — a read-only cache volume must not break mining).
+    let cache = opts.cache.as_deref().and_then(|dir| {
+        PreprocessCache::new(dir)
+            .map_err(|e| {
+                eprintln!("warning: preprocessing cache disabled ({e}); continuing uncached");
+            })
+            .ok()
+    });
     let t0 = Instant::now();
 
     if opts.demo {
         let graph = generate::chung_lu(10_000, 40_000, 2.4, 1);
         if let Some(cache) = &cache {
-            let (pre, hit) = cache
-                .get_or_build(&graph, &opts.config)
-                .map_err(|e| e.to_string())?;
-            eprintln!(
-                "preprocessing: cache {} in {:.1} ms ({})",
-                if hit { "hit" } else { "miss, built" },
-                t0.elapsed().as_secs_f64() * 1e3,
-                cache
-                    .path(PreprocessCache::graph_key(&graph, &opts.config))
-                    .display()
-            );
+            let key = PreprocessCache::graph_key(&graph, &opts.config);
+            if let Some(pre) = cache.load(key, &opts.config) {
+                eprintln!(
+                    "preprocessing: cache hit in {:.1} ms ({})",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    cache.path(key).display()
+                );
+                return Ok(pre);
+            }
+            let pre = preprocess(&graph, &opts.config).map_err(|e| e.to_string())?;
+            store_best_effort(cache, key, &pre, 0, t0);
             return Ok(pre);
         }
         return preprocess(&graph, &opts.config).map_err(|e| e.to_string());
@@ -217,16 +235,33 @@ fn resolve_preprocessed(opts: &Options) -> Result<Preprocessed, String> {
         let graph =
             io::read_edge_list(&bytes[..]).map_err(|e| format!("cannot load {path}: {e}"))?;
         let pre = preprocess(&graph, &opts.config).map_err(|e| e.to_string())?;
-        cache.store(key, &pre, digest).map_err(|e| e.to_string())?;
-        eprintln!(
-            "preprocessing: cache miss, built in {:.1} ms ({})",
-            t0.elapsed().as_secs_f64() * 1e3,
-            cache.path(key).display()
-        );
+        store_best_effort(cache, key, &pre, digest, t0);
         return Ok(pre);
     }
     let graph = io::read_edge_list_file(path).map_err(|e| format!("cannot load {path}: {e}"))?;
     preprocess(&graph, &opts.config).map_err(|e| e.to_string())
+}
+
+/// Stores a fresh cache entry, downgrading failure to a warning — the
+/// result in hand is correct either way.
+fn store_best_effort(
+    cache: &PreprocessCache,
+    key: u64,
+    pre: &Preprocessed,
+    source_digest: u64,
+    t0: Instant,
+) {
+    match cache.store(key, pre, source_digest) {
+        Ok(()) => eprintln!(
+            "preprocessing: cache miss, built in {:.1} ms ({})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            cache.path(key).display()
+        ),
+        Err(e) => eprintln!(
+            "warning: could not store cache entry at {} ({e}); continuing uncached",
+            cache.path(key).display()
+        ),
+    }
 }
 
 fn run_app(
@@ -350,6 +385,15 @@ fn main() -> ExitCode {
             );
             if opts.show_counts {
                 print_counts(&report.result);
+            }
+            if let Some(path) = opts.json_out.as_deref() {
+                let doc = report.to_json_value().to_string_pretty() + "\n";
+                if path == "-" {
+                    print!("{doc}");
+                } else if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("error: cannot write report JSON to {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
             if let Some(tel) = &tel {
                 if let Err(e) = write_metrics(tel, &opts) {

@@ -239,6 +239,54 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_writers_never_produce_a_torn_entry() {
+        let (dir, cache) = temp_cache("race");
+        let g = generate::barabasi_albert(120, 3, 9);
+        let cfg = GramerConfig::default();
+        let key = PreprocessCache::graph_key(&g, &cfg);
+        let pre = crate::preprocess(&g, &cfg).unwrap();
+        let path = cache.path(key);
+        // Seed the entry so the reader below always has a file to open,
+        // even if the racing writers are scheduled late.
+        cache.store(key, &pre, 0).unwrap();
+
+        std::thread::scope(|scope| {
+            // Two writers race the same key; each store writes a private
+            // (pid, seq)-suffixed temp file and renames it into place.
+            for _ in 0..2 {
+                let cache = &cache;
+                let pre = &pre;
+                scope.spawn(move || {
+                    for _ in 0..40 {
+                        cache.store(key, pre, 0).unwrap();
+                    }
+                });
+            }
+            // A reader races both writers: the entry must validate on
+            // every observation — rename atomicity means a torn or
+            // interleaved write is never observable.
+            for _ in 0..400 {
+                gramer_graph::GraphArtifact::open(&path)
+                    .unwrap_or_else(|e| panic!("torn cache entry observed: {e}"));
+                std::hint::spin_loop();
+            }
+        });
+
+        let (warm, hit) = cache.get_or_build(&g, &cfg).unwrap();
+        assert!(hit, "entry must be valid after the write race");
+        assert_eq!(warm.graph, pre.graph);
+        // No leaked temp files: every writer either renamed or removed its
+        // private temp.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn bytes_key_mixes_source_and_knobs() {
         let cfg = GramerConfig::default();
         let other = GramerConfig {

@@ -60,6 +60,7 @@ pub mod error;
 pub mod json;
 pub mod pipeline;
 pub mod progress;
+pub mod supervise;
 pub mod telemetry;
 
 pub use cache::PreprocessCache;

@@ -131,6 +131,26 @@ impl Preprocessed {
         self.vertex_pin + self.edge_pin
     }
 
+    /// Approximate host-memory footprint of this preprocessing result in
+    /// bytes — what a shared session cache (the `gramer-serve` daemon)
+    /// charges against its LRU byte budget. Dominated by the two CSR
+    /// copies (reordered graph + the reordering's embedded copy), the
+    /// permutations, the adjacency probe, and the pin masks; small fixed
+    /// fields are ignored.
+    pub fn footprint_bytes(&self) -> usize {
+        let v = self.graph.num_vertices();
+        let slots = self.graph.adjacency_len();
+        // Reordered CSR + the copy inside `reordering`, each roughly
+        // offsets (v+1 × 8) + adjacency (slots × 4) + labels (v × 2).
+        let csr = self.graph.footprint_bytes();
+        // old_id + new_id permutations: 2 × v × 4 bytes.
+        let perms = 2 * v * std::mem::size_of::<u32>();
+        // Probe index: about one u64 hash entry per adjacency slot.
+        let probe = slots * std::mem::size_of::<u64>();
+        let masks = self.vertex_pin_mask.len() + self.edge_pin_mask.len();
+        2 * csr + perms + probe + masks
+    }
+
     /// Borrows this preprocessing result as the contents of a `.gra`
     /// artifact (see [`gramer_graph::artifact`]), ready for
     /// [`gramer_graph::artifact::encode`] or

@@ -1,0 +1,192 @@
+//! Shared panic quarantine for supervised execution.
+//!
+//! Two subsystems run untrusted-ish work on worker threads and must
+//! survive it misbehaving: the experiment-sweep runner in `gramer-bench`
+//! (one sweep point per task) and the `gramer-serve` daemon (one mining
+//! job per task). Both need the same mechanism — run a closure under
+//! [`std::panic::catch_unwind`], capture the panic *message and location*
+//! through a scoped hook instead of letting the default hook spam stderr,
+//! and distinguish three outcomes: a typed error, a genuine panic, and a
+//! cooperative cancellation unwind from [`crate::progress`].
+//!
+//! This module is that one implementation. The process-global panic hook
+//! is installed once and chains to the previously installed hook for
+//! every thread that is *not* inside a quarantined execution, so
+//! unrelated panics keep their normal reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use gramer::supervise::{run_quarantined, Outcome};
+//!
+//! let ok = run_quarantined(|| Ok::<_, gramer::SimError>(21 * 2));
+//! assert!(matches!(ok, Outcome::Ok(42)));
+//!
+//! let boom = run_quarantined(|| -> Result<(), gramer::SimError> {
+//!     panic!("injected {}", 7);
+//! });
+//! match boom {
+//!     Outcome::Panicked(msg) => assert!(msg.contains("injected 7")),
+//!     other => panic!("expected a quarantined panic, got {other:?}"),
+//! }
+//! ```
+
+use crate::error::SimError;
+use crate::progress;
+use std::cell::{Cell, RefCell};
+use std::sync::Once;
+
+thread_local! {
+    /// Panic message captured by the quarantine hook for the current
+    /// quarantined execution.
+    static CAPTURED_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// Whether the current thread is inside a quarantined execution.
+    static QUARANTINE_ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs the chained panic hook exactly once per process.
+///
+/// Inside a quarantined execution the hook records the panic message (and
+/// location) into a thread-local slot instead of printing the default
+/// report; everywhere else it defers to the previously installed hook.
+fn install_quarantine_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quarantined = QUARANTINE_ACTIVE.with(Cell::get);
+            if quarantined {
+                let payload = info.payload();
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let full = match info.location() {
+                    Some(loc) => format!("{msg} (at {}:{})", loc.file(), loc.line()),
+                    None => msg,
+                };
+                CAPTURED_PANIC.with(|c| *c.borrow_mut() = Some(full));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Outcome of one quarantined execution.
+#[derive(Debug)]
+pub enum Outcome<T> {
+    /// The closure returned successfully.
+    Ok(T),
+    /// The closure returned a typed error.
+    Err(SimError),
+    /// The closure panicked; the captured message includes the panic
+    /// location when available.
+    Panicked(String),
+    /// The closure unwound with a [`progress::Cancelled`] payload — the
+    /// cooperative watchdog cancellation, not a crash.
+    Cancelled,
+}
+
+impl<T> Outcome<T> {
+    /// Whether this is [`Outcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Ok(_))
+    }
+}
+
+/// Runs `f` with panics quarantined.
+///
+/// A typed error becomes [`Outcome::Err`]; a panic becomes
+/// [`Outcome::Panicked`] carrying the captured message; a
+/// [`progress::Cancelled`] unwind (cooperative watchdog cancellation)
+/// becomes [`Outcome::Cancelled`]. The quarantine is re-entrant safe in
+/// the sense that the thread-local capture slot is cleared on entry, so a
+/// stale message from an earlier execution can never be attributed to a
+/// later one.
+pub fn run_quarantined<T>(f: impl FnOnce() -> Result<T, SimError>) -> Outcome<T> {
+    install_quarantine_hook();
+    CAPTURED_PANIC.with(|c| *c.borrow_mut() = None);
+    QUARANTINE_ACTIVE.with(|q| q.set(true));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    QUARANTINE_ACTIVE.with(|q| q.set(false));
+    match result {
+        Ok(Ok(value)) => Outcome::Ok(value),
+        Ok(Err(e)) => Outcome::Err(e),
+        Err(payload) => {
+            if payload.downcast_ref::<progress::Cancelled>().is_some() {
+                Outcome::Cancelled
+            } else {
+                let message = CAPTURED_PANIC
+                    .with(|c| c.borrow_mut().take())
+                    .unwrap_or_else(|| "panic with no captured message".to_string());
+                Outcome::Panicked(message)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::{self, ProgressToken};
+
+    #[test]
+    fn ok_and_typed_error_pass_through() {
+        assert!(matches!(
+            run_quarantined(|| Ok::<_, SimError>(5u32)),
+            Outcome::Ok(5)
+        ));
+        let e = run_quarantined(|| -> Result<(), SimError> {
+            Err(SimError::App("bad app".to_string()))
+        });
+        match e {
+            Outcome::Err(SimError::App(msg)) => assert_eq!(msg, "bad app"),
+            other => panic!("expected typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_message_and_location_are_captured() {
+        let out = run_quarantined(|| -> Result<(), SimError> {
+            panic!("kaboom {}", 13);
+        });
+        match out {
+            Outcome::Panicked(msg) => {
+                assert!(msg.contains("kaboom 13"), "message lost: {msg}");
+                assert!(msg.contains("supervise.rs"), "location lost: {msg}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_unwind_is_not_a_panic() {
+        let tok = ProgressToken::new();
+        tok.cancel();
+        let out = run_quarantined(|| -> Result<(), SimError> {
+            let _guard = progress::install(tok);
+            progress::tick();
+            unreachable!("tick after cancel must unwind");
+        });
+        assert!(matches!(out, Outcome::Cancelled));
+    }
+
+    #[test]
+    fn stale_capture_is_not_attributed_to_next_execution() {
+        let first = run_quarantined(|| -> Result<(), SimError> { panic!("first") });
+        assert!(matches!(first, Outcome::Panicked(_)));
+        // A panic whose payload is not a string still reports *something*,
+        // and never the previous execution's message.
+        let second = run_quarantined(|| -> Result<(), SimError> {
+            std::panic::panic_any(42u64);
+        });
+        match second {
+            Outcome::Panicked(msg) => {
+                assert!(!msg.contains("first"), "stale message leaked: {msg}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+}

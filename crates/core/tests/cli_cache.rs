@@ -1,0 +1,117 @@
+//! Graceful degradation of `gramer-mine --cache` (CLI-level).
+//!
+//! The preprocessing cache is an accelerator, never a dependency: when
+//! the cache directory cannot be created, or an entry cannot be stored,
+//! the run must warn on stderr, continue uncached, and still exit 0
+//! with the normal mining output.
+
+use std::path::Path;
+use std::process::Command;
+
+fn write_edge_list(path: &Path) {
+    // A ring of 24 vertices plus chords — small but non-trivial.
+    let mut text = String::from("# tiny test graph\n");
+    for i in 0u32..24 {
+        text.push_str(&format!("{} {}\n", i, (i + 1) % 24));
+        text.push_str(&format!("{} {}\n", i, (i + 5) % 24));
+    }
+    std::fs::write(path, text).expect("write edge list");
+}
+
+fn mine(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gramer-mine"))
+        .args(args)
+        .output()
+        .expect("run gramer-mine")
+}
+
+#[test]
+fn unwritable_cache_dir_warns_once_and_continues_uncached() {
+    let dir = std::env::temp_dir().join(format!("gramer-cli-cache-dir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let edges = dir.join("graph.txt");
+    write_edge_list(&edges);
+
+    // A regular file squatting where the cache directory's parent should
+    // be: `create_dir_all` fails even when running as root (chmod-based
+    // setups don't, root ignores permission bits).
+    let squatter = dir.join("not-a-dir");
+    std::fs::write(&squatter, b"occupied").expect("squatter");
+    let cache_dir = squatter.join("cache");
+
+    let out = mine(&[
+        edges.to_str().expect("utf8"),
+        "--cache",
+        cache_dir.to_str().expect("utf8"),
+        "--app",
+        "3-cf",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "cache trouble must not fail the run; stderr:\n{stderr}"
+    );
+    assert_eq!(
+        stderr
+            .lines()
+            .filter(|l| l.contains("preprocessing cache disabled"))
+            .count(),
+        1,
+        "exactly one warning expected; stderr:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wall"), "normal output expected:\n{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_failure_warns_and_continues_with_the_fresh_result() {
+    let dir = std::env::temp_dir().join(format!("gramer-cli-cache-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let edges = dir.join("graph.txt");
+    write_edge_list(&edges);
+    let cache_dir = dir.join("cache");
+
+    // Warm the cache once to learn the (deterministic) entry filename.
+    let out = mine(&[
+        edges.to_str().expect("utf8"),
+        "--cache",
+        cache_dir.to_str().expect("utf8"),
+        "--app",
+        "3-cf",
+    ]);
+    assert!(out.status.success());
+    let entry = std::fs::read_dir(&cache_dir)
+        .expect("cache dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "gra"))
+        .expect("one cache entry");
+
+    // Replace the entry with a non-empty directory: loading it fails
+    // (treated as a corrupt entry -> rebuild), and storing the rebuilt
+    // entry fails too (cannot rename a file over a non-empty directory).
+    std::fs::remove_file(&entry).expect("remove entry");
+    std::fs::create_dir(&entry).expect("squat dir");
+    std::fs::write(entry.join("occupied"), b"x").expect("occupant");
+
+    let out = mine(&[
+        edges.to_str().expect("utf8"),
+        "--cache",
+        cache_dir.to_str().expect("utf8"),
+        "--app",
+        "3-cf",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "store failure must not fail the run; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("could not store cache entry"),
+        "expected a store warning; stderr:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

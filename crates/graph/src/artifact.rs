@@ -306,18 +306,31 @@ pub fn encode(contents: &ArtifactContents<'_>) -> Result<Vec<u8>, GraphError> {
 /// (write-temp, fsync, rename) so concurrent readers never observe a
 /// partially written artifact.
 ///
+/// The temporary name carries a *(pid, per-process counter)* suffix, so
+/// concurrent writers — two cache-filling threads in one process, or two
+/// processes racing on the same cache entry — each write their own
+/// private temp file and the last rename wins. Readers therefore always
+/// see either the old complete file or a new complete file, never an
+/// interleaved torn write.
+///
 /// # Errors
 ///
 /// The input errors of [`encode`] plus [`GraphError::Io`] on any
 /// filesystem failure.
 pub fn write_file(contents: &ArtifactContents<'_>, path: &Path) -> Result<(), GraphError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
     let bytes = encode(contents)?;
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path.file_name().ok_or_else(|| {
         GraphError::invalid(format!("artifact path {} has no file name", path.display()))
     })?;
     let mut tmp_name = file_name.to_os_string();
-    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    tmp_name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = match dir {
         Some(d) => d.join(&tmp_name),
         None => std::path::PathBuf::from(&tmp_name),

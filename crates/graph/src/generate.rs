@@ -525,6 +525,64 @@ pub fn relabel(graph: &CsrGraph, labels: Vec<Label>) -> CsrGraph {
     finish(&b, "relabel")
 }
 
+/// Resolves a named generator spec to a graph — the shared vocabulary of
+/// `gramer-artifact build --gen`, `gramer-serve` job submissions, and any
+/// other front end that wants a reproducible synthetic input.
+///
+/// Fixed names:
+///
+/// * `golden-ba` / `golden-rmat` — the two golden workload graphs of the
+///   tier-1 suites (`barabasi_albert(200, 3, 11)` and
+///   `rmat(8, 2000, default, 7)`);
+/// * `demo` — the `gramer-mine --demo` power-law graph
+///   (`chung_lu(10_000, 40_000, 2.4, 1)`).
+///
+/// Parameterized specs: `ba:<n>:<m>:<seed>`, `rmat:<scale>:<edges>:<seed>`,
+/// `chung-lu:<n>:<m>:<gamma>:<seed>`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameter`] for an unknown or malformed spec, or
+/// the underlying generator's error for out-of-range parameters.
+pub fn named(spec: &str) -> Result<CsrGraph, GraphError> {
+    match spec {
+        "golden-ba" => return Ok(barabasi_albert(200, 3, 11)),
+        "golden-rmat" => return Ok(rmat(8, 2000, RmatParams::default(), 7)),
+        "demo" => return Ok(chung_lu(10_000, 40_000, 2.4, 1)),
+        _ => {}
+    }
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<u64, GraphError> {
+        s.parse().map_err(|_| {
+            GraphError::invalid(format!("bad number {s:?} in generator spec {spec:?}"))
+        })
+    };
+    let float = |s: &str| -> Result<f64, GraphError> {
+        s.parse().map_err(|_| {
+            GraphError::invalid(format!("bad number {s:?} in generator spec {spec:?}"))
+        })
+    };
+    match parts.as_slice() {
+        ["ba", n, m, seed] => try_barabasi_albert(num(n)? as usize, num(m)? as usize, num(seed)?),
+        ["rmat", scale, edges, seed] => try_rmat(
+            num(scale)? as u32,
+            num(edges)? as usize,
+            RmatParams::default(),
+            num(seed)?,
+        ),
+        ["chung-lu", n, m, gamma, seed] => try_chung_lu(
+            num(n)? as usize,
+            num(m)? as usize,
+            float(gamma)?,
+            num(seed)?,
+        ),
+        _ => Err(GraphError::invalid(format!(
+            "unknown generator spec {spec:?} (expected golden-ba, golden-rmat, demo, \
+             ba:<n>:<m>:<seed>, rmat:<scale>:<edges>:<seed>, or chung-lu:<n>:<m>:<gamma>:<seed>)"
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,409 @@
+//! A minimal, dependency-free HTTP/1.1 layer over [`std::net`].
+//!
+//! The build environment is offline — no axum, no tokio, no hyper — so
+//! `gramer-serve` speaks exactly the slice of HTTP/1.1 it needs: one
+//! request per connection (`Connection: close`), `Content-Length`-framed
+//! bodies, and a handful of status codes. Both sides live here: the
+//! server-side [`read_request`]/[`Response`] pair used by the daemon,
+//! and the tiny blocking [`request`] client used by the CLI client mode,
+//! the tier-1 serve stage, and the integration tests.
+//!
+//! Robustness rules (the daemon faces the network, so inputs are
+//! hostile until proven otherwise):
+//!
+//! * request head (request line + headers) is capped at 16 KiB — longer
+//!   heads are a typed [`HttpError::TooLarge`], never unbounded growth;
+//! * bodies are capped by the caller-supplied `max_body` budget;
+//! * any framing violation is a typed [`HttpError::Malformed`] that the
+//!   server turns into a `400`, never a panic.
+
+use gramer::json::JsonValue;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased by the client.
+    pub method: String,
+    /// Request target path, query string included.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path without its query string.
+    pub fn route_path(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+}
+
+/// Typed failure of request parsing.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The request violates HTTP framing; the message says how.
+    Malformed(String),
+    /// The head or body exceeded its size budget.
+    TooLarge(String),
+    /// The underlying socket failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+///
+/// Returns `Ok(None)` on a clean EOF before any byte arrived (the peer
+/// connected and went away — not an error).
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for framing violations, [`HttpError::TooLarge`]
+/// when the head exceeds 16 KiB or the body exceeds `max_body`, and
+/// [`HttpError::Io`] for socket failures.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Option<Request>, HttpError> {
+    // Read until the end-of-head marker, one chunk at a time.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    let head_end;
+    loop {
+        if let Some(at) = find_head_end(&head) {
+            head_end = at;
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::Malformed(
+                "connection closed mid-request-head".to_string(),
+            ));
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+
+    let body_prefix = head.split_off(head_end + 4);
+    let head_text = String::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 request head".to_string()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request head".to_string()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or_else(|| HttpError::Malformed("missing or relative request path".to_string()))?
+        .to_string();
+    match parts.next() {
+        Some("HTTP/1.1") | Some("HTTP/1.0") => {}
+        other => {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol {other:?}"
+            )))
+        }
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header line without ':': {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {max_body}-byte budget"
+        )));
+    }
+
+    let mut body = body_prefix;
+    if body.len() > content_length {
+        return Err(HttpError::Malformed(
+            "body longer than Content-Length".to_string(),
+        ));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed mid-body".to_string(),
+            ));
+        }
+        body.extend_from_slice(&buf[..n]);
+        if body.len() > content_length {
+            return Err(HttpError::Malformed(
+                "body longer than Content-Length".to_string(),
+            ));
+        }
+    }
+
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Byte offset of the `\r\n\r\n` end-of-head marker, if present.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (`200`, `429`, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response (pretty-printed, trailing newline — the same
+    /// serialization `results/BENCH_*.json` uses, so byte-level diffs
+    /// against CLI output are meaningful).
+    pub fn json(status: u16, value: &JsonValue) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: value.to_string_pretty().into_bytes(),
+        }
+    }
+
+    /// A JSON response from an already-serialized document.
+    pub fn json_raw(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The standard error envelope: `{"error": {"kind", "message"}}`.
+    pub fn error(status: u16, kind: &str, message: &str) -> Response {
+        Response::json(
+            status,
+            &JsonValue::object([(
+                "error",
+                JsonValue::object([
+                    ("kind", JsonValue::from(kind)),
+                    ("message", JsonValue::from(message)),
+                ]),
+            )]),
+        )
+    }
+
+    /// Serializes the response (status line, headers, body) to `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the status codes the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Blocking HTTP client for tests, the CLI client mode, and scripts: one
+/// request, one response, connection closed.
+///
+/// # Errors
+///
+/// Socket failures and response-framing violations, as
+/// [`std::io::Error`].
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+    let (head, response_body) = text.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "response without head")
+    })?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response status line")
+        })?;
+    Ok((status, response_body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Runs `server` against a throwaway connection pair.
+    fn with_pair(client_bytes: &[u8], f: impl FnOnce(&mut TcpStream)) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let bytes = client_bytes.to_vec();
+        let sender = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(&bytes).expect("send");
+            c.shutdown(std::net::Shutdown::Write).ok();
+            // Hold the connection open until the server side is done.
+            let mut sink = Vec::new();
+            c.read_to_end(&mut sink).ok();
+        });
+        let (mut server, _) = listener.accept().expect("accept");
+        f(&mut server);
+        drop(server);
+        sender.join().expect("sender");
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        with_pair(raw, |stream| {
+            let req = read_request(stream, 1024).expect("parse").expect("some");
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/jobs");
+            assert_eq!(req.body, b"abcd");
+            assert_eq!(req.header("HOST"), Some("x"));
+        });
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        with_pair(b"", |stream| {
+            assert!(read_request(stream, 1024).expect("parse").is_none());
+        });
+    }
+
+    #[test]
+    fn oversized_body_is_typed() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        with_pair(raw, |stream| {
+            match read_request(stream, 10) {
+                Err(HttpError::TooLarge(_)) => {}
+                other => panic!("expected TooLarge, got {other:?}"),
+            };
+        });
+    }
+
+    #[test]
+    fn garbage_request_line_is_malformed() {
+        let raw = b"NOT-HTTP\r\n\r\n";
+        with_pair(raw, |stream| {
+            match read_request(stream, 10) {
+                Err(HttpError::Malformed(_)) => {}
+                other => panic!("expected Malformed, got {other:?}"),
+            };
+        });
+    }
+
+    #[test]
+    fn response_roundtrip_through_client() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            let req = read_request(&mut s, 1024).expect("parse").expect("some");
+            assert_eq!(req.route_path(), "/echo");
+            Response::json(200, &JsonValue::object([("ok", JsonValue::Bool(true))]))
+                .write_to(&mut s)
+                .expect("write");
+        });
+        let (status, body) = request(&format!("{addr}"), "GET", "/echo?q=1", None).expect("req");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\": true"));
+        server.join().expect("join");
+    }
+}

@@ -1,0 +1,234 @@
+//! Shared in-memory session cache for preprocessed graphs.
+//!
+//! Every job needs a [`Preprocessed`] (CSR + priority permutation +
+//! probe table), and preprocessing dominates small-job latency. The
+//! daemon therefore keeps recently used preprocessed graphs in memory,
+//! shared between workers as `Arc<Preprocessed>` and keyed exactly like
+//! the on-disk [`gramer::PreprocessCache`]: a digest of the graph's
+//! source bytes combined with the preprocessing-relevant config knobs.
+//! Two jobs with the same graph and the same tau/budget share one entry
+//! even if their simulator knobs (PU count, latency model) differ.
+//!
+//! Eviction is LRU by byte footprint: entries are charged their
+//! [`Preprocessed::footprint_bytes`] estimate and the least recently
+//! used entries are dropped until the cache fits its budget. A single
+//! oversized graph is still admitted (the budget bounds *retained*
+//! entries, not one job's working set).
+//!
+//! Fault containment: a build failure is never cached — the lock is
+//! released while building, and only successful builds are inserted, so
+//! one poisoned graph file cannot wedge the cache for other jobs.
+
+use gramer::{GramerConfig, Preprocessed};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Counters exposed on `/stats` (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that had to build (or wait for) the entry.
+    pub misses: u64,
+    /// Entries dropped to fit the byte budget.
+    pub evictions: u64,
+    /// Bytes currently retained.
+    pub resident_bytes: u64,
+    /// Entries currently retained.
+    pub entries: u64,
+}
+
+struct Entry {
+    pre: Arc<Preprocessed>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    clock: u64,
+    stats: SessionStats,
+}
+
+/// A thread-safe LRU cache of `Arc<Preprocessed>` keyed like
+/// [`gramer::PreprocessCache`].
+pub struct SessionCache {
+    budget_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+impl SessionCache {
+    /// A cache retaining at most `budget_bytes` of preprocessed state.
+    pub fn new(budget_bytes: u64) -> SessionCache {
+        SessionCache {
+            budget_bytes,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+                stats: SessionStats::default(),
+            }),
+        }
+    }
+
+    /// The cache key for a graph whose source bytes hash to
+    /// `source_digest`, preprocessed under `config`.
+    pub fn key(source_digest: u64, config: &GramerConfig) -> u64 {
+        gramer::PreprocessCache::bytes_key(source_digest, config)
+    }
+
+    /// Looks up `key`, or builds the entry with `build` on miss.
+    ///
+    /// The lock is *not* held while building, so a slow preprocess stalls
+    /// only jobs that need the same graph; concurrent builders of the
+    /// same key race benignly and the first finished insert wins.
+    ///
+    /// Returns the shared entry and whether it was a warm hit.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` returns; nothing is cached on error.
+    pub fn get_or_build<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<Preprocessed, E>,
+    ) -> Result<(Arc<Preprocessed>, bool), E> {
+        {
+            let mut inner = self.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = clock;
+                let pre = Arc::clone(&entry.pre);
+                inner.stats.hits += 1;
+                return Ok((pre, true));
+            }
+            inner.stats.misses += 1;
+        }
+        let built = Arc::new(build()?);
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            // A concurrent builder got here first; adopt its entry and
+            // drop ours (both are deterministic, so they are equal).
+            entry.last_used = clock;
+            return Ok((Arc::clone(&entry.pre), false));
+        }
+        let bytes = built.footprint_bytes() as u64;
+        inner.entries.insert(
+            key,
+            Entry {
+                pre: Arc::clone(&built),
+                bytes,
+                last_used: clock,
+            },
+        );
+        inner.stats.resident_bytes += bytes;
+        inner.stats.entries += 1;
+        self.evict_to_budget(&mut inner, key);
+        Ok((built, false))
+    }
+
+    /// Drops LRU entries (never `keep`) until the budget is met.
+    fn evict_to_budget(&self, inner: &mut Inner, keep: u64) {
+        while inner.stats.resident_bytes > self.budget_bytes && inner.entries.len() > 1 {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some(entry) = inner.entries.remove(&victim) {
+                inner.stats.resident_bytes = inner.stats.resident_bytes.saturating_sub(entry.bytes);
+                inner.stats.entries -= 1;
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> SessionStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding this lock leaves only counters and a
+        // plain map — safe to keep using.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gramer::preprocess;
+    use gramer_graph::generate;
+
+    fn pre_for(seed: u64) -> Preprocessed {
+        let g = generate::barabasi_albert(60, 3, seed);
+        preprocess(&g, &GramerConfig::default()).expect("preprocess")
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_arc() {
+        let cache = SessionCache::new(u64::MAX);
+        let (a, warm_a) = cache
+            .get_or_build::<()>(1, || Ok(pre_for(1)))
+            .expect("build");
+        let (b, warm_b) = cache
+            .get_or_build::<()>(1, || panic!("must not rebuild"))
+            .expect("hit");
+        assert!(!warm_a);
+        assert!(warm_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        let one = pre_for(1);
+        let budget = one.footprint_bytes() as u64 * 2 + 16;
+        let cache = SessionCache::new(budget);
+        for key in 0..4u64 {
+            cache
+                .get_or_build::<()>(key, || Ok(pre_for(key + 1)))
+                .expect("build");
+        }
+        let stats = cache.stats();
+        assert!(stats.resident_bytes <= budget);
+        assert!(stats.evictions >= 2, "evictions: {}", stats.evictions);
+        // Most recently used key still resident.
+        let (_, warm) = cache
+            .get_or_build::<()>(3, || panic!("key 3 should be warm"))
+            .expect("hit");
+        assert!(warm);
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let cache = SessionCache::new(u64::MAX);
+        let err = cache.get_or_build::<String>(9, || Err("boom".to_string()));
+        assert_eq!(err.err(), Some("boom".to_string()));
+        let (_, warm) = cache
+            .get_or_build::<String>(9, || Ok(pre_for(2)))
+            .expect("rebuild");
+        assert!(!warm, "failed build must not leave a cache entry");
+    }
+
+    #[test]
+    fn oversized_entry_is_still_admitted() {
+        let cache = SessionCache::new(1);
+        let (_, warm) = cache
+            .get_or_build::<()>(5, || Ok(pre_for(3)))
+            .expect("build");
+        assert!(!warm);
+        let (_, warm) = cache
+            .get_or_build::<()>(5, || panic!("should be resident"))
+            .expect("hit");
+        assert!(warm);
+    }
+}

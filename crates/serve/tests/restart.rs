@@ -1,0 +1,244 @@
+//! Restart-recovery and concurrency acceptance tests: journal replay
+//! across a crash restores terminal results byte-for-byte and re-runs
+//! interrupted jobs exactly once; many simultaneous submitters get
+//! deterministic admission and share one warm session-cache entry.
+
+use gramer::json::JsonValue;
+use gramer_serve::http;
+use gramer_serve::server::{Server, ServerConfig};
+use gramer_serve::supervisor::{Supervisor, SupervisorConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn spawn(
+    cfg: ServerConfig,
+) -> (
+    String,
+    Arc<gramer_serve::server::ServerShutdown>,
+    std::thread::JoinHandle<()>,
+) {
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let shutdown = server.shutdown_handle();
+    let handle = std::thread::spawn(move || server.run().expect("run"));
+    (addr, shutdown, handle)
+}
+
+fn wait_terminal(addr: &str, id: u64, timeout: Duration) -> JsonValue {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, body) =
+            http::request(addr, "GET", &format!("/jobs/{id}"), None).expect("poll");
+        assert_eq!(status, 200);
+        let doc = JsonValue::parse(&body).expect("json");
+        let s = doc
+            .get("status")
+            .and_then(JsonValue::as_str)
+            .expect("status");
+        if s != "queued" && s != "running" {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn crash_mid_queue_then_restart_loses_and_duplicates_nothing() {
+    let dir = std::env::temp_dir().join(format!("gramer-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal_path = dir.join("jobs.jsonl");
+    let spec = "{\"graph\": {\"gen\": \"ba:120:3:5\"}, \"app\": \"3-cf\"}";
+
+    // Generation 1 (HTTP): complete one job, drain cleanly.
+    let (addr, _s, handle) = spawn(ServerConfig {
+        supervisor: SupervisorConfig {
+            workers: 1,
+            journal_path: Some(journal_path.clone()),
+            ..SupervisorConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let (status, body) = http::request(&addr, "POST", "/jobs", Some(spec)).expect("submit");
+    assert_eq!(status, 202);
+    let completed_id = JsonValue::parse(&body)
+        .expect("json")
+        .get("id")
+        .and_then(JsonValue::as_u64)
+        .expect("id");
+    let done = wait_terminal(&addr, completed_id, Duration::from_secs(60));
+    assert_eq!(
+        done.get("status").and_then(JsonValue::as_str),
+        Some("completed")
+    );
+    let attempts_before = done
+        .get("attempts")
+        .and_then(JsonValue::as_u64)
+        .expect("attempts");
+    let (code, report_before) =
+        http::request(&addr, "GET", &format!("/jobs/{completed_id}/report"), None).expect("report");
+    assert_eq!(code, 200);
+    let (code, _) = http::request(&addr, "POST", "/shutdown", None).expect("shutdown");
+    assert_eq!(code, 200);
+    handle.join().expect("drained");
+
+    // Generation 2: queue two jobs with no workers, then *crash* — drop
+    // the supervisor without any shutdown. The journal already has the
+    // queued snapshots from admission.
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 0,
+        journal_path: Some(journal_path.clone()),
+        ..SupervisorConfig::default()
+    })
+    .expect("start gen2");
+    let spec_json = JsonValue::parse(spec).expect("json");
+    let queued_a = supervisor.submit(&spec_json).expect("queue a").id;
+    let queued_b = supervisor.submit(&spec_json).expect("queue b").id;
+    drop(supervisor); // simulated crash: no drain, no final flush
+
+    // Generation 3 (HTTP): replay must restore the completed result
+    // byte-for-byte without re-running it, and run each interrupted job
+    // exactly once.
+    let (addr, shutdown, handle) = spawn(ServerConfig {
+        supervisor: SupervisorConfig {
+            workers: 1,
+            journal_path: Some(journal_path.clone()),
+            ..SupervisorConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let restored = wait_terminal(&addr, completed_id, Duration::from_secs(5));
+    assert_eq!(
+        restored.get("status").and_then(JsonValue::as_str),
+        Some("completed")
+    );
+    assert_eq!(
+        restored.get("attempts").and_then(JsonValue::as_u64),
+        Some(attempts_before),
+        "a restored completed job must not be re-run"
+    );
+    let (code, report_after) =
+        http::request(&addr, "GET", &format!("/jobs/{completed_id}/report"), None).expect("report");
+    assert_eq!(code, 200);
+    assert_eq!(
+        report_after, report_before,
+        "completed results must survive crash + restart byte-for-byte"
+    );
+    for id in [queued_a, queued_b] {
+        let done = wait_terminal(&addr, id, Duration::from_secs(60));
+        assert_eq!(
+            done.get("status").and_then(JsonValue::as_str),
+            Some("completed"),
+            "interrupted job {id} must be re-run to completion: {done}"
+        );
+        assert_eq!(
+            done.get("attempts").and_then(JsonValue::as_u64),
+            Some(1),
+            "interrupted job {id} must run exactly once after replay"
+        );
+    }
+    // No duplicated or phantom jobs: exactly the three we submitted.
+    let (_, jobs) = http::request(&addr, "GET", "/jobs", None).expect("jobs");
+    let jobs = JsonValue::parse(&jobs).expect("json");
+    let JsonValue::Array(list) = jobs else {
+        panic!("expected array")
+    };
+    let mut listed: Vec<u64> = list
+        .iter()
+        .map(|j| j.get("id").and_then(JsonValue::as_u64).expect("id"))
+        .collect();
+    listed.sort_unstable();
+    assert_eq!(listed, vec![completed_id, queued_a, queued_b]);
+
+    shutdown.request();
+    handle.join().expect("join");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eight_concurrent_submitters_get_deterministic_admission_and_share_the_session_cache() {
+    const CLIENTS: usize = 8;
+    const JOBS_PER_CLIENT: usize = 3;
+
+    let (addr, shutdown, handle) = spawn(ServerConfig {
+        supervisor: SupervisorConfig {
+            workers: 4,
+            queue_capacity: CLIENTS * JOBS_PER_CLIENT + 4,
+            ..SupervisorConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+
+    // All clients submit the same (graph, preprocessing-knob) workload,
+    // so the session cache can only ever build it once.
+    let spec = "{\"graph\": {\"gen\": \"ba:200:3:11\"}, \"app\": \"3-cf\"}";
+    let submitters: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for _ in 0..JOBS_PER_CLIENT {
+                    let (status, body) =
+                        http::request(&addr, "POST", "/jobs", Some(spec)).expect("submit");
+                    assert_eq!(status, 202, "{body}");
+                    ids.push(
+                        JsonValue::parse(&body)
+                            .expect("json")
+                            .get("id")
+                            .and_then(JsonValue::as_u64)
+                            .expect("id"),
+                    );
+                }
+                ids
+            })
+        })
+        .collect();
+    let mut all_ids: Vec<u64> = submitters
+        .into_iter()
+        .flat_map(|t| t.join().expect("submitter"))
+        .collect();
+
+    // Deterministic admission: every submission accepted, ids unique
+    // and exactly the contiguous range the supervisor allocated.
+    all_ids.sort_unstable();
+    let expected: Vec<u64> = (1..=(CLIENTS * JOBS_PER_CLIENT) as u64).collect();
+    assert_eq!(
+        all_ids, expected,
+        "admission must assign each job a unique id"
+    );
+
+    for id in &all_ids {
+        let done = wait_terminal(&addr, *id, Duration::from_secs(120));
+        assert_eq!(
+            done.get("status").and_then(JsonValue::as_str),
+            Some("completed"),
+            "{done}"
+        );
+    }
+
+    // Warm-hit accounting: one build, everyone else hits. Concurrent
+    // first-builders may race (each counted as a miss), but evictions
+    // are impossible here, so hits + misses == jobs and misses stays
+    // far below the job count while at least one miss must exist.
+    let (_, stats) = http::request(&addr, "GET", "/stats", None).expect("stats");
+    let stats = JsonValue::parse(&stats).expect("json");
+    let cache = stats.get("session_cache").expect("session_cache");
+    let hits = cache.get("hits").and_then(JsonValue::as_u64).expect("hits");
+    let misses = cache
+        .get("misses")
+        .and_then(JsonValue::as_u64)
+        .expect("misses");
+    let jobs = (CLIENTS * JOBS_PER_CLIENT) as u64;
+    assert_eq!(hits + misses, jobs);
+    assert!(misses >= 1);
+    assert!(
+        misses <= 4, // at most the worker-pool width can race the first build
+        "expected nearly every job to reuse the warm entry; misses = {misses}"
+    );
+    assert!(hits >= jobs - 4, "hits = {hits}");
+    assert_eq!(cache.get("evictions").and_then(JsonValue::as_u64), Some(0));
+
+    shutdown.request();
+    handle.join().expect("join");
+}

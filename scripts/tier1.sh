@@ -21,6 +21,10 @@
 #           gramer-artifact build/verify/inspect + gramer-mine --artifact,
 #           on the mmap and forced-copy load paths, plus the artifact
 #           test suite (see docs/FORMAT.md)
+#   serve   gramer-serve daemon end-to-end: both golden workloads over
+#           HTTP byte-identical to gramer-mine --json, injected-panic
+#           containment, queue-full back-pressure, SIGTERM drain with an
+#           intact journal (see docs/DESIGN.md, service architecture)
 #   all     every stage above (the default)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -62,7 +66,8 @@ stage_doc() {
 
 stage_clippy() {
     echo "== tier1: clippy unwrap/expect gate on library crates"
-    cargo clippy -q -p gramer -p gramer-graph -p gramer-memsim -p gramer-mining --lib -- \
+    cargo clippy -q -p gramer -p gramer-graph -p gramer-memsim -p gramer-mining \
+        -p gramer-serve --lib -- \
         -D clippy::unwrap_used -D clippy::expect_used \
         -W clippy::needless_collect -W clippy::redundant_clone \
         -W clippy::large_stack_arrays -W clippy::trivially_copy_pass_by_ref
@@ -96,6 +101,104 @@ stage_artifact() {
     cargo test -q --test artifact
 }
 
+# Polls for the daemon's --addr-file (atomic publish) instead of racing
+# the bind; prints the address on stdout.
+wait_addr_file() {
+    local file="$1" log="$2" i
+    for i in $(seq 1 200); do
+        if [ -f "$file" ]; then
+            cat "$file"
+            return 0
+        fi
+        sleep 0.05
+    done
+    echo "tier1 serve: daemon never published $file" >&2
+    cat "$log" >&2
+    return 1
+}
+
+stage_serve() {
+    echo "== tier1: gramer-serve daemon (HTTP parity, panic containment, back-pressure, drain)"
+    cargo build --release -q -p gramer -p gramer-serve --bins
+    local tmp
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    local serve=target/release/gramer-serve
+    local mine=target/release/gramer-mine
+    local artifact=target/release/gramer-artifact
+
+    # Reference inputs: the two golden workload artifacts, mined directly
+    # by the CLI. The daemon must reproduce these bytes exactly.
+    "$artifact" build --gen golden-ba -o "$tmp/golden-ba.gra"
+    "$artifact" build --gen golden-rmat -o "$tmp/golden-rmat.gra"
+    "$mine" --artifact "$tmp/golden-ba.gra" --app 4-cf --json "$tmp/golden-ba.cli.json" > /dev/null
+    "$mine" --artifact "$tmp/golden-rmat.gra" --app 3-mc --json "$tmp/golden-rmat.cli.json" > /dev/null
+
+    echo "   -- daemon up (ephemeral port, journal on)"
+    "$serve" --addr 127.0.0.1:0 --addr-file "$tmp/addr" --workers 2 \
+        --journal "$tmp/jobs.jsonl" 2> "$tmp/daemon.log" &
+    local pid=$!
+    local addr
+    addr="$(wait_addr_file "$tmp/addr" "$tmp/daemon.log")"
+
+    local pair w app id
+    for pair in golden-ba:4-cf golden-rmat:3-mc; do
+        w="${pair%%:*}"
+        app="${pair#*:}"
+        echo "   -- $w/$app over HTTP, byte-compared to gramer-mine --json"
+        "$serve" client --addr "$addr" submit --artifact "$tmp/$w.gra" --app "$app" --wait \
+            > "$tmp/$w.summary.json"
+        id="$(grep -o '"id":[[:space:]]*[0-9]*' "$tmp/$w.summary.json" | head -n1 | grep -o '[0-9]*$')"
+        "$serve" client --addr "$addr" report "$id" --out "$tmp/$w.served.json"
+        cmp "$tmp/$w.served.json" "$tmp/$w.cli.json"
+    done
+
+    echo "   -- SIGTERM drains gracefully and leaves the journal intact"
+    kill -TERM "$pid"
+    if ! wait "$pid"; then
+        echo "tier1 serve: daemon did not exit 0 after SIGTERM" >&2
+        cat "$tmp/daemon.log" >&2
+        exit 1
+    fi
+    [ -s "$tmp/jobs.jsonl" ] || { echo "tier1 serve: journal missing after drain" >&2; exit 1; }
+    # Journal lines are compact JSONL; both completed jobs must survive.
+    [ "$(grep -c '"status":"completed"' "$tmp/jobs.jsonl")" -eq 2 ] || {
+        echo "tier1 serve: journal lost the completed jobs:" >&2
+        cat "$tmp/jobs.jsonl" >&2
+        exit 1
+    }
+
+    echo "   -- injected panic ends in a typed state; daemon survives"
+    "$serve" --addr 127.0.0.1:0 --addr-file "$tmp/addr2" --workers 1 \
+        --chaos panic=1000,seed=1 --max-retries 0 2>> "$tmp/daemon.log" &
+    pid=$!
+    addr="$(wait_addr_file "$tmp/addr2" "$tmp/daemon.log")"
+    if "$serve" client --addr "$addr" submit --gen ba:120:3:5 --app 3-cf --wait \
+        > "$tmp/panic.json"; then
+        echo "tier1 serve: a panicked job reported success" >&2
+        exit 1
+    fi
+    grep -q '"status":[[:space:]]*"panicked"' "$tmp/panic.json"
+    "$serve" client --addr "$addr" healthz > /dev/null
+    "$serve" client --addr "$addr" shutdown > /dev/null
+    wait "$pid"
+
+    echo "   -- full queue answers a typed 429"
+    "$serve" --addr 127.0.0.1:0 --addr-file "$tmp/addr3" --workers 0 --queue 1 \
+        2>> "$tmp/daemon.log" &
+    pid=$!
+    addr="$(wait_addr_file "$tmp/addr3" "$tmp/daemon.log")"
+    "$serve" client --addr "$addr" submit --gen ba:120:3:5 --app 3-cf > /dev/null
+    if "$serve" client --addr "$addr" submit --gen ba:120:3:5 --app 3-cf > "$tmp/full.json"; then
+        echo "tier1 serve: an over-capacity submission was accepted" >&2
+        exit 1
+    fi
+    grep -q 'queue_full' "$tmp/full.json"
+    "$serve" client --addr "$addr" shutdown > /dev/null
+    wait "$pid"
+    echo "   -- serve stage green"
+}
+
 stage_all() {
     stage_fmt
     stage_build
@@ -105,17 +208,18 @@ stage_all() {
     stage_clippy
     stage_bench
     stage_artifact
+    stage_serve
     echo "== tier1: all green"
 }
 
 stage="${1:-all}"
 case "$stage" in
-    fmt|build|test|golden|doc|clippy|bench|artifact|all)
+    fmt|build|test|golden|doc|clippy|bench|artifact|serve|all)
         "stage_$stage"
         ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "usage: $0 [fmt|build|test|golden|doc|clippy|bench|artifact|all]" >&2
+        echo "usage: $0 [fmt|build|test|golden|doc|clippy|bench|artifact|serve|all]" >&2
         exit 2
         ;;
 esac

@@ -58,7 +58,8 @@
 use gramer::json::JsonValue;
 use gramer::telemetry::{Telemetry, TelemetryConfig};
 use gramer::{
-    preprocess, GramerConfig, PreprocessCache, Preprocessed, RunReport, SimError, Simulator,
+    preprocess, EpochMode, GramerConfig, PreprocessCache, Preprocessed, RunReport, SimError,
+    Simulator,
 };
 use gramer_graph::datasets::Dataset;
 use gramer_graph::CsrGraph;
@@ -66,7 +67,7 @@ use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
 use gramer_mining::EcmApp;
 use std::cell::RefCell;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 pub mod perf;
@@ -314,6 +315,45 @@ pub fn take_point_telemetry() -> Option<JsonValue> {
     POINT_TELEMETRY.with(|t| t.borrow_mut().take())
 }
 
+/// Process-wide epoch-engine override for [`run_gramer`] (set from the
+/// sweep runner's `--epoch` flag): `0` = keep each point's configured
+/// mode, `1` = force [`EpochMode::On`], `2` = force [`EpochMode::Off`].
+/// Host-side only — both modes are bit-identical — so forcing it never
+/// changes a sweep's simulated results, only how fast they arrive.
+static EPOCH_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Process-wide `sim_threads` override for [`run_gramer`] (set from the
+/// sweep runner's `--sim-threads` flag); `0` = keep each point's
+/// configured value.
+static SIM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or clears, with `None`s) the engine overrides subsequent
+/// [`run_gramer`] calls apply on top of each point's config. Driven by
+/// the sweep runner's `--epoch` / `--sim-threads` flags; by default no
+/// override is active and every point runs exactly as declared.
+pub fn set_engine_overrides(epoch: Option<EpochMode>, sim_threads: Option<usize>) {
+    let tag = match epoch {
+        None => 0,
+        Some(EpochMode::On) => 1,
+        Some(EpochMode::Off) => 2,
+    };
+    EPOCH_OVERRIDE.store(tag, Ordering::Relaxed);
+    SIM_THREADS_OVERRIDE.store(sim_threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Applies the active engine overrides to one point's config.
+fn apply_engine_overrides(config: &mut GramerConfig) {
+    match EPOCH_OVERRIDE.load(Ordering::Relaxed) {
+        1 => config.epoch = EpochMode::On,
+        2 => config.epoch = EpochMode::Off,
+        _ => {}
+    }
+    let threads = SIM_THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if threads != 0 {
+        config.sim_threads = threads;
+    }
+}
+
 /// Runs GRAMER end-to-end (preprocess + simulate) with `config`,
 /// surfacing configuration and simulation failures as typed errors the
 /// sweep runner turns into structured failure records.
@@ -325,8 +365,9 @@ pub fn take_point_telemetry() -> Option<JsonValue> {
 pub fn run_gramer(
     graph: &CsrGraph,
     app: &dyn DynApp,
-    config: GramerConfig,
+    mut config: GramerConfig,
 ) -> Result<RunReport, SimError> {
+    apply_engine_overrides(&mut config);
     // With a cache configured ([`set_artifact_cache`], driven by
     // `--artifact-cache`), preprocessing is memoized on disk as a `.gra`
     // artifact; reports are bit-identical either way.
@@ -383,6 +424,13 @@ pub struct SweepArgs {
     /// Directory of the on-disk `.gra` preprocessing cache
     /// ([`set_artifact_cache`]); `None` preprocesses inline per point.
     pub artifact_cache: Option<PathBuf>,
+    /// Force every point's inner-loop engine ([`set_engine_overrides`]);
+    /// `None` keeps each point's declared mode. Host-side only, never
+    /// changes simulated results.
+    pub epoch: Option<EpochMode>,
+    /// Force every point's `sim_threads` ([`set_engine_overrides`]);
+    /// `None` keeps each point's declared value.
+    pub sim_threads: Option<usize>,
 }
 
 /// Usage text shared by every experiment binary.
@@ -401,6 +449,10 @@ Options:
   --artifact-cache DIR memoize preprocessing in DIR as .gra artifacts
                        (keyed by graph digest + tau/budget knobs; reused
                        across runs; simulated results are unchanged)
+  --epoch on|off       force every point's inner-loop engine (host-side
+                       only; both modes are bit-identical)
+  --sim-threads N      force every point's sim_threads config knob
+                       (host-side cell parallelism; results unchanged)
   --help               print this help, then exit
 
 Failure semantics:
@@ -424,6 +476,8 @@ impl Default for SweepArgs {
             journal: None,
             metrics: false,
             artifact_cache: None,
+            epoch: None,
+            sim_threads: None,
         }
     }
 }
@@ -493,6 +547,21 @@ impl SweepArgs {
                 "--journal" => parsed.journal = Some(PathBuf::from(value(&mut it)?)),
                 "--metrics" => parsed.metrics = true,
                 "--artifact-cache" => parsed.artifact_cache = Some(PathBuf::from(value(&mut it)?)),
+                "--epoch" => parsed.epoch = Some(value(&mut it)?.parse()?),
+                "--sim-threads" => {
+                    let v = value(&mut it)?;
+                    parsed.sim_threads = Some(
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&n| (1..=gramer::MAX_SIM_THREADS).contains(&n))
+                            .ok_or_else(|| {
+                                format!(
+                                    "--sim-threads expects an integer in 1..={}, got {v:?}",
+                                    gramer::MAX_SIM_THREADS
+                                )
+                            })?,
+                    );
+                }
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -596,6 +665,14 @@ mod tests {
         let b = SweepArgs::try_parse(&["--jobs=2", "--json", "out.json"]).unwrap();
         assert_eq!(b.jobs, 2);
         assert_eq!(b.json, Some(PathBuf::from("out.json")));
+
+        let c = SweepArgs::try_parse(&["--epoch", "off", "--sim-threads=4"]).unwrap();
+        assert_eq!(c.epoch, Some(EpochMode::Off));
+        assert_eq!(c.sim_threads, Some(4));
+        assert_eq!(SweepArgs::default().epoch, None);
+        assert!(SweepArgs::try_parse(&["--epoch", "fast"]).is_err());
+        assert!(SweepArgs::try_parse(&["--sim-threads", "0"]).is_err());
+        assert!(SweepArgs::try_parse(&["--sim-threads", "65"]).is_err());
     }
 
     #[test]

@@ -6,17 +6,18 @@
 //! robust to scheduler noise, while the *simulated* quantities are
 //! asserted identical across repeats before the document is built.
 //!
-//! Schema (`schema_version: 2`):
+//! Schema (`schema_version: 3` — v3 added the `epoch`/`sim_threads`
+//! engine knobs per workload):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "bench": "core",
 //!   "git_rev": "abc1234",
 //!   "quick": false,
 //!   "repeats": 3,
 //!   "workloads": [
-//!     { "name": "BA(3000,4)x4-CF",
+//!     { "name": "BA(3000,4)x4-CF", "epoch": "on", "sim_threads": 1,
 //!       "wall_seconds_median": 0.0, "wall_seconds_best": 0.0,
 //!       "steps_per_sec_median": 0.0, "steps_per_sec_best": 0.0,
 //!       "steps": 0, "cycles": 0, "embeddings": 0 }
@@ -40,6 +41,15 @@ use gramer::RunReport;
 pub struct WorkloadRuns {
     /// Workload cell name (e.g. `"BA(3000,4)x4-CF"`).
     pub name: &'static str,
+    /// Inner-loop engine the cell ran under (`"on"` = epoch-batched,
+    /// `"off"` = reference interleaving). Recorded so the trajectory
+    /// stays interpretable: a number is only comparable to numbers
+    /// measured under the same engine.
+    pub epoch: &'static str,
+    /// `sim_threads` the cell ran under. The pinned cells are measured
+    /// serially (CI has one CPU), so this is 1 unless the binary was
+    /// invoked with `--sim-threads`.
+    pub sim_threads: u64,
     /// Wall seconds of each repeat (preprocess + simulate), in run order.
     pub walls: Vec<f64>,
     /// The run report. Simulated fields are identical across repeats
@@ -91,6 +101,8 @@ pub fn perf_document(
         let steps = w.report.steps as f64;
         JsonValue::object([
             ("name", JsonValue::from(w.name)),
+            ("epoch", JsonValue::from(w.epoch)),
+            ("sim_threads", JsonValue::from(w.sim_threads)),
             ("wall_seconds_median", JsonValue::from(w.wall_median())),
             ("wall_seconds_best", JsonValue::from(w.wall_best())),
             (
@@ -107,7 +119,7 @@ pub fn perf_document(
         ])
     });
     let doc = JsonValue::object([
-        ("schema_version", JsonValue::from(2u64)),
+        ("schema_version", JsonValue::from(3u64)),
         ("bench", JsonValue::from("core")),
         ("git_rev", JsonValue::from(git_rev)),
         ("quick", JsonValue::from(quick)),
@@ -254,7 +266,7 @@ mod tests {
     fn document_is_parseable_and_carries_schema() {
         let text = perf_document("deadbee", false, 3, &[], 1234);
         let doc = JsonValue::parse(text.trim()).unwrap();
-        assert_eq!(doc.get("schema_version"), Some(&JsonValue::UInt(2)));
+        assert_eq!(doc.get("schema_version"), Some(&JsonValue::UInt(3)));
         assert_eq!(doc.get("git_rev"), Some(&JsonValue::Str("deadbee".into())));
         assert_eq!(doc.get("repeats"), Some(&JsonValue::UInt(3)));
         assert_eq!(doc.get("peak_rss_kb"), Some(&JsonValue::UInt(1234)));
@@ -262,6 +274,33 @@ mod tests {
         let total = doc.get("total").unwrap();
         assert!(total.get("wall_seconds_median").is_some());
         assert!(total.get("steps_per_sec_best").is_some());
+    }
+
+    #[test]
+    fn document_records_engine_knobs_per_workload() {
+        let g = gramer_graph::generate::cycle(12);
+        let cfg = gramer::GramerConfig::default();
+        let pre = gramer::preprocess(&g, &cfg).unwrap();
+        let app = gramer_mining::apps::CliqueFinding::new(3).unwrap();
+        let report = gramer::Simulator::new(&pre, cfg)
+            .unwrap()
+            .run(&app)
+            .unwrap();
+        let w = WorkloadRuns {
+            name: "W",
+            epoch: "off",
+            sim_threads: 4,
+            walls: vec![0.5],
+            report,
+        };
+        let text = perf_document("rev", false, 1, &[w], 0);
+        let doc = JsonValue::parse(text.trim()).unwrap();
+        let cells = match doc.get("workloads") {
+            Some(JsonValue::Array(a)) => a.clone(),
+            other => panic!("workloads missing: {other:?}"),
+        };
+        assert_eq!(cells[0].get("epoch"), Some(&JsonValue::Str("off".into())));
+        assert_eq!(cells[0].get("sim_threads"), Some(&JsonValue::UInt(4)));
     }
 
     fn doc(steps: u64, cycles: u64, tput: f64) -> JsonValue {

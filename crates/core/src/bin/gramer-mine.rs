@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! gramer-mine <edge-list | --demo | --artifact PATH>
-//!             --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>
+//!             --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>[,<app>...]
 //!             [--cache DIR] [--pus N] [--slots N] [--tau F] [--budget-frac F]
-//!             [--lambda F] [--no-steal] [--access-path fast|exact] [--counts]
+//!             [--lambda F] [--no-steal] [--access-path fast|exact]
+//!             [--epoch on|off] [--sim-threads N] [--counts]
 //!             [--json PATH] [--metrics-out PATH] [--metrics-summary]
 //!             [--metrics-window N]
 //! ```
@@ -32,6 +33,20 @@
 //! `--json PATH` writes the full `RunReport` JSON document (stable key
 //! order, the exact serialization `gramer-serve` returns from
 //! `GET /jobs/<id>/report`) to `PATH`, or stdout for `-`.
+//!
+//! `--app` accepts a comma-separated list; each application then runs as
+//! an independent *simulation cell* over the same preprocessed graph, and
+//! `--sim-threads N` (or the `GRAMER_SIM_THREADS` environment variable;
+//! default 1) runs up to `N` cells on parallel host threads. Results are
+//! reported in list order and every cell is bit-identical to a standalone
+//! single-app run — parallelism is a host-side throughput knob only (see
+//! `gramer::shard`). With a multi-app list `--json` writes a JSON *array*
+//! of `RunReport` documents (list order), and the `--metrics-*` flags are
+//! rejected: telemetry attaches to exactly one simulation.
+//!
+//! `--epoch off` selects the reference event-queue interleaving instead of
+//! the default epoch-batched engine — also host-side only, bit-identical
+//! either way (the golden-matrix tests assert it).
 //!
 //! `--metrics-out PATH` records cycle-windowed telemetry during the run
 //! (see `gramer::telemetry`) and writes the schema-versioned JSON document
@@ -71,13 +86,14 @@ impl Options {
 fn usage() -> ! {
     eprintln!(
         "usage: gramer-mine <edge-list | --demo | --artifact PATH> \
-         --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>> \\\n         [--cache DIR] \
-         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--counts] [--json PATH] [--metrics-out PATH] \\\n         [--metrics-summary] [--metrics-window N]"
+         --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>[,<app>...] \\\n         [--cache DIR] \
+         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--epoch on|off] [--sim-threads N] [--counts] \\\n         [--json PATH] [--metrics-out PATH] [--metrics-summary] [--metrics-window N]"
     );
     std::process::exit(2)
 }
 
 fn parse_args() -> Options {
+    let mut sim_threads: Option<usize> = None;
     let mut opts = Options {
         input: None,
         demo: false,
@@ -119,6 +135,13 @@ fn parse_args() -> Options {
                         usage()
                     })
             }
+            "--epoch" => {
+                opts.config.epoch = value("--epoch").parse().unwrap_or_else(|e: String| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--sim-threads" => sim_threads = Some(parse_num(&value("--sim-threads"))),
             "--counts" => opts.show_counts = true,
             "--json" => opts.json_out = Some(value("--json")),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
@@ -148,6 +171,14 @@ fn parse_args() -> Options {
         eprintln!("--cache is meaningless with --artifact (the artifact IS the cached result)");
         usage()
     }
+    if opts.app.contains(',') && opts.metrics_enabled() {
+        eprintln!("--metrics-* flags cannot be combined with a multi-application --app list");
+        usage()
+    }
+    opts.config.sim_threads = gramer::shard::resolve_sim_threads(sim_threads).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
     opts
 }
 
@@ -264,38 +295,45 @@ fn store_best_effort(
     }
 }
 
-fn run_app(
+/// Parses one application spec (`3-cf`, `4-mc`, `fsm:100`, …) and runs it
+/// over `pre` under `cfg`. This is the body of one *simulation cell*:
+/// everything it touches is owned or immutable, so any number of calls
+/// may execute on parallel host threads without perturbing each other
+/// (see `gramer::shard`).
+fn run_spec(
     pre: &Preprocessed,
-    opts: &Options,
-) -> Result<(String, gramer::RunReport, Option<Telemetry>), String> {
-    let telemetry = || {
-        opts.metrics_enabled().then(|| {
-            Telemetry::new(TelemetryConfig {
-                window_cycles: opts.metrics_window.unwrap_or(1024),
-                ..TelemetryConfig::default()
-            })
-        })
-    };
-    let run = |app: &dyn DynRun| -> Result<(gramer::RunReport, Option<Telemetry>), String> {
-        let mut tel = telemetry();
-        let report = app.run(pre, opts.config.clone(), tel.as_mut())?;
-        Ok((report, tel))
-    };
-    let spec = opts.app.to_ascii_lowercase();
-    let (report, tel) = if let Some(t) = spec.strip_prefix("fsm:") {
+    spec: &str,
+    cfg: GramerConfig,
+    tel: Option<&mut Telemetry>,
+) -> Result<gramer::RunReport, String> {
+    if let Some(t) = spec.strip_prefix("fsm:") {
         let threshold: u64 = t.parse().map_err(|_| format!("bad FSM threshold {t:?}"))?;
-        run(&FrequentSubgraphMining::new(threshold))?
+        DynRun::run(&FrequentSubgraphMining::new(threshold), pre, cfg, tel)
     } else {
         let (k, kind) = spec
             .split_once('-')
             .ok_or_else(|| format!("bad app spec {spec:?}"))?;
         let k: usize = k.parse().map_err(|_| format!("bad size in {spec:?}"))?;
         match kind {
-            "cf" => run(&CliqueFinding::new(k)?)?,
-            "mc" => run(&MotifCounting::new(k)?)?,
-            other => return Err(format!("unknown application kind {other:?}")),
+            "cf" => DynRun::run(&CliqueFinding::new(k)?, pre, cfg, tel),
+            "mc" => DynRun::run(&MotifCounting::new(k)?, pre, cfg, tel),
+            other => Err(format!("unknown application kind {other:?}")),
         }
-    };
+    }
+}
+
+fn run_app(
+    pre: &Preprocessed,
+    opts: &Options,
+) -> Result<(String, gramer::RunReport, Option<Telemetry>), String> {
+    let mut tel = opts.metrics_enabled().then(|| {
+        Telemetry::new(TelemetryConfig {
+            window_cycles: opts.metrics_window.unwrap_or(1024),
+            ..TelemetryConfig::default()
+        })
+    });
+    let spec = opts.app.to_ascii_lowercase();
+    let report = run_spec(pre, &spec, opts.config.clone(), tel.as_mut())?;
     Ok((spec, report, tel))
 }
 
@@ -351,6 +389,95 @@ fn write_metrics(tel: &Telemetry, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the human-readable rollup of one run to stdout (the historical
+/// single-app output; the multi-app path emits it once per cell).
+fn print_report(report: &gramer::RunReport, show_counts: bool) {
+    println!("{}", report.summary());
+    println!(
+        "wall {:.6} s (exec {:.6} + transfer {:.6}), preprocess {:.6} s",
+        report.wall_seconds(),
+        report.seconds,
+        report.transfer_seconds,
+        report.preprocess_seconds
+    );
+    println!(
+        "hit ratios: vertex {:.2}%, edge {:.2}%; {} DRAM requests; {} steals",
+        100.0 * report.mem.vertex.on_chip_ratio(),
+        100.0 * report.mem.edge.on_chip_ratio(),
+        report.dram_requests,
+        report.steals
+    );
+    if show_counts {
+        print_counts(&report.result);
+    }
+}
+
+/// Writes a report JSON document (or, for `reports.len() > 1`, an array of
+/// them in cell order) to `path` / stdout for `-`.
+fn write_json(reports: &[gramer::RunReport], path: &str) -> Result<(), String> {
+    let value = match reports {
+        [single] => single.to_json_value(),
+        many => gramer::json::JsonValue::array(many.iter().map(|r| r.to_json_value())),
+    };
+    let doc = value.to_string_pretty() + "\n";
+    if path == "-" {
+        print!("{doc}");
+        Ok(())
+    } else {
+        std::fs::write(path, doc).map_err(|e| format!("cannot write report JSON to {path}: {e}"))
+    }
+}
+
+/// Runs a comma-separated `--app` list as independent simulation cells on
+/// up to `sim_threads` host threads. Output order is list order no matter
+/// how the cells interleave, and each cell's report is bit-identical to a
+/// standalone single-app run (`gramer::shard` holds the argument).
+fn run_multi(pre: &Preprocessed, opts: &Options) -> ExitCode {
+    let specs: Vec<String> = opts
+        .app
+        .split(',')
+        .map(|s| s.trim().to_ascii_lowercase())
+        .collect();
+    if specs.iter().any(String::is_empty) {
+        eprintln!("error: empty application in --app list {:?}", opts.app);
+        return ExitCode::FAILURE;
+    }
+    let cells: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let cfg = opts.config.clone();
+            move || run_spec(pre, spec, cfg, None)
+        })
+        .collect();
+    let results = gramer::shard::run_cells(opts.config.sim_threads, cells);
+
+    let mut reports = Vec::with_capacity(specs.len());
+    let mut failed = false;
+    for (spec, result) in specs.iter().zip(results) {
+        match result {
+            Ok(report) => {
+                println!("== {spec} ==");
+                print_report(&report, opts.show_counts);
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("error: {spec}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = opts.json_out.as_deref() {
+        if let Err(e) = write_json(&reports, path) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let pre = match resolve_preprocessed(&opts) {
@@ -366,32 +493,16 @@ fn main() -> ExitCode {
         pre.graph.num_edges()
     );
 
+    if opts.app.contains(',') {
+        return run_multi(&pre, &opts);
+    }
+
     match run_app(&pre, &opts) {
         Ok((_, report, tel)) => {
-            println!("{}", report.summary());
-            println!(
-                "wall {:.6} s (exec {:.6} + transfer {:.6}), preprocess {:.6} s",
-                report.wall_seconds(),
-                report.seconds,
-                report.transfer_seconds,
-                report.preprocess_seconds
-            );
-            println!(
-                "hit ratios: vertex {:.2}%, edge {:.2}%; {} DRAM requests; {} steals",
-                100.0 * report.mem.vertex.on_chip_ratio(),
-                100.0 * report.mem.edge.on_chip_ratio(),
-                report.dram_requests,
-                report.steals
-            );
-            if opts.show_counts {
-                print_counts(&report.result);
-            }
+            print_report(&report, opts.show_counts);
             if let Some(path) = opts.json_out.as_deref() {
-                let doc = report.to_json_value().to_string_pretty() + "\n";
-                if path == "-" {
-                    print!("{doc}");
-                } else if let Err(e) = std::fs::write(path, doc) {
-                    eprintln!("error: cannot write report JSON to {path}: {e}");
+                if let Err(e) = write_json(std::slice::from_ref(&report), path) {
+                    eprintln!("error: {e}");
                     return ExitCode::FAILURE;
                 }
             }

@@ -78,6 +78,44 @@ impl std::str::FromStr for Scheduler {
     }
 }
 
+/// Whether the simulator's inner loop runs the epoch-batched engine.
+///
+/// Like [`Scheduler`] and [`AccessPath`], purely a *host-side* choice:
+/// the epoch engine drains each simulated cycle's pending slot work in
+/// cache-friendly per-PU batches and lets a lone runnable slot advance
+/// without queue traffic under a conservative horizon, but executes the
+/// exact same `(time, slot)` sequence as the reference interleaving.
+/// Every simulated quantity is bit-identical either way — proven by the
+/// `epoch_matches_interleaved` property test and the golden matrix.
+/// `Off` keeps the reference event-queue interleaving reachable,
+/// mirroring `--access-path=exact`; the [`Scheduler`] knob selects the
+/// reference queue implementation only in that mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EpochMode {
+    /// Epoch-batched per-PU execution: the fast default.
+    #[default]
+    On,
+    /// Reference event-queue interleaving (escape hatch).
+    Off,
+}
+
+impl std::str::FromStr for EpochMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "on" => Ok(EpochMode::On),
+            "off" => Ok(EpochMode::Off),
+            other => Err(format!(
+                "unknown epoch mode {other:?} (expected \"on\" or \"off\")"
+            )),
+        }
+    }
+}
+
+/// Upper bound accepted for [`GramerConfig::sim_threads`].
+pub const MAX_SIM_THREADS: usize = 64;
+
 /// Configuration of the GRAMER accelerator.
 ///
 /// [`GramerConfig::default`] reproduces the evaluated configuration of
@@ -137,6 +175,17 @@ pub struct GramerConfig {
     /// exact path on every simulated quantity (`--access-path=exact` in
     /// the experiment bins selects the reference machinery).
     pub access_path: AccessPath,
+    /// Inner-loop engine: epoch-batched per-PU execution (default) or
+    /// the reference event-queue interleaving. Host throughput only,
+    /// never simulated results (see [`EpochMode`]).
+    pub epoch: EpochMode,
+    /// Host threads for running *independent* simulation cells in
+    /// parallel (see [`crate::shard`]). A single simulation cell is
+    /// always executed serially, so this knob never affects simulated
+    /// results; it bounds the worker pool when a caller hands several
+    /// cells to [`crate::shard::run_cells`]. Must lie in
+    /// `1..=`[`MAX_SIM_THREADS`].
+    pub sim_threads: usize,
 }
 
 impl Default for GramerConfig {
@@ -163,6 +212,8 @@ impl Default for GramerConfig {
             pcie_bandwidth: 12e9,
             scheduler: Scheduler::default(),
             access_path: AccessPath::default(),
+            epoch: EpochMode::default(),
+            sim_threads: 1,
         }
     }
 }
@@ -205,6 +256,9 @@ impl GramerConfig {
             if !(0.0..=1.0).contains(&f) {
                 return Err(ConfigError::BadFraction(f));
             }
+        }
+        if !(1..=MAX_SIM_THREADS).contains(&self.sim_threads) {
+            return Err(ConfigError::BadSimThreads(self.sim_threads));
         }
         Ok(())
     }
@@ -283,6 +337,34 @@ mod tests {
                 .map_err(|e| e.kind()),
             Err("config-bad-fraction")
         );
+    }
+
+    #[test]
+    fn epoch_mode_parses() {
+        assert_eq!("on".parse::<EpochMode>(), Ok(EpochMode::On));
+        assert_eq!("off".parse::<EpochMode>(), Ok(EpochMode::Off));
+        assert!("fast".parse::<EpochMode>().is_err());
+        assert_eq!(EpochMode::default(), EpochMode::On);
+    }
+
+    #[test]
+    fn sim_threads_range_enforced() {
+        for bad in [0usize, MAX_SIM_THREADS + 1] {
+            let c = GramerConfig {
+                sim_threads: bad,
+                ..GramerConfig::default()
+            };
+            assert_eq!(c.validate(), Err(ConfigError::BadSimThreads(bad)));
+            assert_eq!(
+                c.validate().map_err(|e| e.kind()),
+                Err("config-bad-sim-threads")
+            );
+        }
+        let ok = GramerConfig {
+            sim_threads: MAX_SIM_THREADS,
+            ..GramerConfig::default()
+        };
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub enum ConfigError {
     BadLambda(f64),
     /// Explicit τ outside `(0, 0.5]` (or NaN).
     BadTau(f64),
+    /// `sim_threads` outside `1..=`[`crate::config::MAX_SIM_THREADS`].
+    BadSimThreads(usize),
     /// A `.gra` artifact was built with a different τ than the one this
     /// configuration resolves to — its pin classification would not match
     /// what [`crate::preprocess`] computes, so results could silently
@@ -61,6 +63,7 @@ impl ConfigError {
             ConfigError::BadClock(_) => "config-bad-clock",
             ConfigError::BadLambda(_) => "config-bad-lambda",
             ConfigError::BadTau(_) => "config-bad-tau",
+            ConfigError::BadSimThreads(_) => "config-bad-sim-threads",
             ConfigError::ArtifactTauMismatch { .. } => "config-artifact-tau",
         }
     }
@@ -83,6 +86,11 @@ impl fmt::Display for ConfigError {
                 write!(f, "lambda must be finite and non-negative, got {v}")
             }
             ConfigError::BadTau(v) => write!(f, "tau must be in (0, 0.5], got {v}"),
+            ConfigError::BadSimThreads(n) => write!(
+                f,
+                "sim_threads must be in 1..={}, got {n}",
+                crate::config::MAX_SIM_THREADS
+            ),
             ConfigError::ArtifactTauMismatch { artifact, config } => write!(
                 f,
                 "artifact was built with tau = {artifact} but this configuration resolves \

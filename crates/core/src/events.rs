@@ -286,6 +286,238 @@ impl EventQueue for CalendarQueue {
     }
 }
 
+/// Slot-indexed calendar for the epoch-batched simulator loop
+/// (`EpochMode::On`): a ring of per-cycle *bitmask* buckets instead of
+/// per-cycle id vectors.
+///
+/// The simulator guarantees every slot has **at most one pending event**
+/// (a slot's event is popped before its next one is pushed), so a bucket
+/// never needs ordering or storage beyond one bit per slot: draining a
+/// bucket is a word scan with `trailing_zeros`, which yields ids in
+/// ascending order — exactly the heap's tie-break — for free. With the
+/// evaluated 128 slots the whole near-future state is `256 × 2` words
+/// (4 KiB), small enough to stay L1-resident while the epoch driver
+/// batches a cycle's slot work.
+///
+/// Unlike [`EventQueue`] implementations, the epoch driver talks to this
+/// structure cycle-at-a-time: [`SlotCalendar::advance`] moves to the
+/// earliest pending cycle (one *epoch*), [`SlotCalendar::take_at_cur`]
+/// drains that cycle's slots in id order, and [`SlotCalendar::peek_time`]
+/// exposes the conservative horizon for the solo-run fast path. A
+/// [`EventQueue`] impl (`pop` = advance + take) is provided so the
+/// lockstep tests can pin the structure against [`HeapQueue`]; it is
+/// only valid for traffic that never holds two pending events with the
+/// same `(time, id)`, which both the simulator and the tests respect.
+#[derive(Debug)]
+pub struct SlotCalendar {
+    cur: u64,
+    /// Words per bucket: `ceil(num_slots / 64)`.
+    words: usize,
+    /// `HORIZON` buckets × `words` mask words; bit `id & 63` of word
+    /// `bucket * words + (id >> 6)` is set iff slot `id` has a pending
+    /// event at the bucket's time.
+    masks: Vec<u64>,
+    /// Occupancy bitset over buckets, exactly as in [`CalendarQueue`].
+    occ: [u64; (HORIZON as usize) / 64],
+    far: BinaryHeap<Reverse<(u64, u32)>>,
+    len: usize,
+}
+
+impl SlotCalendar {
+    /// A calendar for slot ids `0..num_slots`.
+    pub fn new(num_slots: usize) -> Self {
+        let words = num_slots.div_ceil(64).max(1);
+        SlotCalendar {
+            cur: 0,
+            words,
+            masks: vec![0; HORIZON as usize * words],
+            occ: [0; (HORIZON as usize) / 64],
+            far: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn event_count(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn bucket_of(&self, time: u64) -> usize {
+        (time & (HORIZON - 1)) as usize
+    }
+
+    #[inline]
+    fn occ_set(&mut self, b: usize) {
+        self.occ[b >> 6] |= 1 << (b & 63);
+    }
+
+    #[inline]
+    fn occ_clear(&mut self, b: usize) {
+        self.occ[b >> 6] &= !(1 << (b & 63));
+    }
+
+    #[inline]
+    fn occ_test(&self, b: usize) -> bool {
+        self.occ[b >> 6] & (1 << (b & 63)) != 0
+    }
+
+    /// Enqueues slot `id`'s next event. `time` must not precede the
+    /// current cycle, and the slot must not already have a pending event
+    /// at `time` (the simulator's one-pending-event-per-slot invariant).
+    #[inline]
+    pub fn push(&mut self, time: u64, id: u32) {
+        debug_assert!(
+            time >= self.cur,
+            "event time flowed backwards: {time} < {}",
+            self.cur
+        );
+        debug_assert!((id as usize) < self.words * 64, "slot id out of range");
+        self.len += 1;
+        if time < self.cur + HORIZON {
+            let b = self.bucket_of(time);
+            let w = b * self.words + (id as usize >> 6);
+            debug_assert!(
+                self.masks[w] & (1 << (id & 63)) == 0,
+                "slot {id} already pending at time {time}"
+            );
+            self.masks[w] |= 1 << (id & 63);
+            self.occ_set(b);
+        } else {
+            self.far.push(Reverse((time, id)));
+        }
+    }
+
+    /// Moves far-heap events now inside the near window into buckets.
+    fn refill_near(&mut self) {
+        let end = self.cur + HORIZON;
+        while let Some(&Reverse((t, _))) = self.far.peek() {
+            if t >= end {
+                break;
+            }
+            let Some(Reverse((t, id))) = self.far.pop() else {
+                break;
+            };
+            let b = self.bucket_of(t);
+            self.masks[b * self.words + (id as usize >> 6)] |= 1 << (id & 63);
+            self.occ_set(b);
+        }
+    }
+
+    /// Earliest non-empty bucket time in `(cur, cur + HORIZON)`, if any.
+    /// Identical scan to [`CalendarQueue::next_near`]; callers ensure
+    /// `cur`'s own bucket is empty.
+    fn next_near(&self) -> Option<u64> {
+        const WORDS: usize = (HORIZON as usize) / 64;
+        let base = ((self.cur + 1) & (HORIZON - 1)) as usize;
+        let mut idx = base >> 6;
+        let mut w = self.occ[idx] & (!0u64 << (base & 63));
+        for _ in 0..=WORDS {
+            if w != 0 {
+                let pos = (idx << 6) | w.trailing_zeros() as usize;
+                let off = (pos + HORIZON as usize - base) & (HORIZON as usize - 1);
+                return Some(self.cur + 1 + off as u64);
+            }
+            idx = (idx + 1) % WORDS;
+            w = self.occ[idx];
+        }
+        None
+    }
+
+    /// Advances to the earliest cycle with pending work and returns its
+    /// time, or `None` when the calendar is empty. The returned cycle is
+    /// the next *epoch*: drain it with [`SlotCalendar::take_at_cur`].
+    /// Idempotent while the current cycle still has pending slots.
+    pub fn advance(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.occ_test(self.bucket_of(self.cur)) {
+            return Some(self.cur);
+        }
+        let far_min = self.far.peek().map(|&Reverse((t, _))| t);
+        let next = match (self.next_near(), far_min) {
+            (Some(tn), Some(tf)) => tn.min(tf),
+            (Some(tn), None) => tn,
+            (None, Some(tf)) => tf,
+            // len > 0 guarantees a pending event somewhere.
+            (None, None) => unreachable!("non-empty calendar with no event"),
+        };
+        // The jump keeps every surviving bucket valid: pending near times
+        // lie in (old cur, old cur + HORIZON) ⊆ [next, next + HORIZON).
+        self.cur = next;
+        self.refill_near();
+        Some(next)
+    }
+
+    /// Takes the smallest-id slot pending at the current cycle, or `None`
+    /// once the cycle is drained. Scanning restarts at word 0 each call,
+    /// so a same-cycle re-push (only ever the just-taken id, necessarily
+    /// smaller than every id still pending) pops again before larger ids
+    /// — the heap's exact tie order.
+    #[inline]
+    pub fn take_at_cur(&mut self) -> Option<u32> {
+        let b = self.bucket_of(self.cur);
+        if !self.occ_test(b) {
+            return None;
+        }
+        let base = b * self.words;
+        for w in 0..self.words {
+            let m = self.masks[base + w];
+            if m != 0 {
+                let bit = m.trailing_zeros();
+                self.masks[base + w] = m & (m - 1);
+                self.len -= 1;
+                if self.masks[base..base + self.words].iter().all(|&x| x == 0) {
+                    self.occ_clear(b);
+                }
+                return Some(((w as u32) << 6) | bit);
+            }
+        }
+        // occ bit set implies a non-zero mask word.
+        unreachable!("occupied bucket with empty masks")
+    }
+
+    /// Time of the earliest pending event anywhere (current bucket, a
+    /// later bucket, or the far heap), or `u64::MAX` when empty. This is
+    /// the epoch driver's *conservative horizon*: a slot whose next event
+    /// is strictly earlier than every other pending event can keep
+    /// running solo without touching the calendar.
+    #[inline]
+    pub fn peek_time(&self) -> u64 {
+        if self.len == 0 {
+            return u64::MAX;
+        }
+        if self.occ_test(self.bucket_of(self.cur)) {
+            return self.cur;
+        }
+        let far_min = self.far.peek().map_or(u64::MAX, |&Reverse((t, _))| t);
+        self.next_near().map_or(far_min, |tn| tn.min(far_min))
+    }
+}
+
+impl EventQueue for SlotCalendar {
+    #[inline]
+    fn push(&mut self, time: u64, id: u32) {
+        SlotCalendar::push(self, time, id);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let t = self.advance()?;
+        match self.take_at_cur() {
+            Some(id) => Some((t, id)),
+            // advance() only returns a cycle with pending slots.
+            None => unreachable!("advanced to an empty cycle"),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,5 +715,105 @@ mod tests {
         q.push(10 * HORIZON + 17, 4);
         assert_eq!(q.pop(), Some((10 * HORIZON + 17, 4)));
         assert_eq!(q.pop(), Some((10 * HORIZON + 17, 9)));
+    }
+
+    /// Lockstep harness for [`SlotCalendar`] mimicking real simulator
+    /// traffic, where every slot id holds at most one pending event:
+    /// seed one event per slot, then repeatedly pop from both queues and
+    /// re-push the popped id at a simulator-like delay (mostly zero or
+    /// near-future, occasionally the 32-cycle idle retry or a far spill),
+    /// retiring slots now and then, asserting identical pop sequences.
+    fn lockstep_slot_traffic(seed: u64, num_slots: usize, ops: usize) {
+        let mut r = rng(seed);
+        let mut heap = HeapQueue::default();
+        let mut cal = SlotCalendar::new(num_slots);
+        for id in 0..num_slots as u32 {
+            heap.push(0, id);
+            EventQueue::push(&mut cal, 0, id);
+        }
+        let mut processed = 0usize;
+        while processed < ops {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(a, b);
+            assert_eq!(heap.len(), EventQueue::len(&cal));
+            let Some((t, id)) = a else { break };
+            processed += 1;
+            if r() % 97 == 0 {
+                continue; // slot retires (Done)
+            }
+            let dt = match r() % 10 {
+                0..=3 => 0,
+                4..=6 => 1 + r() % 48,
+                7 => 32,
+                8 => 40,
+                _ => {
+                    if r() % 16 == 0 {
+                        HORIZON + r() % 2000
+                    } else {
+                        r() % 8
+                    }
+                }
+            };
+            heap.push(t + dt, id);
+            EventQueue::push(&mut cal, t + dt, id);
+        }
+    }
+
+    #[test]
+    fn slot_calendar_matches_heap_on_slot_traffic() {
+        for seed in 0..8 {
+            lockstep_slot_traffic(30 + seed, 128, 20_000);
+        }
+    }
+
+    #[test]
+    fn slot_calendar_degenerate_and_wide_slot_counts() {
+        lockstep_slot_traffic(99, 1, 2_000);
+        lockstep_slot_traffic(100, 64, 10_000);
+        lockstep_slot_traffic(101, 65, 10_000);
+        lockstep_slot_traffic(102, 300, 20_000);
+    }
+
+    #[test]
+    fn slot_calendar_epoch_api_basics() {
+        let mut c = SlotCalendar::new(128);
+        assert_eq!(c.advance(), None);
+        assert_eq!(c.peek_time(), u64::MAX);
+        c.push(5, 70);
+        c.push(5, 3);
+        c.push(9, 1);
+        assert_eq!(c.peek_time(), 5);
+        assert_eq!(c.advance(), Some(5));
+        // Draining yields ascending ids across mask words.
+        assert_eq!(c.take_at_cur(), Some(3));
+        // The horizon sees the still-pending (5, 70), not the taken slot.
+        assert_eq!(c.peek_time(), 5);
+        // A same-cycle re-push of the taken id pops again before id 70,
+        // exactly as the heap orders the tie.
+        c.push(5, 3);
+        assert_eq!(c.take_at_cur(), Some(3));
+        assert_eq!(c.take_at_cur(), Some(70));
+        assert_eq!(c.take_at_cur(), None);
+        assert_eq!(c.peek_time(), 9);
+        assert_eq!(c.advance(), Some(9));
+        assert_eq!(c.take_at_cur(), Some(1));
+        assert_eq!(c.take_at_cur(), None);
+        assert_eq!(c.advance(), None);
+    }
+
+    #[test]
+    fn slot_calendar_far_events_migrate() {
+        let mut c = SlotCalendar::new(8);
+        c.push(0, 2);
+        c.push(10 * HORIZON + 17, 5);
+        assert_eq!(c.advance(), Some(0));
+        assert_eq!(c.take_at_cur(), Some(2));
+        assert_eq!(c.take_at_cur(), None);
+        assert_eq!(c.peek_time(), 10 * HORIZON + 17);
+        assert_eq!(c.advance(), Some(10 * HORIZON + 17));
+        assert_eq!(c.take_at_cur(), Some(5));
+        assert_eq!(c.event_count(), 0);
+        assert_eq!(c.advance(), None);
     }
 }

@@ -60,11 +60,12 @@ pub mod error;
 pub mod json;
 pub mod pipeline;
 pub mod progress;
+pub mod shard;
 pub mod supervise;
 pub mod telemetry;
 
 pub use cache::PreprocessCache;
-pub use config::{GramerConfig, MemoryBudget, MemoryMode, Scheduler};
+pub use config::{EpochMode, GramerConfig, MemoryBudget, MemoryMode, Scheduler, MAX_SIM_THREADS};
 pub use error::{ConfigError, SimError};
 pub use gramer_memsim::AccessPath;
 pub use preprocess::{modeled_preprocess_seconds, preprocess, Preprocessed};

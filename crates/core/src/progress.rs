@@ -53,6 +53,27 @@ impl ProgressToken {
         ProgressToken::default()
     }
 
+    /// Records `n` units of forward progress directly on this token —
+    /// [`tick_n`] without the thread-local lookup.
+    ///
+    /// The epoch-batched simulator loop clones the installed token out
+    /// of the thread-local once per run ([`current`]) and then
+    /// checkpoints against it: an epoch boundary is a plain relaxed
+    /// load, which keeps the watchdog's cancellation-latency bound (at
+    /// least one check per epoch) essentially free. Like [`tick_n`],
+    /// unwinds with a [`Cancelled`] payload — before bumping the
+    /// heartbeat — when cancellation has been requested; `checkpoint(0)`
+    /// is a pure cancellation check.
+    #[inline]
+    pub fn checkpoint(&self, n: u64) {
+        if self.cancel.load(Ordering::Relaxed) {
+            std::panic::panic_any(Cancelled);
+        }
+        if n > 0 {
+            self.heartbeat.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// The number of [`tick`]s observed so far.
     pub fn heartbeat(&self) -> u64 {
         self.heartbeat.load(Ordering::Relaxed)
@@ -95,6 +116,16 @@ impl Drop for InstallGuard {
 pub fn install(token: ProgressToken) -> InstallGuard {
     let prev = CURRENT.with(|c| c.borrow_mut().replace(token));
     InstallGuard { prev }
+}
+
+/// A clone of the current thread's installed token, if any.
+///
+/// Long-running loops hoist this out of the thread-local once and call
+/// [`ProgressToken::checkpoint`] instead of paying the [`tick_n`] lookup
+/// per batch. The clone shares the installed token's counters, so the
+/// watchdog observes heartbeats and delivers cancellation identically.
+pub fn current() -> Option<ProgressToken> {
+    CURRENT.with(|c| c.borrow().clone())
 }
 
 /// Records one unit of forward progress on the current thread.

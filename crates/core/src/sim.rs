@@ -1,6 +1,6 @@
-use crate::config::{GramerConfig, MemoryMode, Scheduler};
+use crate::config::{EpochMode, GramerConfig, MemoryMode, Scheduler};
 use crate::error::{ConfigError, SimError};
-use crate::events::{CalendarQueue, EventQueue, HeapQueue};
+use crate::events::{CalendarQueue, EventQueue, HeapQueue, SlotCalendar};
 use crate::preprocess::Preprocessed;
 use crate::progress;
 use crate::report::RunReport;
@@ -18,10 +18,13 @@ const IDLE_RETRY_CYCLES: u64 = 32;
 /// Extra cycles charged when a steal succeeds (stealing-buffer pop plus
 /// ancestor transfer, §V-C).
 const STEAL_PENALTY_CYCLES: u64 = 2;
-/// Scheduled events per [`progress::tick_n`] heartbeat. The thread-local
-/// lookup in `tick` costs as much as several queue operations, so the
-/// event loop batches it; cancellation latency stays well under a
-/// millisecond at any realistic event rate.
+/// Executed events per heartbeat flush. The thread-local lookup in
+/// `tick` costs as much as several queue operations, so the event loop
+/// batches it; cancellation latency stays well under a millisecond at
+/// any realistic event rate. The epoch driver additionally checks for
+/// cancellation at every epoch boundary (a single relaxed load on a
+/// hoisted token), so the watchdog's latency bound never degrades to
+/// "once per batch" even on sparse event populations.
 const PROGRESS_BATCH: u64 = 256;
 
 /// The discrete-event GRAMER simulator.
@@ -75,6 +78,226 @@ struct Pus {
     next_issue: Vec<u64>,
     active_slots: Vec<u32>,
     roots: Vec<VecDeque<VertexId>>,
+}
+
+/// Everything one run mutates, shared verbatim by the two loop drivers.
+///
+/// The reference driver ([`Simulator::run_queue`]) and the epoch driver
+/// ([`Simulator::run_epochs`]) differ only in *which order machinery*
+/// hands `(time, slot)` events to [`RunState::exec_event`]; the event
+/// semantics live here exactly once, so the engines cannot drift apart —
+/// the bit-identity the golden matrix and `epoch_matches_interleaved`
+/// assert is structural, not coincidental.
+struct RunState<'s, 'p, A: EcmApp> {
+    app: &'s A,
+    cfg: &'s GramerConfig,
+    pre: &'p Preprocessed,
+    mem: MemorySubsystem,
+    interner: PatternInterner,
+    counts: PatternCounts,
+    embeddings: u64,
+    candidates: u64,
+    steals: u64,
+    steps: u64,
+    max_time: u64,
+    pu_steps: Vec<u64>,
+    pu_finish: Vec<u64>,
+    accepted_by_size: Vec<u64>,
+    candidates_by_size: Vec<u64>,
+    pus: Pus,
+    spp: usize,
+    pu_of: Vec<u32>,
+    slots: Vec<Option<Explorer<'p>>>,
+}
+
+impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
+    /// Executes the event `(t, id)`: one idle-acquire attempt or one
+    /// slot-step, with every counter, memory access and telemetry hook of
+    /// the historical event loop. Returns the time of the slot's next
+    /// event, or `None` when the slot retires (its PU has fully drained).
+    #[inline]
+    fn exec_event<S: TelemetrySink>(&mut self, t: u64, id: u32, sink: &mut S) -> Option<u64> {
+        let RunState {
+            app,
+            cfg,
+            pre,
+            mem,
+            interner,
+            counts,
+            embeddings,
+            candidates,
+            steals,
+            steps,
+            max_time,
+            pu_steps,
+            pu_finish,
+            accepted_by_size,
+            candidates_by_size,
+            pus,
+            spp,
+            pu_of,
+            slots,
+        } = self;
+        let (app, cfg, pre, spp) = (*app, *cfg, *pre, *spp);
+        let graph = &pre.graph;
+        let sid = id as usize;
+        let p = pu_of[sid] as usize;
+
+        // Acquire work if the slot is idle.
+        if slots[sid].is_none() {
+            let mut acquired_at = t;
+            let own = pus.roots[p].pop_front();
+            let root = own.or_else(|| {
+                if cfg.static_dispatch {
+                    return None;
+                }
+                // Adaptive dispatching: drain the tail (coldest pending
+                // root) of the most-loaded peer queue.
+                let donor = (0..cfg.num_pus)
+                    .filter(|&q| q != p)
+                    .max_by_key(|&q| (pus.roots[q].len(), usize::MAX - q))?;
+                let donated = pus.roots[donor].pop_back();
+                if S::ACTIVE && donated.is_some() {
+                    sink.on_donation(donor, p);
+                }
+                donated
+            });
+            if let Some(root) = root {
+                slots[sid] = Some(Explorer::with_probe(graph, &pre.probe, root));
+                pus.active_slots[p] += 1;
+            } else if cfg.work_stealing {
+                let mut stolen = None;
+                for victim in p * spp..(p + 1) * spp {
+                    if victim == sid {
+                        continue;
+                    }
+                    if let Some(ex) = slots[victim].as_mut() {
+                        if S::ACTIVE {
+                            sink.on_steal_attempt(p);
+                        }
+                        if let Some(thief) = ex.split() {
+                            stolen = Some(thief);
+                            break;
+                        }
+                    }
+                }
+                if let Some(thief) = stolen {
+                    slots[sid] = Some(thief);
+                    pus.active_slots[p] += 1;
+                    *steals += 1;
+                    acquired_at = t + STEAL_PENALTY_CYCLES;
+                    if S::ACTIVE {
+                        sink.on_steal_success(p);
+                    }
+                }
+            }
+            if slots[sid].is_none() {
+                if S::ACTIVE {
+                    sink.on_idle(p);
+                }
+                // Nothing to do now; retry while peers are active (their
+                // descents may create stealable ranges), else retire.
+                return (pus.active_slots[p] > 0).then_some(t + IDLE_RETRY_CYCLES);
+            }
+            if acquired_at > t {
+                return Some(acquired_at);
+            }
+        }
+
+        // Scheduler: one slot-step per PU per cycle.
+        let issue = t.max(pus.next_issue[p]);
+        pus.next_issue[p] = issue + 1;
+        *steps += 1;
+        pu_steps[p] += 1;
+
+        let ex = match slots[sid].as_mut() {
+            Some(ex) => ex,
+            // The idle branch above either filled the slot or bailed.
+            None => unreachable!("scheduled an empty slot"),
+        };
+        // Explorer state the sink wants is captured before the step
+        // mutates it; free when the sink is inert.
+        let (depth, thief) = if S::ACTIVE {
+            (ex.depth(), ex.is_thief())
+        } else {
+            (0, false)
+        };
+        let mut obs = Tee(TimedObserver { mem, now: issue }, SinkObserver(&mut *sink));
+        let step = ex.step(&mut obs);
+        let next_t = match step {
+            Step::Rejected => {
+                *candidates += 1;
+                let next_size = (ex.embedding().len() + 1).min(app.max_vertices());
+                candidates_by_size[next_size] += 1;
+                obs.0.now
+            }
+            Step::Traceback => obs.0.now,
+            Step::Candidate => {
+                *candidates += 1;
+                let emb = ex.embedding();
+                candidates_by_size[emb.len()] += 1;
+                if app.filter(graph, emb) {
+                    *embeddings += 1;
+                    accepted_by_size[emb.len()] += 1;
+                    app.process(graph, emb, interner, counts);
+                    if emb.len() < app.max_vertices() {
+                        ex.descend();
+                    } else {
+                        ex.retract();
+                    }
+                } else {
+                    ex.retract();
+                }
+                // Filter/Process pipeline stage: one extra cycle.
+                obs.0.now + 1
+            }
+            Step::Done => {
+                slots[sid] = None;
+                pus.active_slots[p] -= 1;
+                obs.0.now + 1
+            }
+        };
+        let finished = obs.0.now;
+        *max_time = (*max_time).max(finished);
+        pu_finish[p] = pu_finish[p].max(finished);
+        if S::ACTIVE {
+            sink.on_step(p, t, issue, finished, depth, thief, step);
+        }
+        Some(next_t)
+    }
+
+    /// Seals the run into a [`RunReport`].
+    fn finish<S: TelemetrySink>(self, sink: &mut S) -> Result<RunReport, SimError> {
+        debug_assert!(self.pus.roots.iter().all(VecDeque::is_empty));
+
+        sink.on_finish(self.max_time, &self.mem);
+
+        let cfg = self.cfg;
+        let mem_stats = self.mem.stats();
+        let transfer_seconds =
+            cfg.setup_seconds + self.pre.graph.footprint_bytes() as f64 / cfg.pcie_bandwidth;
+        Ok(RunReport {
+            app: self.app.name(),
+            cycles: self.max_time,
+            seconds: self.max_time as f64 / cfg.clock_hz,
+            preprocess_seconds: self.pre.preprocess_seconds,
+            transfer_seconds,
+            result: MiningResult {
+                counts: self.counts,
+                interner: self.interner,
+                embeddings: self.embeddings,
+                candidates_examined: self.candidates,
+                accepted_by_size: self.accepted_by_size,
+                candidates_by_size: self.candidates_by_size,
+            },
+            mem: mem_stats,
+            dram_requests: self.mem.dram_requests(),
+            steals: self.steals,
+            steps: self.steps,
+            pu_steps: self.pu_steps,
+            pu_finish: self.pu_finish,
+        })
+    }
 }
 
 impl<'p> Simulator<'p> {
@@ -159,6 +382,67 @@ impl<'p> Simulator<'p> {
         })
     }
 
+    /// Builds the initial [`RunState`] for one run of `app`.
+    fn start<'s, A: EcmApp>(&'s self, app: &'s A) -> Result<RunState<'s, 'p, A>, SimError> {
+        if app.max_vertices() > self.config.ancestor_depth {
+            return Err(SimError::DepthExceedsAncestors {
+                depth: app.max_vertices(),
+                ancestor_depth: self.config.ancestor_depth,
+            });
+        }
+        let cfg = &self.config;
+        let mem = self.build_memory()?;
+
+        // Arbitrator: initial embeddings are dispatched round-robin
+        // (§III); the rank-interleaving this produces spreads the hot
+        // low-ID roots evenly over the PUs. Under the default adaptive
+        // dispatching (§V-C, "parallel executions can be effectively
+        // balanced using adaptive dispatching of the initial
+        // embeddings"), a PU that drains its queue pulls pending roots
+        // from the most-loaded peer queue.
+        let mut pus = Pus {
+            next_issue: vec![0u64; cfg.num_pus],
+            active_slots: vec![0u32; cfg.num_pus],
+            roots: (0..cfg.num_pus).map(|_| VecDeque::new()).collect(),
+        };
+        for (i, v) in self.pre.graph.vertices().enumerate() {
+            pus.roots[i % cfg.num_pus].push_back(v);
+        }
+
+        // Event id = pu * slots_per_pu + slot: monotone in (pu, slot), so
+        // `(time, id)` queue order is identical to the historical
+        // `(time, pu, slot)` heap order. Slots are stored flat and indexed
+        // by the id directly; the id → PU map is a table lookup because a
+        // hardware divide by the runtime `slots_per_pu` costs as much as
+        // several queue operations on every scheduled event.
+        let spp = cfg.slots_per_pu;
+        let num_slots = cfg.num_pus * spp;
+        let pu_of: Vec<u32> = (0..num_slots).map(|i| (i / spp) as u32).collect();
+        let slots: Vec<Option<Explorer<'p>>> = (0..num_slots).map(|_| None).collect();
+
+        Ok(RunState {
+            app,
+            cfg,
+            pre: self.pre,
+            mem,
+            interner: PatternInterner::new(),
+            counts: PatternCounts::new(),
+            embeddings: 0,
+            candidates: 0,
+            steals: 0,
+            steps: 0,
+            max_time: 0,
+            pu_steps: vec![0u64; cfg.num_pus],
+            pu_finish: vec![0u64; cfg.num_pus],
+            accepted_by_size: vec![0u64; app.max_vertices() + 1],
+            candidates_by_size: vec![0u64; app.max_vertices() + 1],
+            pus,
+            spp,
+            pu_of,
+            slots,
+        })
+    }
+
     /// Runs `app` to completion and returns the full report.
     ///
     /// Fails with [`SimError::DepthExceedsAncestors`] when the
@@ -167,21 +451,28 @@ impl<'p> Simulator<'p> {
     /// subsystem cannot be built.
     ///
     /// The event loop reports forward progress through
-    /// [`crate::progress::tick_n`] once per 256 scheduled slot-steps, so
-    /// a watchdog (the sweep runner's per-point timeout) can observe
-    /// liveness and cancel a run cooperatively with negligible hot-path
-    /// overhead.
+    /// [`crate::progress`] once per small batch of executed events — and,
+    /// under the epoch engine, at least once per epoch — so a watchdog
+    /// (the sweep runner's per-point timeout) can observe liveness and
+    /// cancel a run cooperatively with negligible hot-path overhead.
     ///
-    /// Which event-queue implementation drives the loop is selected by
-    /// [`GramerConfig::scheduler`]; both pop events in an identical
-    /// order, so the choice affects host throughput only — simulated
-    /// cycles, memory statistics and mining results are bit-for-bit the
-    /// same (asserted by the scheduler-equivalence tests in
-    /// `tests/golden.rs`).
+    /// Which engine drives the loop is selected by
+    /// [`GramerConfig::epoch`]; under [`EpochMode::Off`],
+    /// [`GramerConfig::scheduler`] picks the reference event-queue
+    /// implementation. All of them execute events in an identical order,
+    /// so the choice affects host throughput only — simulated cycles,
+    /// memory statistics and mining results are bit-for-bit the same
+    /// (asserted by the equivalence tests in `tests/golden.rs` and the
+    /// `epoch_matches_interleaved` property test).
     pub fn run<A: EcmApp>(&self, app: &A) -> Result<RunReport, SimError> {
-        match self.config.scheduler {
-            Scheduler::Calendar => self.run_with::<A, CalendarQueue, NullSink>(app, &mut NullSink),
-            Scheduler::Heap => self.run_with::<A, HeapQueue, NullSink>(app, &mut NullSink),
+        match (self.config.epoch, self.config.scheduler) {
+            (EpochMode::On, _) => self.run_epochs::<A, NullSink>(app, &mut NullSink),
+            (EpochMode::Off, Scheduler::Calendar) => {
+                self.run_queue::<A, CalendarQueue, NullSink>(app, &mut NullSink)
+            }
+            (EpochMode::Off, Scheduler::Heap) => {
+                self.run_queue::<A, HeapQueue, NullSink>(app, &mut NullSink)
+            }
         }
     }
 
@@ -198,75 +489,34 @@ impl<'p> Simulator<'p> {
         app: &A,
         tel: &mut Telemetry,
     ) -> Result<RunReport, SimError> {
-        match self.config.scheduler {
-            Scheduler::Calendar => self.run_with::<A, CalendarQueue, Telemetry>(app, tel),
-            Scheduler::Heap => self.run_with::<A, HeapQueue, Telemetry>(app, tel),
+        match (self.config.epoch, self.config.scheduler) {
+            (EpochMode::On, _) => self.run_epochs::<A, Telemetry>(app, tel),
+            (EpochMode::Off, Scheduler::Calendar) => {
+                self.run_queue::<A, CalendarQueue, Telemetry>(app, tel)
+            }
+            (EpochMode::Off, Scheduler::Heap) => {
+                self.run_queue::<A, HeapQueue, Telemetry>(app, tel)
+            }
         }
     }
 
-    /// The event loop, generic over the queue implementation and the
-    /// telemetry sink. With [`NullSink`] every hook and `S::ACTIVE` guard
-    /// is a compile-time no-op, so the monomorphized loop is exactly the
-    /// uninstrumented one.
-    fn run_with<A: EcmApp, Q: EventQueue + Default, S: TelemetrySink>(
+    /// The reference event loop (`--epoch=off`), generic over the queue
+    /// implementation and the telemetry sink. With [`NullSink`] every
+    /// hook and `S::ACTIVE` guard is a compile-time no-op, so the
+    /// monomorphized loop is exactly the uninstrumented one.
+    fn run_queue<A: EcmApp, Q: EventQueue + Default, S: TelemetrySink>(
         &self,
         app: &A,
         sink: &mut S,
     ) -> Result<RunReport, SimError> {
-        if app.max_vertices() > self.config.ancestor_depth {
-            return Err(SimError::DepthExceedsAncestors {
-                depth: app.max_vertices(),
-                ancestor_depth: self.config.ancestor_depth,
-            });
-        }
-        let graph = &self.pre.graph;
-        let cfg = &self.config;
-        let mut mem = self.build_memory()?;
-
-        let mut interner = PatternInterner::new();
-        let mut counts = PatternCounts::new();
-        let mut embeddings = 0u64;
-        let mut candidates = 0u64;
-        let mut steals = 0u64;
-        let mut steps = 0u64;
-        let mut max_time = 0u64;
-        let mut pu_steps = vec![0u64; cfg.num_pus];
-        let mut pu_finish = vec![0u64; cfg.num_pus];
-        let mut accepted_by_size = vec![0u64; app.max_vertices() + 1];
-        let mut candidates_by_size = vec![0u64; app.max_vertices() + 1];
-
-        // Arbitrator: initial embeddings are dispatched round-robin
-        // (§III); the rank-interleaving this produces spreads the hot
-        // low-ID roots evenly over the PUs. Under the default adaptive
-        // dispatching (§V-C, "parallel executions can be effectively
-        // balanced using adaptive dispatching of the initial
-        // embeddings"), a PU that drains its queue pulls pending roots
-        // from the most-loaded peer queue.
-        let mut pus = Pus {
-            next_issue: vec![0u64; cfg.num_pus],
-            active_slots: vec![0u32; cfg.num_pus],
-            roots: (0..cfg.num_pus).map(|_| VecDeque::new()).collect(),
-        };
-        for (i, v) in graph.vertices().enumerate() {
-            pus.roots[i % cfg.num_pus].push_back(v);
-        }
-
-        // Event id = pu * slots_per_pu + slot: monotone in (pu, slot), so
-        // `(time, id)` queue order is identical to the historical
-        // `(time, pu, slot)` heap order. Slots are stored flat and indexed
-        // by the id directly; the id → PU map is a table lookup because a
-        // hardware divide by the runtime `slots_per_pu` costs as much as
-        // several queue operations on every scheduled event.
-        let spp = cfg.slots_per_pu;
-        let num_slots = cfg.num_pus * spp;
-        let pu_of: Vec<u32> = (0..num_slots).map(|i| (i / spp) as u32).collect();
-        let mut slots: Vec<Option<Explorer<'_>>> = (0..num_slots).map(|_| None).collect();
+        let mut st = self.start(app)?;
+        let num_slots = st.slots.len();
 
         let mut queue = Q::default();
         for id in 0..num_slots {
             queue.push(0, id as u32);
         }
-        sink.on_begin(cfg.num_pus);
+        sink.on_begin(self.config.num_pus);
 
         // The loop carries the next event in a register: a slot-step that
         // schedules its own continuation uses `EventQueue::push_pop`, so
@@ -276,10 +526,8 @@ impl<'p> Simulator<'p> {
         let mut tick_backlog = 0u64;
         let mut next_ev = queue.pop();
         while let Some((t, id)) = next_ev {
-            let sid = id as usize;
-            let p = pu_of[sid] as usize;
             // Heartbeat + cooperative cancellation point for the sweep
-            // watchdog, amortised over batches of scheduled events.
+            // watchdog, amortised over batches of executed events.
             tick_backlog += 1;
             if tick_backlog == PROGRESS_BATCH {
                 progress::tick_n(PROGRESS_BATCH);
@@ -288,173 +536,105 @@ impl<'p> Simulator<'p> {
             if S::ACTIVE {
                 // The popped event is live but no longer counted by the
                 // queue, hence the +1.
-                sink.on_event(t, &mem, queue.len() + 1);
+                sink.on_event(t, &st.mem, queue.len() + 1);
             }
-            // Acquire work if the slot is idle.
-            if slots[sid].is_none() {
-                let mut acquired_at = t;
-                let own = pus.roots[p].pop_front();
-                let root = own.or_else(|| {
-                    if cfg.static_dispatch {
-                        return None;
-                    }
-                    // Adaptive dispatching: drain the tail (coldest
-                    // pending root) of the most-loaded peer queue.
-                    let donor = (0..cfg.num_pus)
-                        .filter(|&q| q != p)
-                        .max_by_key(|&q| (pus.roots[q].len(), usize::MAX - q))?;
-                    let donated = pus.roots[donor].pop_back();
-                    if S::ACTIVE && donated.is_some() {
-                        sink.on_donation(donor, p);
-                    }
-                    donated
-                });
-                if let Some(root) = root {
-                    slots[sid] = Some(Explorer::with_probe(graph, &self.pre.probe, root));
-                    pus.active_slots[p] += 1;
-                } else if cfg.work_stealing {
-                    let mut stolen = None;
-                    for victim in p * spp..(p + 1) * spp {
-                        if victim == sid {
-                            continue;
-                        }
-                        if let Some(ex) = slots[victim].as_mut() {
-                            if S::ACTIVE {
-                                sink.on_steal_attempt(p);
-                            }
-                            if let Some(thief) = ex.split() {
-                                stolen = Some(thief);
-                                break;
-                            }
-                        }
-                    }
-                    if let Some(thief) = stolen {
-                        slots[sid] = Some(thief);
-                        pus.active_slots[p] += 1;
-                        steals += 1;
-                        acquired_at = t + STEAL_PENALTY_CYCLES;
-                        if S::ACTIVE {
-                            sink.on_steal_success(p);
-                        }
-                    }
-                }
-                if slots[sid].is_none() {
-                    if S::ACTIVE {
-                        sink.on_idle(p);
-                    }
-                    // Nothing to do now; retry while peers are active
-                    // (their descents may create stealable ranges).
-                    next_ev = if pus.active_slots[p] > 0 {
-                        Some(queue.push_pop(t + IDLE_RETRY_CYCLES, id))
-                    } else {
-                        queue.pop()
-                    };
-                    continue;
-                }
-                if acquired_at > t {
-                    next_ev = Some(queue.push_pop(acquired_at, id));
-                    continue;
-                }
-            }
-
-            // Scheduler: one slot-step per PU per cycle.
-            let issue = t.max(pus.next_issue[p]);
-            pus.next_issue[p] = issue + 1;
-            steps += 1;
-            pu_steps[p] += 1;
-
-            let ex = match slots[sid].as_mut() {
-                Some(ex) => ex,
-                // The idle branch above either filled the slot or bailed.
-                None => unreachable!("scheduled an empty slot"),
+            next_ev = match st.exec_event(t, id, sink) {
+                Some(next_t) => Some(queue.push_pop(next_t, id)),
+                None => queue.pop(),
             };
-            // Explorer state the sink wants is captured before the step
-            // mutates it; free when the sink is inert.
-            let (depth, thief) = if S::ACTIVE {
-                (ex.depth(), ex.is_thief())
-            } else {
-                (0, false)
-            };
-            let mut obs = Tee(
-                TimedObserver {
-                    mem: &mut mem,
-                    now: issue,
-                },
-                SinkObserver(&mut *sink),
-            );
-            let step = ex.step(&mut obs);
-            let next_t = match step {
-                Step::Rejected => {
-                    candidates += 1;
-                    let next_size = (ex.embedding().len() + 1).min(app.max_vertices());
-                    candidates_by_size[next_size] += 1;
-                    obs.0.now
-                }
-                Step::Traceback => obs.0.now,
-                Step::Candidate => {
-                    candidates += 1;
-                    let emb = ex.embedding();
-                    candidates_by_size[emb.len()] += 1;
-                    if app.filter(graph, emb) {
-                        embeddings += 1;
-                        accepted_by_size[emb.len()] += 1;
-                        app.process(graph, emb, &mut interner, &mut counts);
-                        if emb.len() < app.max_vertices() {
-                            ex.descend();
-                        } else {
-                            ex.retract();
-                        }
-                    } else {
-                        ex.retract();
-                    }
-                    // Filter/Process pipeline stage: one extra cycle.
-                    obs.0.now + 1
-                }
-                Step::Done => {
-                    slots[sid] = None;
-                    pus.active_slots[p] -= 1;
-                    obs.0.now + 1
-                }
-            };
-            let finished = obs.0.now;
-            max_time = max_time.max(finished);
-            pu_finish[p] = pu_finish[p].max(finished);
-            if S::ACTIVE {
-                sink.on_step(p, t, issue, finished, depth, thief, step);
-            }
-            next_ev = Some(queue.push_pop(next_t, id));
         }
         // Flush the partial heartbeat batch (also a final cancel check).
         progress::tick_n(tick_backlog);
 
-        debug_assert!(pus.roots.iter().all(VecDeque::is_empty));
+        st.finish(sink)
+    }
 
-        sink.on_finish(max_time, &mem);
+    /// The epoch-batched engine (`--epoch=on`, the default).
+    ///
+    /// One *epoch* is one simulated cycle with pending work: the
+    /// [`SlotCalendar`] advances to it and hands over that cycle's slots
+    /// in ascending id order — which, with `id = pu × slots_per_pu +
+    /// slot`, is exactly per-PU batch order, so consecutive events reuse
+    /// the same PU's scheduler words, explorer state and root queues
+    /// while they are hot. Between epochs nothing is reordered: the
+    /// calendar's pop order is the reference `(time, id)` order.
+    ///
+    /// The *solo-run* fast path exploits the conservative horizon: after
+    /// a slot's step schedules its continuation at `next_t`, the slot
+    /// keeps executing with zero calendar traffic as long as `next_t` is
+    /// strictly earlier than every other pending event
+    /// ([`SlotCalendar::peek_time`], derived from the occupancy bitset
+    /// and the far heap). Strictness means ties — the only times a
+    /// cross-slot interaction (scheduler contention, steal probe, shared
+    /// bank conflict) could be observed — always go back through the
+    /// calendar, which is why batching can never reorder an observable
+    /// interaction.
+    fn run_epochs<A: EcmApp, S: TelemetrySink>(
+        &self,
+        app: &A,
+        sink: &mut S,
+    ) -> Result<RunReport, SimError> {
+        let mut st = self.start(app)?;
+        let num_slots = st.slots.len();
 
-        let mem_stats = mem.stats();
-        let transfer_seconds =
-            cfg.setup_seconds + graph.footprint_bytes() as f64 / cfg.pcie_bandwidth;
-        Ok(RunReport {
-            app: app.name(),
-            cycles: max_time,
-            seconds: max_time as f64 / cfg.clock_hz,
-            preprocess_seconds: self.pre.preprocess_seconds,
-            transfer_seconds,
-            result: MiningResult {
-                counts,
-                interner,
-                embeddings,
-                candidates_examined: candidates,
-                accepted_by_size,
-                candidates_by_size,
-            },
-            mem: mem_stats,
-            dram_requests: mem.dram_requests(),
-            steals,
-            steps,
-            pu_steps,
-            pu_finish,
-        })
+        let mut cal = SlotCalendar::new(num_slots);
+        for id in 0..num_slots {
+            cal.push(0, id as u32);
+        }
+        sink.on_begin(self.config.num_pus);
+
+        // Hoist the progress token out of the thread-local once: the
+        // per-epoch cancellation check is then a single relaxed load,
+        // and heartbeats flush in the same 256-event batches as the
+        // reference driver.
+        let token = progress::current();
+        let mut tick_backlog = 0u64;
+        while let Some(t) = cal.advance() {
+            if let Some(tok) = &token {
+                // Epoch boundary: cancellation check independent of the
+                // heartbeat batch, keeping watchdog latency bounded by
+                // one epoch even when events are sparse.
+                tok.checkpoint(0);
+            }
+            while let Some(id) = cal.take_at_cur() {
+                let mut t_run = t;
+                loop {
+                    tick_backlog += 1;
+                    if tick_backlog == PROGRESS_BATCH {
+                        if let Some(tok) = &token {
+                            tok.checkpoint(PROGRESS_BATCH);
+                        }
+                        tick_backlog = 0;
+                    }
+                    if S::ACTIVE {
+                        // The in-flight event is no longer counted by
+                        // the calendar, hence the +1 — identical depths
+                        // to the reference driver's gauge.
+                        sink.on_event(t_run, &st.mem, cal.event_count() + 1);
+                    }
+                    match st.exec_event(t_run, id, sink) {
+                        Some(next_t) => {
+                            if next_t < cal.peek_time() {
+                                // Solo run: strictly earlier than every
+                                // other pending event, so no interaction
+                                // can be observed before it executes.
+                                t_run = next_t;
+                            } else {
+                                cal.push(next_t, id);
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        // Flush the partial heartbeat batch (also a final cancel check).
+        if let Some(tok) = &token {
+            tok.checkpoint(tick_backlog);
+        }
+
+        st.finish(sink)
     }
 }
 
@@ -463,9 +643,11 @@ mod tests {
     use super::*;
     use crate::config::MemoryBudget;
     use crate::preprocess::preprocess;
+    use crate::progress::{install, Cancelled, ProgressToken};
     use gramer_graph::generate;
     use gramer_mining::apps::{CliqueFinding, MotifCounting};
     use gramer_mining::DfsEnumerator;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     fn small_graph() -> gramer_graph::CsrGraph {
         generate::barabasi_albert(120, 3, 21)
@@ -670,14 +852,14 @@ mod tests {
         let cfg = GramerConfig::default();
         let pre = preprocess(&g, &cfg).unwrap();
         let app = CliqueFinding::new(3).unwrap();
-        let tok = crate::progress::ProgressToken::new();
-        let guard = crate::progress::install(tok.clone());
+        let tok = ProgressToken::new();
+        let guard = install(tok.clone());
         let report = Simulator::new(&pre, cfg).unwrap().run(&app).unwrap();
         drop(guard);
-        // Heartbeats are batched (one `tick_n(256)` per 256 scheduled
-        // events, remainder flushed at the end), so the total still
-        // equals the scheduled-event count — at least one per recorded
-        // step — while the watchdog only observes it in coarse jumps.
+        // Heartbeats are batched (one flush per 256 executed events,
+        // remainder flushed at the end), so the total still equals the
+        // executed-event count — at least one per recorded step — while
+        // the watchdog only observes it in coarse jumps.
         assert!(tok.heartbeat() >= report.steps);
         assert!(tok.heartbeat() > 0);
     }
@@ -685,9 +867,15 @@ mod tests {
     #[test]
     fn heap_scheduler_matches_calendar_report() {
         let g = small_graph();
-        let cal_cfg = GramerConfig::default();
+        // Pin to the reference (non-epoch) drivers: this test is about
+        // the two queue implementations agreeing.
+        let cal_cfg = GramerConfig {
+            epoch: EpochMode::Off,
+            ..GramerConfig::default()
+        };
         assert_eq!(cal_cfg.scheduler, Scheduler::Calendar);
         let heap_cfg = GramerConfig {
+            epoch: EpochMode::Off,
             scheduler: Scheduler::Heap,
             ..GramerConfig::default()
         };
@@ -702,5 +890,115 @@ mod tests {
         assert_eq!(a.pu_steps, b.pu_steps);
         assert_eq!(a.result.embeddings, b.result.embeddings);
         assert_eq!(a.result.candidates_examined, b.result.candidates_examined);
+    }
+
+    #[test]
+    fn epoch_engine_matches_reference_interleaving() {
+        let g = small_graph();
+        let on_cfg = GramerConfig::default();
+        assert_eq!(on_cfg.epoch, EpochMode::On);
+        let off_cfg = GramerConfig {
+            epoch: EpochMode::Off,
+            ..GramerConfig::default()
+        };
+        let pre = preprocess(&g, &on_cfg).unwrap();
+        for k in [3usize, 4] {
+            let app = CliqueFinding::new(k).unwrap();
+            let a = Simulator::new(&pre, on_cfg.clone())
+                .unwrap()
+                .run(&app)
+                .unwrap();
+            let b = Simulator::new(&pre, off_cfg.clone())
+                .unwrap()
+                .run(&app)
+                .unwrap();
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.steals, b.steals);
+            assert_eq!(a.mem, b.mem);
+            assert_eq!(a.dram_requests, b.dram_requests);
+            assert_eq!(a.pu_steps, b.pu_steps);
+            assert_eq!(a.pu_finish, b.pu_finish);
+            assert_eq!(a.result.embeddings, b.result.embeddings);
+            assert_eq!(a.result.candidates_examined, b.result.candidates_examined);
+            assert_eq!(a.result.accepted_by_size, b.result.accepted_by_size);
+            assert_eq!(a.result.candidates_by_size, b.result.candidates_by_size);
+        }
+    }
+
+    /// A sink that requests cancellation from *inside* an epoch: the
+    /// cancel lands mid-drain, and the driver must still unwind at its
+    /// next checkpoint — within one heartbeat batch — rather than only
+    /// between runs. Verifies the watchdog latency bound of the epoch
+    /// engine.
+    struct CancelAfterEvents {
+        after: u64,
+        seen: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        tok: ProgressToken,
+    }
+
+    impl TelemetrySink for CancelAfterEvents {
+        const ACTIVE: bool = true;
+
+        fn on_event(&mut self, _now: u64, _mem: &MemorySubsystem, _depth: usize) {
+            let seen = self.seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            if seen == self.after {
+                self.tok.cancel();
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_mid_epoch_unwinds_within_latency_bound() {
+        let g = small_graph();
+        let cfg = GramerConfig::default();
+        assert_eq!(cfg.epoch, EpochMode::On);
+        let pre = preprocess(&g, &cfg).unwrap();
+        let app = CliqueFinding::new(4).unwrap();
+        const CANCEL_AT: u64 = 1000;
+        let seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let tok = ProgressToken::new();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = install(tok.clone());
+            let mut sink = CancelAfterEvents {
+                after: CANCEL_AT,
+                seen: seen.clone(),
+                tok: tok.clone(),
+            };
+            let sim = Simulator::new(&pre, cfg.clone()).unwrap();
+            sim.run_epochs::<_, CancelAfterEvents>(&app, &mut sink)
+        }));
+        let payload = match caught {
+            Err(p) => p,
+            Ok(_) => panic!("cancelled run returned normally"),
+        };
+        assert!(payload.downcast_ref::<Cancelled>().is_some());
+        let executed = seen.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(executed >= CANCEL_AT, "cancel point never reached");
+        // Latency bound: the driver checks at every heartbeat batch and
+        // at every epoch boundary, so at most one batch of events can
+        // execute after cancellation.
+        assert!(
+            executed - CANCEL_AT <= PROGRESS_BATCH,
+            "cancellation latency too high: {} events after cancel",
+            executed - CANCEL_AT
+        );
+    }
+
+    #[test]
+    fn precancelled_token_stops_epoch_run_before_any_event() {
+        let g = small_graph();
+        let cfg = GramerConfig::default();
+        let pre = preprocess(&g, &cfg).unwrap();
+        let app = CliqueFinding::new(3).unwrap();
+        let tok = ProgressToken::new();
+        tok.cancel();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = install(tok.clone());
+            Simulator::new(&pre, cfg.clone()).unwrap().run(&app)
+        }));
+        assert!(caught.is_err());
+        // The first epoch-boundary check fires before any event executes.
+        assert_eq!(tok.heartbeat(), 0);
     }
 }

@@ -21,16 +21,23 @@ use crate::policy::{LineMeta, PolicyKind, ReplacePolicy};
 /// ```
 #[derive(Debug)]
 pub struct SetAssociativeCache {
-    /// Line metadata, flat at stride `ways` (set `s` occupies
-    /// `lines[s*ways..s*ways+set_len[s]]`, in fill order). One contiguous
-    /// allocation instead of a `Vec<Vec<_>>` keeps the per-access lookup
-    /// to a single pointer chase.
-    lines: Vec<LineMeta>,
-    /// Tags of `lines`, split out structure-of-arrays style: the hit scan
-    /// reads `ways` consecutive u64s (one cache line for a 4-way set)
-    /// instead of striding through 40-byte `LineMeta` records. Kept in
-    /// sync with `lines[i].tag` on every fill.
+    /// Tags, flat at stride `ways` (set `s` occupies
+    /// `tags[s*ways..s*ways+set_len[s]]`, in fill order). The hit scan
+    /// reads `ways` consecutive u64s — one cache line for a 4-way set.
     tags: Vec<u64>,
+    /// Recency registers, parallel to `tags`. This is the only per-line
+    /// state *written* on a hit, so it is kept as a dense 16-byte record:
+    /// the mutable working set of a hot cache bank stays at 2/5 of what a
+    /// flat array of [`LineMeta`] records would touch (the simulator is
+    /// bound by host-cache pressure, and the hit path fires millions of
+    /// times per run while evictions are measured in thousands).
+    rec: Vec<Recency>,
+    /// Fill times, parallel to `tags`; read only when a policy consults
+    /// victim metadata and written only on fills.
+    inserted: Vec<u64>,
+    /// Priority ranks, parallel to `tags`; same cold access pattern as
+    /// `inserted`.
+    ranks: Vec<u32>,
     set_len: Vec<u16>,
     num_sets: usize,
     ways: usize,
@@ -41,7 +48,20 @@ pub struct SetAssociativeCache {
     mod_m: u64,
     clock: u64,
     policy: Box<dyn ReplacePolicy + Send>,
+    /// Scratch buffer where a full set's [`LineMeta`] view is materialized
+    /// for [`ReplacePolicy::victim`] (evictions are rare, the assembly
+    /// cost is noise; keeping the policy trait on whole records keeps
+    /// custom policies simple).
+    victim_scratch: Vec<LineMeta>,
     evictions: u64,
+}
+
+/// The per-line recency registers updated on every hit (see
+/// [`SetAssociativeCache::rec`]).
+#[derive(Debug, Clone, Copy)]
+struct Recency {
+    last_used: u64,
+    prev_used: u64,
 }
 
 impl SetAssociativeCache {
@@ -74,8 +94,16 @@ impl SetAssociativeCache {
             return Err(MemError::ZeroWays);
         }
         Ok(SetAssociativeCache {
-            lines: vec![LineMeta::filled(0, 0, 0); sets * ways],
             tags: vec![0u64; sets * ways],
+            rec: vec![
+                Recency {
+                    last_used: 0,
+                    prev_used: 0
+                };
+                sets * ways
+            ],
+            inserted: vec![0u64; sets * ways],
+            ranks: vec![0u32; sets * ways],
             set_len: vec![0u16; sets],
             num_sets: sets,
             ways,
@@ -83,6 +111,7 @@ impl SetAssociativeCache {
             mod_m: (u64::MAX / sets as u64).wrapping_add(1),
             clock: 0,
             policy: policy.build(),
+            victim_scratch: Vec::with_capacity(ways),
             evictions: 0,
         })
     }
@@ -151,25 +180,42 @@ impl SetAssociativeCache {
 
         for (i, t) in self.tags[base..base + len].iter().enumerate() {
             if *t == tag {
-                self.lines[base + i].touch(self.clock);
+                let r = &mut self.rec[base + i];
+                r.prev_used = r.last_used;
+                r.last_used = self.clock;
                 return true;
             }
         }
 
-        let fill = LineMeta::filled(tag, self.clock, rank);
-        if len < self.ways {
-            self.lines[base + len] = fill;
-            self.tags[base + len] = tag;
+        let slot = if len < self.ways {
             self.set_len[set_idx] = (len + 1) as u16;
+            base + len
         } else {
-            let victim = self
-                .policy
-                .victim(&self.lines[base..base + len], self.clock);
+            // Materialize the set's LineMeta view for the policy; the
+            // fields live scattered across the SoA arrays, but evictions
+            // are orders of magnitude rarer than hits.
+            self.victim_scratch.clear();
+            for i in base..base + len {
+                self.victim_scratch.push(LineMeta {
+                    tag: self.tags[i],
+                    last_used: self.rec[i].last_used,
+                    prev_used: self.rec[i].prev_used,
+                    inserted: self.inserted[i],
+                    rank: self.ranks[i],
+                });
+            }
+            let victim = self.policy.victim(&self.victim_scratch, self.clock);
             debug_assert!(victim < len);
-            self.lines[base + victim] = fill;
-            self.tags[base + victim] = tag;
             self.evictions += 1;
-        }
+            base + victim
+        };
+        self.tags[slot] = tag;
+        self.rec[slot] = Recency {
+            last_used: self.clock,
+            prev_used: 0,
+        };
+        self.inserted[slot] = self.clock;
+        self.ranks[slot] = rank;
         false
     }
 

@@ -66,6 +66,15 @@ struct Frame {
     /// Whether the extending vertex's CSR row has been opened (vertex
     /// access charged).
     opened: bool,
+    /// CSR row of the extending vertex, cached when the row is opened so
+    /// the per-step hot path re-reads two frame fields instead of the
+    /// graph's offset array. Both are a pure function of the (immutable)
+    /// graph and `j`'s vertex, so the cache can never go stale while
+    /// `opened` holds; `split()` only ever tightens `idx_end`, which is
+    /// not cached.
+    row_start: usize,
+    /// Degree of the extending vertex, valid while `opened`.
+    deg: u32,
 }
 
 impl Frame {
@@ -76,6 +85,8 @@ impl Frame {
             j_end,
             idx_end: u32::MAX,
             opened: false,
+            row_start: 0,
+            deg: 0,
         }
     }
 
@@ -86,6 +97,8 @@ impl Frame {
         j_end: 0,
         idx_end: 0,
         opened: false,
+        row_start: 0,
+        deg: 0,
     };
 }
 
@@ -233,13 +246,19 @@ impl<'g> Explorer<'g> {
                 self.emb.pop();
                 return Step::Traceback;
             }
-            let vj = self.emb.vertex(frame.j as usize);
             if !frame.opened {
-                // Opening a new extending vertex reads its CSR row.
+                // Opening a new extending vertex reads its CSR row; cache
+                // its (immutable) row start and degree in the frame so the
+                // steady-state path below touches no graph offset arrays.
+                let vj = self.emb.vertex(frame.j as usize);
                 observer.vertex_access(vj, size);
+                frame.row_start = self.graph.first_edge_offset(vj);
+                frame.deg = self.graph.degree(vj) as u32;
                 frame.opened = true;
             }
-            let limit = (self.graph.degree(vj) as u32).min(frame.idx_end);
+            // `idx_end` may shrink under split(), so the limit is
+            // recomputed each step from the cached degree.
+            let limit = frame.deg.min(frame.idx_end);
             if frame.idx < limit {
                 break;
             }
@@ -254,7 +273,7 @@ impl<'g> Explorer<'g> {
         let frame = &mut self.frames[self.depth as usize - 1];
         let j = frame.j as usize;
         let vj = self.emb.vertex(j);
-        let slot = self.graph.first_edge_offset(vj) + frame.idx as usize;
+        let slot = frame.row_start + frame.idx as usize;
         frame.idx += 1;
         observer.edge_access(slot, vj, size);
         let w = self.graph.adjacency_at(slot);
@@ -388,6 +407,8 @@ impl<'g> Explorer<'g> {
                     j_end: frame.j + 1,
                     idx_end: limit,
                     opened: false,
+                    row_start: 0,
+                    deg: 0,
                 };
                 frame.idx_end = mid;
                 cut = Some((depth, thief));
@@ -433,22 +454,29 @@ impl<'g> Explorer<'g> {
         observer: &mut O,
     ) -> bool {
         observer.vertex_access(u, size);
-        let mut probe = |a: VertexId, b: VertexId| -> bool {
-            // The indexed and unindexed paths return identical (found,
-            // pos) pairs (see AdjProbe), so the charged slot — and thus
-            // every simulated cycle count — is probe-index-invariant.
-            let (found, pos) = match self.probe {
-                Some(ix) => ix.probe(self.graph, a, b),
-                None => AdjProbe::probe_unindexed(self.graph, a, b),
-            };
-            let slot = self.graph.first_edge_offset(a) + pos;
-            observer.edge_access(slot, a, size);
-            found
+        // The indexed and unindexed paths return identical (found, pos)
+        // pairs (see AdjProbe), so the charged slot — and thus every
+        // simulated cycle count — is probe-index-invariant. The branch on
+        // the probe index is hoisted out of the per-probe path: it is
+        // fixed for the explorer's whole lifetime.
+        let (found, back) = match self.probe {
+            Some(ix) => {
+                // u→w probe (the embedding member's list, hub-weighted)...
+                let (found, pos) = ix.probe(self.graph, u, w);
+                observer.edge_access(self.graph.first_edge_offset(u) + pos, u, size);
+                // ... and w→u probe (the candidate's list).
+                let (back, pos) = ix.probe(self.graph, w, u);
+                observer.edge_access(self.graph.first_edge_offset(w) + pos, w, size);
+                (found, back)
+            }
+            None => {
+                let (found, pos) = AdjProbe::probe_unindexed(self.graph, u, w);
+                observer.edge_access(self.graph.first_edge_offset(u) + pos, u, size);
+                let (back, pos) = AdjProbe::probe_unindexed(self.graph, w, u);
+                observer.edge_access(self.graph.first_edge_offset(w) + pos, w, size);
+                (found, back)
+            }
         };
-        // u→w probe (the embedding member's list, hub-weighted) ...
-        let found = probe(u, w);
-        // ... and w→u probe (the candidate's list).
-        let back = probe(w, u);
         debug_assert_eq!(found, back, "adjacency must be symmetric");
         found
     }

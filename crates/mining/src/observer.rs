@@ -118,7 +118,7 @@ mod tests {
     fn mut_ref_forwarding() {
         let mut c = CountingObserver::default();
         {
-            let mut r = &mut c;
+            let r = &mut c;
             r.vertex_access(0, 1);
         }
         assert_eq!(c.vertex_accesses, 1);

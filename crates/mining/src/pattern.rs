@@ -370,7 +370,7 @@ fn permute<F: FnMut(&[usize; MAX_EMBEDDING])>(
 /// let id = interner.intern(&g, &e);
 /// assert!(interner.pattern(id).is_clique());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PatternInterner {
     // Fx-hashed (gramer_graph::hash): intern() runs once per accepted
     // embedding, and the 25-byte keys make SipHash the dominant cost.
@@ -382,18 +382,46 @@ pub struct PatternInterner {
     // enumerates up to n! permutations, far too expensive to redo on
     // every lookup.
     autos: Vec<u64>,
-    // Last (key, id) interned: consecutive accepted embeddings usually
-    // share a pattern (MC(k) sees a handful of distinct shapes), so one
-    // compare short-circuits the map probe on the common path. Purely a
-    // host-side memo — it returns exactly what the map would.
-    last: Option<(RawKey, PatternId)>,
+    // Recently interned (key, id) pairs in move-to-front order:
+    // consecutive accepted embeddings cycle through a handful of raw keys
+    // (MC(3) alternates wedge addition orders with triangles), so a short
+    // linear scan absorbs nearly every lookup before the map probe. A
+    // single-entry memo thrashes on exactly that alternation. Purely a
+    // host-side memo — it returns exactly what the map would. Unused
+    // entries hold `n == 0`, which no real embedding produces.
+    memo: [(RawKey, PatternId); MEMO_ENTRIES],
 }
+
+/// Entries in the [`PatternInterner`] move-to-front memo. Covers the
+/// distinct raw keys of a typical small-motif mine with slack.
+const MEMO_ENTRIES: usize = 4;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct RawKey {
     n: u8,
     labels: [Label; MAX_EMBEDDING],
     adj: [u8; MAX_EMBEDDING],
+}
+
+impl RawKey {
+    /// Memo filler; `n == 0` never matches a real embedding's key.
+    const EMPTY: RawKey = RawKey {
+        n: 0,
+        labels: [0; MAX_EMBEDDING],
+        adj: [0; MAX_EMBEDDING],
+    };
+}
+
+impl Default for PatternInterner {
+    fn default() -> Self {
+        PatternInterner {
+            raw: FxHashMap::default(),
+            canon: FxHashMap::default(),
+            patterns: Vec::new(),
+            autos: Vec::new(),
+            memo: [(RawKey::EMPTY, PatternId(0)); MEMO_ENTRIES],
+        }
+    }
 }
 
 impl PatternInterner {
@@ -416,24 +444,30 @@ impl PatternInterner {
             labels,
             adj,
         };
-        if let Some((last_key, id)) = self.last {
-            if last_key == key {
-                return id;
+        for i in 0..MEMO_ENTRIES {
+            if self.memo[i].0 == key {
+                let hit = self.memo[i];
+                self.memo.copy_within(..i, 1);
+                self.memo[0] = hit;
+                return hit.1;
             }
         }
-        if let Some(&id) = self.raw.get(&key) {
-            self.last = Some((key, id));
-            return id;
-        }
-        let pattern = canonicalize(n, labels, adj);
-        let next = PatternId(self.patterns.len() as u32);
-        let id = *self.canon.entry(pattern).or_insert_with(|| {
-            self.patterns.push(pattern);
-            self.autos.push(pattern.automorphism_count());
-            next
-        });
-        self.raw.insert(key, id);
-        self.last = Some((key, id));
+        let id = match self.raw.get(&key) {
+            Some(&id) => id,
+            None => {
+                let pattern = canonicalize(n, labels, adj);
+                let next = PatternId(self.patterns.len() as u32);
+                let id = *self.canon.entry(pattern).or_insert_with(|| {
+                    self.patterns.push(pattern);
+                    self.autos.push(pattern.automorphism_count());
+                    next
+                });
+                self.raw.insert(key, id);
+                id
+            }
+        };
+        self.memo.copy_within(..MEMO_ENTRIES - 1, 1);
+        self.memo[0] = (key, id);
         id
     }
 

@@ -198,6 +198,17 @@ fn apply_config_overrides(config: &mut GramerConfig, c: &JsonValue) -> Result<()
                 let s = value.as_str().ok_or("\"scheduler\" must be a string")?;
                 config.scheduler = s.parse()?;
             }
+            "epoch" => {
+                let s = value.as_str().ok_or("\"epoch\" must be a string")?;
+                config.epoch = s.parse()?;
+            }
+            "sim_threads" => {
+                // Range is enforced by `config.validate()` after all
+                // overrides land, so an out-of-range value becomes the
+                // same typed rejection as any other bad knob.
+                config.sim_threads =
+                    value.as_u64().ok_or("\"sim_threads\" must be an integer")? as usize;
+            }
             other => return Err(format!("unknown config knob {other:?}")),
         }
     }
@@ -532,12 +543,44 @@ mod tests {
     fn config_overrides_apply() {
         let v = JsonValue::parse(
             "{\"graph\": {\"gen\": \"demo\"}, \"app\": \"3-mc\", \
-             \"config\": {\"pus\": 4, \"tau\": 0.05, \"access_path\": \"exact\"}}",
+             \"config\": {\"pus\": 4, \"tau\": 0.05, \"access_path\": \"exact\", \
+             \"epoch\": \"off\", \"sim_threads\": 4}}",
         )
         .expect("json");
         let spec = JobSpec::from_json(&v).expect("valid");
         assert_eq!(spec.config.num_pus, 4);
         assert_eq!(spec.config.tau, Some(0.05));
+        assert_eq!(spec.config.epoch, gramer::EpochMode::Off);
+        assert_eq!(spec.config.sim_threads, 4);
+    }
+
+    #[test]
+    fn sim_threads_out_of_range_is_rejected_at_admission() {
+        // Zero and above-MAX both fail `config.validate()`, which the
+        // server surfaces as a typed 400 — never a queued job.
+        for bad in ["0", "65"] {
+            let v = JsonValue::parse(&format!(
+                "{{\"graph\": {{\"gen\": \"demo\"}}, \"app\": \"3-cf\", \
+                 \"config\": {{\"sim_threads\": {bad}}}}}"
+            ))
+            .expect("json");
+            let err = JobSpec::from_json(&v).unwrap_err();
+            assert!(err.contains("sim_threads"), "bad={bad}: {err}");
+        }
+        // A non-integer is rejected by the override parser itself.
+        let v = JsonValue::parse(
+            "{\"graph\": {\"gen\": \"demo\"}, \"app\": \"3-cf\", \
+             \"config\": {\"sim_threads\": \"many\"}}",
+        )
+        .expect("json");
+        assert!(JobSpec::from_json(&v).unwrap_err().contains("sim_threads"));
+        // Bad epoch string is a parse error, not a panic.
+        let v = JsonValue::parse(
+            "{\"graph\": {\"gen\": \"demo\"}, \"app\": \"3-cf\", \
+             \"config\": {\"epoch\": \"sometimes\"}}",
+        )
+        .expect("json");
+        assert!(JobSpec::from_json(&v).unwrap_err().contains("epoch"));
     }
 
     #[test]

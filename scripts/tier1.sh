@@ -8,9 +8,12 @@
 #   fmt     cargo fmt --check              (tree must be rustfmt-clean)
 #   build   cargo build --release          (all crates + experiment bins)
 #   test    cargo test -q --workspace      (unit + integration + doc tests)
-#   golden  golden + telemetry suites x {calendar,heap} x {fast,exact}
-#           (scheduler and access-path are host-side choices; all four
-#           cells must match the golden constants bit-for-bit)
+#   golden  golden + telemetry suites x {calendar,heap} x {fast,exact},
+#           plus a GRAMER_EPOCH=off pass over the same matrix and a
+#           GRAMER_SIM_THREADS=4 sharded-cells pass (scheduler,
+#           access-path, epoch engine and cell parallelism are all
+#           host-side choices; every cell must match the golden
+#           constants bit-for-bit)
 #   doc     cargo doc --no-deps            (rustdoc, warnings denied)
 #   clippy  clippy on the library crates   (unwrap/expect denied: failures
 #           must flow through the typed error taxonomy, not panic; the
@@ -57,6 +60,28 @@ stage_golden() {
                 cargo test -q --test golden --test telemetry
         done
     done
+    # The epoch-batched engine is the default; re-run the full matrix
+    # under the reference event-queue interleaving — same constants.
+    for sched in calendar heap; do
+        for path in fast exact; do
+            echo "   -- epoch=off scheduler=$sched access-path=$path"
+            GRAMER_EPOCH=off GRAMER_SCHEDULER="$sched" GRAMER_ACCESS_PATH="$path" \
+                cargo test -q --test golden --test telemetry
+        done
+    done
+    # Sharded-cells pass: gramer-mine must produce byte-identical reports
+    # with 4 host threads over a multi-app cell list.
+    echo "   -- sim-threads=4 sharded cells byte-identity (gramer-mine)"
+    cargo build --release -q -p gramer --bin gramer-mine
+    local tmp
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "${tmp:-}"; trap - RETURN' RETURN
+    target/release/gramer-mine --demo --app 3-cf,3-mc,4-cf --sim-threads 1 \
+        --json "$tmp/serial.json" > "$tmp/serial.out" 2> /dev/null
+    GRAMER_SIM_THREADS=4 target/release/gramer-mine --demo --app 3-cf,3-mc,4-cf \
+        --json "$tmp/sharded.json" > "$tmp/sharded.out" 2> /dev/null
+    cmp "$tmp/serial.json" "$tmp/sharded.json"
+    cmp "$tmp/serial.out" "$tmp/sharded.out"
 }
 
 stage_doc() {
@@ -70,7 +95,8 @@ stage_clippy() {
         -p gramer-serve --lib -- \
         -D clippy::unwrap_used -D clippy::expect_used \
         -W clippy::needless_collect -W clippy::redundant_clone \
-        -W clippy::large_stack_arrays -W clippy::trivially_copy_pass_by_ref
+        -W clippy::large_stack_arrays -W clippy::trivially_copy_pass_by_ref \
+        -W clippy::large_enum_variant
 }
 
 stage_bench() {
@@ -83,7 +109,7 @@ stage_artifact() {
     cargo build --release -q -p gramer --bins
     local tmp
     tmp="$(mktemp -d)"
-    trap 'rm -rf "$tmp"' RETURN
+    trap 'rm -rf "${tmp:-}"; trap - RETURN' RETURN
     local w
     for w in golden-ba golden-rmat; do
         echo "   -- $w: build + verify + inspect"
@@ -122,7 +148,7 @@ stage_serve() {
     cargo build --release -q -p gramer -p gramer-serve --bins
     local tmp
     tmp="$(mktemp -d)"
-    trap 'rm -rf "$tmp"' RETURN
+    trap 'rm -rf "${tmp:-}"; trap - RETURN' RETURN
     local serve=target/release/gramer-serve
     local mine=target/release/gramer-mine
     local artifact=target/release/gramer-artifact

@@ -8,7 +8,7 @@
 //! be called out explicitly (by updating the constant and explaining
 //! why in the commit).
 
-use gramer::{preprocess, AccessPath, GramerConfig, RunReport, Scheduler, Simulator};
+use gramer::{preprocess, AccessPath, EpochMode, GramerConfig, RunReport, Scheduler, Simulator};
 use gramer_graph::generate::{self, RmatParams};
 use gramer_graph::CsrGraph;
 use gramer_mining::apps::{CliqueFinding, MotifCounting};
@@ -34,8 +34,10 @@ fn golden_summary(r: &RunReport) -> String {
 
 /// Base config for the golden runs. The tier-1 matrix (`scripts/tier1.sh`)
 /// re-runs this suite under every `scheduler` × `access_path` combination
-/// via `GRAMER_SCHEDULER` / `GRAMER_ACCESS_PATH`; both are host-side
-/// choices, so the golden constants must hold bit-for-bit under all four.
+/// via `GRAMER_SCHEDULER` / `GRAMER_ACCESS_PATH`, and once more with
+/// `GRAMER_EPOCH=off` selecting the reference event-queue interleaving;
+/// all are host-side choices, so the golden constants must hold
+/// bit-for-bit under every combination.
 fn base_config() -> GramerConfig {
     let mut cfg = GramerConfig::default();
     if let Ok(s) = std::env::var("GRAMER_SCHEDULER") {
@@ -43,6 +45,9 @@ fn base_config() -> GramerConfig {
     }
     if let Ok(s) = std::env::var("GRAMER_ACCESS_PATH") {
         cfg.access_path = s.parse().expect("GRAMER_ACCESS_PATH must be fast|exact");
+    }
+    if let Ok(s) = std::env::var("GRAMER_EPOCH") {
+        cfg.epoch = s.parse().expect("GRAMER_EPOCH must be on|off");
     }
     cfg
 }
@@ -180,6 +185,84 @@ fn artifact_path_reports_are_bit_identical() {
             .to_string(),
         "R-MAT(2^8) x MC(3): artifact path diverged from edge-list path"
     );
+}
+
+/// The epoch-batched engine (ISSUE 8 tentpole) is the default inner
+/// loop; `--epoch=off` keeps the reference event-queue interleaving. On
+/// both golden workloads the two must produce *identical* serialized
+/// reports — epoch batching is a host-side engine choice, not a model
+/// change. (The randomized flavour is `epoch_matches_interleaved` in
+/// `tests/properties.rs`.)
+#[test]
+fn epoch_engine_matches_interleaved_on_golden_workloads() {
+    let epoch_cfg = GramerConfig {
+        epoch: EpochMode::On,
+        ..base_config()
+    };
+    let interleaved_cfg = GramerConfig {
+        epoch: EpochMode::Off,
+        ..base_config()
+    };
+    assert_eq!(GramerConfig::default().epoch, EpochMode::On);
+
+    let ba = ba_graph();
+    let cf = CliqueFinding::new(4).unwrap();
+    assert_eq!(
+        run(&ba, &cf, &epoch_cfg).to_json_value().to_string(),
+        run(&ba, &cf, &interleaved_cfg).to_json_value().to_string(),
+        "BA(200,3) x CF(4): epoch engine diverged from interleaved engine"
+    );
+
+    let rmat = rmat_graph();
+    let mc = MotifCounting::new(3).unwrap();
+    assert_eq!(
+        run(&rmat, &mc, &epoch_cfg).to_json_value().to_string(),
+        run(&rmat, &mc, &interleaved_cfg)
+            .to_json_value()
+            .to_string(),
+        "R-MAT(2^8) x MC(3): epoch engine diverged from interleaved engine"
+    );
+}
+
+/// Running the two golden workloads as independent cells on a sharded
+/// pool (`sim_threads=4`) must yield byte-identical serialized reports,
+/// in the same order, as the serial `sim_threads=1` path — host
+/// parallelism across cells never touches a simulated quantity, and
+/// result order is cell order by construction (see `gramer::shard`).
+#[test]
+fn sharded_cells_reports_are_bit_identical_to_serial() {
+    let run_matrix = |threads: usize| -> Vec<String> {
+        let cfg = GramerConfig {
+            sim_threads: threads,
+            ..base_config()
+        };
+        let cells: Vec<Box<dyn FnOnce() -> String + Send>> = vec![
+            Box::new({
+                let cfg = cfg.clone();
+                move || {
+                    run(&ba_graph(), &CliqueFinding::new(4).unwrap(), &cfg)
+                        .to_json_value()
+                        .to_string()
+                }
+            }),
+            Box::new({
+                let cfg = cfg.clone();
+                move || {
+                    run(&rmat_graph(), &MotifCounting::new(3).unwrap(), &cfg)
+                        .to_json_value()
+                        .to_string()
+                }
+            }),
+        ];
+        gramer::shard::run_cells(threads, cells)
+    };
+    let serial = run_matrix(1);
+    let sharded = run_matrix(4);
+    assert_eq!(
+        serial, sharded,
+        "sim_threads=4 diverged from sim_threads=1 on the golden cells"
+    );
+    assert_eq!(serial.len(), 2);
 }
 
 /// The two-lane fast access engine (ISSUE 4 tentpole) is the default;

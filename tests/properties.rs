@@ -6,7 +6,9 @@
 //! inputs drawn from the workspace's deterministic `rand` shim. Every
 //! case is reproducible: a failure message includes the case seed.
 
-use gramer_suite::gramer::{preprocess, AccessPath, GramerConfig, MemoryBudget, Simulator};
+use gramer_suite::gramer::{
+    preprocess, AccessPath, EpochMode, GramerConfig, MemoryBudget, Scheduler, Simulator,
+};
 use gramer_suite::gramer_graph::{generate, io, on1, reorder, GraphBuilder, VertexId};
 use gramer_suite::gramer_memsim::policy::PolicyKind;
 use gramer_suite::gramer_memsim::{
@@ -361,6 +363,88 @@ fn fast_path_matches_exact_path_full_sim() {
             .run(&app)
             .expect("runs");
         let b = Simulator::new(&pre, exact_cfg)
+            .expect("valid config")
+            .run(&app)
+            .expect("runs");
+        assert_eq!(a.cycles, b.cycles, "seed {seed}");
+        assert_eq!(a.steps, b.steps, "seed {seed}");
+        assert_eq!(a.steals, b.steals, "seed {seed}");
+        assert_eq!(a.mem, b.mem, "seed {seed}");
+        assert_eq!(a.dram_requests, b.dram_requests, "seed {seed}");
+        assert_eq!(a.pu_steps, b.pu_steps, "seed {seed}");
+        assert_eq!(a.pu_finish, b.pu_finish, "seed {seed}");
+        assert_eq!(a.result.embeddings, b.result.embeddings, "seed {seed}");
+        assert_eq!(
+            a.result.candidates_examined, b.result.candidates_examined,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.result.counts.sorted(),
+            b.result.counts.sorted(),
+            "seed {seed}"
+        );
+    }
+}
+
+/// The epoch-batched engine (`--epoch=on`, the default) must be
+/// indistinguishable from the reference event-queue interleaving
+/// (`--epoch=off`) on every simulated quantity, across randomized PU/slot
+/// geometries (down to the degenerate 1 PU × 1 slot), latency draws,
+/// memory budgets, stealing/dispatch modes and both reference queue
+/// implementations. This is the load-bearing property behind shipping
+/// epoch mode as the default: it is a host-side engine choice, not a
+/// model change.
+#[test]
+fn epoch_matches_interleaved() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(9000 + seed);
+        let Some(g) = random_graph(&mut rng, 40, 140) else {
+            continue;
+        };
+        // Degenerate and steal-heavy geometries are the interesting
+        // corners: a lone slot exercises the fast-forward horizon, many
+        // tiny PUs exercise donation/steal interleavings.
+        let (num_pus, slots_per_pu) =
+            [(1, 1), (1, 4), (8, 1), (2, 3), (8, 16), (3, 2)][rng.gen_range(0usize..6)];
+        let latency = LatencyConfig {
+            scratchpad_cycles: rng.gen_range(1u64..4),
+            cache_cycles: rng.gen_range(1u64..6),
+            port_occupancy_cycles: rng.gen_range(1u64..4),
+            ports_per_bank: rng.gen_range(1usize..4),
+            request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
+        };
+        let epoch_cfg = GramerConfig {
+            num_pus,
+            slots_per_pu,
+            ancestor_depth: 16,
+            latency,
+            budget: MemoryBudget::Fraction(rng.gen_range(2u32..60) as f64 / 100.0),
+            work_stealing: rng.gen_bool(0.7),
+            static_dispatch: rng.gen_bool(0.3),
+            access_path: if rng.gen_bool(0.5) {
+                AccessPath::Fast
+            } else {
+                AccessPath::Exact
+            },
+            epoch: EpochMode::On,
+            ..GramerConfig::default()
+        };
+        let interleaved_cfg = GramerConfig {
+            epoch: EpochMode::Off,
+            scheduler: if rng.gen_bool(0.5) {
+                Scheduler::Calendar
+            } else {
+                Scheduler::Heap
+            },
+            ..epoch_cfg.clone()
+        };
+        let pre = preprocess(&g, &epoch_cfg).expect("random graph preprocesses");
+        let app = MotifCounting::new(3).expect("valid");
+        let a = Simulator::new(&pre, epoch_cfg)
+            .expect("valid config")
+            .run(&app)
+            .expect("runs");
+        let b = Simulator::new(&pre, interleaved_cfg)
             .expect("valid config")
             .run(&app)
             .expect("runs");

@@ -33,6 +33,9 @@ fn base_config() -> GramerConfig {
     if let Ok(s) = std::env::var("GRAMER_ACCESS_PATH") {
         cfg.access_path = s.parse().expect("GRAMER_ACCESS_PATH must be fast|exact");
     }
+    if let Ok(s) = std::env::var("GRAMER_EPOCH") {
+        cfg.epoch = s.parse().expect("GRAMER_EPOCH must be on|off");
+    }
     cfg
 }
 

@@ -7,10 +7,16 @@
 //! 3. compacted vs full ancestor records (Fig. 10's storage saving);
 //! 4. next-line edge prefetching at constrained capacity;
 //! 5. the locality-preserved policy vs plain LRU in the low-priority
-//!    memory at constrained capacity.
+//!    memory at constrained capacity;
+//! 6. the recurrent-pattern pair memo vs the reference probe path
+//!    (DESIGN.md §10);
+//! 7. λ autotuning on top of the locality-preserved policy at
+//!    constrained capacity;
+//! 8. runtime scratchpad re-pinning vs the static ON1 pin set at
+//!    constrained capacity.
 
 use gramer::pipeline::{clock_rate_mhz, AncestorMode};
-use gramer::{GramerConfig, MemoryBudget, MemoryMode};
+use gramer::{GramerConfig, MemoMode, MemoryBudget, MemoryMode};
 use gramer_bench::{
     rule, run_gramer, AnalogCache, AppVariant, PointOutput, PointRecord, Sweep, SweepArgs,
 };
@@ -37,7 +43,7 @@ fn main() -> std::process::ExitCode {
 
     // Every simulated study is one point; the "default" run doubles as
     // the baseline of studies 1 and 2.
-    let configs: [(&str, fn() -> GramerConfig); 7] = [
+    let configs: [(&str, fn() -> GramerConfig); 11] = [
         ("default", || constrained(false)),
         ("shared-port", || GramerConfig {
             latency: LatencyConfig {
@@ -64,6 +70,22 @@ fn main() -> std::process::ExitCode {
         }),
         ("static-lru", || GramerConfig {
             memory_mode: MemoryMode::StaticLru,
+            ..constrained(true)
+        }),
+        ("memo-on", || GramerConfig {
+            memo: MemoMode::On {
+                bytes: gramer_mining::DEFAULT_MEMO_BYTES,
+            },
+            ..GramerConfig::default()
+        }),
+        ("adaptive-lambda", || GramerConfig {
+            memory_mode: MemoryMode::Lamh,
+            adaptive_lambda: true,
+            ..constrained(true)
+        }),
+        ("repin-off", || constrained(true)),
+        ("repin-on", || GramerConfig {
+            repin: true,
             ..constrained(true)
         }),
     ];
@@ -168,6 +190,56 @@ fn main() -> std::process::ExitCode {
             static_lru.cycles,
             100.0 * static_lru.hit_ratio(),
             static_lru.cycles as f64 / lamh.cycles as f64
+        );
+    }
+
+    println!("\n6. recurrent-pattern pair memo (DESIGN.md \u{a7}10)");
+    rule(66);
+    if let (Some(base), Some(memo)) = (
+        record("default").and_then(PointRecord::report),
+        record("memo-on").and_then(PointRecord::report),
+    ) {
+        let hits = memo.memo.map_or(0, |s| s.hits);
+        println!(
+            "memo off: {:>10} cycles | on: {:>10} cycles ({} hits) | gain {:.2}x\n",
+            base.cycles,
+            memo.cycles,
+            hits,
+            base.cycles as f64 / memo.cycles as f64
+        );
+    }
+
+    println!("7. \u{3bb} autotuning over LAMH (10% on-chip)");
+    rule(66);
+    if let (Some(fixed), Some(adaptive)) = (
+        record("lamh").and_then(PointRecord::report),
+        record("adaptive-lambda").and_then(PointRecord::report),
+    ) {
+        println!(
+            "fixed \u{3bb}: {:>10} cycles (hit {:.2}%) | adaptive: {:>10} cycles (hit {:.2}%, {} retunes) | gain {:.2}x\n",
+            fixed.cycles,
+            100.0 * fixed.hit_ratio(),
+            adaptive.cycles,
+            100.0 * adaptive.hit_ratio(),
+            adaptive.lambda_retunes.unwrap_or(0),
+            fixed.cycles as f64 / adaptive.cycles as f64
+        );
+    }
+
+    println!("8. runtime scratchpad re-pinning (10% on-chip)");
+    rule(66);
+    if let (Some(pinned), Some(repin)) = (
+        record("repin-off").and_then(PointRecord::report),
+        record("repin-on").and_then(PointRecord::report),
+    ) {
+        println!(
+            "static pins: {:>10} cycles (hit {:.2}%) | re-pinned: {:>10} cycles (hit {:.2}%, {} epochs) | gain {:.2}x",
+            pinned.cycles,
+            100.0 * pinned.hit_ratio(),
+            repin.cycles,
+            100.0 * repin.hit_ratio(),
+            repin.pin_epochs.unwrap_or(0),
+            pinned.cycles as f64 / repin.cycles as f64
         );
     }
     gramer_bench::finish(&result)

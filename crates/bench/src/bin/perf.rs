@@ -28,7 +28,9 @@
 //! may be at most `--threshold` percent (default 10) below the
 //! baseline's. Exits non-zero on any violation.
 
-use gramer::{preprocess, EpochMode, GramerConfig, RunReport, Simulator, MAX_SIM_THREADS};
+use gramer::{
+    preprocess, EpochMode, GramerConfig, MemoMode, RunReport, Simulator, MAX_SIM_THREADS,
+};
 use gramer_bench::perf;
 use gramer_graph::{generate, CsrGraph};
 use gramer_mining::apps::{CliqueFinding, MotifCounting};
@@ -46,6 +48,11 @@ struct Cell {
     /// reference cell keeps the `--epoch=off` interleaving on the
     /// trajectory so the engines' relative cost stays measured.
     epoch: EpochMode,
+    /// Memo-table mode the cell is pinned to (overridable with
+    /// `--memo`). The memo-on cell and its same-graph `--memo off`
+    /// control measure the pair-memo's wall-clock and simulated-cycle
+    /// win side by side.
+    memo: MemoMode,
 }
 
 trait DynPerfApp {
@@ -79,12 +86,26 @@ fn cells(quick: bool) -> Vec<Cell> {
             graph: generate::barabasi_albert(3000 / scale, 4, 71),
             app: Box::new(CliqueFinding::new(4).expect("valid k")),
             epoch: EpochMode::On,
+            memo: MemoMode::Off,
         },
         Cell {
             name: "RMAT(13)x3-MC",
             graph: generate::rmat(13 - (quick as u32) * 2, 40_000 / scale, rmat_params, 7),
             app: Box::new(MotifCounting::new(3).expect("valid k")),
             epoch: EpochMode::On,
+            memo: MemoMode::Off,
+        },
+        // The same R-MAT x 3-MC workload with the pair memo on: together
+        // with the `--memo off` control above, this keeps the memo's
+        // wall-clock and simulated-cycle win on the measured trajectory.
+        Cell {
+            name: "RMAT(13)x3-MC@memo",
+            graph: generate::rmat(13 - (quick as u32) * 2, 40_000 / scale, rmat_params, 7),
+            app: Box::new(MotifCounting::new(3).expect("valid k")),
+            epoch: EpochMode::On,
+            memo: MemoMode::On {
+                bytes: gramer_mining::DEFAULT_MEMO_BYTES,
+            },
         },
         // Smaller reference cell pinned to the non-epoch interleaving:
         // keeps `--epoch=off` on the measured trajectory without letting
@@ -94,6 +115,7 @@ fn cells(quick: bool) -> Vec<Cell> {
             graph: generate::rmat(11 - (quick as u32) * 2, 10_000 / scale, rmat_params, 7),
             app: Box::new(MotifCounting::new(3).expect("valid k")),
             epoch: EpochMode::Off,
+            memo: MemoMode::Off,
         },
     ]
 }
@@ -137,6 +159,7 @@ fn main() -> ExitCode {
     let mut baseline_path = std::path::PathBuf::from("results/BENCH_core.json");
     let mut threshold = 10.0f64;
     let mut epoch_override: Option<EpochMode> = None;
+    let mut memo_override: Option<MemoMode> = None;
     let mut sim_threads = 1usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -178,6 +201,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--memo" => match it.next().and_then(|v| v.parse::<MemoMode>().ok()) {
+                Some(mode) => memo_override = Some(mode),
+                None => {
+                    eprintln!("--memo requires \"on\", \"off\" or a byte budget");
+                    return ExitCode::from(2);
+                }
+            },
             "--sim-threads" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if (1..=MAX_SIM_THREADS).contains(&n) => sim_threads = n,
                 _ => {
@@ -190,7 +220,7 @@ fn main() -> ExitCode {
                     "perf — pinned simulator-throughput workload\n\
                      usage: perf [--json PATH] [--quick] [--repeats N]\n\
                      \x20           [--check] [--baseline PATH] [--threshold PCT]\n\
-                     \x20           [--epoch on|off] [--sim-threads N]"
+                     \x20           [--epoch on|off] [--memo on|off|BYTES] [--sim-threads N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -213,6 +243,7 @@ fn main() -> ExitCode {
         // config so its validation path stays on the trajectory.
         let cfg = GramerConfig {
             epoch: epoch_override.unwrap_or(cell.epoch),
+            memo: memo_override.unwrap_or(cell.memo),
             sim_threads,
             ..GramerConfig::default()
         };
@@ -233,6 +264,7 @@ fn main() -> ExitCode {
                     assert_eq!(f.cycles, report.cycles, "{}: cycles drifted", cell.name);
                     assert_eq!(f.mem, report.mem, "{}: memory stats drifted", cell.name);
                     assert_eq!(f.steals, report.steals, "{}: steals drifted", cell.name);
+                    assert_eq!(f.memo, report.memo, "{}: memo stats drifted", cell.name);
                     assert_eq!(
                         f.pu_steps, report.pu_steps,
                         "{}: pu_steps drifted",
@@ -260,6 +292,10 @@ fn main() -> ExitCode {
                 EpochMode::Off => "off",
             },
             sim_threads: sim_threads as u64,
+            memo: match cfg.memo {
+                MemoMode::Off => "off".to_string(),
+                MemoMode::On { bytes } => bytes.to_string(),
+            },
             walls,
             report,
         };

@@ -58,8 +58,8 @@
 use gramer::json::JsonValue;
 use gramer::telemetry::{Telemetry, TelemetryConfig};
 use gramer::{
-    preprocess, EpochMode, GramerConfig, PreprocessCache, Preprocessed, RunReport, SimError,
-    Simulator,
+    preprocess, EpochMode, GramerConfig, MemoMode, PreprocessCache, Preprocessed, RunReport,
+    SimError, Simulator,
 };
 use gramer_graph::datasets::Dataset;
 use gramer_graph::CsrGraph;
@@ -327,11 +327,25 @@ static EPOCH_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 /// configured value.
 static SIM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Process-wide memo-table override for [`run_gramer`] (set from the
+/// sweep runner's `--memo` flag): `0` = keep each point's configured
+/// mode, `1` = force [`MemoMode::Off`], any other value = force
+/// [`MemoMode::On`] with that byte budget. Unlike `--epoch` /
+/// `--sim-threads` this is a *model* change — cycles, memory traffic
+/// and energy legitimately move — but mining results stay bit-identical
+/// (the memo only skips probes whose outcome is already known).
+static MEMO_OVERRIDE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Installs (or clears, with `None`s) the engine overrides subsequent
 /// [`run_gramer`] calls apply on top of each point's config. Driven by
-/// the sweep runner's `--epoch` / `--sim-threads` flags; by default no
-/// override is active and every point runs exactly as declared.
-pub fn set_engine_overrides(epoch: Option<EpochMode>, sim_threads: Option<usize>) {
+/// the sweep runner's `--epoch` / `--sim-threads` / `--memo` flags; by
+/// default no override is active and every point runs exactly as
+/// declared.
+pub fn set_engine_overrides(
+    epoch: Option<EpochMode>,
+    sim_threads: Option<usize>,
+    memo: Option<MemoMode>,
+) {
     let tag = match epoch {
         None => 0,
         Some(EpochMode::On) => 1,
@@ -339,6 +353,14 @@ pub fn set_engine_overrides(epoch: Option<EpochMode>, sim_threads: Option<usize>
     };
     EPOCH_OVERRIDE.store(tag, Ordering::Relaxed);
     SIM_THREADS_OVERRIDE.store(sim_threads.unwrap_or(0), Ordering::Relaxed);
+    // Byte budgets are always >= MEMO_ENTRY_BYTES (> 1), so 0 and 1 are
+    // free as "no override" / "force off" sentinels.
+    let memo_tag = match memo {
+        None => 0,
+        Some(MemoMode::Off) => 1,
+        Some(MemoMode::On { bytes }) => bytes,
+    };
+    MEMO_OVERRIDE.store(memo_tag, Ordering::Relaxed);
 }
 
 /// Applies the active engine overrides to one point's config.
@@ -351,6 +373,11 @@ fn apply_engine_overrides(config: &mut GramerConfig) {
     let threads = SIM_THREADS_OVERRIDE.load(Ordering::Relaxed);
     if threads != 0 {
         config.sim_threads = threads;
+    }
+    match MEMO_OVERRIDE.load(Ordering::Relaxed) {
+        0 => {}
+        1 => config.memo = MemoMode::Off,
+        bytes => config.memo = MemoMode::On { bytes },
     }
 }
 
@@ -431,6 +458,10 @@ pub struct SweepArgs {
     /// Force every point's `sim_threads` ([`set_engine_overrides`]);
     /// `None` keeps each point's declared value.
     pub sim_threads: Option<usize>,
+    /// Force every point's memo-table mode ([`set_engine_overrides`]);
+    /// `None` keeps each point's declared mode. A model change — timing
+    /// and energy move — but mining results are bit-identical.
+    pub memo: Option<MemoMode>,
 }
 
 /// Usage text shared by every experiment binary.
@@ -453,6 +484,9 @@ Options:
                        only; both modes are bit-identical)
   --sim-threads N      force every point's sim_threads config knob
                        (host-side cell parallelism; results unchanged)
+  --memo on|off|BYTES  force every point's memo-table mode (a model
+                       change: timing/energy move, mining results are
+                       bit-identical)
   --help               print this help, then exit
 
 Failure semantics:
@@ -478,6 +512,7 @@ impl Default for SweepArgs {
             artifact_cache: None,
             epoch: None,
             sim_threads: None,
+            memo: None,
         }
     }
 }
@@ -562,6 +597,7 @@ impl SweepArgs {
                             })?,
                     );
                 }
+                "--memo" => parsed.memo = Some(value(&mut it)?.parse()?),
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -673,6 +709,41 @@ mod tests {
         assert!(SweepArgs::try_parse(&["--epoch", "fast"]).is_err());
         assert!(SweepArgs::try_parse(&["--sim-threads", "0"]).is_err());
         assert!(SweepArgs::try_parse(&["--sim-threads", "65"]).is_err());
+
+        let m = SweepArgs::try_parse(&["--memo", "on"]).unwrap();
+        assert!(matches!(m.memo, Some(MemoMode::On { .. })));
+        let m = SweepArgs::try_parse(&["--memo=65536"]).unwrap();
+        assert_eq!(m.memo, Some(MemoMode::On { bytes: 65536 }));
+        let m = SweepArgs::try_parse(&["--memo", "off"]).unwrap();
+        assert_eq!(m.memo, Some(MemoMode::Off));
+        assert_eq!(SweepArgs::default().memo, None);
+        assert!(SweepArgs::try_parse(&["--memo", "sometimes"]).is_err());
+        assert!(SweepArgs::try_parse(&["--memo", "7"]).is_err());
+    }
+
+    #[test]
+    fn memo_override_changes_timing_not_results() {
+        let g = gramer_graph::generate::barabasi_albert(120, 3, 8);
+        let app = CliqueFinding::new(4).expect("valid k");
+        let base = run_gramer(&g, &app, GramerConfig::default()).unwrap();
+        assert!(base.memo.is_none());
+        set_engine_overrides(None, None, Some(MemoMode::On { bytes: 1 << 16 }));
+        let memo = run_gramer(&g, &app, GramerConfig::default()).unwrap();
+        set_engine_overrides(None, None, None);
+        let stats = memo.memo.expect("override forced the memo on");
+        assert!(stats.hits > 0, "4-CF on a BA graph must repeat probes");
+        assert_eq!(
+            base.result.embeddings, memo.result.embeddings,
+            "results are invariant"
+        );
+        assert_eq!(
+            base.result.candidates_examined,
+            memo.result.candidates_examined
+        );
+        // And clearing the override restores the declared (off) mode.
+        let again = run_gramer(&g, &app, GramerConfig::default()).unwrap();
+        assert!(again.memo.is_none());
+        assert_eq!(again.cycles, base.cycles);
     }
 
     #[test]

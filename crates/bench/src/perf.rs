@@ -6,18 +6,20 @@
 //! robust to scheduler noise, while the *simulated* quantities are
 //! asserted identical across repeats before the document is built.
 //!
-//! Schema (`schema_version: 3` — v3 added the `epoch`/`sim_threads`
-//! engine knobs per workload):
+//! Schema (`schema_version: 4` — v3 added the `epoch`/`sim_threads`
+//! engine knobs per workload; v4 added the `memo` knob and the
+//! `memo_hits` simulated counter):
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "bench": "core",
 //!   "git_rev": "abc1234",
 //!   "quick": false,
 //!   "repeats": 3,
 //!   "workloads": [
 //!     { "name": "BA(3000,4)x4-CF", "epoch": "on", "sim_threads": 1,
+//!       "memo": "off", "memo_hits": 0,
 //!       "wall_seconds_median": 0.0, "wall_seconds_best": 0.0,
 //!       "steps_per_sec_median": 0.0, "steps_per_sec_best": 0.0,
 //!       "steps": 0, "cycles": 0, "embeddings": 0 }
@@ -50,6 +52,11 @@ pub struct WorkloadRuns {
     /// serially (CI has one CPU), so this is 1 unless the binary was
     /// invoked with `--sim-threads`.
     pub sim_threads: u64,
+    /// Memo-table mode the cell ran under: `"off"` or the byte budget
+    /// in decimal. Unlike `epoch`/`sim_threads` this is a model knob —
+    /// cells with different `memo` values have legitimately different
+    /// `cycles`, so the drift check only ever compares same-name cells.
+    pub memo: String,
     /// Wall seconds of each repeat (preprocess + simulate), in run order.
     pub walls: Vec<f64>,
     /// The run report. Simulated fields are identical across repeats
@@ -103,6 +110,11 @@ pub fn perf_document(
             ("name", JsonValue::from(w.name)),
             ("epoch", JsonValue::from(w.epoch)),
             ("sim_threads", JsonValue::from(w.sim_threads)),
+            ("memo", JsonValue::from(w.memo.as_str())),
+            (
+                "memo_hits",
+                JsonValue::from(w.report.memo.map_or(0, |s| s.hits)),
+            ),
             ("wall_seconds_median", JsonValue::from(w.wall_median())),
             ("wall_seconds_best", JsonValue::from(w.wall_best())),
             (
@@ -119,7 +131,7 @@ pub fn perf_document(
         ])
     });
     let doc = JsonValue::object([
-        ("schema_version", JsonValue::from(3u64)),
+        ("schema_version", JsonValue::from(4u64)),
         ("bench", JsonValue::from("core")),
         ("git_rev", JsonValue::from(git_rev)),
         ("quick", JsonValue::from(quick)),
@@ -222,7 +234,7 @@ pub fn check_against_baseline(
                 .push(format!("workload {name} missing from the fresh run"));
             continue;
         };
-        for field in ["steps", "cycles", "embeddings"] {
+        for field in ["steps", "cycles", "embeddings", "memo_hits"] {
             let b = base.get(field).and_then(JsonValue::as_u64);
             let f = mine.get(field).and_then(JsonValue::as_u64);
             if b != f {
@@ -266,7 +278,7 @@ mod tests {
     fn document_is_parseable_and_carries_schema() {
         let text = perf_document("deadbee", false, 3, &[], 1234);
         let doc = JsonValue::parse(text.trim()).unwrap();
-        assert_eq!(doc.get("schema_version"), Some(&JsonValue::UInt(3)));
+        assert_eq!(doc.get("schema_version"), Some(&JsonValue::UInt(4)));
         assert_eq!(doc.get("git_rev"), Some(&JsonValue::Str("deadbee".into())));
         assert_eq!(doc.get("repeats"), Some(&JsonValue::UInt(3)));
         assert_eq!(doc.get("peak_rss_kb"), Some(&JsonValue::UInt(1234)));
@@ -290,6 +302,7 @@ mod tests {
             name: "W",
             epoch: "off",
             sim_threads: 4,
+            memo: "65536".to_string(),
             walls: vec![0.5],
             report,
         };
@@ -301,6 +314,9 @@ mod tests {
         };
         assert_eq!(cells[0].get("epoch"), Some(&JsonValue::Str("off".into())));
         assert_eq!(cells[0].get("sim_threads"), Some(&JsonValue::UInt(4)));
+        assert_eq!(cells[0].get("memo"), Some(&JsonValue::Str("65536".into())));
+        // The cell ran with NoMemo, so the pinned counter is zero.
+        assert_eq!(cells[0].get("memo_hits"), Some(&JsonValue::UInt(0)));
     }
 
     fn doc(steps: u64, cycles: u64, tput: f64) -> JsonValue {

@@ -6,7 +6,8 @@
 //!             --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>[,<app>...]
 //!             [--cache DIR] [--pus N] [--slots N] [--tau F] [--budget-frac F]
 //!             [--lambda F] [--no-steal] [--access-path fast|exact]
-//!             [--epoch on|off] [--sim-threads N] [--counts]
+//!             [--epoch on|off] [--sim-threads N] [--memo on|off|BYTES]
+//!             [--adaptive-lambda] [--repin] [--counts]
 //!             [--json PATH] [--metrics-out PATH] [--metrics-summary]
 //!             [--metrics-window N]
 //! ```
@@ -48,6 +49,19 @@
 //! the default epoch-batched engine — also host-side only, bit-identical
 //! either way (the golden-matrix tests assert it).
 //!
+//! `--memo on` (or `--memo BYTES` for an explicit byte budget) enables the
+//! recurrent-pattern memo: a byte-budgeted LRU table that caches pairwise
+//! connectivity-probe outcomes so repeated sub-pattern checks skip their
+//! memory accesses, at a modeled lookup cost. Unlike the host-side knobs
+//! above this is a *model* change: cycles, memory statistics and energy
+//! move (that is the point), while mined embeddings and pattern counts
+//! stay bit-identical. The default `--memo off` is the exact reference
+//! path. `--adaptive-lambda` ratchets the locality-preserved policy's λ
+//! online when the windowed hit rate trends down; `--repin` rebuilds the
+//! scratchpad pin set from observed access frequencies when the ON1
+//! ranking goes stale mid-run. Both are also model changes with
+//! bit-identical mining results.
+//!
 //! `--metrics-out PATH` records cycle-windowed telemetry during the run
 //! (see `gramer::telemetry`) and writes the schema-versioned JSON document
 //! to `PATH` (`-` for stdout). `--metrics-summary` prints a human-readable
@@ -87,7 +101,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: gramer-mine <edge-list | --demo | --artifact PATH> \
          --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>[,<app>...] \\\n         [--cache DIR] \
-         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--epoch on|off] [--sim-threads N] [--counts] \\\n         [--json PATH] [--metrics-out PATH] [--metrics-summary] [--metrics-window N]"
+         [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--epoch on|off] [--sim-threads N] \\\n         [--memo on|off|BYTES] [--adaptive-lambda] [--repin] [--counts] \\\n         [--json PATH] [--metrics-out PATH] [--metrics-summary] [--metrics-window N]"
     );
     std::process::exit(2)
 }
@@ -142,6 +156,14 @@ fn parse_args() -> Options {
                 })
             }
             "--sim-threads" => sim_threads = Some(parse_num(&value("--sim-threads"))),
+            "--memo" => {
+                opts.config.memo = value("--memo").parse().unwrap_or_else(|e: String| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--adaptive-lambda" => opts.config.adaptive_lambda = true,
+            "--repin" => opts.config.repin = true,
             "--counts" => opts.show_counts = true,
             "--json" => opts.json_out = Some(value("--json")),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),

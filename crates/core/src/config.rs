@@ -113,6 +113,58 @@ impl std::str::FromStr for EpochMode {
     }
 }
 
+/// Recurrent-pattern memoization of the pairwise connectivity probe.
+///
+/// Unlike [`Scheduler`] / [`AccessPath`] / [`EpochMode`], this is a
+/// *modeled hardware structure*, not a host-side engine choice: enabling
+/// it legitimately changes simulated cycles, memory statistics and DRAM
+/// traffic (a memo hit skips one vertex access and two edge probes and
+/// pays a modeled lookup instead). Mined results — embeddings, candidate
+/// counts, pattern counts — are bit-identical either way, because the
+/// memo caches a pure function of the immutable graph. `Off` is the
+/// reference path and is asserted to perform zero memo work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoMode {
+    /// No memo table: the reference access stream (default).
+    #[default]
+    Off,
+    /// Byte-budgeted LRU memo table over canonical vertex pairs.
+    On {
+        /// On-chip SRAM budget in bytes (16 bytes per entry).
+        bytes: u64,
+    },
+}
+
+impl MemoMode {
+    /// Whether memoization is enabled.
+    pub fn is_on(&self) -> bool {
+        matches!(self, MemoMode::On { .. })
+    }
+}
+
+impl std::str::FromStr for MemoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(MemoMode::Off),
+            "on" => Ok(MemoMode::On {
+                bytes: gramer_mining::DEFAULT_MEMO_BYTES,
+            }),
+            other => match other.parse::<u64>() {
+                Ok(bytes) if bytes >= gramer_mining::MEMO_ENTRY_BYTES => Ok(MemoMode::On { bytes }),
+                Ok(bytes) => Err(format!(
+                    "memo budget {bytes} is below one entry ({} bytes)",
+                    gramer_mining::MEMO_ENTRY_BYTES
+                )),
+                Err(_) => Err(format!(
+                    "unknown memo mode {other:?} (expected \"on\", \"off\" or a byte budget)"
+                )),
+            },
+        }
+    }
+}
+
 /// Upper bound accepted for [`GramerConfig::sim_threads`].
 pub const MAX_SIM_THREADS: usize = 64;
 
@@ -186,6 +238,22 @@ pub struct GramerConfig {
     /// cells to [`crate::shard::run_cells`]. Must lie in
     /// `1..=`[`MAX_SIM_THREADS`].
     pub sim_threads: usize,
+    /// Recurrent-pattern memoization of the connectivity probe (see
+    /// [`MemoMode`]). A modeled structure: changes cycles and memory
+    /// traffic, never mined results.
+    pub memo: MemoMode,
+    /// Adaptive λ autotuning for the locality-preserved policy: when a
+    /// telemetry window's on-chip hit ratio trends down against the
+    /// previous window, λ is ratcheted upward (one-way, capped) across
+    /// every bank at the deterministic window boundary. No-op for
+    /// policies without a λ. Changes simulated quantities when it fires.
+    pub adaptive_lambda: bool,
+    /// Runtime re-pinning: track per-vertex access frequency and, when
+    /// the pinned set's share of vertex traffic goes stale mid-run,
+    /// rebuild the vertex scratchpad pin set from the observed hot set
+    /// (edge pinning is left unchanged), charging a re-pin stall to every
+    /// PU. Changes simulated quantities when it fires.
+    pub repin: bool,
 }
 
 impl Default for GramerConfig {
@@ -214,6 +282,9 @@ impl Default for GramerConfig {
             access_path: AccessPath::default(),
             epoch: EpochMode::default(),
             sim_threads: 1,
+            memo: MemoMode::Off,
+            adaptive_lambda: false,
+            repin: false,
         }
     }
 }
@@ -259,6 +330,11 @@ impl GramerConfig {
         }
         if !(1..=MAX_SIM_THREADS).contains(&self.sim_threads) {
             return Err(ConfigError::BadSimThreads(self.sim_threads));
+        }
+        if let MemoMode::On { bytes } = self.memo {
+            if bytes < gramer_mining::MEMO_ENTRY_BYTES {
+                return Err(ConfigError::BadMemoBudget(bytes));
+            }
         }
         Ok(())
     }
@@ -337,6 +413,46 @@ mod tests {
                 .map_err(|e| e.kind()),
             Err("config-bad-fraction")
         );
+    }
+
+    #[test]
+    fn memo_mode_parses() {
+        assert_eq!("off".parse::<MemoMode>(), Ok(MemoMode::Off));
+        assert_eq!(
+            "on".parse::<MemoMode>(),
+            Ok(MemoMode::On {
+                bytes: gramer_mining::DEFAULT_MEMO_BYTES
+            })
+        );
+        assert_eq!(
+            "65536".parse::<MemoMode>(),
+            Ok(MemoMode::On { bytes: 65536 })
+        );
+        assert!("8".parse::<MemoMode>().is_err()); // below one entry
+        assert!("fast".parse::<MemoMode>().is_err());
+        assert_eq!(MemoMode::default(), MemoMode::Off);
+        assert!(!MemoMode::Off.is_on());
+        assert!(MemoMode::On { bytes: 1024 }.is_on());
+    }
+
+    #[test]
+    fn memo_budget_below_entry_rejected() {
+        let c = GramerConfig {
+            memo: MemoMode::On { bytes: 8 },
+            ..GramerConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::BadMemoBudget(8)));
+        assert_eq!(
+            c.validate().map_err(|e| e.kind()),
+            Err("config-bad-memo-budget")
+        );
+        let ok = GramerConfig {
+            memo: MemoMode::On {
+                bytes: gramer_mining::MEMO_ENTRY_BYTES,
+            },
+            ..GramerConfig::default()
+        };
+        ok.validate().unwrap();
     }
 
     #[test]

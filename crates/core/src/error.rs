@@ -38,6 +38,9 @@ pub enum ConfigError {
     BadTau(f64),
     /// `sim_threads` outside `1..=`[`crate::config::MAX_SIM_THREADS`].
     BadSimThreads(usize),
+    /// A memo budget below one table entry (see
+    /// [`gramer_mining::MEMO_ENTRY_BYTES`]).
+    BadMemoBudget(u64),
     /// A `.gra` artifact was built with a different τ than the one this
     /// configuration resolves to — its pin classification would not match
     /// what [`crate::preprocess`] computes, so results could silently
@@ -64,6 +67,7 @@ impl ConfigError {
             ConfigError::BadLambda(_) => "config-bad-lambda",
             ConfigError::BadTau(_) => "config-bad-tau",
             ConfigError::BadSimThreads(_) => "config-bad-sim-threads",
+            ConfigError::BadMemoBudget(_) => "config-bad-memo-budget",
             ConfigError::ArtifactTauMismatch { .. } => "config-artifact-tau",
         }
     }
@@ -90,6 +94,11 @@ impl fmt::Display for ConfigError {
                 f,
                 "sim_threads must be in 1..={}, got {n}",
                 crate::config::MAX_SIM_THREADS
+            ),
+            ConfigError::BadMemoBudget(b) => write!(
+                f,
+                "memo budget must hold at least one entry ({} bytes), got {b}",
+                gramer_mining::MEMO_ENTRY_BYTES
             ),
             ConfigError::ArtifactTauMismatch { artifact, config } => write!(
                 f,

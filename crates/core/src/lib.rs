@@ -65,7 +65,9 @@ pub mod supervise;
 pub mod telemetry;
 
 pub use cache::PreprocessCache;
-pub use config::{EpochMode, GramerConfig, MemoryBudget, MemoryMode, Scheduler, MAX_SIM_THREADS};
+pub use config::{
+    EpochMode, GramerConfig, MemoMode, MemoryBudget, MemoryMode, Scheduler, MAX_SIM_THREADS,
+};
 pub use error::{ConfigError, SimError};
 pub use gramer_memsim::AccessPath;
 pub use preprocess::{modeled_preprocess_seconds, preprocess, Preprocessed};

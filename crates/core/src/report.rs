@@ -1,6 +1,6 @@
 use crate::json::JsonValue;
 use gramer_memsim::{EnergyBreakdown, EnergyModel, KindStats, MemStats};
-use gramer_mining::MiningResult;
+use gramer_mining::{MemoStats, MiningResult};
 
 /// Everything a GRAMER simulation produces: the mining result plus the
 /// architectural measurements every figure of the evaluation consumes.
@@ -32,6 +32,14 @@ pub struct RunReport {
     pub pu_steps: Vec<u64>,
     /// Cycle at which each PU performed its last work.
     pub pu_finish: Vec<u64>,
+    /// Pair-memo counters when memoization was on (`None` under the
+    /// bit-exact `--memo off` reference path).
+    pub memo: Option<MemoStats>,
+    /// λ ratchets performed by `--adaptive-lambda` (`None` when the
+    /// autotuner was off).
+    pub lambda_retunes: Option<u32>,
+    /// Scratchpad re-pins performed by `--repin` (`None` when off).
+    pub pin_epochs: Option<u32>,
 }
 
 impl RunReport {
@@ -58,9 +66,15 @@ impl RunReport {
         self.wall_seconds() + self.preprocess_seconds
     }
 
-    /// Energy of this run under `model` (Fig. 11(a)).
+    /// Energy of this run under `model` (Fig. 11(a)). Memoized runs are
+    /// additionally charged for every pair-memo probe.
     pub fn energy(&self, model: &EnergyModel) -> EnergyBreakdown {
-        model.accelerator_energy(self.seconds, &self.mem, self.dram_requests)
+        model.accelerator_energy_memo(
+            self.seconds,
+            &self.mem,
+            self.dram_requests,
+            self.memo.map_or(0, |s| s.lookups()),
+        )
     }
 
     /// Combined on-chip hit ratio.
@@ -74,8 +88,12 @@ impl RunReport {
     /// This is the per-point payload of the sweep-runner's
     /// `results/BENCH_*.json` files; downstream tooling may rely on the
     /// key set, so additions are fine but renames are a schema break.
+    ///
+    /// The `memo`, `lambda_retunes` and `pin_epochs` keys appear only
+    /// when the corresponding feature ran, so reports from default
+    /// configurations serialize byte-for-byte as they always have.
     pub fn to_json_value(&self) -> JsonValue {
-        JsonValue::object([
+        let mut pairs = vec![
             ("app", JsonValue::from(self.app.as_str())),
             ("cycles", JsonValue::from(self.cycles)),
             ("seconds", JsonValue::from(self.seconds)),
@@ -128,7 +146,25 @@ impl RunReport {
                     ),
                 ]),
             ),
-        ])
+        ];
+        if let Some(m) = &self.memo {
+            pairs.push((
+                "memo",
+                JsonValue::object([
+                    ("hits", JsonValue::from(m.hits)),
+                    ("misses", JsonValue::from(m.misses)),
+                    ("evictions", JsonValue::from(m.evictions)),
+                    ("hit_ratio", JsonValue::from(m.hit_ratio())),
+                ]),
+            ));
+        }
+        if let Some(n) = self.lambda_retunes {
+            pairs.push(("lambda_retunes", JsonValue::from(u64::from(n))));
+        }
+        if let Some(n) = self.pin_epochs {
+            pairs.push(("pin_epochs", JsonValue::from(u64::from(n))));
+        }
+        JsonValue::object(pairs)
     }
 
     /// One-line human-readable summary.
@@ -252,6 +288,9 @@ mod tests {
             steps: 1000,
             pu_steps: vec![300, 700],
             pu_finish: vec![900, 2_000_000],
+            memo: None,
+            lambda_retunes: None,
+            pin_epochs: None,
         }
     }
 
@@ -305,6 +344,38 @@ mod tests {
             .and_then(JsonValue::as_f64)
             .unwrap();
         assert!((wall - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optional_keys_appear_only_when_features_ran() {
+        let off = dummy().to_json_value();
+        assert!(off.get("memo").is_none());
+        assert!(off.get("lambda_retunes").is_none());
+        assert!(off.get("pin_epochs").is_none());
+        let mut r = dummy();
+        r.memo = Some(MemoStats {
+            hits: 9,
+            misses: 3,
+            evictions: 1,
+        });
+        r.lambda_retunes = Some(2);
+        r.pin_epochs = Some(0);
+        let on = r.to_json_value();
+        assert_eq!(
+            on.get("memo")
+                .and_then(|m| m.get("hits"))
+                .and_then(JsonValue::as_u64),
+            Some(9)
+        );
+        assert_eq!(
+            on.get("lambda_retunes").and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert_eq!(on.get("pin_epochs").and_then(JsonValue::as_u64), Some(0));
+        // Memo probes are charged in the energy model.
+        let base = dummy().energy(&EnergyModel::default());
+        let memo = r.energy(&EnergyModel::default());
+        assert!(memo.memory_dynamic_j > base.memory_dynamic_j);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::config::{EpochMode, GramerConfig, MemoryMode, Scheduler};
+use crate::config::{EpochMode, GramerConfig, MemoMode, MemoryMode, Scheduler};
 use crate::error::{ConfigError, SimError};
 use crate::events::{CalendarQueue, EventQueue, HeapQueue, SlotCalendar};
 use crate::preprocess::Preprocessed;
@@ -9,7 +9,8 @@ use gramer_graph::VertexId;
 use gramer_memsim::policy::PolicyKind;
 use gramer_memsim::{DataKind, HybridConfig, MemError, MemorySubsystem, SubsystemConfig};
 use gramer_mining::{
-    AccessObserver, EcmApp, Explorer, MiningResult, PatternCounts, PatternInterner, Step, Tee,
+    AccessObserver, EcmApp, Explorer, MemoProbe, MemoStats, MiningResult, NoMemo, PairMemoTable,
+    PatternCounts, PatternInterner, Step, Tee,
 };
 use std::collections::VecDeque;
 
@@ -26,6 +27,23 @@ const STEAL_PENALTY_CYCLES: u64 = 2;
 /// hoisted token), so the watchdog's latency bound never degrades to
 /// "once per batch" even on sparse event populations.
 const PROGRESS_BATCH: u64 = 256;
+/// Window width of the λ-autotuner (`--adaptive-lambda`): the on-chip
+/// hit ratio is sampled as a delta every this many simulated cycles.
+const ADAPT_WINDOW_CYCLES: u64 = 4096;
+/// Hit-ratio drop between consecutive adaptation windows that triggers a
+/// λ ratchet.
+const ADAPT_DROP_THRESHOLD: f64 = 0.01;
+/// Ceiling of the λ ratchet — beyond this the locality-preserved policy
+/// is saturated (effectively "always keep the hotter line").
+const LAMBDA_MAX: f64 = 1e6;
+/// Window width of the re-pinning monitor (`--repin`).
+const REPIN_WINDOW_CYCLES: u64 = 8192;
+/// Minimum share of windowed vertex traffic the pinned set must capture;
+/// below it the pin set is considered stale and rebuilt.
+const REPIN_CONCENTRATION: f64 = 0.5;
+/// Cycles every PU stalls while a re-pin swaps the scratchpad contents
+/// (the DMA that reloads the high-priority memory is not free).
+const REPIN_STALL_CYCLES: u64 = 64;
 
 /// The discrete-event GRAMER simulator.
 ///
@@ -51,10 +69,17 @@ pub struct Simulator<'p> {
 struct TimedObserver<'a> {
     mem: &'a mut MemorySubsystem,
     now: u64,
+    /// Windowed per-vertex access counts for the re-pinning monitor.
+    /// Empty (and therefore free: `get_mut` fails without a bounds
+    /// check against real data) unless `--repin` is active.
+    freq: &'a mut [u32],
 }
 
 impl AccessObserver for TimedObserver<'_> {
     fn vertex_access(&mut self, v: VertexId, _size: usize) {
+        if let Some(f) = self.freq.get_mut(v as usize) {
+            *f += 1;
+        }
         // After reordering, the priority rank of a vertex IS its ID.
         let c = self.mem.access(DataKind::Vertex, v as u64, v, self.now);
         self.now = c.finish;
@@ -67,6 +92,16 @@ impl AccessObserver for TimedObserver<'_> {
         let c = self.mem.access(DataKind::Edge, slot as u64, src, self.now);
         self.now = c.finish;
     }
+
+    // A memo probe — hit or miss — costs one modeled table lookup; the
+    // hit's saving is the vertex/edge accesses it no longer performs.
+    fn memo_hit(&mut self, _size: usize) {
+        self.now = self.mem.memo_lookup(self.now);
+    }
+
+    fn memo_miss(&mut self, _size: usize) {
+        self.now = self.mem.memo_lookup(self.now);
+    }
 }
 
 /// Per-PU state, split hot-from-cold: the scheduler reads `next_issue`
@@ -78,6 +113,39 @@ struct Pus {
     next_issue: Vec<u64>,
     active_slots: Vec<u32>,
     roots: Vec<VecDeque<VertexId>>,
+}
+
+/// State of the λ autotuner (`--adaptive-lambda`): samples the on-chip
+/// hit ratio as a windowed delta and ratchets the locality-preserved
+/// policy's λ upward whenever the ratio trends down — the knob the paper
+/// tunes per-dataset, re-tuned online instead.
+struct AdaptState {
+    /// First cycle of the next adaptation window.
+    next_window: u64,
+    /// Cumulative on-chip hits at the last window boundary.
+    prev_on_chip: u64,
+    /// Cumulative accesses at the last window boundary.
+    prev_total: u64,
+    /// Previous window's hit ratio (`None` until one full window with
+    /// traffic has closed).
+    prev_ratio: Option<f64>,
+    /// Current λ (starts at the configured value).
+    lambda: f64,
+    retunes: u32,
+}
+
+/// State of the re-pinning monitor (`--repin`): watches how much of the
+/// windowed vertex traffic the ON1 pin set still captures and rebuilds
+/// the scratchpad contents from observed frequencies when it goes stale.
+struct RepinState {
+    /// First cycle of the next monitoring window.
+    next_window: u64,
+    /// Current pinned-membership mask (starts as the ON1 prefix).
+    mask: std::sync::Arc<Vec<bool>>,
+    /// Number of pinned vertices (capacity of the high-priority memory —
+    /// invariant across re-pins).
+    pin_count: usize,
+    epochs: u32,
 }
 
 /// Everything one run mutates, shared verbatim by the two loop drivers.
@@ -108,6 +176,10 @@ struct RunState<'s, 'p, A: EcmApp> {
     spp: usize,
     pu_of: Vec<u32>,
     slots: Vec<Option<Explorer<'p>>>,
+    /// Windowed vertex-access frequencies (empty unless `--repin`).
+    vtx_freq: Vec<u32>,
+    adapt: Option<AdaptState>,
+    repin: Option<RepinState>,
 }
 
 impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
@@ -116,7 +188,23 @@ impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
     /// the historical event loop. Returns the time of the slot's next
     /// event, or `None` when the slot retires (its PU has fully drained).
     #[inline]
-    fn exec_event<S: TelemetrySink>(&mut self, t: u64, id: u32, sink: &mut S) -> Option<u64> {
+    fn exec_event<S: TelemetrySink, M: MemoProbe>(
+        &mut self,
+        t: u64,
+        id: u32,
+        sink: &mut S,
+        memo: &mut M,
+    ) -> Option<u64> {
+        // Adaptive policies observe window boundaries before the event
+        // executes. Both loop drivers hand over the identical `(t, id)`
+        // sequence, so these checks fire at identical points — the
+        // engine-equivalence guarantee extends to the adaptive paths.
+        if self.adapt.is_some() {
+            self.maybe_adapt(t, sink);
+        }
+        if self.repin.is_some() {
+            self.maybe_repin(t, sink);
+        }
         let RunState {
             app,
             cfg,
@@ -137,6 +225,9 @@ impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
             spp,
             pu_of,
             slots,
+            vtx_freq,
+            adapt: _,
+            repin: _,
         } = self;
         let (app, cfg, pre, spp) = (*app, *cfg, *pre, *spp);
         let graph = &pre.graph;
@@ -222,8 +313,15 @@ impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
         } else {
             (0, false)
         };
-        let mut obs = Tee(TimedObserver { mem, now: issue }, SinkObserver(&mut *sink));
-        let step = ex.step(&mut obs);
+        let mut obs = Tee(
+            TimedObserver {
+                mem,
+                now: issue,
+                freq: vtx_freq,
+            },
+            SinkObserver(&mut *sink),
+        );
+        let step = ex.step_memo(&mut obs, memo);
         let next_t = match step {
             Step::Rejected => {
                 *candidates += 1;
@@ -266,9 +364,115 @@ impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
         Some(next_t)
     }
 
-    /// Seals the run into a [`RunReport`].
-    fn finish<S: TelemetrySink>(self, sink: &mut S) -> Result<RunReport, SimError> {
+    /// λ autotuner: at each window boundary, compare the window's
+    /// on-chip hit ratio with the previous window's; a drop ratchets λ
+    /// upward (doubling, floored at 1), biasing the locality-preserved
+    /// policy harder toward high-priority lines. Cold (`#[cold]` would
+    /// overstate it, but out-of-line) relative to the event hot path.
+    fn maybe_adapt<S: TelemetrySink>(&mut self, t: u64, sink: &mut S) {
+        let RunState { adapt, mem, .. } = self;
+        let Some(a) = adapt.as_mut() else { return };
+        if t < a.next_window {
+            return;
+        }
+        while a.next_window <= t {
+            a.next_window += ADAPT_WINDOW_CYCLES;
+        }
+        let stats = mem.stats();
+        let total = stats.total();
+        let on_chip = total - stats.total_misses();
+        let d_total = total - a.prev_total;
+        let d_on = on_chip - a.prev_on_chip;
+        a.prev_total = total;
+        a.prev_on_chip = on_chip;
+        if d_total == 0 {
+            return;
+        }
+        let ratio = d_on as f64 / d_total as f64;
+        if let Some(prev) = a.prev_ratio {
+            if prev - ratio > ADAPT_DROP_THRESHOLD && a.lambda < LAMBDA_MAX {
+                let new = (a.lambda * 2.0).clamp(1.0, LAMBDA_MAX);
+                if mem.set_lambda(new).is_ok() {
+                    a.lambda = new;
+                    a.retunes += 1;
+                    if S::ACTIVE {
+                        sink.on_lambda_retune(new);
+                    }
+                }
+            }
+        }
+        a.prev_ratio = Some(ratio);
+    }
+
+    /// Re-pinning monitor: at each window boundary, measure the share of
+    /// windowed vertex traffic the pinned set captured; when it falls
+    /// below [`REPIN_CONCENTRATION`] the ON1 ranking has gone stale for
+    /// the current exploration frontier, so the pin set is rebuilt from
+    /// the observed frequencies (top-K by count, ties to the lower ID)
+    /// and every PU is charged the scratchpad-reload stall.
+    fn maybe_repin<S: TelemetrySink>(&mut self, t: u64, sink: &mut S) {
+        let RunState {
+            repin,
+            vtx_freq,
+            mem,
+            pus,
+            ..
+        } = self;
+        let Some(r) = repin.as_mut() else { return };
+        if t < r.next_window {
+            return;
+        }
+        while r.next_window <= t {
+            r.next_window += REPIN_WINDOW_CYCLES;
+        }
+        let total: u64 = vtx_freq.iter().map(|&c| u64::from(c)).sum();
+        if total == 0 {
+            return;
+        }
+        let pinned: u64 = vtx_freq
+            .iter()
+            .zip(r.mask.iter())
+            .filter(|&(_, &p)| p)
+            .map(|(&c, _)| u64::from(c))
+            .sum();
+        if (pinned as f64) < REPIN_CONCENTRATION * total as f64 {
+            let mut idx: Vec<u32> = (0..vtx_freq.len() as u32).collect();
+            idx.sort_unstable_by_key(|&i| (std::cmp::Reverse(vtx_freq[i as usize]), i));
+            let mut mask = vec![false; vtx_freq.len()];
+            for &i in idx.iter().take(r.pin_count) {
+                mask[i as usize] = true;
+            }
+            let mask = std::sync::Arc::new(mask);
+            mem.repin_vertices(mask.clone());
+            r.mask = mask;
+            r.epochs += 1;
+            // The reload DMA stalls every PU's scheduler.
+            for ni in pus.next_issue.iter_mut() {
+                *ni = (*ni).max(t) + REPIN_STALL_CYCLES;
+            }
+            if S::ACTIVE {
+                sink.on_repin(r.epochs);
+            }
+        }
+        vtx_freq.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Seals the run into a [`RunReport`]. `memo` carries the memo
+    /// table's lifetime counters when memoization was active (`None` on
+    /// the reference path, which must not have probed at all).
+    fn finish<S: TelemetrySink>(
+        self,
+        sink: &mut S,
+        memo: Option<MemoStats>,
+    ) -> Result<RunReport, SimError> {
         debug_assert!(self.pus.roots.iter().all(VecDeque::is_empty));
+        match &memo {
+            // `--memo off` is the bit-exact reference path: not a single
+            // modeled lookup may have been charged.
+            None => debug_assert_eq!(self.mem.memo_lookups(), 0),
+            // Every probe — hit or miss — was charged exactly once.
+            Some(s) => debug_assert_eq!(self.mem.memo_lookups(), s.lookups()),
+        }
 
         sink.on_finish(self.max_time, &self.mem);
 
@@ -296,6 +500,9 @@ impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
             steps: self.steps,
             pu_steps: self.pu_steps,
             pu_finish: self.pu_finish,
+            memo,
+            lambda_retunes: self.adapt.as_ref().map(|a| a.retunes),
+            pin_epochs: self.repin.as_ref().map(|r| r.epochs),
         })
     }
 }
@@ -420,6 +627,32 @@ impl<'p> Simulator<'p> {
         let pu_of: Vec<u32> = (0..num_slots).map(|i| (i / spp) as u32).collect();
         let slots: Vec<Option<Explorer<'p>>> = (0..num_slots).map(|_| None).collect();
 
+        // λ autotuning only does anything under the locality-preserved
+        // policy; other memory modes silently accept `set_lambda`, so
+        // gate here rather than count retunes that cannot take effect.
+        let adapt =
+            (cfg.adaptive_lambda && cfg.memory_mode == MemoryMode::Lamh).then_some(AdaptState {
+                next_window: ADAPT_WINDOW_CYCLES,
+                prev_on_chip: 0,
+                prev_total: 0,
+                prev_ratio: None,
+                lambda: cfg.lambda,
+                retunes: 0,
+            });
+        // Re-pinning needs a pinned set to monitor.
+        let pin_count = self.pre.vertex_pin_mask.iter().filter(|&&p| p).count();
+        let repin = (cfg.repin && pin_count > 0).then(|| RepinState {
+            next_window: REPIN_WINDOW_CYCLES,
+            mask: self.pre.vertex_pin_mask.clone(),
+            pin_count,
+            epochs: 0,
+        });
+        let vtx_freq = if repin.is_some() {
+            vec![0u32; self.pre.graph.num_vertices()]
+        } else {
+            Vec::new()
+        };
+
         Ok(RunState {
             app,
             cfg,
@@ -440,6 +673,9 @@ impl<'p> Simulator<'p> {
             spp,
             pu_of,
             slots,
+            vtx_freq,
+            adapt,
+            repin,
         })
     }
 
@@ -465,15 +701,7 @@ impl<'p> Simulator<'p> {
     /// (asserted by the equivalence tests in `tests/golden.rs` and the
     /// `epoch_matches_interleaved` property test).
     pub fn run<A: EcmApp>(&self, app: &A) -> Result<RunReport, SimError> {
-        match (self.config.epoch, self.config.scheduler) {
-            (EpochMode::On, _) => self.run_epochs::<A, NullSink>(app, &mut NullSink),
-            (EpochMode::Off, Scheduler::Calendar) => {
-                self.run_queue::<A, CalendarQueue, NullSink>(app, &mut NullSink)
-            }
-            (EpochMode::Off, Scheduler::Heap) => {
-                self.run_queue::<A, HeapQueue, NullSink>(app, &mut NullSink)
-            }
-        }
+        self.dispatch_memo::<A, NullSink>(app, &mut NullSink)
     }
 
     /// Runs `app` like [`Simulator::run`] while recording cycle-windowed
@@ -489,13 +717,44 @@ impl<'p> Simulator<'p> {
         app: &A,
         tel: &mut Telemetry,
     ) -> Result<RunReport, SimError> {
+        self.dispatch_memo::<A, Telemetry>(app, tel)
+    }
+
+    /// Monomorphization fork on [`GramerConfig::memo`]: `--memo off`
+    /// instantiates the loop with the zero-sized [`NoMemo`], whose
+    /// `ACTIVE = false` folds every memo branch away — the reference
+    /// path is bit-for-bit (and instruction-for-instruction) the
+    /// pre-memoization loop. `--memo on` builds one byte-budgeted
+    /// [`PairMemoTable`] shared by all PUs for the whole run.
+    fn dispatch_memo<A: EcmApp, S: TelemetrySink>(
+        &self,
+        app: &A,
+        sink: &mut S,
+    ) -> Result<RunReport, SimError> {
+        match self.config.memo {
+            MemoMode::Off => self.dispatch_engine::<A, S, NoMemo>(app, sink, &mut NoMemo),
+            MemoMode::On { bytes } => {
+                let mut memo = PairMemoTable::with_budget(bytes);
+                self.dispatch_engine::<A, S, PairMemoTable>(app, sink, &mut memo)
+            }
+        }
+    }
+
+    /// Engine selection (epoch × scheduler), shared by every memo/sink
+    /// combination.
+    fn dispatch_engine<A: EcmApp, S: TelemetrySink, M: MemoProbe>(
+        &self,
+        app: &A,
+        sink: &mut S,
+        memo: &mut M,
+    ) -> Result<RunReport, SimError> {
         match (self.config.epoch, self.config.scheduler) {
-            (EpochMode::On, _) => self.run_epochs::<A, Telemetry>(app, tel),
+            (EpochMode::On, _) => self.run_epochs::<A, S, M>(app, sink, memo),
             (EpochMode::Off, Scheduler::Calendar) => {
-                self.run_queue::<A, CalendarQueue, Telemetry>(app, tel)
+                self.run_queue::<A, CalendarQueue, S, M>(app, sink, memo)
             }
             (EpochMode::Off, Scheduler::Heap) => {
-                self.run_queue::<A, HeapQueue, Telemetry>(app, tel)
+                self.run_queue::<A, HeapQueue, S, M>(app, sink, memo)
             }
         }
     }
@@ -504,10 +763,11 @@ impl<'p> Simulator<'p> {
     /// implementation and the telemetry sink. With [`NullSink`] every
     /// hook and `S::ACTIVE` guard is a compile-time no-op, so the
     /// monomorphized loop is exactly the uninstrumented one.
-    fn run_queue<A: EcmApp, Q: EventQueue + Default, S: TelemetrySink>(
+    fn run_queue<A: EcmApp, Q: EventQueue + Default, S: TelemetrySink, M: MemoProbe>(
         &self,
         app: &A,
         sink: &mut S,
+        memo: &mut M,
     ) -> Result<RunReport, SimError> {
         let mut st = self.start(app)?;
         let num_slots = st.slots.len();
@@ -538,7 +798,7 @@ impl<'p> Simulator<'p> {
                 // queue, hence the +1.
                 sink.on_event(t, &st.mem, queue.len() + 1);
             }
-            next_ev = match st.exec_event(t, id, sink) {
+            next_ev = match st.exec_event(t, id, sink, memo) {
                 Some(next_t) => Some(queue.push_pop(next_t, id)),
                 None => queue.pop(),
             };
@@ -546,7 +806,7 @@ impl<'p> Simulator<'p> {
         // Flush the partial heartbeat batch (also a final cancel check).
         progress::tick_n(tick_backlog);
 
-        st.finish(sink)
+        st.finish(sink, M::ACTIVE.then(|| memo.stats()))
     }
 
     /// The epoch-batched engine (`--epoch=on`, the default).
@@ -569,10 +829,11 @@ impl<'p> Simulator<'p> {
     /// bank conflict) could be observed — always go back through the
     /// calendar, which is why batching can never reorder an observable
     /// interaction.
-    fn run_epochs<A: EcmApp, S: TelemetrySink>(
+    fn run_epochs<A: EcmApp, S: TelemetrySink, M: MemoProbe>(
         &self,
         app: &A,
         sink: &mut S,
+        memo: &mut M,
     ) -> Result<RunReport, SimError> {
         let mut st = self.start(app)?;
         let num_slots = st.slots.len();
@@ -612,7 +873,7 @@ impl<'p> Simulator<'p> {
                         // to the reference driver's gauge.
                         sink.on_event(t_run, &st.mem, cal.event_count() + 1);
                     }
-                    match st.exec_event(t_run, id, sink) {
+                    match st.exec_event(t_run, id, sink, memo) {
                         Some(next_t) => {
                             if next_t < cal.peek_time() {
                                 // Solo run: strictly earlier than every
@@ -634,7 +895,7 @@ impl<'p> Simulator<'p> {
             tok.checkpoint(tick_backlog);
         }
 
-        st.finish(sink)
+        st.finish(sink, M::ACTIVE.then(|| memo.stats()))
     }
 }
 
@@ -966,7 +1227,7 @@ mod tests {
                 tok: tok.clone(),
             };
             let sim = Simulator::new(&pre, cfg.clone()).unwrap();
-            sim.run_epochs::<_, CancelAfterEvents>(&app, &mut sink)
+            sim.run_epochs::<_, CancelAfterEvents, NoMemo>(&app, &mut sink, &mut NoMemo)
         }));
         let payload = match caught {
             Err(p) => p,
@@ -983,6 +1244,125 @@ mod tests {
             "cancellation latency too high: {} events after cancel",
             executed - CANCEL_AT
         );
+    }
+
+    #[test]
+    fn memo_changes_timing_but_not_results() {
+        let g = small_graph();
+        let off = GramerConfig::default();
+        assert_eq!(off.memo, MemoMode::Off);
+        let on = GramerConfig {
+            memo: MemoMode::On {
+                bytes: gramer_mining::DEFAULT_MEMO_BYTES,
+            },
+            ..GramerConfig::default()
+        };
+        let pre = preprocess(&g, &off).unwrap();
+        let app = CliqueFinding::new(4).unwrap();
+        let base = Simulator::new(&pre, off).unwrap().run(&app).unwrap();
+        let memo = Simulator::new(&pre, on).unwrap().run(&app).unwrap();
+        // The mined answer is bit-identical...
+        assert_eq!(base.result.embeddings, memo.result.embeddings);
+        assert_eq!(
+            base.result.candidates_examined,
+            memo.result.candidates_examined
+        );
+        assert_eq!(base.result.accepted_by_size, memo.result.accepted_by_size);
+        assert_eq!(
+            base.result.candidates_by_size,
+            memo.result.candidates_by_size
+        );
+        assert_eq!(base.result.counts.sorted(), memo.result.counts.sorted());
+        // ...while the memoized run did real work with the table and
+        // skipped real memory traffic.
+        assert!(base.memo.is_none());
+        let stats = memo.memo.expect("memo stats missing");
+        assert!(stats.hits > 0, "memo never hit");
+        assert!(
+            memo.mem.total() < base.mem.total(),
+            "memo did not skip accesses: {} !< {}",
+            memo.mem.total(),
+            base.mem.total()
+        );
+    }
+
+    #[test]
+    fn memo_on_agrees_across_engines() {
+        let g = small_graph();
+        let mk = |epoch| GramerConfig {
+            epoch,
+            memo: MemoMode::On { bytes: 1 << 14 },
+            ..GramerConfig::default()
+        };
+        let pre = preprocess(&g, &mk(EpochMode::On)).unwrap();
+        let app = CliqueFinding::new(4).unwrap();
+        let a = Simulator::new(&pre, mk(EpochMode::On))
+            .unwrap()
+            .run(&app)
+            .unwrap();
+        let b = Simulator::new(&pre, mk(EpochMode::Off))
+            .unwrap()
+            .run(&app)
+            .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.memo, b.memo);
+        assert_eq!(a.result.embeddings, b.result.embeddings);
+    }
+
+    #[test]
+    fn adaptive_policies_are_deterministic_and_preserve_results() {
+        // A cache-starved heavy-tailed workload: enough pressure that
+        // the adaptive machinery has something to react to.
+        let g = generate::rmat(
+            10,
+            6000,
+            generate::RmatParams {
+                a: 0.6,
+                b: 0.16,
+                c: 0.16,
+                d: 0.08,
+            },
+            13,
+        );
+        let mk = |epoch| GramerConfig {
+            epoch,
+            budget: MemoryBudget::Fraction(0.05),
+            adaptive_lambda: true,
+            repin: true,
+            ..GramerConfig::default()
+        };
+        let base_cfg = GramerConfig {
+            budget: MemoryBudget::Fraction(0.05),
+            ..GramerConfig::default()
+        };
+        let pre = preprocess(&g, &mk(EpochMode::On)).unwrap();
+        let app = CliqueFinding::new(4).unwrap();
+        let a = Simulator::new(&pre, mk(EpochMode::On))
+            .unwrap()
+            .run(&app)
+            .unwrap();
+        let b = Simulator::new(&pre, mk(EpochMode::Off))
+            .unwrap()
+            .run(&app)
+            .unwrap();
+        // Both engines execute the identical event sequence, so the
+        // adaptive decisions land identically.
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.lambda_retunes, b.lambda_retunes);
+        assert_eq!(a.pin_epochs, b.pin_epochs);
+        assert!(a.lambda_retunes.is_some());
+        assert!(a.pin_epochs.is_some());
+        // Adaptation shifts timing, never the mined answer.
+        let base = Simulator::new(&pre, base_cfg).unwrap().run(&app).unwrap();
+        assert!(base.lambda_retunes.is_none() && base.pin_epochs.is_none());
+        assert_eq!(a.result.embeddings, base.result.embeddings);
+        assert_eq!(
+            a.result.candidates_examined,
+            base.result.candidates_examined
+        );
+        assert_eq!(a.result.counts.sorted(), base.result.counts.sorted());
     }
 
     #[test]

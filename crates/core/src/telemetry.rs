@@ -51,7 +51,12 @@ use gramer_mining::{AccessObserver, Step, MAX_EMBEDDING};
 
 /// Telemetry document schema version. Bump on any change to the JSON
 /// layout emitted by [`Telemetry::to_json_value`].
-pub const TELEMETRY_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the memo counters (`memo_hits`/`memo_misses`/
+/// `memo_evictions`), the adaptive-policy counters (`lambda_retunes`/
+/// `repins`) per window and in the totals, and the run-level
+/// `lambda_last`/`pin_epochs` gauges.
+pub const TELEMETRY_SCHEMA_VERSION: u64 = 2;
 
 /// Configuration for a [`Telemetry`] recorder.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,6 +150,36 @@ pub trait TelemetrySink {
         let _ = size;
     }
 
+    /// A memoized connectivity probe by an embedding of `size` vertices
+    /// was answered by the pair-memo table.
+    fn on_memo_hit(&mut self, size: usize) {
+        let _ = size;
+    }
+
+    /// A memoized connectivity probe missed the table (the check was
+    /// resolved honestly and recorded).
+    fn on_memo_miss(&mut self, size: usize) {
+        let _ = size;
+    }
+
+    /// Recording a probe outcome displaced an LRU victim from the
+    /// byte-budgeted table.
+    fn on_memo_evict(&mut self, size: usize) {
+        let _ = size;
+    }
+
+    /// The λ autotuner ratcheted the locality-preserved policy to
+    /// `lambda`.
+    fn on_lambda_retune(&mut self, lambda: f64) {
+        let _ = lambda;
+    }
+
+    /// The re-pinning monitor rebuilt the scratchpad pin set (`epoch` is
+    /// the new 1-based pin-epoch index).
+    fn on_repin(&mut self, epoch: u32) {
+        let _ = epoch;
+    }
+
     /// The run drained; `cycles` is the final simulated time. Always the
     /// last callback.
     fn on_finish(&mut self, cycles: u64, mem: &MemorySubsystem) {
@@ -178,6 +213,21 @@ impl<S: TelemetrySink> AccessObserver for SinkObserver<'_, S> {
     fn edge_access(&mut self, _slot: usize, _src: VertexId, size: usize) {
         self.0.on_edge_access(size);
     }
+
+    #[inline]
+    fn memo_hit(&mut self, size: usize) {
+        self.0.on_memo_hit(size);
+    }
+
+    #[inline]
+    fn memo_miss(&mut self, size: usize) {
+        self.0.on_memo_miss(size);
+    }
+
+    #[inline]
+    fn memo_evict(&mut self, size: usize) {
+        self.0.on_memo_evict(size);
+    }
 }
 
 /// One cycle window's accumulators. Counter fields add under coalescing;
@@ -209,6 +259,13 @@ struct Window {
     cache_lines_edge: u64,
     /// Gauge: maximum live events observed during the window.
     queue_depth_max: u64,
+    /// Pair-memo probes answered / missed / displaced this window.
+    memo_hits: u64,
+    memo_misses: u64,
+    memo_evictions: u64,
+    /// λ ratchets and pin-set rebuilds that landed in this window.
+    lambda_retunes: u64,
+    repins: u64,
     /// Host-side (access-path-dependent): fast-lane hits, delta at close.
     fast_hits: u64,
 }
@@ -256,6 +313,11 @@ impl Window {
         self.cache_lines_vertex = self.cache_lines_vertex.max(other.cache_lines_vertex);
         self.cache_lines_edge = self.cache_lines_edge.max(other.cache_lines_edge);
         self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.memo_evictions += other.memo_evictions;
+        self.lambda_retunes += other.lambda_retunes;
+        self.repins += other.repins;
         self.fast_hits += other.fast_hits;
     }
 
@@ -286,7 +348,7 @@ impl Window {
 /// let plain = sim.run(&app).unwrap();
 /// assert_eq!(with_tel.cycles, plain.cycles);
 /// let doc = tel.to_json_value();
-/// assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+/// assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(2));
 /// ```
 #[derive(Debug)]
 pub struct Telemetry {
@@ -309,6 +371,8 @@ pub struct Telemetry {
     donation_matrix: Vec<u64>,
     vertex_by_size: Vec<u64>,
     edge_by_size: Vec<u64>,
+    /// Gauge: last λ the autotuner installed (0.0 until a retune).
+    lambda_last: f64,
 }
 
 impl Telemetry {
@@ -333,6 +397,7 @@ impl Telemetry {
             donation_matrix: Vec::new(),
             vertex_by_size: Vec::new(),
             edge_by_size: Vec::new(),
+            lambda_last: 0.0,
         }
     }
 
@@ -440,6 +505,7 @@ impl TelemetrySink for Telemetry {
         self.donation_matrix = vec![0; num_pus * num_pus];
         self.vertex_by_size = vec![0; MAX_EMBEDDING + 1];
         self.edge_by_size = vec![0; MAX_EMBEDDING + 1];
+        self.lambda_last = 0.0;
     }
 
     fn on_event(&mut self, now: u64, mem: &MemorySubsystem, queue_depth: usize) {
@@ -504,6 +570,27 @@ impl TelemetrySink for Telemetry {
         self.edge_by_size[i] += 1;
     }
 
+    fn on_memo_hit(&mut self, _size: usize) {
+        self.windows[self.cur].memo_hits += 1;
+    }
+
+    fn on_memo_miss(&mut self, _size: usize) {
+        self.windows[self.cur].memo_misses += 1;
+    }
+
+    fn on_memo_evict(&mut self, _size: usize) {
+        self.windows[self.cur].memo_evictions += 1;
+    }
+
+    fn on_lambda_retune(&mut self, lambda: f64) {
+        self.windows[self.cur].lambda_retunes += 1;
+        self.lambda_last = lambda;
+    }
+
+    fn on_repin(&mut self, _epoch: u32) {
+        self.windows[self.cur].repins += 1;
+    }
+
     fn on_finish(&mut self, cycles: u64, mem: &MemorySubsystem) {
         self.cycles = cycles;
         let cur = self.cur;
@@ -555,6 +642,11 @@ impl Telemetry {
                 ("cache_lines_vertex", JsonValue::from(w.cache_lines_vertex)),
                 ("cache_lines_edge", JsonValue::from(w.cache_lines_edge)),
                 ("queue_depth_max", JsonValue::from(w.queue_depth_max)),
+                ("memo_hits", JsonValue::from(w.memo_hits)),
+                ("memo_misses", JsonValue::from(w.memo_misses)),
+                ("memo_evictions", JsonValue::from(w.memo_evictions)),
+                ("lambda_retunes", JsonValue::from(w.lambda_retunes)),
+                ("repins", JsonValue::from(w.repins)),
             ])
         }));
 
@@ -601,6 +693,12 @@ impl Telemetry {
             ("evictions_vertex", JsonValue::from(totals.evictions_vertex)),
             ("evictions_edge", JsonValue::from(totals.evictions_edge)),
             ("queue_depth_max", JsonValue::from(totals.queue_depth_max)),
+            ("memo_hits", JsonValue::from(totals.memo_hits)),
+            ("memo_misses", JsonValue::from(totals.memo_misses)),
+            ("memo_evictions", JsonValue::from(totals.memo_evictions)),
+            ("lambda_retunes", JsonValue::from(totals.lambda_retunes)),
+            ("lambda_last", JsonValue::from(self.lambda_last)),
+            ("pin_epochs", JsonValue::from(totals.repins)),
         ]);
 
         let host = JsonValue::object([
@@ -931,7 +1029,7 @@ mod tests {
         let a = tel.to_json_value().to_string_pretty();
         let b = tel.to_json_value().to_string_pretty();
         assert_eq!(a, b);
-        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"schema_version\": 2"));
         assert!(a.contains("\"kind\": \"gramer-telemetry\""));
         let doc = tel.to_json_value();
         assert_eq!(
@@ -958,6 +1056,40 @@ mod tests {
         s.on_donation(0, 1);
         s.on_vertex_access(1);
         s.on_edge_access(1);
+        s.on_memo_hit(1);
+        s.on_memo_miss(1);
+        s.on_memo_evict(1);
+        s.on_lambda_retune(2.0);
+        s.on_repin(1);
         s.on_finish(0, &mem);
+    }
+
+    #[test]
+    fn memo_and_adaptive_counters_land_in_totals() {
+        let mut tel = Telemetry::new(TelemetryConfig::default());
+        tel.on_begin(1);
+        let mem = tiny_mem();
+        tel.on_event(0, &mem, 1);
+        tel.on_memo_hit(2);
+        tel.on_memo_hit(2);
+        tel.on_memo_miss(3);
+        tel.on_memo_evict(3);
+        tel.on_lambda_retune(4.0);
+        tel.on_repin(1);
+        tel.on_finish(5, &mem);
+        let doc = tel.to_json_value();
+        let totals = doc.get("totals").expect("totals missing");
+        let get = |k: &str| totals.get(k).and_then(JsonValue::as_u64);
+        assert_eq!(get("memo_hits"), Some(2));
+        assert_eq!(get("memo_misses"), Some(1));
+        assert_eq!(get("memo_evictions"), Some(1));
+        assert_eq!(get("lambda_retunes"), Some(1));
+        assert_eq!(get("pin_epochs"), Some(1));
+        let windows = doc
+            .get("windows")
+            .and_then(JsonValue::as_array)
+            .expect("windows missing");
+        let w0 = windows.first().expect("window 0 missing");
+        assert_eq!(w0.get("memo_hits").and_then(JsonValue::as_u64), Some(2));
     }
 }

@@ -110,7 +110,7 @@ impl SetAssociativeCache {
             block_bits,
             mod_m: (u64::MAX / sets as u64).wrapping_add(1),
             clock: 0,
-            policy: policy.build(),
+            policy: policy.try_build()?,
             victim_scratch: Vec::with_capacity(ways),
             evictions: 0,
         })
@@ -149,6 +149,12 @@ impl SetAssociativeCache {
     /// Name of the active replacement policy.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
+    }
+
+    /// Retunes the replacement policy's balancing factor λ (no-op for
+    /// policies without one). See [`ReplacePolicy::set_lambda`].
+    pub fn set_lambda(&mut self, lambda: f64) -> Result<(), MemError> {
+        self.policy.set_lambda(lambda)
     }
 
     /// Set selection: standard modulo indexing, as in the 4-way

@@ -27,6 +27,11 @@ pub struct EnergyModel {
     /// Energy per DRAM access, joules (reported separately, excluded from
     /// the Fig. 11 comparison).
     pub dram_access_j: f64,
+    /// Dynamic energy per pair-memo lookup, joules. The memo SRAM is a
+    /// fraction of a scratchpad bank's size, so a probe costs slightly
+    /// less than a scratchpad access — the honest accounting that keeps
+    /// memoized runs from looking free.
+    pub memo_lookup_j: f64,
 }
 
 impl Default for EnergyModel {
@@ -38,6 +43,7 @@ impl Default for EnergyModel {
             cache_hit_j: 25e-12,
             cache_fill_j: 50e-12,
             dram_access_j: 15e-9,
+            memo_lookup_j: 8e-12,
         }
     }
 }
@@ -62,6 +68,19 @@ impl EnergyModel {
         stats: &MemStats,
         dram_requests: u64,
     ) -> EnergyBreakdown {
+        self.accelerator_energy_memo(seconds, stats, dram_requests, 0)
+    }
+
+    /// Like [`Self::accelerator_energy`], but also charges `memo_lookups`
+    /// pair-memo probes (memoized runs pay for the lookups that replaced
+    /// their connectivity-check accesses).
+    pub fn accelerator_energy_memo(
+        &self,
+        seconds: f64,
+        stats: &MemStats,
+        dram_requests: u64,
+        memo_lookups: u64,
+    ) -> EnergyBreakdown {
         let hp = (stats.vertex.high_priority_hits + stats.edge.high_priority_hits) as f64;
         let ch = (stats.vertex.cache_hits + stats.edge.cache_hits) as f64;
         let miss = stats.total_misses() as f64;
@@ -69,7 +88,8 @@ impl EnergyModel {
             on_chip_j: self.accel_power_w * seconds,
             memory_dynamic_j: hp * self.scratchpad_j
                 + ch * self.cache_hit_j
-                + miss * self.cache_fill_j,
+                + miss * self.cache_fill_j
+                + memo_lookups as f64 * self.memo_lookup_j,
             dram_j: dram_requests as f64 * self.dram_access_j,
         }
     }
@@ -115,6 +135,16 @@ mod tests {
         let expected = 100.0 * m.scratchpad_j + 10.0 * m.cache_hit_j + m.cache_fill_j;
         assert!((e.memory_dynamic_j - expected).abs() < 1e-18);
         assert!((e.dram_j - 5.0 * m.dram_access_j).abs() < 1e-18);
+    }
+
+    #[test]
+    fn memo_lookups_are_charged() {
+        let m = EnergyModel::default();
+        let stats = MemStats::default();
+        let plain = m.accelerator_energy(0.0, &stats, 0);
+        let memo = m.accelerator_energy_memo(0.0, &stats, 0, 1000);
+        let expected = 1000.0 * m.memo_lookup_j;
+        assert!((memo.memory_dynamic_j - plain.memory_dynamic_j - expected).abs() < 1e-18);
     }
 
     #[test]

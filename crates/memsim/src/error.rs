@@ -16,6 +16,11 @@ pub enum MemError {
     ZeroWays,
     /// A [`crate::MemorySubsystem`] was configured with zero partitions.
     ZeroPartitions,
+    /// A [`crate::policy::LocalityPreserved`] policy was given a λ that
+    /// is negative, NaN or infinite. Runtime-tuned λ values (the adaptive
+    /// autotuner) flow through [`crate::policy::LocalityPreserved::try_new`],
+    /// so a bad value is a typed failure, not a panic.
+    BadLambda,
 }
 
 impl MemError {
@@ -26,6 +31,7 @@ impl MemError {
             MemError::ZeroSets => "mem-zero-sets",
             MemError::ZeroWays => "mem-zero-ways",
             MemError::ZeroPartitions => "mem-zero-partitions",
+            MemError::BadLambda => "mem-bad-lambda",
         }
     }
 }
@@ -36,6 +42,7 @@ impl fmt::Display for MemError {
             MemError::ZeroSets => write!(f, "cache needs at least one set"),
             MemError::ZeroWays => write!(f, "cache needs at least one way"),
             MemError::ZeroPartitions => write!(f, "need at least one partition"),
+            MemError::BadLambda => write!(f, "lambda must be finite and non-negative"),
         }
     }
 }
@@ -52,6 +59,7 @@ mod tests {
             MemError::ZeroSets,
             MemError::ZeroWays,
             MemError::ZeroPartitions,
+            MemError::BadLambda,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -178,6 +178,21 @@ impl HybridMemory {
         self.cache.occupied_lines()
     }
 
+    /// Retunes the low-priority cache's replacement-policy λ (no-op for
+    /// policies without one). The adaptive autotuner in the simulator
+    /// calls this on every bank at a window boundary.
+    pub fn set_lambda(&mut self, lambda: f64) -> Result<(), MemError> {
+        self.cache.set_lambda(lambda)
+    }
+
+    /// Replaces the scratchpad's pin membership with `mask` (runtime
+    /// re-pinning). The low-priority cache and the statistics are left
+    /// untouched: lines already resident for newly-pinned items simply age
+    /// out, which mirrors how a hardware re-pin would lazily reclaim BRAM.
+    pub fn repin(&mut self, mask: std::sync::Arc<Vec<bool>>) {
+        self.scratchpad = Scratchpad::from_mask(mask);
+    }
+
     /// Clears cache contents and statistics (the scratchpad is static and
     /// keeps its membership).
     pub fn reset(&mut self) {

@@ -7,6 +7,7 @@
 //! means a *low* priority (rank 0 is the hottest vertex), and `Rec` is the
 //! number of accesses since the line was last referenced.
 
+use crate::error::MemError;
 use std::fmt;
 
 /// Metadata the cache keeps per resident line, consumed by a
@@ -66,6 +67,14 @@ pub trait ReplacePolicy: fmt::Debug {
 
     /// Human-readable policy name (used in reports and bench output).
     fn name(&self) -> &'static str;
+
+    /// Retunes the policy's balancing factor λ at runtime (the adaptive
+    /// autotuner's hook). Policies without a λ ignore the call; a
+    /// non-finite or negative value is rejected with a typed error so a
+    /// runaway tuner can never poison victim selection.
+    fn set_lambda(&mut self, _lambda: f64) -> Result<(), MemError> {
+        Ok(())
+    }
 }
 
 /// Classical least-recently-used.
@@ -171,13 +180,24 @@ impl LocalityPreserved {
     ///
     /// # Panics
     ///
-    /// Panics if `lambda` is negative or not finite.
+    /// Panics if `lambda` is negative or not finite; use
+    /// [`Self::try_new`] for a typed error (required for runtime-tuned λ
+    /// values, which must not be able to panic a library crate).
     pub fn new(lambda: f64) -> Self {
-        assert!(
-            lambda.is_finite() && lambda >= 0.0,
-            "lambda must be finite and non-negative"
-        );
-        LocalityPreserved { lambda }
+        match LocalityPreserved::try_new(lambda) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects a negative, NaN or infinite λ with
+    /// [`MemError::BadLambda`] instead of panicking.
+    pub fn try_new(lambda: f64) -> Result<Self, MemError> {
+        if lambda.is_finite() && lambda >= 0.0 {
+            Ok(LocalityPreserved { lambda })
+        } else {
+            Err(MemError::BadLambda)
+        }
     }
 
     /// The balancing factor λ.
@@ -203,6 +223,11 @@ impl ReplacePolicy for LocalityPreserved {
 
     fn name(&self) -> &'static str {
         "LocalityPreserved"
+    }
+
+    fn set_lambda(&mut self, lambda: f64) -> Result<(), MemError> {
+        self.lambda = LocalityPreserved::try_new(lambda)?.lambda;
+        Ok(())
     }
 }
 
@@ -299,15 +324,32 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// Instantiates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate parameter (zero random seed, bad λ); use
+    /// [`Self::try_build`] for a typed error.
     pub fn build(self) -> Box<dyn ReplacePolicy + Send> {
-        match self {
+        match self.try_build() {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible instantiation: a bad λ becomes [`MemError::BadLambda`]
+    /// instead of a panic (the no-panic route for runtime-assembled
+    /// configurations).
+    pub fn try_build(self) -> Result<Box<dyn ReplacePolicy + Send>, MemError> {
+        Ok(match self {
             PolicyKind::Lru => Box::new(Lru),
             PolicyKind::Fifo => Box::new(Fifo),
             PolicyKind::Random { seed } => Box::new(RandomEvict::new(seed)),
             PolicyKind::Lirs => Box::new(Lirs),
             PolicyKind::SegmentedLru => Box::new(SegmentedLru),
-            PolicyKind::LocalityPreserved { lambda } => Box::new(LocalityPreserved::new(lambda)),
-        }
+            PolicyKind::LocalityPreserved { lambda } => {
+                Box::new(LocalityPreserved::try_new(lambda)?)
+            }
+        })
     }
 }
 
@@ -345,6 +387,46 @@ mod tests {
     fn lru_picks_stalest() {
         let lines = [line(0, 5, 0, 0), line(1, 2, 0, 0), line(2, 9, 0, 0)];
         assert_eq!(Lru.victim(&lines, 10), 1);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_lambda() {
+        use crate::error::MemError;
+        assert_eq!(
+            LocalityPreserved::try_new(-1.0).err(),
+            Some(MemError::BadLambda)
+        );
+        assert_eq!(
+            LocalityPreserved::try_new(f64::NAN).err(),
+            Some(MemError::BadLambda)
+        );
+        assert_eq!(
+            LocalityPreserved::try_new(f64::INFINITY).err(),
+            Some(MemError::BadLambda)
+        );
+        assert_eq!(
+            PolicyKind::LocalityPreserved { lambda: -0.5 }
+                .try_build()
+                .err(),
+            Some(MemError::BadLambda)
+        );
+        assert!(LocalityPreserved::try_new(0.0).is_ok());
+    }
+
+    #[test]
+    fn set_lambda_retunes_locality_policy_and_rejects_bad_values() {
+        use crate::error::MemError;
+        let mut p = LocalityPreserved::new(1.0);
+        assert!(ReplacePolicy::set_lambda(&mut p, 4.0).is_ok());
+        assert!((p.lambda() - 4.0).abs() < 1e-12);
+        assert_eq!(
+            ReplacePolicy::set_lambda(&mut p, -1.0).err(),
+            Some(MemError::BadLambda)
+        );
+        // A rejected retune leaves the previous λ in place.
+        assert!((p.lambda() - 4.0).abs() < 1e-12);
+        // Policies without a λ accept and ignore the call.
+        assert!(Lru.set_lambda(123.0).is_ok());
     }
 
     #[test]

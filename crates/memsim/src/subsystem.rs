@@ -31,6 +31,10 @@ pub struct LatencyConfig {
     /// When the FIFO is full, new requests stall until the oldest
     /// outstanding one completes. `0` disables the bound.
     pub request_fifo_depth: usize,
+    /// Latency of a hit in the pair-memo table (a small on-chip SRAM
+    /// probed before the connectivity-check accesses it can replace).
+    /// Only charged when memoization is enabled.
+    pub memo_lookup_cycles: u64,
 }
 
 impl Default for LatencyConfig {
@@ -41,6 +45,7 @@ impl Default for LatencyConfig {
             port_occupancy_cycles: 1,
             ports_per_bank: 2,
             request_fifo_depth: 8,
+            memo_lookup_cycles: 1,
         }
     }
 }
@@ -162,6 +167,7 @@ pub struct MemorySubsystem {
     part_shift: Option<u32>,
     next_line_prefetch: bool,
     prefetches: u64,
+    memo_lookups: u64,
     dram: DramModel,
     latency: LatencyConfig,
     /// Whether the pinned-prefix fast lane is armed (see [`AccessPath`]).
@@ -358,6 +364,7 @@ impl MemorySubsystem {
                 .then_some(partitions.trailing_zeros()),
             next_line_prefetch: config.next_line_prefetch,
             prefetches: 0,
+            memo_lookups: 0,
             dram: DramModel::new(config.dram),
             latency: config.latency,
             fast_path: config.access_path == AccessPath::Fast,
@@ -632,6 +639,51 @@ impl MemorySubsystem {
         self.prefetches
     }
 
+    /// Charges one pair-memo lookup issued at cycle `now` and returns its
+    /// completion time (`now + memo_lookup_cycles`). The memo SRAM sits
+    /// beside the PUs, not behind the partition crossbar, so a lookup
+    /// consumes no port time and cannot contend with demand accesses — it
+    /// replaces them.
+    pub fn memo_lookup(&mut self, now: u64) -> u64 {
+        self.memo_lookups += 1;
+        now + self.latency.memo_lookup_cycles
+    }
+
+    /// Number of charged pair-memo lookups (hits that replaced a
+    /// connectivity probe; misses are pipelined and not charged here).
+    pub fn memo_lookups(&self) -> u64 {
+        self.memo_lookups
+    }
+
+    /// Retunes every bank's replacement-policy λ, both kinds (no-op for
+    /// policies without one). The adaptive autotuner calls this at
+    /// deterministic window boundaries.
+    pub fn set_lambda(&mut self, lambda: f64) -> Result<(), MemError> {
+        for st in [&mut self.vertex, &mut self.edge] {
+            for b in st.banks.iter_mut() {
+                b.set_lambda(lambda)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the vertex scratchpads' pin membership with `mask`
+    /// (runtime re-pinning). Edge pinning is left unchanged: edge priority
+    /// derives from the source vertex's rank, and re-deriving the edge
+    /// mask would require a full adjacency re-scan the hardware cannot
+    /// afford mid-run. The pinned-prefix fast lane re-arms only if the
+    /// new mask is prefix-shaped; arbitrary masks safely disarm it.
+    pub fn repin_vertices(&mut self, mask: std::sync::Arc<Vec<bool>>) {
+        for b in self.vertex.banks.iter_mut() {
+            b.repin(mask.clone());
+        }
+        self.vertex.pin_prefix = self
+            .vertex
+            .banks
+            .first()
+            .map_or(0, HybridMemory::pin_prefix);
+    }
+
     /// Untimed access (statistics only) — used by hit-ratio studies such
     /// as Fig. 12(a) where queueing is irrelevant.
     ///
@@ -738,6 +790,7 @@ impl MemorySubsystem {
             st.fast_hp_hits = 0;
         }
         self.prefetches = 0;
+        self.memo_lookups = 0;
         self.dram.reset();
     }
 }
@@ -1011,6 +1064,79 @@ mod tests {
         // The folded statistics agree exactly.
         assert_eq!(fast.stats(), exact.stats());
         assert_eq!(fast.stats().vertex.high_priority_hits, 6);
+    }
+
+    #[test]
+    fn memo_lookup_charges_latency_and_counts() {
+        let mut mem = subsystem(2);
+        assert_eq!(mem.memo_lookups(), 0);
+        let done = mem.memo_lookup(10);
+        assert_eq!(done, 11); // default memo_lookup_cycles = 1
+        mem.memo_lookup(done);
+        assert_eq!(mem.memo_lookups(), 2);
+        mem.reset();
+        assert_eq!(mem.memo_lookups(), 0);
+    }
+
+    #[test]
+    fn set_lambda_reaches_every_bank() {
+        let hybrid = HybridConfig {
+            pinned: Vec::new().into(),
+            sets: 2,
+            ways: 2,
+            block_bits: 0,
+            policy: PolicyKind::LocalityPreserved { lambda: 1.0 },
+        };
+        let mut mem = MemorySubsystem::new(SubsystemConfig {
+            partitions: 2,
+            vertex: hybrid.clone(),
+            edge: hybrid,
+            vertex_route_bits: 0,
+            edge_route_bits: 0,
+            next_line_prefetch: false,
+            latency: LatencyConfig::default(),
+            dram: DramConfig::default(),
+            access_path: AccessPath::default(),
+        });
+        assert!(mem.set_lambda(8.0).is_ok());
+        assert_eq!(mem.set_lambda(f64::NAN).err(), Some(MemError::BadLambda));
+        // Lru banks ignore the call rather than erroring.
+        let mut lru = subsystem(2);
+        assert!(lru.set_lambda(8.0).is_ok());
+    }
+
+    #[test]
+    fn repin_vertices_swaps_pin_set_and_tracks_prefix() {
+        let mut mem = subsystem(2); // pins vertices {0, 1} (a prefix)
+        assert_eq!(
+            mem.access(DataKind::Vertex, 0, 0, 0).outcome,
+            AccessOutcome::HighPriorityHit
+        );
+        assert_eq!(
+            mem.access(DataKind::Vertex, 4, 4, 0).outcome,
+            AccessOutcome::Miss
+        );
+        // Re-pin to the prefix {0..4}: the fast lane re-arms on the new
+        // bound and the newly pinned vertex hits the scratchpad.
+        mem.repin_vertices(vec![true, true, true, true, false, false, false, false].into());
+        assert_eq!(
+            mem.access(DataKind::Vertex, 3, 3, 10).outcome,
+            AccessOutcome::HighPriorityHit
+        );
+        let fast_before = mem.fast_path_hits();
+        assert!(fast_before > 0, "prefix re-pin should re-arm the fast lane");
+        // A scatter mask disarms the fast lane but still pins its members.
+        mem.repin_vertices(vec![false, true, false, true, false, true, false, false].into());
+        assert_eq!(
+            mem.access(DataKind::Vertex, 5, 5, 20).outcome,
+            AccessOutcome::HighPriorityHit
+        );
+        assert_eq!(mem.fast_path_hits(), fast_before);
+        // Edge pinning is untouched by design: edge 0 is still pinned.
+        assert_eq!(
+            mem.access(DataKind::Edge, 0, 0, 30).outcome,
+            AccessOutcome::HighPriorityHit
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! its full induced adjacency.
 
 use crate::embedding::{Embedding, MAX_EMBEDDING};
+use crate::memo::{MemoProbe, NoMemo};
 use crate::observer::AccessObserver;
 use gramer_graph::{AdjProbe, CsrGraph, VertexId};
 
@@ -225,6 +226,27 @@ impl<'g> Explorer<'g> {
     /// (call [`descend`](Self::descend) or [`retract`](Self::retract)
     /// first).
     pub fn step<O: AccessObserver>(&mut self, observer: &mut O) -> Step {
+        self.step_memo(observer, &mut NoMemo)
+    }
+
+    /// [`Self::step`] with a connectivity-probe memo (see
+    /// [`crate::PairMemoTable`]). Every pairwise connectivity check first
+    /// consults `memo`: a hit skips the probe's three memory accesses and
+    /// reports [`AccessObserver::memo_hit`] instead; a miss resolves
+    /// honestly and records the outcome. With [`NoMemo`] (what
+    /// [`Self::step`] passes) all memo branches constant-fold away, so
+    /// the reference path is machine-code identical to the pre-memo
+    /// explorer. Mined embeddings are bit-identical either way:
+    /// connectivity is a pure function of the immutable graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a [`Step::Candidate`] decision is pending.
+    pub fn step_memo<O: AccessObserver, M: MemoProbe>(
+        &mut self,
+        observer: &mut O,
+        memo: &mut M,
+    ) -> Step {
         assert!(
             !self.pending,
             "previous candidate awaits descend() or retract()"
@@ -287,7 +309,7 @@ impl<'g> Explorer<'g> {
         // check of the extend-check model).
         for i in 0..j {
             let u = self.emb.vertex(i);
-            if self.connectivity_check(w, u, size, observer) {
+            if self.connectivity_check_memo(w, u, size, observer, memo) {
                 return Step::Rejected;
             }
         }
@@ -308,7 +330,7 @@ impl<'g> Explorer<'g> {
         let mut adj_row = 1u8 << j;
         for m in (j + 1)..size {
             let u = self.emb.vertex(m);
-            if self.connectivity_check(w, u, size, observer) {
+            if self.connectivity_check_memo(w, u, size, observer, memo) {
                 adj_row |= 1 << m;
             }
         }
@@ -433,6 +455,37 @@ impl<'g> Explorer<'g> {
             pending: false,
             thief: true,
         })
+    }
+
+    /// [`Self::connectivity_check`] behind the pair memo: a hit answers
+    /// from the table (charging only [`AccessObserver::memo_hit`]); a
+    /// miss probes honestly and records the outcome — reporting the
+    /// eviction, if the insert displaced a victim, so byte-budget
+    /// pressure is observable. With an inactive memo the wrapper
+    /// compiles down to the plain probe.
+    #[inline]
+    fn connectivity_check_memo<O: AccessObserver, M: MemoProbe>(
+        &self,
+        w: VertexId,
+        u: VertexId,
+        size: usize,
+        observer: &mut O,
+        memo: &mut M,
+    ) -> bool {
+        if M::ACTIVE {
+            if let Some(connected) = memo.lookup(w, u) {
+                observer.memo_hit(size);
+                return connected;
+            }
+        }
+        let found = self.connectivity_check(w, u, size, observer);
+        if M::ACTIVE {
+            observer.memo_miss(size);
+            if memo.record(w, u, found) {
+                observer.memo_evict(size);
+            }
+        }
+        found
     }
 
     /// Whether the undirected edge `{w, u}` exists, with `u` an embedding
@@ -681,6 +734,71 @@ mod tests {
                 v
             };
             assert_eq!(norm(out), norm(baseline), "root {root}");
+        }
+    }
+
+    #[test]
+    fn memoized_step_is_result_identical_and_saves_accesses() {
+        use crate::memo::PairMemoTable;
+        let g = generate::barabasi_albert(60, 3, 17);
+        let mut plain_accesses = 0u64;
+        let mut memo_accesses = 0u64;
+        let mut total_hits = 0u64;
+        for root in g.vertices() {
+            let baseline = collect(&g, root, 4);
+            let mut ex = Explorer::new(&g, root);
+            let mut obs = CountingObserver::default();
+            let mut memo = PairMemoTable::with_budget(1 << 16);
+            let mut out = Vec::new();
+            loop {
+                match ex.step_memo(&mut obs, &mut memo) {
+                    Step::Candidate => {
+                        out.push(ex.embedding().vertices().to_vec());
+                        if ex.embedding().len() < 4 {
+                            ex.descend();
+                        } else {
+                            ex.retract();
+                        }
+                    }
+                    Step::Done => break,
+                    _ => {}
+                }
+            }
+            assert_eq!(out, baseline, "root {root}");
+            memo_accesses += obs.vertex_accesses + obs.edge_accesses;
+            total_hits += memo.stats().hits;
+
+            let mut plain = CountingObserver::default();
+            let _ = collect_with(&g, root, 4, &mut plain);
+            plain_accesses += plain.vertex_accesses + plain.edge_accesses;
+        }
+        assert!(total_hits > 0, "memo never hit on a BA graph");
+        // Every hit skips one vertex access and two edge probes.
+        assert_eq!(memo_accesses, plain_accesses - 3 * total_hits);
+    }
+
+    /// `collect` with a caller-supplied observer.
+    fn collect_with(
+        graph: &CsrGraph,
+        root: VertexId,
+        max: usize,
+        obs: &mut CountingObserver,
+    ) -> usize {
+        let mut ex = Explorer::new(graph, root);
+        let mut n = 0;
+        loop {
+            match ex.step(obs) {
+                Step::Candidate => {
+                    n += 1;
+                    if ex.embedding().len() < max {
+                        ex.descend();
+                    } else {
+                        ex.retract();
+                    }
+                }
+                Step::Done => return n,
+                _ => {}
+            }
         }
     }
 

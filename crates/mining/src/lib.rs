@@ -49,6 +49,7 @@ mod ecm;
 mod embedding;
 mod enumerate;
 mod explorer;
+mod memo;
 mod observer;
 mod pattern;
 
@@ -60,5 +61,6 @@ pub use ecm::EcmApp;
 pub use embedding::{Embedding, MAX_EMBEDDING};
 pub use enumerate::{BfsEnumerator, BfsLevelStats, DfsEnumerator};
 pub use explorer::{Explorer, Step};
+pub use memo::{MemoProbe, MemoStats, NoMemo, PairMemoTable, DEFAULT_MEMO_BYTES, MEMO_ENTRY_BYTES};
 pub use observer::{AccessObserver, CountingObserver, NullObserver, Tee};
 pub use pattern::{Pattern, PatternId, PatternInterner};

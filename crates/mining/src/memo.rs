@@ -1,0 +1,415 @@
+//! Recurrent-pattern memoization (ROADMAP item 3).
+//!
+//! Canonical DFS enumeration visits every vertex *set* exactly once, so
+//! whole-subtree outcomes have zero exact reuse — but the **pairwise
+//! connectivity probe** inside the extend-check model recurs massively:
+//! every embedding that contains vertices `u` and `w` re-resolves the
+//! same `{u, w}` edge query against the immutable graph (the same
+//! recurrence "Leveraging Recurrent Patterns in Graph Accelerators" and
+//! IntersectX exploit). One probe costs one random vertex access plus two
+//! random edge accesses in the memory subsystem; a memo hit replaces all
+//! three with a single modeled memo-table lookup.
+//!
+//! [`PairMemoTable`] is the hardware-shaped memo: a byte-budgeted,
+//! LRU-evicting table keyed by the canonical unordered pair
+//! `(min(u,w), max(u,w))`. Recency is an explicit doubly-linked list over
+//! a slab — eviction order is a pure function of the access sequence,
+//! never of hash-iteration order, so simulated results are reproducible
+//! run-to-run.
+//!
+//! **Bit-exactness.** Connectivity is a pure function of the immutable
+//! graph, so a hit returns exactly what the probe would have; mined
+//! embeddings and pattern counts are bit-identical with the memo on or
+//! off (property-tested). What legitimately changes under `--memo on` is
+//! the *modeled* quantities — cycles, memory statistics, DRAM traffic —
+//! because hits skip the three subsystem accesses.
+//!
+//! [`NoMemo`] is the zero-sized off-switch: with `ACTIVE == false` every
+//! memo branch in the explorer constant-folds away, so the default
+//! (`--memo off`) path monomorphizes to the exact machine code it had
+//! before this module existed.
+
+use gramer_graph::VertexId;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Modeled SRAM bytes per memo entry: a 64-bit canonical-pair tag, the
+/// 1-bit outcome, and LRU/link metadata, rounded to a power of two the
+/// way a hardware CAM/SRAM row would be provisioned.
+pub const MEMO_ENTRY_BYTES: u64 = 16;
+
+/// Default byte budget used by `--memo on` (64 Ki entries).
+pub const DEFAULT_MEMO_BYTES: u64 = 1 << 20;
+
+/// Counters of a memo table's activity. Separate from the memory
+/// subsystem's `MemStats` on purpose: a memo hit is precisely an access
+/// that *never reached* the memory subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered by the table (three subsystem accesses skipped).
+    pub hits: u64,
+    /// Lookups that missed and fell through to the honest probe.
+    pub misses: u64,
+    /// Entries displaced by the byte-budget LRU.
+    pub evictions: u64,
+}
+
+impl MemoStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered by the table (`1.0` when idle, like
+    /// `KindStats::on_chip_ratio`).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// The explorer's view of a memo: either the real [`PairMemoTable`] or
+/// the free [`NoMemo`].
+///
+/// `ACTIVE` mirrors `TelemetrySink::ACTIVE` in `gramer-core`: the
+/// explorer guards every memo touch with `if M::ACTIVE`, so the inactive
+/// implementation costs literally nothing — not even a well-predicted
+/// branch — on the reference path.
+pub trait MemoProbe {
+    /// Whether this implementation can ever answer a lookup. Guards the
+    /// memo branches so `NoMemo` monomorphizes them away.
+    const ACTIVE: bool;
+
+    /// Looks up the memoized connectivity of the unordered pair
+    /// `{a, b}`; `None` on a miss.
+    fn lookup(&mut self, a: VertexId, b: VertexId) -> Option<bool>;
+
+    /// Records the honestly-resolved connectivity of `{a, b}`. Returns
+    /// `true` when the insert displaced an LRU victim (so the caller can
+    /// report the eviction to its observer).
+    fn record(&mut self, a: VertexId, b: VertexId, connected: bool) -> bool;
+
+    /// Lifetime counters of this probe (all-zero for an inactive one).
+    fn stats(&self) -> MemoStats {
+        MemoStats::default()
+    }
+}
+
+/// The always-off memo: a ZST whose methods fold to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMemo;
+
+impl MemoProbe for NoMemo {
+    const ACTIVE: bool = false;
+
+    #[inline]
+    fn lookup(&mut self, _a: VertexId, _b: VertexId) -> Option<bool> {
+        None
+    }
+
+    #[inline]
+    fn record(&mut self, _a: VertexId, _b: VertexId, _connected: bool) -> bool {
+        false
+    }
+}
+
+/// One slab entry: the canonical pair key, its outcome, and the recency
+/// links (`u32::MAX` terminates the list).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: u64,
+    prev: u32,
+    next: u32,
+    connected: bool,
+}
+
+/// Sentinel link value (no neighbor).
+const NIL: u32 = u32::MAX;
+
+/// FxHash-style multiplicative hasher for the `u64` pair keys: two
+/// instructions per key, deterministic (no per-process random seed), and
+/// never iterated — eviction order comes from the explicit recency list,
+/// so bucket order is unobservable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PairHasher(u64);
+
+impl Hasher for PairHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A byte-budgeted, LRU-evicting memo over canonical vertex pairs.
+///
+/// # Example
+///
+/// ```
+/// use gramer_mining::{MemoProbe, PairMemoTable};
+///
+/// let mut memo = PairMemoTable::with_budget(1024);
+/// assert_eq!(memo.lookup(3, 7), None);       // cold miss
+/// memo.record(3, 7, true);
+/// assert_eq!(memo.lookup(7, 3), Some(true)); // order-insensitive hit
+/// assert_eq!(memo.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct PairMemoTable {
+    /// Entry capacity derived from the byte budget (may be 0, which
+    /// disables the table while keeping the code path honest).
+    cap: usize,
+    /// Canonical pair key → slab slot.
+    map: HashMap<u64, u32, BuildHasherDefault<PairHasher>>,
+    slots: Vec<Entry>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot (the eviction victim).
+    tail: u32,
+    stats: MemoStats,
+}
+
+/// Canonical unordered-pair key: `(min << 32) | max`. Vertex IDs are
+/// 32-bit, so the packing is collision-free.
+#[inline]
+fn pair_key(a: VertexId, b: VertexId) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+impl PairMemoTable {
+    /// Builds a table bounded to `budget_bytes` of modeled SRAM
+    /// ([`MEMO_ENTRY_BYTES`] per entry; a budget below one entry yields a
+    /// capacity-0 table that never hits).
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        let cap = usize::try_from(budget_bytes / MEMO_ENTRY_BYTES).unwrap_or(usize::MAX);
+        PairMemoTable {
+            cap,
+            map: HashMap::with_capacity_and_hasher(cap.min(1 << 20), Default::default()),
+            slots: Vec::with_capacity(cap.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Entry capacity implied by the byte budget.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Unlinks `slot` from the recency list.
+    #[inline]
+    fn unlink(&mut self, slot: u32) {
+        let Entry { prev, next, .. } = self.slots[slot as usize];
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
+    }
+
+    /// Links `slot` at the MRU head.
+    #[inline]
+    fn link_front(&mut self, slot: u32) {
+        let old = self.head;
+        {
+            let e = &mut self.slots[slot as usize];
+            e.prev = NIL;
+            e.next = old;
+        }
+        match old {
+            NIL => self.tail = slot,
+            o => self.slots[o as usize].prev = slot,
+        }
+        self.head = slot;
+    }
+}
+
+impl MemoProbe for PairMemoTable {
+    const ACTIVE: bool = true;
+
+    fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    #[inline]
+    fn lookup(&mut self, a: VertexId, b: VertexId) -> Option<bool> {
+        let key = pair_key(a, b);
+        match self.map.get(&key) {
+            Some(&slot) => {
+                self.stats.hits += 1;
+                if self.head != slot {
+                    self.unlink(slot);
+                    self.link_front(slot);
+                }
+                Some(self.slots[slot as usize].connected)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn record(&mut self, a: VertexId, b: VertexId, connected: bool) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        let key = pair_key(a, b);
+        let mut evicted = false;
+        let slot = if self.slots.len() < self.cap {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Entry {
+                key,
+                prev: NIL,
+                next: NIL,
+                connected,
+            });
+            slot
+        } else {
+            // Budget exhausted: displace the LRU tail and reuse its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = self.slots[victim as usize].key;
+            self.map.remove(&old_key);
+            self.stats.evictions += 1;
+            evicted = true;
+            self.slots[victim as usize] = Entry {
+                key,
+                prev: NIL,
+                next: NIL,
+                connected,
+            };
+            victim
+        };
+        self.link_front(slot);
+        self.map.insert(key, slot);
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_memo_is_inert() {
+        let mut m = NoMemo;
+        assert!(!NoMemo::ACTIVE);
+        assert_eq!(m.lookup(1, 2), None);
+        assert!(!m.record(1, 2, true));
+        assert_eq!(m.lookup(1, 2), None);
+    }
+
+    #[test]
+    fn pair_key_is_order_insensitive_and_injective() {
+        assert_eq!(pair_key(3, 9), pair_key(9, 3));
+        assert_ne!(pair_key(1, 2), pair_key(1, 3));
+        assert_ne!(pair_key(0, 1), pair_key(1, 2));
+    }
+
+    #[test]
+    fn hit_after_record_both_orders() {
+        let mut t = PairMemoTable::with_budget(1024);
+        t.record(4, 2, false);
+        assert_eq!(t.lookup(2, 4), Some(false));
+        assert_eq!(t.lookup(4, 2), Some(false));
+        assert_eq!(t.stats().hits, 2);
+        assert_eq!(t.stats().misses, 0);
+    }
+
+    #[test]
+    fn budget_caps_entries_and_evicts_lru() {
+        // 48 bytes = 3 entries.
+        let mut t = PairMemoTable::with_budget(3 * MEMO_ENTRY_BYTES);
+        assert_eq!(t.capacity(), 3);
+        t.record(0, 1, true);
+        t.record(0, 2, true);
+        t.record(0, 3, true);
+        // Touch {0,1} so {0,2} becomes LRU, then overflow.
+        assert_eq!(t.lookup(0, 1), Some(true));
+        assert!(t.record(0, 4, false), "must report the eviction");
+        assert_eq!(t.stats().evictions, 1);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup(0, 2), None, "LRU entry must be gone");
+        assert_eq!(t.lookup(0, 1), Some(true));
+        assert_eq!(t.lookup(0, 3), Some(true));
+        assert_eq!(t.lookup(0, 4), Some(false));
+    }
+
+    #[test]
+    fn zero_budget_never_stores() {
+        let mut t = PairMemoTable::with_budget(MEMO_ENTRY_BYTES - 1);
+        assert_eq!(t.capacity(), 0);
+        assert!(!t.record(1, 2, true));
+        assert_eq!(t.lookup(1, 2), None);
+        assert_eq!(t.stats().evictions, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn eviction_order_follows_recency_not_insertion() {
+        let mut t = PairMemoTable::with_budget(2 * MEMO_ENTRY_BYTES);
+        t.record(0, 1, true); // insert order: {0,1} then {0,2}
+        t.record(0, 2, true);
+        assert_eq!(t.lookup(0, 1), Some(true)); // {0,2} is now LRU
+        t.record(0, 3, true);
+        assert_eq!(t.lookup(0, 2), None);
+        assert_eq!(t.lookup(0, 1), Some(true));
+    }
+
+    #[test]
+    fn stats_ratio_counts_lookups() {
+        let mut t = PairMemoTable::with_budget(1024);
+        assert!((t.stats().hit_ratio() - 1.0).abs() < 1e-12, "idle = 1.0");
+        t.lookup(5, 6); // miss
+        t.record(5, 6, true);
+        t.lookup(5, 6); // hit
+        let s = t.stats();
+        assert_eq!(s.lookups(), 2);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_entry_table_cycles_correctly() {
+        let mut t = PairMemoTable::with_budget(MEMO_ENTRY_BYTES);
+        t.record(1, 2, true);
+        t.record(3, 4, false); // evicts {1,2}
+        assert_eq!(t.lookup(1, 2), None);
+        assert_eq!(t.lookup(3, 4), Some(false));
+        assert_eq!(t.stats().evictions, 1);
+    }
+}

@@ -22,6 +22,25 @@ pub trait AccessObserver {
     /// observers a random lookup in a slot → source table as large as
     /// the edge array itself.
     fn edge_access(&mut self, slot: usize, src: VertexId, size: usize);
+
+    /// A connectivity probe answered by the pair-memo table: the one
+    /// vertex access and two edge probes it replaces were *not* issued.
+    /// Timed observers charge the modeled memo-lookup latency here;
+    /// everyone else defaults to ignoring it (the hooks only fire when a
+    /// memo is active, so the default path never pays for them).
+    #[inline]
+    fn memo_hit(&mut self, _size: usize) {}
+
+    /// A connectivity probe that missed the memo and was resolved
+    /// honestly (its accesses were reported through the normal hooks).
+    /// The lookup itself is modeled as pipelined with the probe, so no
+    /// latency is charged on a miss.
+    #[inline]
+    fn memo_miss(&mut self, _size: usize) {}
+
+    /// A memo insert displaced an LRU entry (byte budget exhausted).
+    #[inline]
+    fn memo_evict(&mut self, _size: usize) {}
 }
 
 /// An observer that ignores everything (zero-overhead mining).
@@ -77,6 +96,24 @@ impl<A: AccessObserver, B: AccessObserver> AccessObserver for Tee<A, B> {
         self.0.edge_access(slot, src, size);
         self.1.edge_access(slot, src, size);
     }
+
+    #[inline]
+    fn memo_hit(&mut self, size: usize) {
+        self.0.memo_hit(size);
+        self.1.memo_hit(size);
+    }
+
+    #[inline]
+    fn memo_miss(&mut self, size: usize) {
+        self.0.memo_miss(size);
+        self.1.memo_miss(size);
+    }
+
+    #[inline]
+    fn memo_evict(&mut self, size: usize) {
+        self.0.memo_evict(size);
+        self.1.memo_evict(size);
+    }
 }
 
 impl<T: AccessObserver + ?Sized> AccessObserver for &mut T {
@@ -86,6 +123,18 @@ impl<T: AccessObserver + ?Sized> AccessObserver for &mut T {
 
     fn edge_access(&mut self, slot: usize, src: VertexId, size: usize) {
         (**self).edge_access(slot, src, size);
+    }
+
+    fn memo_hit(&mut self, size: usize) {
+        (**self).memo_hit(size);
+    }
+
+    fn memo_miss(&mut self, size: usize) {
+        (**self).memo_miss(size);
+    }
+
+    fn memo_evict(&mut self, size: usize) {
+        (**self).memo_evict(size);
     }
 }
 

@@ -209,6 +209,16 @@ fn apply_config_overrides(config: &mut GramerConfig, c: &JsonValue) -> Result<()
                 config.sim_threads =
                     value.as_u64().ok_or("\"sim_threads\" must be an integer")? as usize;
             }
+            "memo" => {
+                let s = value.as_str().ok_or("\"memo\" must be a string")?;
+                config.memo = s.parse()?;
+            }
+            "adaptive_lambda" => {
+                config.adaptive_lambda = matches!(value, JsonValue::Bool(true));
+            }
+            "repin" => {
+                config.repin = matches!(value, JsonValue::Bool(true));
+            }
             other => return Err(format!("unknown config knob {other:?}")),
         }
     }
@@ -552,6 +562,41 @@ mod tests {
         assert_eq!(spec.config.tau, Some(0.05));
         assert_eq!(spec.config.epoch, gramer::EpochMode::Off);
         assert_eq!(spec.config.sim_threads, 4);
+    }
+
+    #[test]
+    fn memo_and_adaptive_knobs_apply() {
+        let v = JsonValue::parse(
+            "{\"graph\": {\"gen\": \"demo\"}, \"app\": \"3-cf\", \
+             \"config\": {\"memo\": \"65536\", \"adaptive_lambda\": true, \"repin\": true}}",
+        )
+        .expect("json");
+        let spec = JobSpec::from_json(&v).expect("valid");
+        assert_eq!(spec.config.memo, gramer::MemoMode::On { bytes: 65536 });
+        assert!(spec.config.adaptive_lambda);
+        assert!(spec.config.repin);
+        // Defaults stay off when the knobs are absent.
+        let spec = JobSpec::from_json(&spec_json("{\"gen\": \"demo\"}")).expect("valid");
+        assert_eq!(spec.config.memo, gramer::MemoMode::Off);
+        assert!(!spec.config.adaptive_lambda);
+        assert!(!spec.config.repin);
+    }
+
+    #[test]
+    fn bad_memo_knob_is_rejected_at_admission() {
+        // A malformed mode string fails the override parser; a budget
+        // below one entry passes parsing as `On` only via "on", so the
+        // sub-entry numeric is refused with a typed message. Either way
+        // the job is a 400, never queued.
+        for bad in ["\"sometimes\"", "\"7\"", "true"] {
+            let v = JsonValue::parse(&format!(
+                "{{\"graph\": {{\"gen\": \"demo\"}}, \"app\": \"3-cf\", \
+                 \"config\": {{\"memo\": {bad}}}}}"
+            ))
+            .expect("json");
+            let err = JobSpec::from_json(&v).unwrap_err();
+            assert!(err.contains("memo"), "bad={bad}: {err}");
+        }
     }
 
     #[test]

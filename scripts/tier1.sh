@@ -13,7 +13,10 @@
 #           GRAMER_SIM_THREADS=4 sharded-cells pass (scheduler,
 #           access-path, epoch engine and cell parallelism are all
 #           host-side choices; every cell must match the golden
-#           constants bit-for-bit)
+#           constants bit-for-bit); plus the memo dimension: a
+#           GRAMER_MEMO=on golden cell (mining results pinned, timing
+#           free to improve) and a gramer-mine --memo off byte-compare
+#           against the default run
 #   doc     cargo doc --no-deps            (rustdoc, warnings denied)
 #   clippy  clippy on the library crates   (unwrap/expect denied: failures
 #           must flow through the typed error taxonomy, not panic; the
@@ -69,6 +72,11 @@ stage_golden() {
                 cargo test -q --test golden --test telemetry
         done
     done
+    # Memo dimension: the pair memo is a model change, so its golden cell
+    # pins the mining results (timing is free to improve) — the suite
+    # branches on GRAMER_MEMO internally.
+    echo "   -- memo=on golden cell (results pinned, timing free)"
+    GRAMER_MEMO=on cargo test -q --test golden
     # Sharded-cells pass: gramer-mine must produce byte-identical reports
     # with 4 host threads over a multi-app cell list.
     echo "   -- sim-threads=4 sharded cells byte-identity (gramer-mine)"
@@ -82,6 +90,13 @@ stage_golden() {
         --json "$tmp/sharded.json" > "$tmp/sharded.out" 2> /dev/null
     cmp "$tmp/serial.json" "$tmp/sharded.json"
     cmp "$tmp/serial.out" "$tmp/sharded.out"
+    # `--memo off` is the bit-exact reference path: explicitly passing it
+    # must reproduce the default run byte-for-byte (JSON and stdout).
+    echo "   -- --memo off byte-identity with the default run (gramer-mine)"
+    target/release/gramer-mine --demo --app 3-cf,3-mc,4-cf --memo off \
+        --json "$tmp/memo-off.json" > "$tmp/memo-off.out" 2> /dev/null
+    cmp "$tmp/serial.json" "$tmp/memo-off.json"
+    cmp "$tmp/serial.out" "$tmp/memo-off.out"
 }
 
 stage_doc() {

@@ -8,7 +8,9 @@
 //! be called out explicitly (by updating the constant and explaining
 //! why in the commit).
 
-use gramer::{preprocess, AccessPath, EpochMode, GramerConfig, RunReport, Scheduler, Simulator};
+use gramer::{
+    preprocess, AccessPath, EpochMode, GramerConfig, MemoMode, RunReport, Scheduler, Simulator,
+};
 use gramer_graph::generate::{self, RmatParams};
 use gramer_graph::CsrGraph;
 use gramer_mining::apps::{CliqueFinding, MotifCounting};
@@ -34,10 +36,14 @@ fn golden_summary(r: &RunReport) -> String {
 
 /// Base config for the golden runs. The tier-1 matrix (`scripts/tier1.sh`)
 /// re-runs this suite under every `scheduler` × `access_path` combination
-/// via `GRAMER_SCHEDULER` / `GRAMER_ACCESS_PATH`, and once more with
-/// `GRAMER_EPOCH=off` selecting the reference event-queue interleaving;
-/// all are host-side choices, so the golden constants must hold
-/// bit-for-bit under every combination.
+/// via `GRAMER_SCHEDULER` / `GRAMER_ACCESS_PATH`, once more with
+/// `GRAMER_EPOCH=off` selecting the reference event-queue interleaving,
+/// and once with `GRAMER_MEMO=on`. Scheduler/access-path/epoch are
+/// host-side choices, so the golden constants hold bit-for-bit under
+/// every combination; the memo is a *model* change, so under
+/// `GRAMER_MEMO=on` the timing constants are skipped and only the
+/// mining-result fields are held to the golden lines (see
+/// [`assert_golden_results`]).
 fn base_config() -> GramerConfig {
     let mut cfg = GramerConfig::default();
     if let Ok(s) = std::env::var("GRAMER_SCHEDULER") {
@@ -48,6 +54,9 @@ fn base_config() -> GramerConfig {
     }
     if let Ok(s) = std::env::var("GRAMER_EPOCH") {
         cfg.epoch = s.parse().expect("GRAMER_EPOCH must be on|off");
+    }
+    if let Ok(s) = std::env::var("GRAMER_MEMO") {
+        cfg.memo = s.parse().expect("GRAMER_MEMO must be on|off|BYTES");
     }
     cfg
 }
@@ -87,20 +96,94 @@ const GOLDEN_RMAT_MC3: &str = "cycles=48490 steals=6899 steps=92482 dram=444 \
      candidates_by_size=[0, 0, 2522, 81544] \
      pu_steps=[22897, 12808, 11697, 10478, 9735, 8921, 8850, 7096]";
 
+/// Collapses runs of whitespace so the line-wrapped golden constants
+/// compare as single-space-separated token streams.
+fn normalized(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Asserts the mining-result fields of `r` match `golden` verbatim —
+/// the memo-on golden check. Timing fields (cycles, steals, dram,
+/// pu_steps) are memo-off quantities and deliberately not compared.
+fn assert_golden_results(r: &RunReport, golden: &str) {
+    let results = format!(
+        "embeddings={} candidates={} accepted_by_size={:?} candidates_by_size={:?}",
+        r.result.embeddings,
+        r.result.candidates_examined,
+        r.result.accepted_by_size,
+        r.result.candidates_by_size,
+    );
+    assert!(
+        normalized(golden).contains(&normalized(&results)),
+        "mining results diverged from the golden line:\n  got      {results}\n  expected within {golden}"
+    );
+}
+
+/// Runs one golden workload: under the default `--memo off` the full
+/// timing-bearing golden line must hold byte-for-byte; under
+/// `GRAMER_MEMO=on` the memo legitimately moves timing, so only the
+/// mining results are pinned — and the table must actually get hits.
+fn check_golden(report: &RunReport, cfg: &GramerConfig, golden: &str) {
+    if matches!(cfg.memo, MemoMode::Off) {
+        assert_eq!(golden_summary(report), golden);
+    } else {
+        assert_golden_results(report, golden);
+        assert!(
+            report.memo.map_or(0, |s| s.hits) > 0,
+            "memo was on but never hit"
+        );
+    }
+}
+
 #[test]
 fn golden_ba200_cf4() {
-    let report = run(&ba_graph(), &CliqueFinding::new(4).unwrap(), &base_config());
-    assert_eq!(golden_summary(&report), GOLDEN_BA_CF4);
+    let cfg = base_config();
+    let report = run(&ba_graph(), &CliqueFinding::new(4).unwrap(), &cfg);
+    check_golden(&report, &cfg, GOLDEN_BA_CF4);
 }
 
 #[test]
 fn golden_rmat_mc3() {
-    let report = run(
-        &rmat_graph(),
-        &MotifCounting::new(3).unwrap(),
-        &base_config(),
+    let cfg = base_config();
+    let report = run(&rmat_graph(), &MotifCounting::new(3).unwrap(), &cfg);
+    check_golden(&report, &cfg, GOLDEN_RMAT_MC3);
+}
+
+/// The memo dimension of the golden matrix, runnable without the env
+/// hook: memo-on mining results equal the memo-off golden lines, the
+/// table gets hits on both workloads, and the memoized run never does
+/// more memory work than the reference.
+#[test]
+fn golden_workloads_with_memo_on() {
+    // Pin both sides explicitly (the `GRAMER_MEMO` env hook must not
+    // leak into the reference config when tier1 runs the memo cell).
+    let off = GramerConfig {
+        memo: MemoMode::Off,
+        ..base_config()
+    };
+    let on = GramerConfig {
+        memo: MemoMode::On { bytes: 1 << 16 },
+        ..off.clone()
+    };
+
+    let ba = ba_graph();
+    let cf = CliqueFinding::new(4).unwrap();
+    let base = run(&ba, &cf, &off);
+    let memo = run(&ba, &cf, &on);
+    assert_golden_results(&memo, GOLDEN_BA_CF4);
+    assert!(memo.memo.map_or(0, |s| s.hits) > 0, "BA x CF4: no hits");
+    assert!(memo.mem.total() <= base.mem.total(), "BA x CF4: more work");
+
+    let rmat = rmat_graph();
+    let mc = MotifCounting::new(3).unwrap();
+    let base = run(&rmat, &mc, &off);
+    let memo = run(&rmat, &mc, &on);
+    assert_golden_results(&memo, GOLDEN_RMAT_MC3);
+    assert!(memo.memo.map_or(0, |s| s.hits) > 0, "RMAT x MC3: no hits");
+    assert!(
+        memo.mem.total() <= base.mem.total(),
+        "RMAT x MC3: more work"
     );
-    assert_eq!(golden_summary(&report), GOLDEN_RMAT_MC3);
 }
 
 /// Everything simulated in a [`RunReport`], including the memory-side

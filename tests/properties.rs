@@ -7,7 +7,7 @@
 //! case is reproducible: a failure message includes the case seed.
 
 use gramer_suite::gramer::{
-    preprocess, AccessPath, EpochMode, GramerConfig, MemoryBudget, Scheduler, Simulator,
+    preprocess, AccessPath, EpochMode, GramerConfig, MemoMode, MemoryBudget, Scheduler, Simulator,
 };
 use gramer_suite::gramer_graph::{generate, io, on1, reorder, GraphBuilder, VertexId};
 use gramer_suite::gramer_memsim::policy::PolicyKind;
@@ -253,6 +253,7 @@ fn random_subsystem_config(rng: &mut StdRng) -> SubsystemConfig {
             port_occupancy_cycles: rng.gen_range(1u64..4),
             ports_per_bank: rng.gen_range(1usize..4),
             request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
+            memo_lookup_cycles: rng.gen_range(1u64..3),
         },
         dram: Default::default(),
         access_path: AccessPath::Fast,
@@ -344,6 +345,7 @@ fn fast_path_matches_exact_path_full_sim() {
             port_occupancy_cycles: rng.gen_range(1u64..4),
             ports_per_bank: rng.gen_range(1usize..4),
             request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
+            memo_lookup_cycles: rng.gen_range(1u64..3),
         };
         let budget = MemoryBudget::Fraction(rng.gen_range(2u32..60) as f64 / 100.0);
         let fast_cfg = GramerConfig {
@@ -412,6 +414,7 @@ fn epoch_matches_interleaved() {
             port_occupancy_cycles: rng.gen_range(1u64..4),
             ports_per_bank: rng.gen_range(1usize..4),
             request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
+            memo_lookup_cycles: rng.gen_range(1u64..3),
         };
         let epoch_cfg = GramerConfig {
             num_pus,
@@ -464,6 +467,90 @@ fn epoch_matches_interleaved() {
             a.result.counts.sorted(),
             b.result.counts.sorted(),
             "seed {seed}"
+        );
+    }
+}
+
+/// The recurrent-pattern pair memo (`--memo`) is a *model* optimization:
+/// it may change cycles, memory traffic and energy, but the mining
+/// results — embeddings, candidates examined, per-size acceptance
+/// counts, pattern counts — must be bit-identical to the memo-off
+/// reference path across randomized geometries, latency draws, budgets
+/// and memo byte budgets (down to a single-entry table that thrashes).
+#[test]
+fn memo_preserves_mining_results() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(10_000 + seed);
+        let Some(g) = random_graph(&mut rng, 40, 140) else {
+            continue;
+        };
+        let (num_pus, slots_per_pu) = [(1, 1), (2, 3), (8, 16), (4, 2)][rng.gen_range(0usize..4)];
+        let latency = LatencyConfig {
+            scratchpad_cycles: rng.gen_range(1u64..4),
+            cache_cycles: rng.gen_range(1u64..6),
+            port_occupancy_cycles: rng.gen_range(1u64..4),
+            ports_per_bank: rng.gen_range(1usize..4),
+            request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
+            memo_lookup_cycles: rng.gen_range(1u64..3),
+        };
+        // Budgets from one entry (16 B, constant eviction) to roomy.
+        let bytes = [16u64, 64, 1 << 10, 1 << 16, 1 << 20][rng.gen_range(0usize..5)];
+        let off_cfg = GramerConfig {
+            num_pus,
+            slots_per_pu,
+            ancestor_depth: 16,
+            latency,
+            budget: MemoryBudget::Fraction(rng.gen_range(2u32..60) as f64 / 100.0),
+            work_stealing: rng.gen_bool(0.7),
+            memo: MemoMode::Off,
+            ..GramerConfig::default()
+        };
+        let on_cfg = GramerConfig {
+            memo: MemoMode::On { bytes },
+            ..off_cfg.clone()
+        };
+        let pre = preprocess(&g, &off_cfg).expect("random graph preprocesses");
+        let app = MotifCounting::new(3).expect("valid");
+        let a = Simulator::new(&pre, off_cfg)
+            .expect("valid config")
+            .run(&app)
+            .expect("runs");
+        let b = Simulator::new(&pre, on_cfg)
+            .expect("valid config")
+            .run(&app)
+            .expect("runs");
+        assert!(a.memo.is_none(), "seed {seed}: reference path probed memo");
+        let stats = b.memo.unwrap_or_else(|| panic!("seed {seed}: no stats"));
+        assert_eq!(
+            stats.lookups(),
+            stats.hits + stats.misses,
+            "seed {seed}: lookup accounting broken"
+        );
+        assert_eq!(a.result.embeddings, b.result.embeddings, "seed {seed}");
+        assert_eq!(
+            a.result.candidates_examined, b.result.candidates_examined,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.result.accepted_by_size, b.result.accepted_by_size,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.result.candidates_by_size, b.result.candidates_by_size,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.result.counts.sorted(),
+            b.result.counts.sorted(),
+            "seed {seed}"
+        );
+        // A memoizing run never issues *more* memory work than the
+        // reference: hits only remove accesses.
+        assert!(
+            b.mem.total() <= a.mem.total(),
+            "seed {seed}: memo added accesses ({} > {})",
+            b.mem.total(),
+            a.mem.total()
         );
     }
 }

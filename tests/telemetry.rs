@@ -139,7 +139,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// Digest of the simulated portion of the telemetry document for
 /// BA(200,3) × CF(4) at the default window width. Must hold under all
 /// four scheduler × access-path cells.
-const GOLDEN_BA_CF4_TELEMETRY_FNV: u64 = 3687618999463328424;
+///
+/// Updated for schema v2 (PR 9): the document gained the memo counters
+/// (`memo_hits`/`memo_misses`/`memo_evictions`), the adaptive-policy
+/// counters (`lambda_retunes`/`repins`) and the `lambda_last`/
+/// `pin_epochs` gauges. This run uses the default config (memo off,
+/// autotuning off), so every new field is zero — the simulated
+/// quantities themselves are unchanged, as the untouched
+/// cycles/steps/dram spot constants below prove.
+const GOLDEN_BA_CF4_TELEMETRY_FNV: u64 = 10654693259273357294;
 /// Spot constants guarding the digest against blind updates: they tie
 /// the document to the `tests/golden.rs` numbers for the same workload.
 const GOLDEN_BA_CF4_CYCLES: u64 = 25565;
@@ -169,7 +177,7 @@ fn telemetry_document_is_byte_stable_across_host_choices() {
     );
     assert_eq!(
         doc.get("schema_version").and_then(JsonValue::as_u64),
-        Some(1)
+        Some(2)
     );
     assert!(
         doc.get("host").is_none(),
@@ -318,4 +326,49 @@ fn telemetry_windows_sum_to_totals_with_coalescing() {
             .and_then(JsonValue::as_u64),
         Some(observed.mem.vertex.misses)
     );
+}
+
+/// Schema v2: a memoized run's probes land in the telemetry document
+/// (per-window counters summing to the totals, totals agreeing with the
+/// run report) and never perturb the simulation relative to an
+/// unobserved memoized run.
+#[test]
+fn telemetry_records_memo_counters() {
+    let mut cfg = base_config();
+    cfg.memo = gramer::MemoMode::On { bytes: 1 << 16 };
+    let (plain, observed, tel) = run_both(&ba_graph(), &CliqueFinding::new(4).unwrap(), &cfg);
+    assert_eq!(
+        semantic_view(&plain),
+        semantic_view(&observed),
+        "telemetry perturbed the memoized simulation"
+    );
+    let stats = observed.memo.expect("memoized run must report memo stats");
+    assert!(stats.hits > 0, "workload never hit the memo");
+
+    let doc = tel.to_json_value();
+    let totals = doc.get("totals").expect("document has totals");
+    assert_eq!(
+        totals.get("memo_hits").and_then(JsonValue::as_u64),
+        Some(stats.hits)
+    );
+    assert_eq!(
+        totals.get("memo_misses").and_then(JsonValue::as_u64),
+        Some(stats.misses)
+    );
+    assert_eq!(
+        totals.get("memo_evictions").and_then(JsonValue::as_u64),
+        Some(stats.evictions)
+    );
+    let windows = match doc.get("windows") {
+        Some(JsonValue::Array(w)) => w.clone(),
+        other => panic!("windows missing: {other:?}"),
+    };
+    let sum = |key: &str| -> u64 {
+        windows
+            .iter()
+            .filter_map(|w| w.get(key).and_then(JsonValue::as_u64))
+            .sum()
+    };
+    assert_eq!(sum("memo_hits"), stats.hits);
+    assert_eq!(sum("memo_misses"), stats.misses);
 }

@@ -4,6 +4,7 @@
 //! ```text
 //! gramer-mine <edge-list | --demo | --artifact PATH>
 //!             --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>[,<app>...]
+//!             [--query SPEC|@FILE]
 //!             [--cache DIR] [--pus N] [--slots N] [--tau F] [--budget-frac F]
 //!             [--lambda F] [--no-steal] [--access-path fast|exact]
 //!             [--epoch on|off] [--sim-threads N] [--memo on|off|BYTES]
@@ -62,6 +63,20 @@
 //! ranking goes stale mid-run. Both are also model changes with
 //! bit-identical mining results.
 //!
+//! `--query SPEC|@FILE` runs a candidate-filtered labeled subgraph query
+//! instead of a named application (mutually exclusive with `--app`).
+//! `SPEC` is the compact form `labels:edges` — e.g. `1,2,1:0-1,1-2` for a
+//! label-1/2/1 path — and `@FILE` reads the line-oriented text form
+//! (`v <id> <label>` / `e <u> <v>`, `#` comments; see
+//! `docs/EXPERIMENTS.md`). The query is matched through the LDF → NLF →
+//! GQL candidate pipeline: vertices that cannot appear in any match are
+//! pruned before enumeration, every examined extension pays one modeled
+//! filter probe, and the report gains a gated `query` stats block
+//! (admitted/probes/rejects). Mined matches are bit-identical to the
+//! unfiltered brute-force run of the same query (the query-matrix tests
+//! assert it); cycles and energy reflect the pruned space plus the
+//! honest probe cost.
+//!
 //! `--metrics-out PATH` records cycle-windowed telemetry during the run
 //! (see `gramer::telemetry`) and writes the schema-versioned JSON document
 //! to `PATH` (`-` for stdout). `--metrics-summary` prints a human-readable
@@ -73,7 +88,7 @@ use gramer::telemetry::{Telemetry, TelemetryConfig};
 use gramer::{preprocess, GramerConfig, MemoryBudget, PreprocessCache, Preprocessed, Simulator};
 use gramer_graph::{artifact, generate, io, GraphArtifact};
 use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
-use gramer_mining::{EcmApp, MiningResult};
+use gramer_mining::{EcmApp, MiningResult, QueryApp, QueryGraph};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -100,7 +115,8 @@ impl Options {
 fn usage() -> ! {
     eprintln!(
         "usage: gramer-mine <edge-list | --demo | --artifact PATH> \
-         --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>[,<app>...] \\\n         [--cache DIR] \
+         --app <3-cf|4-cf|5-cf|3-mc|4-mc|fsm:<t>>[,<app>...] \\\n         [--query SPEC|@FILE] \
+         [--cache DIR] \
          [--pus N] [--slots N] [--tau F] [--budget-frac F] [--lambda F] [--no-steal] \\\n         [--access-path fast|exact] [--epoch on|off] [--sim-threads N] \\\n         [--memo on|off|BYTES] [--adaptive-lambda] [--repin] [--counts] \\\n         [--json PATH] [--metrics-out PATH] [--metrics-summary] [--metrics-window N]"
     );
     std::process::exit(2)
@@ -108,6 +124,8 @@ fn usage() -> ! {
 
 fn parse_args() -> Options {
     let mut sim_threads: Option<usize> = None;
+    let mut app_set = false;
+    let mut query: Option<String> = None;
     let mut opts = Options {
         input: None,
         demo: false,
@@ -133,7 +151,11 @@ fn parse_args() -> Options {
             "--demo" => opts.demo = true,
             "--artifact" => opts.artifact = Some(value("--artifact")),
             "--cache" => opts.cache = Some(value("--cache")),
-            "--app" => opts.app = value("--app"),
+            "--app" => {
+                opts.app = value("--app");
+                app_set = true
+            }
+            "--query" => query = Some(value("--query")),
             "--pus" => opts.config.num_pus = parse_num(&value("--pus")),
             "--slots" => opts.config.slots_per_pu = parse_num(&value("--slots")),
             "--tau" => opts.config.tau = Some(parse_float(&value("--tau"))),
@@ -193,7 +215,34 @@ fn parse_args() -> Options {
         eprintln!("--cache is meaningless with --artifact (the artifact IS the cached result)");
         usage()
     }
-    if opts.app.contains(',') && opts.metrics_enabled() {
+    if let Some(spec) = query {
+        if app_set {
+            eprintln!("--query and --app are mutually exclusive");
+            usage()
+        }
+        // `@FILE` reads the line-oriented text form; anything else is the
+        // compact spec. Parse now so a malformed query fails before any
+        // graph work, and normalize to the compact form for `run_spec`.
+        let text = if let Some(path) = spec.strip_prefix('@') {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read query file {path}: {e}");
+                usage()
+            })
+        } else {
+            spec
+        };
+        let parsed = QueryGraph::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad query: {e}");
+            usage()
+        });
+        opts.app = format!("query:{parsed}");
+    }
+    if opts.app.contains("query:") && !opts.app.starts_with("query:") {
+        eprintln!("query specs cannot appear in a multi-application --app list");
+        usage()
+    }
+    let multi_app = opts.app.contains(',') && !opts.app.starts_with("query:");
+    if multi_app && opts.metrics_enabled() {
         eprintln!("--metrics-* flags cannot be combined with a multi-application --app list");
         usage()
     }
@@ -328,6 +377,17 @@ fn run_spec(
     cfg: GramerConfig,
     tel: Option<&mut Telemetry>,
 ) -> Result<gramer::RunReport, String> {
+    if let Some(q) = spec.strip_prefix("query:") {
+        let query = QueryGraph::parse(q).map_err(|e| format!("bad query spec: {e}"))?;
+        let app = QueryApp::new(query)?;
+        let sim = Simulator::new(pre, cfg).map_err(|e| e.to_string())?;
+        return match tel {
+            Some(tel) => sim
+                .run_query_telemetry(&app, tel)
+                .map_err(|e| e.to_string()),
+            None => sim.run_query(&app).map_err(|e| e.to_string()),
+        };
+    }
     if let Some(t) = spec.strip_prefix("fsm:") {
         let threshold: u64 = t.parse().map_err(|_| format!("bad FSM threshold {t:?}"))?;
         DynRun::run(&FrequentSubgraphMining::new(threshold), pre, cfg, tel)
@@ -429,6 +489,15 @@ fn print_report(report: &gramer::RunReport, show_counts: bool) {
         report.dram_requests,
         report.steals
     );
+    if let Some(q) = &report.query {
+        println!(
+            "query filter: {} vertices admitted; {} probes, {} rejected ({:.1}%)",
+            q.admitted,
+            q.probes,
+            q.rejects,
+            100.0 * q.reject_ratio()
+        );
+    }
     if show_counts {
         print_counts(&report.result);
     }
@@ -515,7 +584,7 @@ fn main() -> ExitCode {
         pre.graph.num_edges()
     );
 
-    if opts.app.contains(',') {
+    if opts.app.contains(',') && !opts.app.starts_with("query:") {
         return run_multi(&pre, &opts);
     }
 

@@ -71,6 +71,6 @@ pub use config::{
 pub use error::{ConfigError, SimError};
 pub use gramer_memsim::AccessPath;
 pub use preprocess::{modeled_preprocess_seconds, preprocess, Preprocessed};
-pub use report::{ReportSummary, RunReport};
+pub use report::{QueryRunStats, ReportSummary, RunReport};
 pub use sim::Simulator;
 pub use telemetry::{NullSink, Telemetry, TelemetryConfig, TelemetrySink};

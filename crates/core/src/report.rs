@@ -40,6 +40,34 @@ pub struct RunReport {
     pub lambda_retunes: Option<u32>,
     /// Scratchpad re-pins performed by `--repin` (`None` when off).
     pub pin_epochs: Option<u32>,
+    /// Candidate-filter counters of a query run (`None` on every
+    /// unfiltered path, which must not have probed the filter at all).
+    pub query: Option<QueryRunStats>,
+}
+
+/// Counters of a candidate-filtered query run (see
+/// [`gramer_mining::query`]): the admission set the LDF → NLF → GQL
+/// pipeline produced, and the modeled filter probes the run paid for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryRunStats {
+    /// Data vertices in the union of the per-query-vertex candidate
+    /// sets (what the explorer admits).
+    pub admitted: u64,
+    /// Filter probes charged (one per examined extension candidate).
+    pub probes: u64,
+    /// Probes that rejected the candidate, pruning its subtree.
+    pub rejects: u64,
+}
+
+impl QueryRunStats {
+    /// Fraction of probes that rejected their candidate.
+    pub fn reject_ratio(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.rejects as f64 / self.probes as f64
+        }
+    }
 }
 
 impl RunReport {
@@ -67,13 +95,15 @@ impl RunReport {
     }
 
     /// Energy of this run under `model` (Fig. 11(a)). Memoized runs are
-    /// additionally charged for every pair-memo probe.
+    /// additionally charged for every pair-memo probe, filtered query
+    /// runs for every candidate-filter probe.
     pub fn energy(&self, model: &EnergyModel) -> EnergyBreakdown {
-        model.accelerator_energy_memo(
+        model.accelerator_energy_full(
             self.seconds,
             &self.mem,
             self.dram_requests,
             self.memo.map_or(0, |s| s.lookups()),
+            self.query.map_or(0, |q| q.probes),
         )
     }
 
@@ -89,9 +119,10 @@ impl RunReport {
     /// `results/BENCH_*.json` files; downstream tooling may rely on the
     /// key set, so additions are fine but renames are a schema break.
     ///
-    /// The `memo`, `lambda_retunes` and `pin_epochs` keys appear only
-    /// when the corresponding feature ran, so reports from default
-    /// configurations serialize byte-for-byte as they always have.
+    /// The `memo`, `lambda_retunes`, `pin_epochs` and `query` keys
+    /// appear only when the corresponding feature ran, so reports from
+    /// default configurations serialize byte-for-byte as they always
+    /// have.
     pub fn to_json_value(&self) -> JsonValue {
         let mut pairs = vec![
             ("app", JsonValue::from(self.app.as_str())),
@@ -163,6 +194,17 @@ impl RunReport {
         }
         if let Some(n) = self.pin_epochs {
             pairs.push(("pin_epochs", JsonValue::from(u64::from(n))));
+        }
+        if let Some(q) = &self.query {
+            pairs.push((
+                "query",
+                JsonValue::object([
+                    ("admitted", JsonValue::from(q.admitted)),
+                    ("probes", JsonValue::from(q.probes)),
+                    ("rejects", JsonValue::from(q.rejects)),
+                    ("reject_ratio", JsonValue::from(q.reject_ratio())),
+                ]),
+            ));
         }
         JsonValue::object(pairs)
     }
@@ -291,6 +333,7 @@ mod tests {
             memo: None,
             lambda_retunes: None,
             pin_epochs: None,
+            query: None,
         }
     }
 
@@ -352,6 +395,7 @@ mod tests {
         assert!(off.get("memo").is_none());
         assert!(off.get("lambda_retunes").is_none());
         assert!(off.get("pin_epochs").is_none());
+        assert!(off.get("query").is_none());
         let mut r = dummy();
         r.memo = Some(MemoStats {
             hits: 9,
@@ -360,6 +404,11 @@ mod tests {
         });
         r.lambda_retunes = Some(2);
         r.pin_epochs = Some(0);
+        r.query = Some(QueryRunStats {
+            admitted: 5,
+            probes: 40,
+            rejects: 30,
+        });
         let on = r.to_json_value();
         assert_eq!(
             on.get("memo")
@@ -372,10 +421,24 @@ mod tests {
             Some(2)
         );
         assert_eq!(on.get("pin_epochs").and_then(JsonValue::as_u64), Some(0));
-        // Memo probes are charged in the energy model.
+        assert_eq!(
+            on.get("query")
+                .and_then(|q| q.get("probes"))
+                .and_then(JsonValue::as_u64),
+            Some(40)
+        );
+        // Memo and filter probes are charged in the energy model.
         let base = dummy().energy(&EnergyModel::default());
         let memo = r.energy(&EnergyModel::default());
         assert!(memo.memory_dynamic_j > base.memory_dynamic_j);
+        let mut filtered = dummy();
+        filtered.query = Some(QueryRunStats {
+            admitted: 5,
+            probes: 40,
+            rejects: 30,
+        });
+        let filt = filtered.energy(&EnergyModel::default());
+        assert!(filt.memory_dynamic_j > base.memory_dynamic_j);
     }
 
     #[test]

@@ -3,14 +3,16 @@ use crate::error::{ConfigError, SimError};
 use crate::events::{CalendarQueue, EventQueue, HeapQueue, SlotCalendar};
 use crate::preprocess::Preprocessed;
 use crate::progress;
+use crate::report::QueryRunStats;
 use crate::report::RunReport;
 use crate::telemetry::{NullSink, SinkObserver, Telemetry, TelemetrySink};
 use gramer_graph::VertexId;
 use gramer_memsim::policy::PolicyKind;
 use gramer_memsim::{DataKind, HybridConfig, MemError, MemorySubsystem, SubsystemConfig};
 use gramer_mining::{
-    AccessObserver, EcmApp, Explorer, MemoProbe, MemoStats, MiningResult, NoMemo, PairMemoTable,
-    PatternCounts, PatternInterner, Step, Tee,
+    AccessObserver, CandidateFilter, CandidateProbe, CandidateSets, EcmApp, Explorer, MemoProbe,
+    MemoStats, MiningResult, NoFilter, NoMemo, PairMemoTable, PatternCounts, PatternInterner,
+    QueryApp, Step, Tee,
 };
 use std::collections::VecDeque;
 
@@ -102,6 +104,13 @@ impl AccessObserver for TimedObserver<'_> {
     fn memo_miss(&mut self, _size: usize) {
         self.now = self.mem.memo_lookup(self.now);
     }
+
+    // A candidate-filter admission check costs one modeled bitmap read,
+    // charged whether it admits or rejects — filtered runs pay for their
+    // pruning.
+    fn filter_probe(&mut self, _admitted: bool, _size: usize) {
+        self.now = self.mem.filter_lookup(self.now);
+    }
 }
 
 /// Per-PU state, split hot-from-cold: the scheduler reads `next_issue`
@@ -188,12 +197,13 @@ impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
     /// the historical event loop. Returns the time of the slot's next
     /// event, or `None` when the slot retires (its PU has fully drained).
     #[inline]
-    fn exec_event<S: TelemetrySink, M: MemoProbe>(
+    fn exec_event<S: TelemetrySink, M: MemoProbe, Q: CandidateProbe>(
         &mut self,
         t: u64,
         id: u32,
         sink: &mut S,
         memo: &mut M,
+        filter: &mut Q,
     ) -> Option<u64> {
         // Adaptive policies observe window boundaries before the event
         // executes. Both loop drivers hand over the identical `(t, id)`
@@ -321,7 +331,7 @@ impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
             },
             SinkObserver(&mut *sink),
         );
-        let step = ex.step_memo(&mut obs, memo);
+        let step = ex.step_filtered(&mut obs, memo, filter);
         let next_t = match step {
             Step::Rejected => {
                 *candidates += 1;
@@ -459,11 +469,14 @@ impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
 
     /// Seals the run into a [`RunReport`]. `memo` carries the memo
     /// table's lifetime counters when memoization was active (`None` on
-    /// the reference path, which must not have probed at all).
+    /// the reference path, which must not have probed at all); `query`
+    /// likewise carries the candidate filter's counters for filtered
+    /// runs.
     fn finish<S: TelemetrySink>(
         self,
         sink: &mut S,
         memo: Option<MemoStats>,
+        query: Option<QueryRunStats>,
     ) -> Result<RunReport, SimError> {
         debug_assert!(self.pus.roots.iter().all(VecDeque::is_empty));
         match &memo {
@@ -472,6 +485,12 @@ impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
             None => debug_assert_eq!(self.mem.memo_lookups(), 0),
             // Every probe — hit or miss — was charged exactly once.
             Some(s) => debug_assert_eq!(self.mem.memo_lookups(), s.lookups()),
+        }
+        match &query {
+            // Unfiltered runs must never touch the filter SRAM.
+            None => debug_assert_eq!(self.mem.filter_lookups(), 0),
+            // Every admission check was charged exactly once.
+            Some(q) => debug_assert_eq!(self.mem.filter_lookups(), q.probes),
         }
 
         sink.on_finish(self.max_time, &self.mem);
@@ -503,6 +522,7 @@ impl<'s, 'p, A: EcmApp> RunState<'s, 'p, A> {
             memo,
             lambda_retunes: self.adapt.as_ref().map(|a| a.retunes),
             pin_epochs: self.repin.as_ref().map(|r| r.epochs),
+            query,
         })
     }
 }
@@ -589,8 +609,18 @@ impl<'p> Simulator<'p> {
         })
     }
 
-    /// Builds the initial [`RunState`] for one run of `app`.
-    fn start<'s, A: EcmApp>(&'s self, app: &'s A) -> Result<RunState<'s, 'p, A>, SimError> {
+    /// Builds the initial [`RunState`] for one run of `app`. When a
+    /// candidate filter is active, initial embeddings outside its
+    /// admission set are pruned before dispatch: every embedding's
+    /// minimum-ID vertex is its canonical root, and that vertex is in
+    /// the admission set for any embedding the filter preserves, so
+    /// pruning loses no match. Root pruning happens at setup time (like
+    /// the dispatch itself) and charges no modeled probes.
+    fn start<'s, A: EcmApp, Q: CandidateProbe>(
+        &'s self,
+        app: &'s A,
+        filter: &Q,
+    ) -> Result<RunState<'s, 'p, A>, SimError> {
         if app.max_vertices() > self.config.ancestor_depth {
             return Err(SimError::DepthExceedsAncestors {
                 depth: app.max_vertices(),
@@ -612,8 +642,13 @@ impl<'p> Simulator<'p> {
             active_slots: vec![0u32; cfg.num_pus],
             roots: (0..cfg.num_pus).map(|_| VecDeque::new()).collect(),
         };
-        for (i, v) in self.pre.graph.vertices().enumerate() {
-            pus.roots[i % cfg.num_pus].push_back(v);
+        let mut dispatched = 0usize;
+        for v in self.pre.graph.vertices() {
+            if Q::ACTIVE && !filter.contains(v) {
+                continue;
+            }
+            pus.roots[dispatched % cfg.num_pus].push_back(v);
+            dispatched += 1;
         }
 
         // Event id = pu * slots_per_pu + slot: monotone in (pu, slot), so
@@ -720,6 +755,63 @@ impl<'p> Simulator<'p> {
         self.dispatch_memo::<A, Telemetry>(app, tel)
     }
 
+    /// Runs a candidate-filtered subgraph query: the LDF → NLF → GQL
+    /// pipeline is computed over the (reordered) data graph, initial
+    /// embeddings outside the admission set are pruned, and every
+    /// examined extension pays one modeled filter probe before the
+    /// extend-check pipeline (see [`gramer_mining::query`]).
+    ///
+    /// Mining results are bit-identical to running the same
+    /// [`QueryApp`] through [`Simulator::run`] — the filter is sound, so
+    /// it only removes extensions that could never reach a match — while
+    /// simulated cycles and energy reflect the pruned extension space
+    /// plus the honest filter-probe cost. The report gains a
+    /// [`QueryRunStats`] block.
+    pub fn run_query(&self, app: &QueryApp) -> Result<RunReport, SimError> {
+        self.dispatch_query::<NullSink>(app, &mut NullSink)
+    }
+
+    /// [`Simulator::run_query`] with cycle-windowed telemetry (the
+    /// filtered analogue of [`Simulator::run_telemetry`]).
+    pub fn run_query_telemetry(
+        &self,
+        app: &QueryApp,
+        tel: &mut Telemetry,
+    ) -> Result<RunReport, SimError> {
+        self.dispatch_query::<Telemetry>(app, tel)
+    }
+
+    /// Builds the candidate filter for `app`'s query and forks on the
+    /// memo mode, mirroring [`Simulator::dispatch_memo`] with an active
+    /// [`CandidateFilter`] instead of [`NoFilter`].
+    fn dispatch_query<S: TelemetrySink>(
+        &self,
+        app: &QueryApp,
+        sink: &mut S,
+    ) -> Result<RunReport, SimError> {
+        // Candidates are computed over the REORDERED graph — the one the
+        // simulator actually mines.
+        let candidates = CandidateSets::build(&self.pre.graph, app.query());
+        let mut filter = CandidateFilter::new(&candidates);
+        match self.config.memo {
+            MemoMode::Off => self.dispatch_engine::<QueryApp, S, NoMemo, CandidateFilter>(
+                app,
+                sink,
+                &mut NoMemo,
+                &mut filter,
+            ),
+            MemoMode::On { bytes } => {
+                let mut memo = PairMemoTable::with_budget(bytes);
+                self.dispatch_engine::<QueryApp, S, PairMemoTable, CandidateFilter>(
+                    app,
+                    sink,
+                    &mut memo,
+                    &mut filter,
+                )
+            }
+        }
+    }
+
     /// Monomorphization fork on [`GramerConfig::memo`]: `--memo off`
     /// instantiates the loop with the zero-sized [`NoMemo`], whose
     /// `ACTIVE = false` folds every memo branch away — the reference
@@ -732,29 +824,40 @@ impl<'p> Simulator<'p> {
         sink: &mut S,
     ) -> Result<RunReport, SimError> {
         match self.config.memo {
-            MemoMode::Off => self.dispatch_engine::<A, S, NoMemo>(app, sink, &mut NoMemo),
+            MemoMode::Off => self.dispatch_engine::<A, S, NoMemo, NoFilter>(
+                app,
+                sink,
+                &mut NoMemo,
+                &mut NoFilter,
+            ),
             MemoMode::On { bytes } => {
                 let mut memo = PairMemoTable::with_budget(bytes);
-                self.dispatch_engine::<A, S, PairMemoTable>(app, sink, &mut memo)
+                self.dispatch_engine::<A, S, PairMemoTable, NoFilter>(
+                    app,
+                    sink,
+                    &mut memo,
+                    &mut NoFilter,
+                )
             }
         }
     }
 
-    /// Engine selection (epoch × scheduler), shared by every memo/sink
-    /// combination.
-    fn dispatch_engine<A: EcmApp, S: TelemetrySink, M: MemoProbe>(
+    /// Engine selection (epoch × scheduler), shared by every
+    /// memo/filter/sink combination.
+    fn dispatch_engine<A: EcmApp, S: TelemetrySink, M: MemoProbe, Q: CandidateProbe>(
         &self,
         app: &A,
         sink: &mut S,
         memo: &mut M,
+        filter: &mut Q,
     ) -> Result<RunReport, SimError> {
         match (self.config.epoch, self.config.scheduler) {
-            (EpochMode::On, _) => self.run_epochs::<A, S, M>(app, sink, memo),
+            (EpochMode::On, _) => self.run_epochs::<A, S, M, Q>(app, sink, memo, filter),
             (EpochMode::Off, Scheduler::Calendar) => {
-                self.run_queue::<A, CalendarQueue, S, M>(app, sink, memo)
+                self.run_queue::<A, CalendarQueue, S, M, Q>(app, sink, memo, filter)
             }
             (EpochMode::Off, Scheduler::Heap) => {
-                self.run_queue::<A, HeapQueue, S, M>(app, sink, memo)
+                self.run_queue::<A, HeapQueue, S, M, Q>(app, sink, memo, filter)
             }
         }
     }
@@ -763,13 +866,17 @@ impl<'p> Simulator<'p> {
     /// implementation and the telemetry sink. With [`NullSink`] every
     /// hook and `S::ACTIVE` guard is a compile-time no-op, so the
     /// monomorphized loop is exactly the uninstrumented one.
-    fn run_queue<A: EcmApp, Q: EventQueue + Default, S: TelemetrySink, M: MemoProbe>(
+    fn run_queue<A: EcmApp, Q: EventQueue + Default, S: TelemetrySink, M: MemoProbe, F>(
         &self,
         app: &A,
         sink: &mut S,
         memo: &mut M,
-    ) -> Result<RunReport, SimError> {
-        let mut st = self.start(app)?;
+        filter: &mut F,
+    ) -> Result<RunReport, SimError>
+    where
+        F: CandidateProbe,
+    {
+        let mut st = self.start(app, filter)?;
         let num_slots = st.slots.len();
 
         let mut queue = Q::default();
@@ -798,7 +905,7 @@ impl<'p> Simulator<'p> {
                 // queue, hence the +1.
                 sink.on_event(t, &st.mem, queue.len() + 1);
             }
-            next_ev = match st.exec_event(t, id, sink, memo) {
+            next_ev = match st.exec_event(t, id, sink, memo, filter) {
                 Some(next_t) => Some(queue.push_pop(next_t, id)),
                 None => queue.pop(),
             };
@@ -806,7 +913,8 @@ impl<'p> Simulator<'p> {
         // Flush the partial heartbeat batch (also a final cancel check).
         progress::tick_n(tick_backlog);
 
-        st.finish(sink, M::ACTIVE.then(|| memo.stats()))
+        let query = F::ACTIVE.then(|| query_stats(filter));
+        st.finish(sink, M::ACTIVE.then(|| memo.stats()), query)
     }
 
     /// The epoch-batched engine (`--epoch=on`, the default).
@@ -829,13 +937,14 @@ impl<'p> Simulator<'p> {
     /// bank conflict) could be observed — always go back through the
     /// calendar, which is why batching can never reorder an observable
     /// interaction.
-    fn run_epochs<A: EcmApp, S: TelemetrySink, M: MemoProbe>(
+    fn run_epochs<A: EcmApp, S: TelemetrySink, M: MemoProbe, F: CandidateProbe>(
         &self,
         app: &A,
         sink: &mut S,
         memo: &mut M,
+        filter: &mut F,
     ) -> Result<RunReport, SimError> {
-        let mut st = self.start(app)?;
+        let mut st = self.start(app, filter)?;
         let num_slots = st.slots.len();
 
         let mut cal = SlotCalendar::new(num_slots);
@@ -873,7 +982,7 @@ impl<'p> Simulator<'p> {
                         // to the reference driver's gauge.
                         sink.on_event(t_run, &st.mem, cal.event_count() + 1);
                     }
-                    match st.exec_event(t_run, id, sink, memo) {
+                    match st.exec_event(t_run, id, sink, memo, filter) {
                         Some(next_t) => {
                             if next_t < cal.peek_time() {
                                 // Solo run: strictly earlier than every
@@ -895,7 +1004,18 @@ impl<'p> Simulator<'p> {
             tok.checkpoint(tick_backlog);
         }
 
-        st.finish(sink, M::ACTIVE.then(|| memo.stats()))
+        let query = F::ACTIVE.then(|| query_stats(filter));
+        st.finish(sink, M::ACTIVE.then(|| memo.stats()), query)
+    }
+}
+
+/// Seals a live filter's counters into the report block.
+fn query_stats<F: CandidateProbe>(filter: &F) -> QueryRunStats {
+    let s = filter.stats();
+    QueryRunStats {
+        admitted: filter.admitted(),
+        probes: s.probes,
+        rejects: s.rejects,
     }
 }
 
@@ -907,7 +1027,7 @@ mod tests {
     use crate::progress::{install, Cancelled, ProgressToken};
     use gramer_graph::generate;
     use gramer_mining::apps::{CliqueFinding, MotifCounting};
-    use gramer_mining::DfsEnumerator;
+    use gramer_mining::{DfsEnumerator, QueryGraph};
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     fn small_graph() -> gramer_graph::CsrGraph {
@@ -1076,6 +1196,67 @@ mod tests {
     }
 
     #[test]
+    fn filtered_query_run_matches_unfiltered_and_reports_stats() {
+        let g = generate::with_random_labels(&small_graph(), 3, 17);
+        let query = QueryGraph::from_spec("1,2,1:0-1,1-2").unwrap();
+        let app = QueryApp::new(query).unwrap();
+        let cfg = GramerConfig::default();
+        let pre = preprocess(&g, &cfg).unwrap();
+        let brute = Simulator::new(&pre, cfg.clone())
+            .unwrap()
+            .run(&app)
+            .unwrap();
+        let filtered = Simulator::new(&pre, cfg).unwrap().run_query(&app).unwrap();
+        // Result-identical at full query size: the filter only skips
+        // vertices that cannot appear in any complete match. Partial
+        // embeddings MAY shrink — pruning dead-end partials is the point —
+        // so compare the full-size totals, not the running `embeddings`.
+        assert_eq!(
+            filtered.result.total_at(3),
+            brute.result.total_at(3),
+            "filtered enumeration lost or invented matches"
+        );
+        assert!(
+            filtered.result.embeddings <= brute.result.embeddings,
+            "filtering cannot create partial embeddings"
+        );
+        // Stats are gated: absent on the brute run, present and honest on
+        // the filtered one.
+        assert!(brute.query.is_none());
+        let q = filtered
+            .query
+            .expect("filtered run must report query stats");
+        // `RunState::finish` debug-asserts q.probes == mem.filter_lookups(),
+        // so probes here are exactly the modeled bitmap reads.
+        assert!(q.probes > 0, "no probes charged");
+        assert!(q.rejects > 0, "labels should prune something here");
+        // Root pruning shrinks the explored space.
+        assert!(filtered.result.candidates_examined <= brute.result.candidates_examined);
+    }
+
+    #[test]
+    fn filtered_query_run_is_deterministic_across_schedulers() {
+        let g = generate::with_random_labels(&generate::barabasi_albert(150, 3, 9), 4, 23);
+        let query = QueryGraph::from_spec("2,3,2,1:0-1,1-2,2-3,3-0").unwrap();
+        let app = QueryApp::new(query).unwrap();
+        for sched in [Scheduler::Calendar, Scheduler::Heap] {
+            let cfg = GramerConfig {
+                scheduler: sched,
+                ..GramerConfig::default()
+            };
+            let pre = preprocess(&g, &cfg).unwrap();
+            let a = Simulator::new(&pre, cfg.clone())
+                .unwrap()
+                .run_query(&app)
+                .unwrap();
+            let b = Simulator::new(&pre, cfg).unwrap().run_query(&app).unwrap();
+            assert_eq!(a.result.embeddings, b.result.embeddings);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.query, b.query);
+        }
+    }
+
+    #[test]
     fn depth_overflow_is_typed_error() {
         let g = generate::complete(6);
         let cfg = GramerConfig {
@@ -1227,7 +1408,12 @@ mod tests {
                 tok: tok.clone(),
             };
             let sim = Simulator::new(&pre, cfg.clone()).unwrap();
-            sim.run_epochs::<_, CancelAfterEvents, NoMemo>(&app, &mut sink, &mut NoMemo)
+            sim.run_epochs::<_, CancelAfterEvents, NoMemo, NoFilter>(
+                &app,
+                &mut sink,
+                &mut NoMemo,
+                &mut NoFilter,
+            )
         }));
         let payload = match caught {
             Err(p) => p,

@@ -32,6 +32,11 @@ pub struct EnergyModel {
     /// less than a scratchpad access — the honest accounting that keeps
     /// memoized runs from looking free.
     pub memo_lookup_j: f64,
+    /// Dynamic energy per candidate-filter probe, joules. The filter is
+    /// a one-bit-per-vertex bitmap SRAM — smaller rows than the memo's
+    /// tagged entries, so a probe costs less than a memo lookup — and
+    /// the same honesty rule applies: filtered runs pay for every probe.
+    pub filter_lookup_j: f64,
 }
 
 impl Default for EnergyModel {
@@ -44,6 +49,7 @@ impl Default for EnergyModel {
             cache_fill_j: 50e-12,
             dram_access_j: 15e-9,
             memo_lookup_j: 8e-12,
+            filter_lookup_j: 4e-12,
         }
     }
 }
@@ -81,6 +87,20 @@ impl EnergyModel {
         dram_requests: u64,
         memo_lookups: u64,
     ) -> EnergyBreakdown {
+        self.accelerator_energy_full(seconds, stats, dram_requests, memo_lookups, 0)
+    }
+
+    /// The full accounting: [`Self::accelerator_energy_memo`] plus
+    /// `filter_lookups` candidate-filter probes (query-filtered runs pay
+    /// for every admission read the filter bitmap answered).
+    pub fn accelerator_energy_full(
+        &self,
+        seconds: f64,
+        stats: &MemStats,
+        dram_requests: u64,
+        memo_lookups: u64,
+        filter_lookups: u64,
+    ) -> EnergyBreakdown {
         let hp = (stats.vertex.high_priority_hits + stats.edge.high_priority_hits) as f64;
         let ch = (stats.vertex.cache_hits + stats.edge.cache_hits) as f64;
         let miss = stats.total_misses() as f64;
@@ -89,7 +109,8 @@ impl EnergyModel {
             memory_dynamic_j: hp * self.scratchpad_j
                 + ch * self.cache_hit_j
                 + miss * self.cache_fill_j
-                + memo_lookups as f64 * self.memo_lookup_j,
+                + memo_lookups as f64 * self.memo_lookup_j
+                + filter_lookups as f64 * self.filter_lookup_j,
             dram_j: dram_requests as f64 * self.dram_access_j,
         }
     }
@@ -145,6 +166,20 @@ mod tests {
         let memo = m.accelerator_energy_memo(0.0, &stats, 0, 1000);
         let expected = 1000.0 * m.memo_lookup_j;
         assert!((memo.memory_dynamic_j - plain.memory_dynamic_j - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn filter_lookups_are_charged() {
+        let m = EnergyModel::default();
+        let stats = MemStats::default();
+        let plain = m.accelerator_energy_memo(0.0, &stats, 0, 7);
+        let full = m.accelerator_energy_full(0.0, &stats, 0, 7, 500);
+        let expected = 500.0 * m.filter_lookup_j;
+        assert!((full.memory_dynamic_j - plain.memory_dynamic_j - expected).abs() < 1e-18);
+        assert!(
+            m.filter_lookup_j < m.memo_lookup_j,
+            "bitmap row < tagged entry"
+        );
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct LatencyConfig {
     /// probed before the connectivity-check accesses it can replace).
     /// Only charged when memoization is enabled.
     pub memo_lookup_cycles: u64,
+    /// Latency of a candidate-filter admission probe (the query front
+    /// end's union-bitmap SRAM, read once per examined extension). Only
+    /// charged when a query filter is active.
+    pub filter_lookup_cycles: u64,
 }
 
 impl Default for LatencyConfig {
@@ -46,6 +50,7 @@ impl Default for LatencyConfig {
             ports_per_bank: 2,
             request_fifo_depth: 8,
             memo_lookup_cycles: 1,
+            filter_lookup_cycles: 1,
         }
     }
 }
@@ -168,6 +173,7 @@ pub struct MemorySubsystem {
     next_line_prefetch: bool,
     prefetches: u64,
     memo_lookups: u64,
+    filter_lookups: u64,
     dram: DramModel,
     latency: LatencyConfig,
     /// Whether the pinned-prefix fast lane is armed (see [`AccessPath`]).
@@ -365,6 +371,7 @@ impl MemorySubsystem {
             next_line_prefetch: config.next_line_prefetch,
             prefetches: 0,
             memo_lookups: 0,
+            filter_lookups: 0,
             dram: DramModel::new(config.dram),
             latency: config.latency,
             fast_path: config.access_path == AccessPath::Fast,
@@ -655,6 +662,25 @@ impl MemorySubsystem {
         self.memo_lookups
     }
 
+    /// Charges one candidate-filter admission probe issued at cycle
+    /// `now` and returns its completion time
+    /// (`now + filter_lookup_cycles`). Like the pair memo, the filter
+    /// bitmap is a dedicated SRAM beside the PUs — no port time, no
+    /// contention with demand accesses — but unlike the memo it is
+    /// charged on *every* examined extension while a query filter is
+    /// active, which is what keeps filtered runs honest: the pruning is
+    /// paid for, not free.
+    pub fn filter_lookup(&mut self, now: u64) -> u64 {
+        self.filter_lookups += 1;
+        now + self.latency.filter_lookup_cycles
+    }
+
+    /// Number of charged candidate-filter probes (zero unless a query
+    /// filter ran).
+    pub fn filter_lookups(&self) -> u64 {
+        self.filter_lookups
+    }
+
     /// Retunes every bank's replacement-policy λ, both kinds (no-op for
     /// policies without one). The adaptive autotuner calls this at
     /// deterministic window boundaries.
@@ -791,6 +817,7 @@ impl MemorySubsystem {
         }
         self.prefetches = 0;
         self.memo_lookups = 0;
+        self.filter_lookups = 0;
         self.dram.reset();
     }
 }
@@ -1076,6 +1103,19 @@ mod tests {
         assert_eq!(mem.memo_lookups(), 2);
         mem.reset();
         assert_eq!(mem.memo_lookups(), 0);
+    }
+
+    #[test]
+    fn filter_lookup_charges_latency_and_counts() {
+        let mut mem = subsystem(2);
+        assert_eq!(mem.filter_lookups(), 0);
+        let done = mem.filter_lookup(10);
+        assert_eq!(done, 11); // default filter_lookup_cycles = 1
+        mem.filter_lookup(done);
+        assert_eq!(mem.filter_lookups(), 2);
+        assert_eq!(mem.memo_lookups(), 0, "filter probes are not memo probes");
+        mem.reset();
+        assert_eq!(mem.filter_lookups(), 0);
     }
 
     #[test]

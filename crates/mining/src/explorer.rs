@@ -31,6 +31,7 @@
 use crate::embedding::{Embedding, MAX_EMBEDDING};
 use crate::memo::{MemoProbe, NoMemo};
 use crate::observer::AccessObserver;
+use crate::query::{CandidateProbe, NoFilter};
 use gramer_graph::{AdjProbe, CsrGraph, VertexId};
 
 /// Result of one [`Explorer::step`].
@@ -247,6 +248,33 @@ impl<'g> Explorer<'g> {
         observer: &mut O,
         memo: &mut M,
     ) -> Step {
+        self.step_filtered(observer, memo, &mut NoFilter)
+    }
+
+    /// [`Self::step_memo`] with a candidate filter (see
+    /// [`crate::CandidateFilter`]). When `Q::ACTIVE`, every examined
+    /// adjacency slot consults the filter before any connectivity work:
+    /// one [`AccessObserver::filter_probe`] is reported (the modeled
+    /// filter-SRAM read) and non-candidates are rejected immediately,
+    /// skipping the entire extend-check pipeline and the subtree below.
+    /// With [`NoFilter`] (what [`Self::step_memo`] passes) the filter
+    /// branches constant-fold away, so the unfiltered path is
+    /// machine-code identical to the pre-query explorer.
+    ///
+    /// Rejecting non-candidates is lossless for query workloads: every
+    /// vertex of every embedding matching the query survives the sound
+    /// candidate pipeline, so the canonical DFS path to each match only
+    /// ever extends through admitted vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a [`Step::Candidate`] decision is pending.
+    pub fn step_filtered<O: AccessObserver, M: MemoProbe, Q: CandidateProbe>(
+        &mut self,
+        observer: &mut O,
+        memo: &mut M,
+        filter: &mut Q,
+    ) -> Step {
         assert!(
             !self.pending,
             "previous candidate awaits descend() or retract()"
@@ -299,6 +327,16 @@ impl<'g> Explorer<'g> {
         frame.idx += 1;
         observer.edge_access(slot, vj, size);
         let w = self.graph.adjacency_at(slot);
+
+        if Q::ACTIVE {
+            // Candidate-filter admission: one modeled filter-SRAM read,
+            // ahead of every connectivity probe the rejection saves.
+            let admitted = filter.admits(w);
+            observer.filter_probe(admitted, size);
+            if !admitted {
+                return Step::Rejected;
+            }
+        }
 
         if self.emb.contains(w) {
             return Step::Rejected;

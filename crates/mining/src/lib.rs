@@ -55,6 +55,7 @@ mod pattern;
 
 pub mod apps;
 pub mod brute;
+pub mod query;
 
 pub use counts::{MiningResult, PatternCounts};
 pub use ecm::EcmApp;
@@ -64,3 +65,7 @@ pub use explorer::{Explorer, Step};
 pub use memo::{MemoProbe, MemoStats, NoMemo, PairMemoTable, DEFAULT_MEMO_BYTES, MEMO_ENTRY_BYTES};
 pub use observer::{AccessObserver, CountingObserver, NullObserver, Tee};
 pub use pattern::{Pattern, PatternId, PatternInterner};
+pub use query::{
+    CandidateFilter, CandidateProbe, CandidateSets, FilterPipelineStats, FilterProbeStats,
+    NoFilter, QueryApp, QueryGraph,
+};

@@ -41,6 +41,13 @@ pub trait AccessObserver {
     /// A memo insert displaced an LRU entry (byte budget exhausted).
     #[inline]
     fn memo_evict(&mut self, _size: usize) {}
+
+    /// A candidate-filter admission probe (one read of the query
+    /// front end's filter SRAM). Only fires when a candidate filter is
+    /// active, so the unfiltered path never pays for the hook. Timed
+    /// observers charge the modeled filter-lookup latency here.
+    #[inline]
+    fn filter_probe(&mut self, _admitted: bool, _size: usize) {}
 }
 
 /// An observer that ignores everything (zero-overhead mining).
@@ -114,6 +121,12 @@ impl<A: AccessObserver, B: AccessObserver> AccessObserver for Tee<A, B> {
         self.0.memo_evict(size);
         self.1.memo_evict(size);
     }
+
+    #[inline]
+    fn filter_probe(&mut self, admitted: bool, size: usize) {
+        self.0.filter_probe(admitted, size);
+        self.1.filter_probe(admitted, size);
+    }
 }
 
 impl<T: AccessObserver + ?Sized> AccessObserver for &mut T {
@@ -135,6 +148,10 @@ impl<T: AccessObserver + ?Sized> AccessObserver for &mut T {
 
     fn memo_evict(&mut self, size: usize) {
         (**self).memo_evict(size);
+    }
+
+    fn filter_probe(&mut self, admitted: bool, size: usize) {
+        (**self).filter_probe(admitted, size);
     }
 }
 

@@ -17,7 +17,7 @@ use gramer::json::JsonValue;
 use gramer::telemetry::{Telemetry, TelemetryConfig};
 use gramer::{GramerConfig, MemoryBudget, Preprocessed, RunReport, SimError, Simulator};
 use gramer_mining::apps::{CliqueFinding, FrequentSubgraphMining, MotifCounting};
-use gramer_mining::EcmApp;
+use gramer_mining::{EcmApp, QueryApp, QueryGraph};
 use std::path::PathBuf;
 
 /// Where a job's graph comes from.
@@ -232,6 +232,12 @@ fn validate_app_spec(spec: &str) -> Result<(), String> {
         t.parse::<u64>()
             .map(|_| ())
             .map_err(|_| format!("bad FSM threshold {t:?}"))
+    } else if let Some(q) = spec.strip_prefix("query:") {
+        // Full parse at admission: a malformed query graph is a typed
+        // 400, never a queued job that fails on a worker.
+        QueryGraph::parse(q)
+            .map(|_| ())
+            .map_err(|e| format!("bad query spec: {e}"))
     } else {
         let (k, kind) = spec
             .split_once('-')
@@ -273,6 +279,25 @@ pub fn run_app_spec(
             .parse()
             .map_err(|_| SimError::App(format!("bad FSM threshold {t:?}")))?;
         return run(&FrequentSubgraphMining::new(threshold));
+    }
+    if let Some(q) = app_spec.strip_prefix("query:") {
+        // Filtered subgraph query: same report shape, plus the gated
+        // `query` stats block (see `Simulator::run_query`).
+        let query =
+            QueryGraph::parse(q).map_err(|e| SimError::App(format!("bad query spec: {e}")))?;
+        let app = QueryApp::new(query).map_err(SimError::App)?;
+        let mut tel = telemetry_window.map(|window_cycles| {
+            Telemetry::new(TelemetryConfig {
+                window_cycles,
+                ..TelemetryConfig::default()
+            })
+        });
+        let sim = Simulator::new(pre, config)?;
+        let report = match tel.as_mut() {
+            Some(t) => sim.run_query_telemetry(&app, t)?,
+            None => sim.run_query(&app)?,
+        };
+        return Ok((report, tel));
     }
     let (k, kind) = app_spec
         .split_once('-')
@@ -547,6 +572,25 @@ mod tests {
         )
         .expect("json");
         assert!(JobSpec::from_json(&v).unwrap_err().contains("warp"));
+    }
+
+    #[test]
+    fn query_app_spec_is_validated_at_admission() {
+        let v =
+            JsonValue::parse("{\"graph\": {\"gen\": \"demo\"}, \"app\": \"query:1,2,1:0-1,1-2\"}")
+                .expect("json");
+        let spec = JobSpec::from_json(&v).expect("valid query spec admitted");
+        assert_eq!(spec.app, "query:1,2,1:0-1,1-2");
+        // A structurally bad query (1 vertex) is a typed 400 at admission.
+        let v = JsonValue::parse("{\"graph\": {\"gen\": \"demo\"}, \"app\": \"query:1:0-1\"}")
+            .expect("json");
+        assert!(JobSpec::from_json(&v).unwrap_err().contains("query"));
+        // A disconnected query is refused too.
+        let v = JsonValue::parse(
+            "{\"graph\": {\"gen\": \"demo\"}, \"app\": \"query:1,1,2,2:0-1,2-3\"}",
+        )
+        .expect("json");
+        assert!(JobSpec::from_json(&v).unwrap_err().contains("query"));
     }
 
     #[test]

@@ -17,6 +17,12 @@
 #           GRAMER_MEMO=on golden cell (mining results pinned, timing
 #           free to improve) and a gramer-mine --memo off byte-compare
 #           against the default run
+#   query   query-matrix: the pinned labeled queries of tests/query.rs
+#           x {calendar,heap} x {fast,exact}, plus GRAMER_EPOCH=off and
+#           GRAMER_MEMO=on legs (filtered match totals and filter-probe
+#           counters are pinned across every leg; filtered embeddings
+#           must be bit-identical to brute force), plus a gramer-mine
+#           --query / gramer-query CLI smoke
 #   doc     cargo doc --no-deps            (rustdoc, warnings denied)
 #   clippy  clippy on the library crates   (unwrap/expect denied: failures
 #           must flow through the typed error taxonomy, not panic; the
@@ -99,6 +105,31 @@ stage_golden() {
     cmp "$tmp/serial.out" "$tmp/memo-off.out"
 }
 
+stage_query() {
+    echo "== tier1: query suite under the scheduler x access-path matrix"
+    # The candidate filter must be result-identical to brute force, and
+    # its probe counters are pinned: both hold bit-for-bit in every leg.
+    local sched path
+    for sched in calendar heap; do
+        for path in fast exact; do
+            echo "   -- scheduler=$sched access-path=$path"
+            GRAMER_SCHEDULER="$sched" GRAMER_ACCESS_PATH="$path" \
+                cargo test -q --test query
+        done
+    done
+    echo "   -- epoch=off leg"
+    GRAMER_EPOCH=off cargo test -q --test query
+    echo "   -- memo=on leg (filter composes with the pair memo)"
+    GRAMER_MEMO=on cargo test -q --test query
+    # CLI smoke: both query front ends accept the same spec and the
+    # ablation tool's internal brute-vs-filtered identity check passes.
+    echo "   -- gramer-mine --query / gramer-query smoke"
+    cargo build --release -q -p gramer --bin gramer-mine --bin gramer-query
+    target/release/gramer-mine --demo --query "0,0,0:0-1,1-2,2-0" > /dev/null 2> /dev/null
+    target/release/gramer-query --gen golden-ba --labels 6:3 \
+        --query "1,2,3:0-1,1-2" > /dev/null 2> /dev/null
+}
+
 stage_doc() {
     echo "== tier1: cargo doc --no-deps --workspace (warnings denied)"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
@@ -112,6 +143,11 @@ stage_clippy() {
         -W clippy::needless_collect -W clippy::redundant_clone \
         -W clippy::large_stack_arrays -W clippy::trivially_copy_pass_by_ref \
         -W clippy::large_enum_variant
+    # The query ablation bin is part of the documented experiment surface,
+    # so it is held to the same no-panic bar as the libraries.
+    echo "== tier1: clippy unwrap/expect gate on gramer-query"
+    cargo clippy -q -p gramer --bin gramer-query -- \
+        -D clippy::unwrap_used -D clippy::expect_used
 }
 
 stage_bench() {
@@ -245,6 +281,7 @@ stage_all() {
     stage_build
     stage_test
     stage_golden
+    stage_query
     stage_doc
     stage_clippy
     stage_bench
@@ -255,12 +292,12 @@ stage_all() {
 
 stage="${1:-all}"
 case "$stage" in
-    fmt|build|test|golden|doc|clippy|bench|artifact|serve|all)
+    fmt|build|test|golden|query|doc|clippy|bench|artifact|serve|all)
         "stage_$stage"
         ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "usage: $0 [fmt|build|test|golden|doc|clippy|bench|artifact|serve|all]" >&2
+        echo "usage: $0 [fmt|build|test|golden|query|doc|clippy|bench|artifact|serve|all]" >&2
         exit 2
         ;;
 esac

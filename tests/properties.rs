@@ -254,6 +254,7 @@ fn random_subsystem_config(rng: &mut StdRng) -> SubsystemConfig {
             ports_per_bank: rng.gen_range(1usize..4),
             request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
             memo_lookup_cycles: rng.gen_range(1u64..3),
+            filter_lookup_cycles: 1,
         },
         dram: Default::default(),
         access_path: AccessPath::Fast,
@@ -346,6 +347,7 @@ fn fast_path_matches_exact_path_full_sim() {
             ports_per_bank: rng.gen_range(1usize..4),
             request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
             memo_lookup_cycles: rng.gen_range(1u64..3),
+            filter_lookup_cycles: 1,
         };
         let budget = MemoryBudget::Fraction(rng.gen_range(2u32..60) as f64 / 100.0);
         let fast_cfg = GramerConfig {
@@ -415,6 +417,7 @@ fn epoch_matches_interleaved() {
             ports_per_bank: rng.gen_range(1usize..4),
             request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
             memo_lookup_cycles: rng.gen_range(1u64..3),
+            filter_lookup_cycles: 1,
         };
         let epoch_cfg = GramerConfig {
             num_pus,
@@ -492,6 +495,7 @@ fn memo_preserves_mining_results() {
             ports_per_bank: rng.gen_range(1usize..4),
             request_fifo_depth: [0, 1, 2, 8][rng.gen_range(0usize..4)],
             memo_lookup_cycles: rng.gen_range(1u64..3),
+            filter_lookup_cycles: 1,
         };
         // Budgets from one entry (16 B, constant eviction) to roomy.
         let bytes = [16u64, 64, 1 << 10, 1 << 16, 1 << 20][rng.gen_range(0usize..5)];
